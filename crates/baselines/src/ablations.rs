@@ -1,0 +1,113 @@
+//! Ablation variants of the mmHand model.
+//!
+//! DESIGN.md calls out the design choices the paper argues for; each
+//! ablation disables exactly one of them so the benchmark harness can show
+//! its contribution:
+//!
+//! * two-stage channel attention (stage 1: frame; stage 2: velocity),
+//! * 3-D spatial attention,
+//! * the LSTM temporal model,
+//! * the kinematic loss term.
+
+use mmhand_core::{LossWeights, ModelConfig};
+
+/// One ablation: a model/loss variant plus its display name.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    /// Stable identifier, e.g. `"no_spatial_attention"`.
+    pub name: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The model configuration to train.
+    pub model: ModelConfig,
+    /// The loss weights to train with.
+    pub weights: LossWeights,
+}
+
+/// Builds the standard ablation suite around a base configuration.
+pub fn suite(base: &ModelConfig) -> Vec<Ablation> {
+    let w = LossWeights::default();
+    vec![
+        Ablation {
+            name: "full",
+            description: "complete mmHand (all attention, LSTM, combined loss)",
+            model: base.clone(),
+            weights: w,
+        },
+        Ablation {
+            name: "no_frame_attention",
+            description: "first-stage (frame) channel attention disabled",
+            model: ModelConfig { frame_attention: false, ..base.clone() },
+            weights: w,
+        },
+        Ablation {
+            name: "no_channel_attention",
+            description: "second-stage (velocity) channel attention disabled",
+            model: ModelConfig { channel_attention: false, ..base.clone() },
+            weights: w,
+        },
+        Ablation {
+            name: "no_spatial_attention",
+            description: "3-D spatial attention disabled",
+            model: ModelConfig { spatial_attention: false, ..base.clone() },
+            weights: w,
+        },
+        Ablation {
+            name: "no_lstm",
+            description: "temporal LSTM replaced by per-segment regression",
+            model: ModelConfig { use_lstm: false, ..base.clone() },
+            weights: w,
+        },
+        Ablation {
+            name: "no_kinematic_loss",
+            description: "trained with the 3-D loss only (γ = 0)",
+            model: base.clone(),
+            weights: LossWeights { gamma: 0.0, ..w },
+        },
+        Ablation {
+            name: "no_attention_at_all",
+            description: "plain hourglass CNN: every attention mechanism off",
+            model: ModelConfig {
+                frame_attention: false,
+                channel_attention: false,
+                spatial_attention: false,
+                ..base.clone()
+            },
+            weights: w,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique_and_full_is_first() {
+        let s = suite(&ModelConfig::default());
+        assert_eq!(s[0].name, "full");
+        let mut names: Vec<&str> = s.iter().map(|a| a.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn each_ablation_differs_from_full() {
+        let s = suite(&ModelConfig::default());
+        let full = &s[0];
+        for a in &s[1..] {
+            let differs = a.model != full.model || a.weights != full.weights;
+            assert!(differs, "{} is identical to full", a.name);
+        }
+    }
+
+    #[test]
+    fn kinematic_ablation_only_touches_loss() {
+        let s = suite(&ModelConfig::default());
+        let a = s.iter().find(|a| a.name == "no_kinematic_loss").unwrap();
+        assert_eq!(a.model, ModelConfig::default());
+        assert_eq!(a.weights.gamma, 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Literature comparison numbers for Table I.
+//!
+//! The paper compares mmHand's MPJPE against four vision methods (using
+//! their published MSRA/ICVL results) and two wireless methods (using
+//! results on data collected per those papers' setups). These constants
+//! reproduce the table's fixed entries; the runnable surrogate baselines
+//! live in [`crate::surrogates`].
+
+/// Source dataset of a literature MPJPE number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// MSRA hand pose dataset.
+    Msra,
+    /// ICVL hand pose dataset.
+    Icvl,
+    /// The method authors' self-collected data.
+    SelfCollected,
+}
+
+impl Dataset {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Msra => "MSRA",
+            Dataset::Icvl => "ICVL",
+            Dataset::SelfCollected => "Self-collected",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableEntry {
+    /// Method name as printed in the paper.
+    pub method: &'static str,
+    /// Dataset the number was reported on.
+    pub dataset: Dataset,
+    /// Reported MPJPE in millimetres.
+    pub mpjpe_mm: f32,
+    /// The mmHand MPJPE the paper lists alongside (its own column).
+    pub mmhand_mpjpe_mm: f32,
+    /// `true` for wireless-sensing methods.
+    pub wireless: bool,
+}
+
+/// The fixed literature entries of Table I.
+pub const TABLE1: [TableEntry; 8] = [
+    TableEntry { method: "Cascade", dataset: Dataset::Msra, mpjpe_mm: 15.2, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "Cascade", dataset: Dataset::Icvl, mpjpe_mm: 9.9, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "CrossingNet", dataset: Dataset::Msra, mpjpe_mm: 12.2, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "CrossingNet", dataset: Dataset::Icvl, mpjpe_mm: 10.2, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "DeepPrior++", dataset: Dataset::Msra, mpjpe_mm: 9.5, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "HBE", dataset: Dataset::Icvl, mpjpe_mm: 8.62, mmhand_mpjpe_mm: 18.3, wireless: false },
+    TableEntry { method: "mm4Arm", dataset: Dataset::SelfCollected, mpjpe_mm: 4.07, mmhand_mpjpe_mm: 20.4, wireless: true },
+    TableEntry { method: "HandFi", dataset: Dataset::SelfCollected, mpjpe_mm: 20.7, mmhand_mpjpe_mm: 19.0, wireless: true },
+];
+
+/// Mean MPJPE of the vision methods (the paper quotes 10.94 mm).
+pub fn vision_mean_mpjpe() -> f32 {
+    let vision: Vec<f32> = TABLE1
+        .iter()
+        .filter(|e| !e.wireless)
+        .map(|e| e.mpjpe_mm)
+        .collect();
+    vision.iter().sum::<f32>() / vision.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vision_mean_matches_paper() {
+        // Paper §VI-C: "the average value 10.94mm of these visual methods".
+        assert!((vision_mean_mpjpe() - 10.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_has_six_methods() {
+        let mut methods: Vec<&str> = TABLE1.iter().map(|e| e.method).collect();
+        methods.sort_unstable();
+        methods.dedup();
+        assert_eq!(methods.len(), 6);
+    }
+
+    #[test]
+    fn wireless_rows_use_self_collected_data() {
+        for e in TABLE1.iter().filter(|e| e.wireless) {
+            assert_eq!(e.dataset, Dataset::SelfCollected);
+        }
+    }
+
+    #[test]
+    fn paper_claim_mmhand_within_10mm_of_vision_average() {
+        // Paper: "the difference of MPJPE between the result of mmHand and
+        // the average value ... is within 10mm".
+        assert!((18.3 - vision_mean_mpjpe()).abs() < 10.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the pipeline stages (supporting Fig. 26 and the
+//! per-stage cost breakdown): signal synthesis, cube construction, network
+//! inference, kinematic loss, and mesh reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhand_core::cube::{CubeBuilder, CubeConfig};
+use mmhand_core::loss::kinematic_loss;
+use mmhand_core::mesh::MeshReconstructor;
+use mmhand_core::model::{MmHandModel, ModelConfig};
+use mmhand_hand::gesture::Gesture;
+use mmhand_hand::shape::HandShape;
+use mmhand_hand::trajectory::GestureTrack;
+use mmhand_hand::user::UserProfile;
+use mmhand_math::rng::stream_rng;
+use mmhand_math::Vec3;
+use mmhand_nn::{ParamStore, Tape, Tensor};
+use mmhand_radar::capture::{record_session, CaptureConfig};
+
+fn bench_radar_synthesis(c: &mut Criterion) {
+    let user = UserProfile::generate(1, 42);
+    let track = GestureTrack::from_gestures(
+        &[Gesture::OpenPalm, Gesture::Fist],
+        Vec3::new(0.0, 0.3, 0.0),
+        0.4,
+        0.4,
+    );
+    let cfg = CaptureConfig::default();
+    c.bench_function("radar_synthesize_frame", |b| {
+        b.iter(|| record_session(&user, &track, 1, &cfg))
+    });
+}
+
+fn bench_cube_builder(c: &mut Criterion) {
+    let user = UserProfile::generate(1, 42);
+    let track = GestureTrack::from_gestures(&[Gesture::OpenPalm], Vec3::new(0.0, 0.3, 0.0), 1.0, 0.1);
+    let session = record_session(&user, &track, 1, &CaptureConfig::default());
+    let mut builder = CubeBuilder::new(CubeConfig::default());
+    c.bench_function("cube_process_frame", |b| {
+        b.iter(|| builder.process_frame(&session.frames[0]))
+    });
+}
+
+fn bench_network_forward(c: &mut Criterion) {
+    let cfg = ModelConfig::default();
+    let mut store = ParamStore::new();
+    let mut rng = stream_rng(1, "bench");
+    let model = MmHandModel::new(&mut store, cfg.clone(), &mut rng);
+    let segs: Vec<Tensor> = (0..3)
+        .map(|_| {
+            Tensor::randn(
+                &[1, cfg.input_channels(), cfg.range_bins, cfg.angle_bins],
+                1.0,
+                &mut rng,
+            )
+        })
+        .collect();
+    c.bench_function("mmspacenet_lstm_forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            model.forward(&mut tape, &store, &segs)
+        })
+    });
+}
+
+fn bench_kinematic_loss(c: &mut Criterion) {
+    let shape = HandShape::default();
+    let truth_j = Gesture::OpenPalm.pose().joints(&shape);
+    let pred_j = Gesture::Fist.pose().joints(&shape);
+    let flat = |j: &[Vec3; 21]| -> Vec<f32> { j.iter().flat_map(|v| v.to_array()).collect() };
+    let truth = Tensor::from_vec(&[1, 63], flat(&truth_j));
+    let pred = Tensor::from_vec(&[1, 63], flat(&pred_j));
+    c.bench_function("kinematic_loss_with_gradient", |b| {
+        b.iter(|| kinematic_loss(&pred, &truth))
+    });
+}
+
+fn bench_mesh_reconstruction(c: &mut Criterion) {
+    let reconstructor = MeshReconstructor::new(1);
+    let shape = HandShape::default();
+    let mut pose = Gesture::Point.pose();
+    pose.position = Vec3::new(0.0, 0.3, 0.0);
+    let skel: Vec<f32> = pose.joints(&shape).iter().flat_map(|v| v.to_array()).collect();
+    c.bench_function("mesh_reconstruct_analytic", |b| {
+        b.iter(|| reconstructor.reconstruct_analytic(&skel))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_radar_synthesis,
+              bench_cube_builder,
+              bench_network_forward,
+              bench_kinematic_loss,
+              bench_mesh_reconstruction
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Runs the complete experiment suite — every table and figure of the
+//! paper's evaluation — sharing one cached reference model and one
+//! cross-validation run. Set `MMHAND_QUICK=1` for a smoke-scale pass.
+
+use mmhand_bench::config::ExperimentConfig;
+use mmhand_bench::experiments as exp;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("mmHand experiment suite (scale: {:?})", cfg.scale);
+    let t0 = std::time::Instant::now();
+    exp::per_user::run(&cfg);
+    exp::pck_curve::run(&cfg);
+    exp::error_cdf::run(&cfg);
+    exp::table1::run(&cfg);
+    exp::distance::run(&cfg);
+    exp::angle::run(&cfg);
+    exp::body::run(&cfg);
+    exp::gloves::run(&cfg);
+    exp::objects::run(&cfg);
+    exp::environment::run(&cfg);
+    exp::obstacle::run(&cfg);
+    exp::ablation::run(&cfg);
+    exp::qualitative::run(&cfg);
+    exp::timing::run(&cfg);
+    println!();
+    println!("suite finished in {:.0}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates one paper artefact; see `mmhand_bench::experiments::body`.
+
+fn main() {
+    let cfg = mmhand_bench::config::ExperimentConfig::from_env();
+    mmhand_bench::experiments::body::run(&cfg);
+}

@@ -1,0 +1,91 @@
+//! On-disk caching of expensive experiment artefacts.
+//!
+//! Several figures share the same trained model and cross-validation run;
+//! each `exp_*` binary therefore caches them under
+//! `target/mmhand-cache/<key>.f32` as raw little-endian `f32` streams.
+//! Delete the directory to force retraining.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// The cache directory (created on demand).
+pub fn cache_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("mmhand-cache")
+}
+
+fn path_for(key: &str) -> PathBuf {
+    cache_dir().join(format!("{key}.f32"))
+}
+
+/// Saves a float slice under `key`. Errors are propagated so callers can
+/// decide whether caching is critical.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn save_f32(key: &str, data: &[f32]) -> std::io::Result<()> {
+    fs::create_dir_all(cache_dir())?;
+    let mut buf = Vec::with_capacity(4 + data.len() * 4);
+    buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut f = fs::File::create(path_for(key))?;
+    f.write_all(&buf)
+}
+
+/// Loads a float vector saved with [`save_f32`], or `None` when missing or
+/// malformed.
+pub fn load_f32(key: &str) -> Option<Vec<f32>> {
+    let mut f = fs::File::open(path_for(key)).ok()?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf).ok()?;
+    if buf.len() < 8 {
+        return None;
+    }
+    let n = u64::from_le_bytes(buf[..8].try_into().ok()?) as usize;
+    if buf.len() != 8 + n * 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for c in buf[8..].chunks_exact(4) {
+        out.push(f32::from_le_bytes(c.try_into().ok()?));
+    }
+    Some(out)
+}
+
+/// Removes one cached entry (ignores missing files).
+pub fn invalidate(key: &str) {
+    let _ = fs::remove_file(path_for(key));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = "test-round-trip";
+        invalidate(key);
+        let data = vec![1.5_f32, -2.25, 0.0, 1e9];
+        save_f32(key, &data).unwrap();
+        assert_eq!(load_f32(key), Some(data));
+        invalidate(key);
+        assert_eq!(load_f32(key), None);
+    }
+
+    #[test]
+    fn empty_slice_round_trips() {
+        let key = "test-empty";
+        save_f32(key, &[]).unwrap();
+        assert_eq!(load_f32(key), Some(Vec::new()));
+        invalidate(key);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        assert_eq!(load_f32("never-written-key"), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment scale configuration.
+//!
+//! The full scale reproduces the paper's protocol shape (10 users, 5-fold
+//! leave-two-out CV) at CPU-tractable sizes. Setting `MMHAND_QUICK=1`
+//! shrinks everything for smoke runs and CI.
+
+use mmhand_core::{CubeConfig, DataConfig, ModelConfig, TrainConfig};
+use mmhand_math::Vec3;
+use mmhand_radar::capture::CaptureConfig;
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full reproduction scale.
+    Full,
+    /// Small smoke-test scale (`MMHAND_QUICK=1`).
+    Quick,
+}
+
+impl Scale {
+    /// Reads the scale from the `MMHAND_QUICK` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("MMHAND_QUICK") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+}
+
+/// The complete parameter set of an experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters.
+    pub data: DataConfig,
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Training parameters.
+    pub train: TrainConfig,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Sessions recorded per user (at varied hand positions).
+    pub sessions_per_user: usize,
+    /// Frames per *test* condition in the sweep experiments.
+    pub test_frames: usize,
+    /// Users used for sweep test sets.
+    pub test_users: usize,
+    /// Scale this config was built for.
+    pub scale: Scale,
+}
+
+impl ExperimentConfig {
+    /// Builds the configuration for a scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => {
+                let data = DataConfig {
+                    users: 10,
+                    frames_per_user: 256,
+                    gestures_per_track: 16,
+                    hand_position: Vec3::new(0.0, 0.3, 0.0),
+                    seq_len: 3,
+                    capture: CaptureConfig::default(),
+                    cube: CubeConfig::default(),
+                    seed: 42,
+                };
+                let model = data.model_config();
+                ExperimentConfig {
+                    data,
+                    model,
+                    train: TrainConfig { epochs: 60, batch_size: 8, ..Default::default() },
+                    folds: 5,
+                    sessions_per_user: 2,
+                    test_frames: 96,
+                    test_users: 3,
+                    scale,
+                }
+            }
+            Scale::Quick => {
+                let data = DataConfig {
+                    users: 4,
+                    frames_per_user: 64,
+                    gestures_per_track: 4,
+                    hand_position: Vec3::new(0.0, 0.3, 0.0),
+                    seq_len: 2,
+                    capture: CaptureConfig::default(),
+                    cube: CubeConfig::default(),
+                    seed: 42,
+                };
+                let model = ModelConfig {
+                    channels: 8,
+                    blocks: 1,
+                    feature_dim: 48,
+                    lstm_hidden: 48,
+                    ..data.model_config()
+                };
+                ExperimentConfig {
+                    data,
+                    model,
+                    train: TrainConfig { epochs: 10, batch_size: 8, ..Default::default() },
+                    folds: 2,
+                    sessions_per_user: 1,
+                    test_frames: 32,
+                    test_users: 2,
+                    scale,
+                }
+            }
+        }
+    }
+
+    /// The configuration for the environment-selected scale.
+    pub fn from_env() -> Self {
+        ExperimentConfig::new(Scale::from_env())
+    }
+
+    /// A short stable string describing everything that affects cached
+    /// artefacts.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "v3u{}f{}g{}s{}e{}b{}c{}k{}sess{}",
+            self.data.users,
+            self.data.frames_per_user,
+            self.data.gestures_per_track,
+            self.data.seq_len,
+            self.train.epochs,
+            self.train.batch_size,
+            self.model.channels,
+            self.model.blocks,
+            self.sessions_per_user,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_valid_configs() {
+        for scale in [Scale::Full, Scale::Quick] {
+            let c = ExperimentConfig::new(scale);
+            c.data.cube.validate().unwrap();
+            assert!(c.folds >= 2);
+            assert!(c.data.users >= c.folds);
+            assert_eq!(c.model.range_bins, c.data.cube.range_bins);
+        }
+    }
+
+    #[test]
+    fn cache_keys_differ_between_scales() {
+        let a = ExperimentConfig::new(Scale::Full).cache_key();
+        let b = ExperimentConfig::new(Scale::Quick).cache_key();
+        assert_ne!(a, b);
+    }
+}

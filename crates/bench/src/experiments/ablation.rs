@@ -1,0 +1,43 @@
+//! Ablation study of the design choices DESIGN.md calls out: each
+//! attention mechanism, the LSTM, and the kinematic loss, all trained on
+//! the same split as the full model.
+//!
+//! The paper argues for each mechanism (§IV) without printing an ablation
+//! table; this experiment supplies the quantitative support.
+
+use crate::config::ExperimentConfig;
+use crate::report;
+use crate::runner;
+use mmhand_baselines::ablations;
+use mmhand_core::metrics::JointGroup;
+use mmhand_core::train::TrainConfig;
+
+/// Runs the ablation suite and prints a comparison table.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Ablation study (hold-out users)");
+    let suite = ablations::suite(&cfg.model);
+    let mut full_mpjpe = None;
+    for ablation in &suite {
+        let train = TrainConfig { weights: ablation.weights, ..cfg.train.clone() };
+        let errors = runner::holdout_errors(cfg, ablation.name, &ablation.model, &train, None);
+        let m = errors.mpjpe(JointGroup::Overall);
+        report::data_row(
+            ablation.name,
+            format!(
+                "MPJPE {} | PCK@40 {} — {}",
+                report::mm(m),
+                report::pct(errors.pck(JointGroup::Overall, 40.0)),
+                ablation.description,
+            ),
+        );
+        if ablation.name == "full" {
+            full_mpjpe = Some(m);
+        }
+    }
+    if let Some(full) = full_mpjpe {
+        report::data_row(
+            "expectation",
+            format!("full ({}) should be the lowest or near-lowest row", report::mm(full)),
+        );
+    }
+}

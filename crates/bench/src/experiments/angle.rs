@@ -1,0 +1,64 @@
+//! Figs. 18 & 19: MPJPE and 3D-PCK versus the hand's azimuth angle.
+//!
+//! Paper reference: errors grow with |angle| and rise sharply beyond ±30°
+//! (the angle-FFT's sensitivity falls off); within ±30° the averages are
+//! 17.95 mm MPJPE and 95.78 % PCK. The hand sits at 40 cm range.
+//!
+//! As in the distance sweep, the root-aligned columns isolate articulation
+//! accuracy from the absolute-localisation saturation of the CPU-scale
+//! model (see `distance.rs` and DESIGN.md §5).
+
+use crate::config::ExperimentConfig;
+use crate::data::TestCondition;
+use crate::experiments::evaluate_condition_both;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_math::Vec3;
+
+/// Angle-bin centres in degrees for the paper's six 15°-wide scopes.
+pub const ANGLE_BINS_DEG: [f32; 6] = [-37.5, -22.5, -7.5, 7.5, 22.5, 37.5];
+
+/// Runs the experiment and prints the Figs. 18–19 series.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 18 & 19: MPJPE / PCK vs azimuth angle (range 40cm)");
+    let model = runner::reference_model(cfg);
+    let r = 0.4_f32;
+
+    println!("angle_deg abs_mpjpe_mm aligned_mpjpe_mm aligned_pck40");
+    let mut inner = Vec::new();
+    let mut outer = Vec::new();
+    for &deg in &ANGLE_BINS_DEG {
+        let theta = mmhand_math::deg_to_rad(deg);
+        let cond = TestCondition::at_position(
+            format!("angle_{}", deg as i32),
+            Vec3::new(r * theta.sin(), r * theta.cos(), 0.0),
+        );
+        let (abs_errors, aligned) = evaluate_condition_both(&model, cfg, &cond);
+        let m = aligned.mpjpe(JointGroup::Overall);
+        let p = aligned.pck(JointGroup::Overall, 40.0);
+        println!(
+            "{deg:>8.1} {:>12.1} {m:>16.1} {p:>13.3}",
+            abs_errors.mpjpe(JointGroup::Overall)
+        );
+        if deg.abs() <= 30.0 {
+            inner.push((m, p));
+        } else {
+            outer.push((m, p));
+        }
+    }
+    let mean = |v: &[(f32, f32)], i: usize| {
+        v.iter().map(|t| if i == 0 { t.0 } else { t.1 }).sum::<f32>() / v.len().max(1) as f32
+    };
+    report::row(
+        "aligned MPJPE within ±30°",
+        report::mm(mean(&inner, 0)),
+        "17.95mm",
+    );
+    report::row("aligned PCK within ±30°", report::pct(mean(&inner, 1)), "95.78%");
+    report::row(
+        "aligned MPJPE beyond ±30° vs within",
+        format!("{} vs {}", report::mm(mean(&outer, 0)), report::mm(mean(&inner, 0))),
+        "rises",
+    );
+}

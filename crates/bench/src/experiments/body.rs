@@ -1,0 +1,42 @@
+//! Figs. 20 & 21: impact of the user's body position.
+//!
+//! Paper reference: type 1 (body in front, behind the hand) 19.1 mm /
+//! 93.6 %; type 2 (body to the side) 18.1 mm / 95.4 % — an insignificant
+//! difference because the band-pass filter removes body returns.
+
+use crate::config::ExperimentConfig;
+use crate::data::TestCondition;
+use crate::experiments::evaluate_condition;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_radar::scene::BodyPlacement;
+
+/// Runs the experiment and prints the Figs. 20–21 rows.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 20 & 21: impact of body position");
+    let model = runner::reference_model(cfg);
+
+    let mut results = Vec::new();
+    for (placement, label, paper_m, paper_p) in [
+        (BodyPlacement::Front, "type 1 (body in front)", "19.1mm", "93.6%"),
+        (BodyPlacement::Side, "type 2 (body beside)", "18.1mm", "95.4%"),
+    ] {
+        let cond = TestCondition {
+            name: format!("body_{label}"),
+            body: placement,
+            ..TestCondition::nominal()
+        };
+        let errors = evaluate_condition(&model, cfg, &cond);
+        let m = errors.mpjpe(JointGroup::Overall);
+        let p = errors.pck(JointGroup::Overall, 40.0);
+        report::row(&format!("{label} MPJPE"), report::mm(m), paper_m);
+        report::row(&format!("{label} PCK@40"), report::pct(p), paper_p);
+        results.push(m);
+    }
+    report::row(
+        "type difference",
+        report::mm((results[0] - results[1]).abs()),
+        "~1.0mm (insignificant)",
+    );
+}

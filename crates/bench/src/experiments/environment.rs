@@ -1,0 +1,42 @@
+//! Fig. 24: impact of the environment.
+//!
+//! Paper reference: playground / corridor / classroom differ
+//! insignificantly (≤ 3.2 mm between the extremes) because the band-pass
+//! filter localises the hand's range band and ignores background clutter.
+
+use crate::config::ExperimentConfig;
+use crate::data::TestCondition;
+use crate::experiments::evaluate_condition;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_radar::scene::Environment;
+
+/// Runs the experiment and prints the Fig. 24 rows.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 24: impact of environment");
+    let model = runner::reference_model(cfg);
+
+    let mut mpjpes = Vec::new();
+    for env in Environment::ALL {
+        let cond = TestCondition {
+            name: format!("env_{}", env.name()),
+            environment: env,
+            ..TestCondition::nominal()
+        };
+        let errors = evaluate_condition(&model, cfg, &cond);
+        let m = errors.mpjpe(JointGroup::Overall);
+        report::data_row(
+            env.name(),
+            format!(
+                "MPJPE {} | PCK@40 {}",
+                report::mm(m),
+                report::pct(errors.pck(JointGroup::Overall, 40.0)),
+            ),
+        );
+        mpjpes.push(m);
+    }
+    let spread = mpjpes.iter().cloned().fold(f32::MIN, f32::max)
+        - mpjpes.iter().cloned().fold(f32::MAX, f32::min);
+    report::row("max environment gap", report::mm(spread), "3.2mm");
+}

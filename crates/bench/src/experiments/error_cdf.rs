@@ -1,0 +1,29 @@
+//! Fig. 15: the CDF of per-joint position errors.
+//!
+//! Paper reference: 90.2 % of joint errors fall within 30 mm.
+
+use crate::config::ExperimentConfig;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_math::stats;
+
+/// Runs the experiment and prints the Fig. 15 series.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 15: CDF of joint errors");
+    let overall = runner::cv_results(cfg).overall();
+
+    let errors: Vec<f32> = overall.iter().map(|(_, e)| e).collect();
+    report::row(
+        "fraction of errors <= 30mm",
+        report::pct(stats::fraction_below(&errors, 30.0)),
+        "90.2%",
+    );
+    report::data_row("median error", report::mm(overall.percentile(JointGroup::Overall, 50.0)));
+    report::data_row("p90 error", report::mm(overall.percentile(JointGroup::Overall, 90.0)));
+
+    println!("error_mm cdf");
+    for t in (0..=12).map(|k| k as f32 * 5.0) {
+        println!("{t:>4.0} {:.3}", stats::fraction_below(&errors, t));
+    }
+}

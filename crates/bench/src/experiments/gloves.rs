@@ -1,0 +1,50 @@
+//! Fig. 22: impact of gloves.
+//!
+//! Paper reference: with silk/cotton gloves the overall MPJPE rises to
+//! 28.6 mm and PCK falls to 86.3 % — degradation, but the basic pose
+//! survives. Glove data is used only for testing (as in the paper).
+
+use crate::config::ExperimentConfig;
+use crate::data::TestCondition;
+use crate::experiments::evaluate_condition;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::{JointErrors, JointGroup};
+use mmhand_radar::impairments::GloveMaterial;
+
+/// Runs the experiment and prints the Fig. 22 rows.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 22: impact of gloves (test-only condition)");
+    let model = runner::reference_model(cfg);
+
+    let bare = evaluate_condition(&model, cfg, &TestCondition::nominal());
+    report::data_row("bare hand reference", report::mm(bare.mpjpe(JointGroup::Overall)));
+
+    let mut pooled = JointErrors::new();
+    for material in GloveMaterial::ALL {
+        let cond = TestCondition {
+            name: format!("glove_{}", material.name()),
+            glove: Some(material),
+            ..TestCondition::nominal()
+        };
+        let errors = evaluate_condition(&model, cfg, &cond);
+        report::data_row(
+            &format!("{} glove", material.name()),
+            format!(
+                "MPJPE {} | PCK@40 {}",
+                report::mm(errors.mpjpe(JointGroup::Overall)),
+                report::pct(errors.pck(JointGroup::Overall, 40.0)),
+            ),
+        );
+        pooled.merge(&errors);
+    }
+    report::row("gloves overall MPJPE", report::mm(pooled.mpjpe(JointGroup::Overall)), "28.6mm");
+    report::row(
+        "gloves overall PCK@40",
+        report::pct(pooled.pck(JointGroup::Overall, 40.0)),
+        "86.3%",
+    );
+    // The paper notes palm prediction stays relatively accurate while
+    // fingers lean together.
+    report::group_breakdown(&pooled);
+}

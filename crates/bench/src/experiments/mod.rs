@@ -1,0 +1,46 @@
+//! One module per paper figure/table. Every module exposes
+//! `run(&ExperimentConfig)` so the `exp_*` binaries stay thin and `exp_all`
+//! can execute the whole suite in one process (sharing the cached model).
+
+pub mod ablation;
+pub mod angle;
+pub mod body;
+pub mod distance;
+pub mod environment;
+pub mod error_cdf;
+pub mod gloves;
+pub mod objects;
+pub mod obstacle;
+pub mod pck_curve;
+pub mod per_user;
+pub mod qualitative;
+pub mod table1;
+pub mod timing;
+
+use crate::config::ExperimentConfig;
+use crate::data::{build_test_set, TestCondition};
+use mmhand_core::metrics::JointErrors;
+use mmhand_core::train::TrainedModel;
+
+/// Evaluates a trained model on a freshly generated test condition.
+pub fn evaluate_condition(
+    model: &TrainedModel,
+    cfg: &ExperimentConfig,
+    condition: &TestCondition,
+) -> JointErrors {
+    let test = build_test_set(cfg, condition);
+    model.evaluate(&test)
+}
+
+/// Like [`evaluate_condition`] but also returns the root-aligned errors
+/// (articulation only, wrist translated onto the ground truth) — used by
+/// the distance/angle sweeps where absolute localisation saturates outside
+/// the training envelope.
+pub fn evaluate_condition_both(
+    model: &TrainedModel,
+    cfg: &ExperimentConfig,
+    condition: &TestCondition,
+) -> (JointErrors, JointErrors) {
+    let test = build_test_set(cfg, condition);
+    (model.evaluate(&test), model.evaluate_root_aligned(&test))
+}

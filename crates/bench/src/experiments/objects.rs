@@ -1,0 +1,55 @@
+//! Fig. 23: impact of handheld objects.
+//!
+//! Paper reference (qualitative): palm-confined objects (table-tennis
+//! ball, headphone case) barely disturb estimation; a pen is mistaken for
+//! a finger and a power bank covering the hand breaks finger estimation.
+//! We report the quantitative counterparts.
+
+use crate::config::ExperimentConfig;
+use crate::data::TestCondition;
+use crate::experiments::evaluate_condition;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_radar::impairments::HeldObject;
+
+/// Runs the experiment and prints the Fig. 23 rows.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 23: impact of handheld objects (test-only)");
+    let model = runner::reference_model(cfg);
+
+    let bare = evaluate_condition(&model, cfg, &TestCondition::nominal());
+    report::data_row("no object reference", report::mm(bare.mpjpe(JointGroup::Overall)));
+
+    let mut benign = Vec::new();
+    let mut disruptive = Vec::new();
+    for object in HeldObject::ALL {
+        let cond = TestCondition {
+            name: format!("object_{}", object.name()),
+            held_object: Some(object),
+            ..TestCondition::nominal()
+        };
+        let errors = evaluate_condition(&model, cfg, &cond);
+        let m = errors.mpjpe(JointGroup::Overall);
+        report::data_row(
+            object.name(),
+            format!(
+                "MPJPE {} | fingers {} | palm {}",
+                report::mm(m),
+                report::mm(errors.mpjpe(JointGroup::Fingers)),
+                report::mm(errors.mpjpe(JointGroup::Palm)),
+            ),
+        );
+        if object.affects_fingers() {
+            disruptive.push(m);
+        } else {
+            benign.push(m);
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    report::row(
+        "palm objects vs finger-area objects",
+        format!("{} vs {}", report::mm(mean(&benign)), report::mm(mean(&disruptive))),
+        "benign vs degraded",
+    );
+}

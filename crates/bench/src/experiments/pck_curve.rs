@@ -1,0 +1,42 @@
+//! Fig. 14: 3D-PCK over thresholds 0–60 mm with palm/fingers/overall
+//! curves and their AUCs.
+//!
+//! Paper reference: AUC palm 0.722, fingers 0.691, overall 0.707; overall
+//! PCK reaches 95.1 % at 40 mm.
+
+use crate::config::ExperimentConfig;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+
+/// Runs the experiment and prints the Fig. 14 series.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 14: 3D-PCK vs threshold (0-60mm)");
+    let overall = runner::cv_results(cfg).overall();
+
+    for group in JointGroup::ALL {
+        let auc = overall.auc(group, 60.0);
+        let paper = match group {
+            JointGroup::Palm => "0.722",
+            JointGroup::Fingers => "0.691",
+            JointGroup::Overall => "0.707",
+        };
+        report::row(&format!("AUC {}", group.name()), format!("{auc:.3}"), paper);
+    }
+    report::row(
+        "PCK@40mm overall",
+        report::pct(overall.pck(JointGroup::Overall, 40.0)),
+        "95.1%",
+    );
+
+    // The curve itself, in 5 mm steps, as plottable series.
+    println!("threshold_mm palm fingers overall");
+    for (t, _) in overall.pck_curve(JointGroup::Overall, 60.0, 5.0) {
+        println!(
+            "{t:>4.0} {:.3} {:.3} {:.3}",
+            overall.pck(JointGroup::Palm, t),
+            overall.pck(JointGroup::Fingers, t),
+            overall.pck(JointGroup::Overall, t),
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figs. 12 & 13: per-participant MPJPE and 3D-PCK@40 mm under the 5-fold
+//! leave-two-users-out cross-validation.
+//!
+//! Paper reference: average 18.3 mm MPJPE (σ 2.96 mm) and 95.1 % PCK
+//! (σ 1.17 %); the best and worst users differ by only 2.9 mm / 3.3 %.
+
+use crate::config::ExperimentConfig;
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_math::stats;
+
+/// Runs the experiment and prints Figs. 12–13 rows.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Fig. 12 & 13: per-participant MPJPE / 3D-PCK@40mm");
+    let cv = runner::cv_results(cfg);
+
+    let mut mpjpes = Vec::new();
+    let mut pcks = Vec::new();
+    for (user, errors) in &cv.per_user {
+        let m = errors.mpjpe(JointGroup::Overall);
+        let p = errors.pck(JointGroup::Overall, 40.0);
+        report::data_row(
+            &format!("user {user}"),
+            format!("MPJPE {} | PCK@40 {}", report::mm(m), report::pct(p)),
+        );
+        mpjpes.push(m);
+        pcks.push(p);
+    }
+
+    report::row("average MPJPE", report::mm(stats::mean(&mpjpes)), "18.3mm");
+    report::row("MPJPE std-dev across users", report::mm(stats::std_dev(&mpjpes)), "2.96mm");
+    report::row("average PCK@40", report::pct(stats::mean(&pcks)), "95.1%");
+    report::row(
+        "PCK std-dev across users",
+        report::pct(stats::std_dev(&pcks)),
+        "1.17%",
+    );
+    let spread_m = mpjpes.iter().cloned().fold(f32::MIN, f32::max)
+        - mpjpes.iter().cloned().fold(f32::MAX, f32::min);
+    let spread_p = pcks.iter().cloned().fold(f32::MIN, f32::max)
+        - pcks.iter().cloned().fold(f32::MAX, f32::min);
+    report::row("best-worst user MPJPE gap", report::mm(spread_m), "2.9mm");
+    report::row("best-worst user PCK gap", report::pct(spread_p), "3.3%");
+
+    let overall = cv.overall();
+    report::summary("pooled (all folds)", &overall);
+    report::group_breakdown(&overall);
+}

@@ -1,0 +1,75 @@
+//! Table I: MPJPE of mmHand versus existing methods.
+//!
+//! Vision methods (Cascade, CrossingNet, DeepPrior++, HBE) are cited at
+//! their published MSRA/ICVL numbers — exactly as the paper does. The
+//! wireless methods are compared through runnable surrogates on our
+//! self-collected (simulated) data, alongside the paper's reported values.
+
+use crate::config::ExperimentConfig;
+use crate::data::build_training_cohort;
+use crate::report;
+use crate::runner;
+use mmhand_baselines::geometric::GeometricEstimator;
+use mmhand_baselines::literature::{vision_mean_mpjpe, TABLE1};
+use mmhand_baselines::surrogates;
+use mmhand_core::metrics::JointGroup;
+
+/// Runs the experiment and prints Table I.
+pub fn run(cfg: &ExperimentConfig) {
+    report::section("Table I: MPJPE vs existing methods");
+
+    // Fixed literature rows.
+    for e in &TABLE1 {
+        report::data_row(
+            &format!("{} ({})", e.method, e.dataset.name()),
+            format!("paper-reported {}  [mmHand column: {}mm]", report::mm(e.mpjpe_mm), e.mmhand_mpjpe_mm),
+        );
+    }
+    report::data_row("vision-method average", report::mm(vision_mean_mpjpe()));
+
+    // Our measured mmHand number (cross-validated).
+    let ours = runner::cv_results(cfg).overall();
+    report::row("mmHand (this reproduction)", report::mm(ours.mpjpe(JointGroup::Overall)), "18.3mm");
+
+    // Runnable wireless surrogates on the shared hold-out split.
+    let mm4arm_model = surrogates::mm4arm_like(&cfg.model);
+    let mm4arm = runner::holdout_errors(cfg, "mm4arm_like", &mm4arm_model, &cfg.train, None);
+    report::row(
+        "mm4Arm-like surrogate (ours)",
+        report::mm(mm4arm.mpjpe(JointGroup::Overall)),
+        "4.07mm*",
+    );
+    let handfi = runner::holdout_errors(
+        cfg,
+        "handfi_like",
+        &cfg.model,
+        &cfg.train,
+        Some(&|seqs| surrogates::coarsen_sequences(seqs, 4)),
+    );
+    report::row(
+        "HandFi-like surrogate (ours)",
+        report::mm(handfi.mpjpe(JointGroup::Overall)),
+        "20.7mm",
+    );
+    let full = runner::holdout_errors(cfg, "full", &cfg.model, &cfg.train, None);
+    report::data_row(
+        "mmHand on same hold-out split",
+        report::mm(full.mpjpe(JointGroup::Overall)),
+    );
+
+    // Non-learning geometric floor.
+    let sequences = build_training_cohort(cfg);
+    let holdout = (cfg.data.users / cfg.folds).max(1);
+    let cut = cfg.data.users - holdout;
+    let train: Vec<_> = sequences.iter().filter(|s| s.user_id <= cut).cloned().collect();
+    let test: Vec<_> = sequences.iter().filter(|s| s.user_id > cut).cloned().collect();
+    let geo = GeometricEstimator::fit(&cfg.data.cube, &train);
+    report::data_row(
+        "geometric peak+mean-pose floor",
+        report::mm(geo.evaluate(&test).mpjpe(JointGroup::Overall)),
+    );
+
+    println!();
+    println!("* mm4Arm's 4.07mm is on forearm-facing data with the arm fixed toward");
+    println!("  the radar; the paper itself notes this restriction (§VI-C).");
+}

@@ -1,0 +1,19 @@
+//! # mmhand-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§VI). Each `exp_*` binary reproduces one figure or
+//! table; `exp_all` runs the full suite. Shared infrastructure lives here:
+//!
+//! * [`config`] — the standard experiment scale (full vs `MMHAND_QUICK=1`),
+//! * [`data`] — cohort/test-session generation with position variation,
+//! * [`cache`] — on-disk caching of trained models and error sets so the
+//!   per-figure binaries can share one expensive training run,
+//! * [`runner`] — the reference model and cross-validation entry points,
+//! * [`report`] — uniform printing of measured-vs-paper rows.
+
+pub mod cache;
+pub mod experiments;
+pub mod config;
+pub mod data;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,77 @@
+//! Uniform experiment reporting: every `exp_*` binary prints its figure's
+//! rows through these helpers so outputs are machine-greppable
+//! (`key | measured | paper` columns) and EXPERIMENTS.md can be assembled
+//! from the logs.
+
+use mmhand_core::metrics::{JointErrors, JointGroup};
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one measured-vs-paper row.
+pub fn row(label: &str, measured: impl std::fmt::Display, paper: impl std::fmt::Display) {
+    println!("{label:<34} | measured {measured:>10} | paper {paper:>10}");
+}
+
+/// Prints a plain data row (no paper reference).
+pub fn data_row(label: &str, value: impl std::fmt::Display) {
+    println!("{label:<34} | {value}");
+}
+
+/// Formats millimetres with one decimal.
+pub fn mm(v: f32) -> String {
+    format!("{v:.1}mm")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f32) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Prints the standard MPJPE/PCK/AUC summary of an error set.
+pub fn summary(label: &str, errors: &JointErrors) {
+    data_row(
+        label,
+        format!(
+            "MPJPE {} | PCK@40 {} | AUC(0-60) {:.3} | n={}",
+            mm(errors.mpjpe(JointGroup::Overall)),
+            pct(errors.pck(JointGroup::Overall, 40.0)),
+            errors.auc(JointGroup::Overall, 60.0),
+            errors.len(),
+        ),
+    );
+}
+
+/// Prints the palm/fingers/overall breakdown.
+pub fn group_breakdown(errors: &JointErrors) {
+    for group in JointGroup::ALL {
+        data_row(
+            &format!("  {}", group.name()),
+            format!(
+                "MPJPE {} | PCK@40 {}",
+                mm(errors.mpjpe(group)),
+                pct(errors.pck(group, 40.0)),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mm(18.34), "18.3mm");
+        assert_eq!(pct(0.951), "95.1%");
+    }
+
+    #[test]
+    fn summary_does_not_panic_on_empty() {
+        summary("empty", &JointErrors::new());
+        group_breakdown(&JointErrors::new());
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared expensive computations: the reference model and the full
+//! cross-validation, both cached on disk so every `exp_*` binary can reuse
+//! them.
+
+use crate::cache;
+use crate::config::ExperimentConfig;
+use crate::data::build_training_cohort;
+use mmhand_core::metrics::JointErrors;
+use mmhand_core::model::MmHandModel;
+use mmhand_core::train::{TrainConfig, TrainedModel, Trainer};
+use mmhand_core::eval::cross_validate;
+use mmhand_math::rng::stream_rng;
+use mmhand_nn::ParamStore;
+
+/// Loads the cached reference model or trains it on the full cohort.
+///
+/// The reference model is used by every condition-sweep experiment
+/// (distance, angle, gloves, obstacles, …): the paper likewise trains on
+/// nominal-condition data and evaluates under the perturbed condition.
+pub fn reference_model(cfg: &ExperimentConfig) -> TrainedModel {
+    let key = format!("refmodel-{}", cfg.cache_key());
+    if let Some(snapshot) = cache::load_f32(&key) {
+        let mut store = ParamStore::new();
+        let mut rng = stream_rng(cfg.train.seed, "model-init");
+        let model = MmHandModel::new(&mut store, cfg.model.clone(), &mut rng);
+        if snapshot.len() == store.scalar_count() {
+            store.restore(&snapshot);
+            eprintln!("[runner] loaded cached reference model ({key})");
+            return TrainedModel { model, store, history: Vec::new() };
+        }
+        eprintln!("[runner] cached model has stale shape; retraining");
+    }
+    eprintln!("[runner] training reference model ({key})…");
+    let t0 = std::time::Instant::now();
+    let sequences = build_training_cohort(cfg);
+    let trained = Trainer::new(cfg.model.clone(), cfg.train.clone()).train(&sequences);
+    eprintln!(
+        "[runner] reference model trained on {} sequences in {:.0}s",
+        sequences.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let _ = cache::save_f32(&key, &trained.store.snapshot());
+    trained
+}
+
+/// Per-user cross-validation results.
+pub struct CvResults {
+    /// `(user_id, errors)` rows in user order.
+    pub per_user: Vec<(usize, JointErrors)>,
+}
+
+impl CvResults {
+    /// Pools every user's errors.
+    pub fn overall(&self) -> JointErrors {
+        let mut all = JointErrors::new();
+        for (_, e) in &self.per_user {
+            all.merge(e);
+        }
+        all
+    }
+}
+
+/// Loads cached cross-validation errors or runs the paper's 5-fold
+/// leave-two-users-out protocol (scaled by `cfg.folds`).
+pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
+    let key = format!("cv-{}", cfg.cache_key());
+    if let Some(flat) = cache::load_f32(&key) {
+        if flat.len() % 3 == 0 {
+            eprintln!("[runner] loaded cached cross-validation ({key})");
+            return decode_cv(&flat);
+        }
+    }
+    eprintln!("[runner] running cross-validation ({key})…");
+    let t0 = std::time::Instant::now();
+    let sequences = build_training_cohort(cfg);
+    let cv = cross_validate(&sequences, &cfg.model, &cfg.train, cfg.folds);
+    eprintln!(
+        "[runner] cross-validation finished in {:.0}s",
+        t0.elapsed().as_secs_f64()
+    );
+    let mut flat = Vec::new();
+    for (user, errs) in &cv.per_user {
+        for (joint, err) in errs.iter() {
+            flat.extend_from_slice(&[*user as f32, joint as f32, err]);
+        }
+    }
+    let _ = cache::save_f32(&key, &flat);
+    CvResults { per_user: cv.per_user }
+}
+
+fn decode_cv(flat: &[f32]) -> CvResults {
+    let mut per_user: Vec<(usize, JointErrors)> = Vec::new();
+    for chunk in flat.chunks_exact(3) {
+        let user = chunk[0] as usize;
+        let joint = chunk[1] as usize;
+        let err = chunk[2];
+        match per_user.iter_mut().find(|(u, _)| *u == user) {
+            Some((_, e)) => e.push_error(joint, err),
+            None => {
+                let mut e = JointErrors::new();
+                e.push_error(joint, err);
+                per_user.push((user, e));
+            }
+        }
+    }
+    per_user.sort_by_key(|(u, _)| *u);
+    CvResults { per_user }
+}
+
+/// A dataset transformation applied before training a variant (e.g. the
+/// HandFi-like channel coarsening).
+pub type SequenceTransform<'a> =
+    &'a dyn Fn(&[mmhand_core::SegmentSequence]) -> Vec<mmhand_core::SegmentSequence>;
+
+/// Trains a model variant on the first `users − holdout` users and returns
+/// its errors on the held-out users. Used by the ablation and surrogate
+/// comparisons so every variant shares one split. Results are cached.
+pub fn holdout_errors(
+    cfg: &ExperimentConfig,
+    variant_name: &str,
+    model: &mmhand_core::ModelConfig,
+    train: &TrainConfig,
+    transform: Option<SequenceTransform<'_>>,
+) -> JointErrors {
+    let key = format!("holdout-{}-{}", variant_name, cfg.cache_key());
+    if let Some(flat) = cache::load_f32(&key) {
+        if flat.len() % 2 == 0 {
+            let mut e = JointErrors::new();
+            for c in flat.chunks_exact(2) {
+                e.push_error(c[0] as usize, c[1]);
+            }
+            eprintln!("[runner] loaded cached {variant_name} hold-out errors");
+            return e;
+        }
+    }
+    eprintln!("[runner] training variant {variant_name}…");
+    let sequences = build_training_cohort(cfg);
+    let sequences = match transform {
+        Some(f) => f(&sequences),
+        None => sequences,
+    };
+    let holdout = (cfg.data.users / cfg.folds).max(1);
+    let cut = cfg.data.users - holdout;
+    let train_set: Vec<_> = sequences.iter().filter(|s| s.user_id <= cut).cloned().collect();
+    let test_set: Vec<_> = sequences.iter().filter(|s| s.user_id > cut).cloned().collect();
+    let trained = Trainer::new(model.clone(), train.clone()).train(&train_set);
+    let errors = trained.evaluate(&test_set);
+    let mut flat = Vec::new();
+    for (joint, err) in errors.iter() {
+        flat.extend_from_slice(&[joint as f32, err]);
+    }
+    let _ = cache::save_f32(&key, &flat);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn cv_encoding_round_trips() {
+        let mut a = JointErrors::new();
+        a.push_error(0, 10.0);
+        a.push_error(5, 22.5);
+        let mut b = JointErrors::new();
+        b.push_error(20, 3.0);
+        let flat: Vec<f32> = [(3usize, &a), (7usize, &b)]
+            .iter()
+            .flat_map(|(u, e)| {
+                e.iter()
+                    .flat_map(move |(j, v)| vec![*u as f32, j as f32, v])
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        let decoded = decode_cv(&flat);
+        assert_eq!(decoded.per_user.len(), 2);
+        assert_eq!(decoded.per_user[0].0, 3);
+        assert_eq!(decoded.per_user[0].1.len(), 2);
+        assert_eq!(decoded.per_user[1].0, 7);
+        let overall = decoded.overall();
+        assert_eq!(overall.len(), 3);
+    }
+
+    #[test]
+    #[ignore = "trains a (quick) model; run explicitly"]
+    fn quick_reference_model_trains_and_caches() {
+        let cfg = ExperimentConfig::new(Scale::Quick);
+        cache::invalidate(&format!("refmodel-{}", cfg.cache_key()));
+        let m1 = reference_model(&cfg);
+        let m2 = reference_model(&cfg);
+        assert_eq!(m1.store.snapshot(), m2.store.snapshot());
+    }
+}

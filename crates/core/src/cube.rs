@@ -1,0 +1,515 @@
+//! Radar-cube construction: the paper's signal pre-processing (§III).
+//!
+//! One [`RawFrame`] of IF samples becomes one slice of the *Radar Cube*
+//! `RC ∈ R^{F×V×D×A}` through:
+//!
+//! 1. an 8th-order Butterworth band-pass that keeps only beat frequencies
+//!    of the hand's range band (removing body/furniture clutter),
+//! 2. a windowed **range-FFT** per chirp, cropped to `D` bins covering the
+//!    hand band,
+//! 3. a windowed **Doppler-FFT** across each TX's chirps, cropped to the
+//!    central `V` velocity bins (hand motion is slow),
+//! 4. a **zoom-FFT angle transform** (±30°, refinement factor 2) over the
+//!    virtual array: 8 azimuth bins from the 8-element ULA and 8 elevation
+//!    bins from the elevated row, concatenated into `A = 16` angle bins.
+//!
+//! The elevation spectrum uses the IWR1443's single elevated TX row, so its
+//! angular resolution is inherently coarse — true of the physical device as
+//! well.
+
+use mmhand_dsp::fft::{fft_inplace, fft_shift};
+use mmhand_dsp::filter::{BandpassFilter, ButterworthDesign};
+use mmhand_dsp::window::Window;
+use mmhand_dsp::zoom::zoom_dft;
+use mmhand_math::Complex;
+use mmhand_nn::Tensor;
+use mmhand_radar::{ChirpConfig, RawFrame, VirtualArray};
+
+/// Cube geometry and band parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CubeConfig {
+    /// Radar parameters the frames were captured with.
+    pub chirp: ChirpConfig,
+    /// Number of range bins `D` kept (covering the hand band).
+    pub range_bins: usize,
+    /// Number of Doppler bins `V` kept (central bins).
+    pub doppler_bins: usize,
+    /// Azimuth bins (half of `A`).
+    pub azimuth_bins: usize,
+    /// Elevation bins (other half of `A`).
+    pub elevation_bins: usize,
+    /// Near edge of the hand band in metres.
+    pub range_min_m: f64,
+    /// Far edge of the hand band in metres.
+    pub range_max_m: f64,
+    /// Angular field of view (± this angle), radians.
+    pub max_angle_rad: f32,
+    /// Frames per segment `st`.
+    pub frames_per_segment: usize,
+}
+
+impl Default for CubeConfig {
+    fn default() -> Self {
+        CubeConfig {
+            chirp: ChirpConfig::default(),
+            range_bins: 16,
+            doppler_bins: 8,
+            azimuth_bins: 8,
+            elevation_bins: 8,
+            range_min_m: 0.12,
+            range_max_m: 0.85,
+            max_angle_rad: mmhand_math::deg_to_rad(30.0),
+            frames_per_segment: 4,
+        }
+    }
+}
+
+impl CubeConfig {
+    /// Total angle bins `A` (azimuth ⊕ elevation).
+    pub fn angle_bins(&self) -> usize {
+        self.azimuth_bins + self.elevation_bins
+    }
+
+    /// Channels of one segment tensor: `st · V`.
+    pub fn segment_channels(&self) -> usize {
+        self.frames_per_segment * self.doppler_bins
+    }
+
+    /// Shape of one frame's cube slice `(V, D, A)`.
+    pub fn frame_shape(&self) -> [usize; 3] {
+        [self.doppler_bins, self.range_bins, self.angle_bins()]
+    }
+
+    /// First kept range-FFT bin.
+    fn range_bin_offset(&self) -> usize {
+        let res = self.chirp.range_resolution_m();
+        (self.range_min_m / res).floor() as usize
+    }
+
+    /// Centre range (metres) of kept range bin `d`.
+    pub fn range_of_bin(&self, d: usize) -> f64 {
+        (self.range_bin_offset() + d) as f64 * self.chirp.range_resolution_m()
+    }
+
+    /// Designs the hand-isolation band-pass filter for this band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured band cannot produce a stable 8th-order
+    /// design (validated configurations never do).
+    pub fn design_bandpass(&self) -> BandpassFilter {
+        ButterworthDesign {
+            order: 8,
+            low_hz: self.chirp.beat_frequency_hz(self.range_min_m),
+            high_hz: self.chirp.beat_frequency_hz(self.range_max_m),
+            sample_rate_hz: self.chirp.sample_rate_hz(),
+        }
+        .design()
+        .expect("hand-band Butterworth design must be valid")
+    }
+
+    /// Validates geometry against the chirp configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.chirp.validate()?;
+        if self.doppler_bins > self.chirp.chirps_per_tx {
+            return Err("doppler_bins exceeds chirps per TX".into());
+        }
+        let max_bin = self.range_bin_offset() + self.range_bins;
+        if max_bin > self.chirp.samples_per_chirp / 2 {
+            return Err("range band exceeds unambiguous range".into());
+        }
+        if self.range_min_m >= self.range_max_m {
+            return Err("range_min must be below range_max".into());
+        }
+        let nyquist = self.chirp.sample_rate_hz() / 2.0;
+        if self.chirp.beat_frequency_hz(self.range_max_m) >= nyquist {
+            return Err("range_max beat frequency exceeds Nyquist".into());
+        }
+        Ok(())
+    }
+}
+
+/// One frame's slice of the radar cube: magnitudes `(V, D, A)`.
+#[derive(Clone, Debug)]
+pub struct CubeFrame {
+    /// Magnitude data, row-major `(V, D, A)`.
+    pub data: Vec<f32>,
+    /// Shape `(V, D, A)`.
+    pub shape: [usize; 3],
+}
+
+impl CubeFrame {
+    /// Value at `(v, d, a)`.
+    pub fn at(&self, v: usize, d: usize, a: usize) -> f32 {
+        let [_, dd, aa] = self.shape;
+        self.data[(v * dd + d) * aa + a]
+    }
+
+    /// The range profile summed over velocity and angle (for diagnostics).
+    pub fn range_profile(&self) -> Vec<f32> {
+        let [vv, dd, aa] = self.shape;
+        let mut out = vec![0.0; dd];
+        for v in 0..vv {
+            for d in 0..dd {
+                for a in 0..aa {
+                    out[d] += self.at(v, d, a);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds radar cubes from raw frames.
+#[derive(Clone, Debug)]
+pub struct CubeBuilder {
+    config: CubeConfig,
+    array: VirtualArray,
+    bandpass: BandpassFilter,
+}
+
+impl CubeBuilder {
+    /// Creates a builder (designs the band-pass filter once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    pub fn new(config: CubeConfig) -> Self {
+        config.validate().expect("invalid cube configuration");
+        let array = VirtualArray::new(&config.chirp);
+        let bandpass = config.design_bandpass();
+        CubeBuilder { config, array, bandpass }
+    }
+
+    /// The configuration this builder was created with.
+    pub fn config(&self) -> &CubeConfig {
+        &self.config
+    }
+
+    /// Processes one raw frame into a cube slice.
+    pub fn process_frame(&mut self, frame: &RawFrame) -> CubeFrame {
+        let cfg = &self.config;
+        let n_va = cfg.chirp.virtual_antenna_count();
+        let chirps = cfg.chirp.chirps_per_tx;
+        let samples = cfg.chirp.samples_per_chirp;
+        let d_off = cfg.range_bin_offset();
+        let d_bins = cfg.range_bins;
+        let v_bins = cfg.doppler_bins;
+
+        // Range-FFT per (virtual antenna, chirp), band-pass-filtered.
+        // rd[va][chirp][d]
+        let mut rd = vec![Complex::ZERO; n_va * chirps * d_bins];
+        for tx in 0..cfg.chirp.tx_count {
+            for rx in 0..cfg.chirp.rx_count {
+                let va = self.array.element_index(tx, rx);
+                for chirp in 0..chirps {
+                    let filtered =
+                        self.bandpass.filter_complex(frame.chirp_samples(tx, rx, chirp));
+                    let mut buf = filtered;
+                    Window::Hann.apply_inplace(&mut buf);
+                    fft_inplace(&mut buf);
+                    for d in 0..d_bins {
+                        rd[(va * chirps + chirp) * d_bins + d] = buf[d_off + d];
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(samples, frame.samples_per_chirp());
+
+        // Doppler-FFT per (virtual antenna, range bin), keep central V bins.
+        // vd[va][v][d]
+        let mut vd = vec![Complex::ZERO; n_va * v_bins * d_bins];
+        let mut slow = vec![Complex::ZERO; chirps];
+        let v_off = (chirps - v_bins) / 2;
+        for va in 0..n_va {
+            for d in 0..d_bins {
+                for chirp in 0..chirps {
+                    slow[chirp] = rd[(va * chirps + chirp) * d_bins + d];
+                }
+                let mut buf = slow.clone();
+                Window::Hann.apply_inplace(&mut buf);
+                fft_inplace(&mut buf);
+                let shifted = fft_shift(&buf);
+                for v in 0..v_bins {
+                    vd[(va * v_bins + v) * d_bins + d] = shifted[v_off + v];
+                }
+            }
+        }
+
+        // Angle spectra per (v, d) cell.
+        let az_row = self.array.azimuth_row().to_vec();
+        let el_row = self.array.elevated_row().to_vec();
+        let az_overlap = self.array.azimuth_overlap().to_vec();
+        let f_max = cfg.max_angle_rad.sin() * 0.5;
+        let [_, dd, aa] = cfg.frame_shape();
+        let mut out = vec![0.0_f32; v_bins * dd * aa];
+        let mut az_elements = vec![Complex::ZERO; az_row.len()];
+        for v in 0..v_bins {
+            for d in 0..d_bins {
+                // Azimuth: zoom-DFT over the 8-element ULA.
+                for (k, &e) in az_row.iter().enumerate() {
+                    az_elements[k] = vd[(e * v_bins + v) * d_bins + d];
+                }
+                let az_spec = zoom_dft(&az_elements, -f_max, f_max, cfg.azimuth_bins);
+                // Elevation: 2-element vertical interferometer formed by the
+                // summed overlapping columns of the z = 0 and z = λ/2 rows.
+                let mut bottom = Complex::ZERO;
+                let mut top = Complex::ZERO;
+                for (&et, &eb) in el_row.iter().zip(&az_overlap) {
+                    top += vd[(et * v_bins + v) * d_bins + d];
+                    bottom += vd[(eb * v_bins + v) * d_bins + d];
+                }
+                let el_spec = zoom_dft(&[bottom, top], -f_max, f_max, cfg.elevation_bins);
+                let base = (v * dd + d) * aa;
+                for (a, s) in az_spec.iter().enumerate() {
+                    out[base + a] = s.abs();
+                }
+                for (a, s) in el_spec.iter().enumerate() {
+                    out[base + cfg.azimuth_bins + a] = s.abs() / el_row.len() as f32;
+                }
+            }
+        }
+
+        CubeFrame { data: out, shape: cfg.frame_shape() }
+    }
+
+    /// Stacks `st` consecutive cube frames into one segment tensor of shape
+    /// `(st·V, D, A)`, normalised to zero mean / unit variance (plus an
+    /// epsilon so an all-zero segment stays zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len() != st` or shapes disagree.
+    pub fn segment_tensor(&self, frames: &[CubeFrame]) -> Tensor {
+        let cfg = &self.config;
+        assert_eq!(frames.len(), cfg.frames_per_segment, "frames per segment");
+        let [v, d, a] = cfg.frame_shape();
+        let mut data = Vec::with_capacity(frames.len() * v * d * a);
+        for f in frames {
+            assert_eq!(f.shape, cfg.frame_shape(), "cube frame shape");
+            data.extend_from_slice(&f.data);
+        }
+        // Standardise: radar magnitudes vary by orders of magnitude with
+        // range; the network wants a stable input scale.
+        let n = data.len() as f32;
+        let mean = data.iter().sum::<f32>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let rstd = 1.0 / (var + 1e-12).sqrt();
+        for x in &mut data {
+            *x = (*x - mean) * rstd;
+        }
+        Tensor::from_vec(&[cfg.segment_channels(), d, a], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_math::rng::stream_rng;
+    use mmhand_math::Vec3;
+    use mmhand_radar::scene::PointTarget;
+    use mmhand_radar::synth::synthesize_frame;
+    use mmhand_radar::Scene;
+
+    fn builder() -> CubeBuilder {
+        CubeBuilder::new(CubeConfig::default())
+    }
+
+    fn frame_for_targets(targets: Vec<PointTarget>, noise: f32, seed: u64) -> RawFrame {
+        let cfg = ChirpConfig::default();
+        let array = VirtualArray::new(&cfg);
+        let mut scene = Scene::new(noise);
+        scene.add_targets(targets);
+        let mut rng = stream_rng(seed, "cube-test");
+        synthesize_frame(&cfg, &array, &scene, &mut rng)
+    }
+
+    fn argmax3(c: &CubeFrame) -> (usize, usize, usize) {
+        let [v, d, a] = c.shape;
+        let mut best = (0, 0, 0);
+        let mut val = f32::NEG_INFINITY;
+        for iv in 0..v {
+            for id in 0..d {
+                for ia in 0..a {
+                    if c.at(iv, id, ia) > val {
+                        val = c.at(iv, id, ia);
+                        best = (iv, id, ia);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        CubeConfig::default().validate().unwrap();
+        assert_eq!(CubeConfig::default().angle_bins(), 16);
+        assert_eq!(CubeConfig::default().segment_channels(), 32);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let base = CubeConfig::default();
+        assert!(CubeConfig { doppler_bins: 64, ..base.clone() }.validate().is_err());
+        assert!(CubeConfig { range_bins: 64, ..base.clone() }.validate().is_err());
+        assert!(
+            CubeConfig { range_min_m: 0.9, ..base.clone() }.validate().is_err()
+        );
+    }
+
+    #[test]
+    fn hand_range_target_peaks_at_expected_range_bin() {
+        let mut b = builder();
+        let range = 0.35_f32;
+        let frame = frame_for_targets(
+            vec![PointTarget::fixed(Vec3::new(0.0, range, 0.0), 1.0)],
+            0.0,
+            1,
+        );
+        let cube = b.process_frame(&frame);
+        let (_, d, _) = argmax3(&cube);
+        let expected = ((range as f64 - b.config().range_min_m)
+            / b.config().chirp.range_resolution_m())
+        .round() as usize;
+        assert!(
+            d.abs_diff(expected) <= 1,
+            "peak at range bin {d}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn static_target_sits_in_central_doppler_bin() {
+        let mut b = builder();
+        let frame = frame_for_targets(
+            vec![PointTarget::fixed(Vec3::new(0.0, 0.3, 0.0), 1.0)],
+            0.0,
+            2,
+        );
+        let cube = b.process_frame(&frame);
+        let (v, _, _) = argmax3(&cube);
+        assert_eq!(v, b.config().doppler_bins / 2);
+    }
+
+    #[test]
+    fn angled_target_moves_azimuth_peak() {
+        let mut b = builder();
+        let theta = mmhand_math::deg_to_rad(20.0);
+        let frame = frame_for_targets(
+            vec![PointTarget::fixed(
+                Vec3::new(0.35 * theta.sin(), 0.35 * theta.cos(), 0.0),
+                1.0,
+            )],
+            0.0,
+            3,
+        );
+        let cube = b.process_frame(&frame);
+        let (_, _, a) = argmax3(&cube);
+        // +20° of a ±30° span over 8 bins → bin ≈ 6–7.
+        assert!(a < b.config().azimuth_bins, "peak in azimuth half");
+        assert!(a >= 5, "azimuth bin {a} for +20° target");
+    }
+
+    #[test]
+    fn distant_clutter_is_suppressed_by_bandpass() {
+        let mut b = builder();
+        // Strong target far outside the hand band (2 m).
+        let frame = frame_for_targets(
+            vec![
+                PointTarget::fixed(Vec3::new(0.0, 0.3, 0.0), 1.0),
+                PointTarget::fixed(Vec3::new(0.0, 2.0, 0.0), 50.0),
+            ],
+            0.0,
+            4,
+        );
+        let cube = b.process_frame(&frame);
+        let profile = cube.range_profile();
+        // The hand bin must dominate the kept band despite far clutter being
+        // 50× stronger in RCS.
+        let hand_bin = ((0.3 - b.config().range_min_m)
+            / b.config().chirp.range_resolution_m())
+        .round() as usize;
+        let max_bin = (0..profile.len())
+            .max_by(|&x, &y| profile[x].total_cmp(&profile[y]))
+            .unwrap();
+        assert!(
+            max_bin.abs_diff(hand_bin) <= 1,
+            "profile peak {max_bin} expected {hand_bin}: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn segment_tensor_is_standardised() {
+        let mut b = builder();
+        let frames: Vec<CubeFrame> = (0..4)
+            .map(|i| {
+                let f = frame_for_targets(
+                    vec![PointTarget::fixed(Vec3::new(0.0, 0.3, 0.0), 1.0)],
+                    0.01,
+                    10 + i,
+                );
+                b.process_frame(&f)
+            })
+            .collect();
+        let t = b.segment_tensor(&frames);
+        assert_eq!(t.shape(), &[32, 16, 16]);
+        assert!(t.mean().abs() < 1e-4);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "frames per segment")]
+    fn segment_tensor_checks_count() {
+        let b = builder();
+        b.segment_tensor(&[]);
+    }
+
+    #[test]
+    fn all_zero_frame_yields_finite_zero_cube() {
+        // Failure injection: a dead front end (all-zero ADC) must not
+        // produce NaNs anywhere downstream.
+        let mut b = builder();
+        let frame = RawFrame::zeroed(&b.config().chirp.clone());
+        let cube = b.process_frame(&frame);
+        assert!(cube.data.iter().all(|v| v.is_finite()));
+        assert!(cube.data.iter().all(|&v| v.abs() < 1e-6));
+        // Standardisation of an all-zero segment stays zero (epsilon guard).
+        let frames = vec![cube.clone(), cube.clone(), cube.clone(), cube];
+        let t = b.segment_tensor(&frames);
+        assert!(!t.has_non_finite());
+        assert!(t.data().iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn saturated_adc_stays_finite() {
+        // Clipped/saturated input (every sample at a large constant) is
+        // pathological but must stay numerically safe.
+        let mut b = builder();
+        let cfg = b.config().chirp;
+        let mut frame = RawFrame::zeroed(&cfg);
+        for tx in 0..cfg.tx_count {
+            for rx in 0..cfg.rx_count {
+                for chirp in 0..cfg.chirps_per_tx {
+                    for s in frame.chirp_samples_mut(tx, rx, chirp) {
+                        *s = mmhand_math::Complex::new(1e4, -1e4);
+                    }
+                }
+            }
+        }
+        let cube = b.process_frame(&frame);
+        assert!(cube.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn range_of_bin_round_trips() {
+        let cfg = CubeConfig::default();
+        let r = cfg.range_of_bin(4);
+        assert!(r > cfg.range_min_m - cfg.chirp.range_resolution_m());
+        assert!(r < cfg.range_max_m);
+    }
+}

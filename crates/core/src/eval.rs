@@ -1,0 +1,247 @@
+//! Evaluation harness: dataset generation for the 10-user cohort and the
+//! paper's 5-fold leave-two-users-out cross-validation (§VI-A).
+
+use crate::cube::{CubeBuilder, CubeConfig};
+use crate::dataset::{session_to_sequences, SegmentSequence};
+use crate::metrics::JointErrors;
+use crate::model::ModelConfig;
+use crate::train::{TrainConfig, TrainedModel, Trainer};
+use mmhand_math::Vec3;
+use mmhand_radar::capture::{record_session, CaptureConfig};
+use mmhand_radar::CaptureSession;
+use mmhand_hand::user::UserProfile;
+
+/// Dataset-generation parameters for one experiment.
+#[derive(Clone, Debug)]
+pub struct DataConfig {
+    /// Number of study participants.
+    pub users: usize,
+    /// Frames recorded per user.
+    pub frames_per_user: usize,
+    /// Gestures per continuous track.
+    pub gestures_per_track: usize,
+    /// Nominal hand position in the radar frame (paper: 20–40 cm range).
+    pub hand_position: Vec3,
+    /// LSTM sequence length in segments.
+    pub seq_len: usize,
+    /// Capture conditions (environment, impairments, noise, …).
+    pub capture: CaptureConfig,
+    /// Cube geometry.
+    pub cube: CubeConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        DataConfig {
+            users: 10,
+            frames_per_user: 160,
+            gestures_per_track: 8,
+            hand_position: Vec3::new(0.0, 0.3, 0.0),
+            seq_len: 3,
+            capture: CaptureConfig::default(),
+            cube: CubeConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl DataConfig {
+    /// The model configuration matching this data geometry.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig {
+            frames_per_segment: self.cube.frames_per_segment,
+            doppler_bins: self.cube.doppler_bins,
+            range_bins: self.cube.range_bins,
+            angle_bins: self.cube.angle_bins(),
+            ..ModelConfig::default()
+        }
+    }
+}
+
+/// Records one user's capture session under this configuration.
+pub fn record_user_session(config: &DataConfig, user: &UserProfile, session_tag: u64) -> CaptureSession {
+    let track = user.random_track(config.hand_position, config.gestures_per_track, session_tag);
+    let capture = CaptureConfig {
+        chirp: config.cube.chirp,
+        seed: config.seed ^ (user.id as u64) << 16 ^ session_tag,
+        ..config.capture.clone()
+    };
+    record_session(user, &track, config.frames_per_user, &capture)
+}
+
+/// Generates the full cohort dataset: sequences tagged per user.
+pub fn build_cohort(config: &DataConfig) -> Vec<SegmentSequence> {
+    let users = UserProfile::cohort(config.users, config.seed);
+    let mut builder = CubeBuilder::new(config.cube.clone());
+    let mut out = Vec::new();
+    for user in &users {
+        let session = record_user_session(config, user, 0);
+        out.extend(session_to_sequences(&mut builder, &session, config.seq_len, user.id));
+    }
+    out
+}
+
+/// Result of one cross-validation run.
+#[derive(Debug)]
+pub struct CrossValidation {
+    /// Errors of each user, measured when that user was in the test fold.
+    pub per_user: Vec<(usize, JointErrors)>,
+    /// Pooled errors across all folds.
+    pub overall: JointErrors,
+}
+
+/// Runs the paper's 5-fold leave-two-users-out protocol: users are split
+/// into `folds` groups in id order; each fold trains on the remaining
+/// groups and tests on its own.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or has fewer distinct users than folds.
+pub fn cross_validate(
+    sequences: &[SegmentSequence],
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+    folds: usize,
+) -> CrossValidation {
+    let mut users: Vec<usize> = sequences.iter().map(|s| s.user_id).collect();
+    users.sort_unstable();
+    users.dedup();
+    assert!(users.len() >= folds, "need at least {folds} users");
+    let per_fold = users.len().div_ceil(folds);
+
+    let mut per_user: Vec<(usize, JointErrors)> = Vec::new();
+    let mut overall = JointErrors::new();
+    for fold in 0..folds {
+        let test_users: Vec<usize> =
+            users.iter().copied().skip(fold * per_fold).take(per_fold).collect();
+        let train_set: Vec<SegmentSequence> = sequences
+            .iter()
+            .filter(|s| !test_users.contains(&s.user_id))
+            .cloned()
+            .collect();
+        let test_set: Vec<SegmentSequence> = sequences
+            .iter()
+            .filter(|s| test_users.contains(&s.user_id))
+            .cloned()
+            .collect();
+        let trainer = Trainer::new(
+            model_cfg.clone(),
+            TrainConfig { seed: train_cfg.seed ^ fold as u64, ..train_cfg.clone() },
+        );
+        let model = trainer.train(&train_set);
+        for (user, errs) in model.evaluate_per_user(&test_set) {
+            overall.merge(&errs);
+            per_user.push((user, errs));
+        }
+    }
+    per_user.sort_by_key(|(u, _)| *u);
+    CrossValidation { per_user, overall }
+}
+
+/// Trains one model on the full cohort (used by the condition-sweep
+/// experiments, where test conditions differ from training conditions).
+pub fn train_reference_model(
+    sequences: &[SegmentSequence],
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+) -> TrainedModel {
+    Trainer::new(model_cfg.clone(), train_cfg.clone()).train(sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_radar::{ChirpConfig, Environment};
+
+    /// Small-but-real configuration for tests.
+    pub(crate) fn tiny_data_config() -> DataConfig {
+        let chirp = ChirpConfig { chirps_per_tx: 8, samples_per_chirp: 32, ..Default::default() };
+        let cube = CubeConfig {
+            chirp,
+            range_bins: 8,
+            doppler_bins: 4,
+            azimuth_bins: 4,
+            elevation_bins: 4,
+            frames_per_segment: 2,
+            range_max_m: 0.55,
+            ..Default::default()
+        };
+        DataConfig {
+            users: 4,
+            frames_per_user: 24,
+            gestures_per_track: 3,
+            seq_len: 2,
+            capture: CaptureConfig {
+                chirp,
+                environment: Environment::Playground,
+                noise_sigma: 0.005,
+                ..Default::default()
+            },
+            cube,
+            seed: 9,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_model(cfg: &DataConfig) -> ModelConfig {
+        ModelConfig {
+            channels: 6,
+            blocks: 1,
+            feature_dim: 24,
+            lstm_hidden: 24,
+            ..cfg.model_config()
+        }
+    }
+
+    #[test]
+    fn cohort_covers_all_users() {
+        let cfg = tiny_data_config();
+        let seqs = build_cohort(&cfg);
+        let mut users: Vec<usize> = seqs.iter().map(|s| s.user_id).collect();
+        users.sort_unstable();
+        users.dedup();
+        assert_eq!(users, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cross_validation_tests_every_user_out_of_fold() {
+        let cfg = tiny_data_config();
+        let seqs = build_cohort(&cfg);
+        let cv = cross_validate(
+            &seqs,
+            &tiny_model(&cfg),
+            &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
+            2,
+        );
+        let tested: Vec<usize> = cv.per_user.iter().map(|(u, _)| *u).collect();
+        assert_eq!(tested, vec![1, 2, 3, 4]);
+        assert!(!cv.overall.is_empty());
+        for (_, e) in &cv.per_user {
+            assert!(e.mpjpe(crate::metrics::JointGroup::Overall).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_users_panics() {
+        let cfg = tiny_data_config();
+        let seqs = build_cohort(&cfg);
+        cross_validate(
+            &seqs,
+            &tiny_model(&cfg),
+            &TrainConfig { epochs: 1, ..Default::default() },
+            9,
+        );
+    }
+
+    #[test]
+    fn sessions_differ_between_users() {
+        let cfg = tiny_data_config();
+        let users = UserProfile::cohort(2, cfg.seed);
+        let a = record_user_session(&cfg, &users[0], 0);
+        let b = record_user_session(&cfg, &users[1], 0);
+        assert_ne!(a.truth[5], b.truth[5]);
+    }
+}

@@ -1,0 +1,348 @@
+//! The combined training loss (paper §IV-B, Eqs. 8–9).
+//!
+//! `L_total = β·L_3D + γ·L_kine`:
+//!
+//! * **L_3D** — squared-error regression of the 21 joints, built on the
+//!   autodiff tape.
+//! * **L_kine** — the hand-kinematic constraint. Following the paper, each
+//!   finger is treated as either *collinear* (straight in the ground truth:
+//!   phalanges aligned with the finger direction, lengths summing to the
+//!   base–tip distance, Eq. 9) or *coplanar* (bent: phalange directions
+//!   orthogonal to the flexion-plane normal). The loss and its analytic
+//!   gradient are computed outside the tape and injected via
+//!   [`Tape::external_loss`].
+//!
+//! Two deliberate deviations from the paper's notation, recorded in
+//! DESIGN.md: the finger direction `e_d` and plane normal `e_n` are taken
+//! from the *ground truth* (constants with respect to the prediction),
+//! and the coplanar dot products are squared so the loss is non-negative
+//! as written-out math requires.
+
+use crate::model::OUTPUT_DIM;
+use mmhand_hand::skeleton::Finger;
+use mmhand_math::Vec3;
+use mmhand_nn::{Tape, Tensor, Var};
+
+/// Loss weights `β` (3-D term) and `γ` (kinematic term).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossWeights {
+    /// Weight of the 3-D joint loss.
+    pub beta: f32,
+    /// Weight of the kinematic loss.
+    pub gamma: f32,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        // γ is small because L_3D is in m² (≈1e-3-scale for cm-level errors)
+        // while L_kine is O(1); this keeps the kinematic term a regulariser
+        // rather than the dominant objective.
+        LossWeights { beta: 1.0, gamma: 1e-3 }
+    }
+}
+
+/// Collinearity slack φ: straight fingers satisfy
+/// `Σ|bone| ≤ (1 + φ)·|tip − base|` (the paper sets φ = 0.01).
+pub const PHI: f32 = 0.01;
+
+/// Alignment threshold `p` for straight fingers (the paper's `t` = 0.99).
+pub const ALIGNMENT_P: f32 = 0.99;
+
+/// Reads joint `j` out of a flat 63-float slice.
+fn joint(buf: &[f32], j: usize) -> Vec3 {
+    Vec3::new(buf[3 * j], buf[3 * j + 1], buf[3 * j + 2])
+}
+
+fn add_grad(buf: &mut [f32], j: usize, g: Vec3) {
+    buf[3 * j] += g.x;
+    buf[3 * j + 1] += g.y;
+    buf[3 * j + 2] += g.z;
+}
+
+/// Decides whether a finger is straight (collinear case) in the ground
+/// truth, per the paper's criterion.
+pub fn is_straight(truth: &[f32], finger: Finger) -> bool {
+    let [a, b, c, d] = finger.joints();
+    let (pa, pb, pc, pd) = (joint(truth, a), joint(truth, b), joint(truth, c), joint(truth, d));
+    let sum = pa.distance(pb) + pb.distance(pc) + pc.distance(pd);
+    let direct = pa.distance(pd);
+    direct > 1e-6 && sum <= (1.0 + PHI) * direct
+}
+
+/// Computes the kinematic loss and its gradient for a batch.
+///
+/// `pred` and `truth` are `(N, 63)` tensors. Returns the mean loss over
+/// samples and fingers, and the gradient with respect to `pred` (already
+/// scaled for the mean).
+///
+/// # Panics
+///
+/// Panics if shapes are not `(N, 63)` or disagree.
+pub fn kinematic_loss(pred: &Tensor, truth: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), truth.shape(), "pred/truth shapes");
+    assert_eq!(pred.shape()[1], OUTPUT_DIM, "63 outputs per sample");
+    let n = pred.shape()[0];
+    let mut total = 0.0_f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let scale = 1.0 / (n as f32 * 5.0);
+
+    for s in 0..n {
+        let p = &pred.data()[s * OUTPUT_DIM..(s + 1) * OUTPUT_DIM];
+        let t = &truth.data()[s * OUTPUT_DIM..(s + 1) * OUTPUT_DIM];
+        let g = &mut grad.data_mut()[s * OUTPUT_DIM..(s + 1) * OUTPUT_DIM];
+        for finger in Finger::ALL {
+            let [ja, jb, jc, jd] = finger.joints();
+            let (pa, pb, pc, pd) = (joint(p, ja), joint(p, jb), joint(p, jc), joint(p, jd));
+            let bones = [(ja, jb, pa, pb), (jb, jc, pb, pc), (jc, jd, pc, pd)];
+            if is_straight(t, finger) {
+                // Collinear case (Eq. 9).
+                let ed = (joint(t, jd) - joint(t, ja)).normalized();
+                // Length-excess term.
+                let (lab, lbc, lcd) = (pa.distance(pb), pb.distance(pc), pc.distance(pd));
+                let lad = pa.distance(pd);
+                let excess = lab + lbc + lcd - (1.0 + PHI) * lad;
+                if excess > 0.0 && lad > 1e-9 {
+                    total += excess * scale;
+                    let uab = (pb - pa).normalized();
+                    let ubc = (pc - pb).normalized();
+                    let ucd = (pd - pc).normalized();
+                    let uad = (pd - pa).normalized();
+                    add_grad(g, ja, (-uab + uad * (1.0 + PHI)) * scale);
+                    add_grad(g, jb, (uab - ubc) * scale);
+                    add_grad(g, jc, (ubc - ucd) * scale);
+                    add_grad(g, jd, (ucd - uad * (1.0 + PHI)) * scale);
+                }
+                // Alignment terms: max(p − u·e_d, 0) per phalange.
+                for &(jp, jq, pp, pq) in &bones {
+                    let v = pq - pp;
+                    let norm = v.norm();
+                    if norm < 1e-9 {
+                        continue;
+                    }
+                    let u = v / norm;
+                    let dot = u.dot(ed);
+                    let f = ALIGNMENT_P - dot;
+                    if f > 0.0 {
+                        total += f * scale;
+                        let ddot = (ed - u * dot) / norm;
+                        add_grad(g, jq, -ddot * scale);
+                        add_grad(g, jp, ddot * scale);
+                    }
+                }
+            } else {
+                // Coplanar case: squared projection on the GT plane normal.
+                let tb1 = joint(t, jb) - joint(t, ja);
+                let tb2 = joint(t, jc) - joint(t, jb);
+                let en = tb1.cross(tb2).normalized();
+                if en == Vec3::ZERO {
+                    continue; // degenerate ground truth
+                }
+                for &(jp, jq, pp, pq) in &bones {
+                    let v = pq - pp;
+                    let norm = v.norm();
+                    if norm < 1e-9 {
+                        continue;
+                    }
+                    let u = v / norm;
+                    let dot = u.dot(en);
+                    total += dot * dot * scale;
+                    let ddot = (en - u * dot) / norm;
+                    let gq = ddot * (2.0 * dot) * scale;
+                    add_grad(g, jq, gq);
+                    add_grad(g, jp, -gq);
+                }
+            }
+        }
+    }
+    (total, grad)
+}
+
+/// Builds the full combined loss on the tape.
+///
+/// `pred` is the `(N, 63)` network output variable; `truth` the matching
+/// label tensor. Returns `(total_loss_var, l3d_value, lkine_value)`.
+pub fn combined_loss(
+    tape: &mut Tape,
+    pred: Var,
+    truth: &Tensor,
+    weights: LossWeights,
+) -> (Var, f32, f32) {
+    // L_3D: mean squared coordinate error.
+    let t = tape.leaf(truth.clone());
+    let diff = tape.sub(pred, t);
+    let sq = tape.mul(diff, diff);
+    let l3d = tape.mean_all(sq);
+    let l3d_value = tape.value(l3d).data()[0];
+
+    // L_kine with analytic gradient, injected as an external loss.
+    let (lk_value, lk_grad) = kinematic_loss(tape.value(pred), truth);
+    let lkine = tape.external_loss(pred, lk_value, lk_grad);
+
+    let a = tape.scale(l3d, weights.beta);
+    let b = tape.scale(lkine, weights.gamma);
+    let total = tape.add(a, b);
+    (total, l3d_value, lk_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_hand::gesture::Gesture;
+    use mmhand_hand::shape::HandShape;
+    use mmhand_math::rng::stream_rng;
+
+    fn joints_to_flat(joints: &[Vec3; 21]) -> Vec<f32> {
+        joints.iter().flat_map(|j| j.to_array()).collect()
+    }
+
+    fn tensor_for(gesture: Gesture) -> Tensor {
+        let j = gesture.pose().joints(&HandShape::default());
+        Tensor::from_vec(&[1, OUTPUT_DIM], joints_to_flat(&j))
+    }
+
+    #[test]
+    fn straightness_detection_matches_gestures() {
+        let open = tensor_for(Gesture::OpenPalm);
+        for f in [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky] {
+            assert!(is_straight(open.data(), f), "{f:?} should be straight");
+        }
+        let fist = tensor_for(Gesture::Fist);
+        for f in Finger::ALL {
+            assert!(!is_straight(fist.data(), f), "{f:?} should be bent");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_kinematic_loss() {
+        for g in [Gesture::OpenPalm, Gesture::Fist, Gesture::Point, Gesture::Count(3)] {
+            let t = tensor_for(g);
+            let (loss, grad) = kinematic_loss(&t, &t);
+            assert!(loss < 1e-4, "{g:?} loss {loss}");
+            assert!(grad.data().iter().all(|&x| x.abs() < 1e-3), "{g:?} grad");
+        }
+    }
+
+    #[test]
+    fn bent_prediction_of_straight_finger_is_penalised() {
+        let truth = tensor_for(Gesture::OpenPalm);
+        let pred = tensor_for(Gesture::Fist);
+        let (loss, _) = kinematic_loss(&pred, &truth);
+        assert!(loss > 0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn out_of_plane_prediction_is_penalised() {
+        let truth = tensor_for(Gesture::Fist);
+        let mut pred = truth.clone();
+        // Push the index PIP out of its flexion plane (x direction).
+        pred.data_mut()[3 * 6] += 0.03;
+        let (loss, grad) = kinematic_loss(&pred, &truth);
+        assert!(loss > 1e-4, "loss {loss}");
+        assert!(grad.data().iter().any(|&x| x.abs() > 1e-4));
+    }
+
+    #[test]
+    fn kinematic_gradient_matches_finite_differences() {
+        let truth = tensor_for(Gesture::OpenPalm);
+        let mut rng = stream_rng(7, "kin");
+        let mut pred = truth.clone();
+        for v in pred.data_mut() {
+            *v += mmhand_math::rng::normal(&mut rng, 0.0, 0.01);
+        }
+        let (_, grad) = kinematic_loss(&pred, &truth);
+        let eps = 1e-4;
+        for idx in (0..OUTPUT_DIM).step_by(7) {
+            let mut pp = pred.clone();
+            pp.data_mut()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[idx] -= eps;
+            let (lp, _) = kinematic_loss(&pp, &truth);
+            let (lm, _) = kinematic_loss(&pm, &truth);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad.data()[idx];
+            assert!(
+                (ana - num).abs() < 3e-2 * (1.0 + num.abs()),
+                "idx {idx}: analytic {ana} vs numeric {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn kinematic_gradient_matches_fd_for_bent_truth() {
+        let truth = tensor_for(Gesture::Fist);
+        let mut rng = stream_rng(8, "kin2");
+        let mut pred = truth.clone();
+        for v in pred.data_mut() {
+            *v += mmhand_math::rng::normal(&mut rng, 0.0, 0.02);
+        }
+        let (_, grad) = kinematic_loss(&pred, &truth);
+        let eps = 1e-4;
+        for idx in (1..OUTPUT_DIM).step_by(9) {
+            let mut pp = pred.clone();
+            pp.data_mut()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[idx] -= eps;
+            let (lp, _) = kinematic_loss(&pp, &truth);
+            let (lm, _) = kinematic_loss(&pm, &truth);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad.data()[idx];
+            assert!(
+                (ana - num).abs() < 3e-2 * (1.0 + num.abs()),
+                "idx {idx}: analytic {ana} vs numeric {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_loss_weights_terms() {
+        let truth = tensor_for(Gesture::OpenPalm);
+        let pred_t = tensor_for(Gesture::Fist);
+        let mut store = mmhand_nn::ParamStore::new();
+        let mut tape = Tape::new();
+        let pred = tape.leaf(pred_t.clone());
+        let (total, l3d, lk) = combined_loss(
+            &mut tape,
+            pred,
+            &truth,
+            LossWeights { beta: 2.0, gamma: 0.5 },
+        );
+        let tv = tape.value(total).data()[0];
+        assert!((tv - (2.0 * l3d + 0.5 * lk)).abs() < 1e-5);
+        assert!(l3d > 0.0 && lk > 0.0);
+        // Gradient flows to the prediction.
+        tape.backward(total, &mut store);
+        assert!(tape.grad(pred).is_some());
+    }
+
+    #[test]
+    fn zero_error_gives_zero_combined_loss() {
+        let truth = tensor_for(Gesture::Count(2));
+        let mut tape = Tape::new();
+        let pred = tape.leaf(truth.clone());
+        let (total, l3d, lk) = combined_loss(&mut tape, pred, &truth, LossWeights::default());
+        assert!(tape.value(total).data()[0] < 1e-6);
+        assert!(l3d < 1e-8);
+        assert!(lk < 1e-4);
+    }
+
+    #[test]
+    fn batch_loss_averages_samples() {
+        let a = tensor_for(Gesture::OpenPalm);
+        let b = tensor_for(Gesture::Fist);
+        let mut both = Vec::new();
+        both.extend_from_slice(a.data());
+        both.extend_from_slice(b.data());
+        let truth2 = Tensor::from_vec(&[2, OUTPUT_DIM], both.clone());
+        // Swap the two rows so each is wrong.
+        let mut swapped = Vec::new();
+        swapped.extend_from_slice(b.data());
+        swapped.extend_from_slice(a.data());
+        let pred2 = Tensor::from_vec(&[2, OUTPUT_DIM], swapped);
+        let (loss2, grad2) = kinematic_loss(&pred2, &truth2);
+        // Single-sample losses.
+        let (l1, _) = kinematic_loss(&b, &a);
+        let (l2, _) = kinematic_loss(&a, &b);
+        assert!((loss2 - (l1 + l2) / 2.0).abs() < 1e-5);
+        assert_eq!(grad2.shape(), &[2, OUTPUT_DIM]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Evaluation metrics (paper §VI-A): MPJPE, 3D-PCK, AUC, and error CDFs,
+//! with the palm/fingers split used throughout the evaluation figures.
+
+use mmhand_hand::skeleton::{is_palm_joint, JOINT_COUNT};
+use mmhand_math::stats;
+use mmhand_math::Vec3;
+
+/// Joint subset selector for the palm/fingers breakdowns (Figs. 14, 16–17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum JointGroup {
+    /// All 21 joints.
+    #[default]
+    Overall,
+    /// Wrist + the five knuckles.
+    Palm,
+    /// The remaining 15 finger joints.
+    Fingers,
+}
+
+impl JointGroup {
+    /// The three groups reported in the paper.
+    pub const ALL: [JointGroup; 3] = [JointGroup::Palm, JointGroup::Fingers, JointGroup::Overall];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JointGroup::Overall => "overall",
+            JointGroup::Palm => "palm",
+            JointGroup::Fingers => "fingers",
+        }
+    }
+
+    /// Whether joint `j` belongs to the group.
+    pub fn contains(self, j: usize) -> bool {
+        match self {
+            JointGroup::Overall => true,
+            JointGroup::Palm => is_palm_joint(j),
+            JointGroup::Fingers => !is_palm_joint(j),
+        }
+    }
+}
+
+/// Per-joint Euclidean errors of a prediction set, in millimetres.
+#[derive(Clone, Debug, Default)]
+pub struct JointErrors {
+    /// One entry per (frame, joint): `(joint_index, error_mm)`.
+    errors: Vec<(usize, f32)>,
+}
+
+impl JointErrors {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        JointErrors::default()
+    }
+
+    /// Number of accumulated (frame, joint) samples.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// `true` when nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Adds one frame's prediction/truth pair (21 joints, metres).
+    pub fn push_frame(&mut self, pred: &[Vec3; JOINT_COUNT], truth: &[Vec3; JOINT_COUNT]) {
+        for j in 0..JOINT_COUNT {
+            self.errors.push((j, pred[j].distance(truth[j]) * 1000.0));
+        }
+    }
+
+    /// Adds a frame given flat 63-float buffers (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is not 63 long.
+    pub fn push_flat(&mut self, pred: &[f32], truth: &[f32]) {
+        assert_eq!(pred.len(), 63, "pred length");
+        assert_eq!(truth.len(), 63, "truth length");
+        for j in 0..JOINT_COUNT {
+            let p = Vec3::new(pred[3 * j], pred[3 * j + 1], pred[3 * j + 2]);
+            let t = Vec3::new(truth[3 * j], truth[3 * j + 1], truth[3 * j + 2]);
+            self.errors.push((j, p.distance(t) * 1000.0));
+        }
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: &JointErrors) {
+        self.errors.extend_from_slice(&other.errors);
+    }
+
+    /// Adds one raw `(joint, error_mm)` sample — used when deserialising
+    /// cached experiment results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 21`.
+    pub fn push_error(&mut self, joint: usize, error_mm: f32) {
+        assert!(joint < JOINT_COUNT, "joint index {joint}");
+        self.errors.push((joint, error_mm));
+    }
+
+    /// Iterates the raw `(joint, error_mm)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.errors.iter().copied()
+    }
+
+    fn group_errors(&self, group: JointGroup) -> Vec<f32> {
+        self.errors
+            .iter()
+            .filter(|(j, _)| group.contains(*j))
+            .map(|&(_, e)| e)
+            .collect()
+    }
+
+    /// Mean per-joint position error in millimetres (Eq. 12).
+    pub fn mpjpe(&self, group: JointGroup) -> f32 {
+        stats::mean(&self.group_errors(group))
+    }
+
+    /// Standard deviation of the per-joint errors, millimetres.
+    pub fn std_dev(&self, group: JointGroup) -> f32 {
+        stats::std_dev(&self.group_errors(group))
+    }
+
+    /// 3D-PCK at `threshold_mm` (Eq. 13, scale factor `d = 1`): the
+    /// fraction of joints with error below the threshold.
+    pub fn pck(&self, group: JointGroup, threshold_mm: f32) -> f32 {
+        let errs = self.group_errors(group);
+        stats::fraction_below(&errs, threshold_mm)
+    }
+
+    /// The PCK curve over thresholds `0..=max_mm` in `step_mm` increments
+    /// (paper Fig. 14 sweeps 0–60 mm).
+    pub fn pck_curve(&self, group: JointGroup, max_mm: f32, step_mm: f32) -> Vec<(f32, f32)> {
+        let errs = self.group_errors(group);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= max_mm + 1e-6 {
+            out.push((t, stats::fraction_below(&errs, t)));
+            t += step_mm;
+        }
+        out
+    }
+
+    /// Area under the PCK curve, normalised to `[0, 1]` (paper Fig. 14).
+    pub fn auc(&self, group: JointGroup, max_mm: f32) -> f32 {
+        stats::normalized_auc(&self.pck_curve(group, max_mm, 1.0))
+    }
+
+    /// Empirical CDF points of the joint errors (paper Fig. 15).
+    pub fn error_cdf(&self, group: JointGroup) -> Vec<stats::CdfPoint> {
+        stats::empirical_cdf(&self.group_errors(group))
+    }
+
+    /// Percentile of the error distribution in millimetres.
+    pub fn percentile(&self, group: JointGroup, p: f32) -> f32 {
+        stats::percentile(&self.group_errors(group), p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_frame(err_m: f32) -> ([Vec3; 21], [Vec3; 21]) {
+        let truth = [Vec3::ZERO; 21];
+        let pred = [Vec3::new(err_m, 0.0, 0.0); 21];
+        (pred, truth)
+    }
+
+    #[test]
+    fn mpjpe_of_uniform_error() {
+        let mut je = JointErrors::new();
+        let (p, t) = uniform_frame(0.0183);
+        je.push_frame(&p, &t);
+        assert!((je.mpjpe(JointGroup::Overall) - 18.3).abs() < 1e-3);
+        assert_eq!(je.len(), 21);
+    }
+
+    #[test]
+    fn pck_thresholds() {
+        let mut je = JointErrors::new();
+        let (p, t) = uniform_frame(0.030);
+        je.push_frame(&p, &t);
+        assert_eq!(je.pck(JointGroup::Overall, 40.0), 1.0);
+        assert_eq!(je.pck(JointGroup::Overall, 20.0), 0.0);
+    }
+
+    #[test]
+    fn groups_partition_joints() {
+        let mut je = JointErrors::new();
+        let mut truth = [Vec3::ZERO; 21];
+        let mut pred = [Vec3::ZERO; 21];
+        // Palm joints perfect, finger joints off by 50 mm.
+        for (j, (p, t)) in pred.iter_mut().zip(truth.iter_mut()).enumerate() {
+            *t = Vec3::ZERO;
+            *p = if is_palm_joint(j) { Vec3::ZERO } else { Vec3::new(0.05, 0.0, 0.0) };
+        }
+        je.push_frame(&pred, &truth);
+        assert_eq!(je.mpjpe(JointGroup::Palm), 0.0);
+        assert!((je.mpjpe(JointGroup::Fingers) - 50.0).abs() < 1e-3);
+        let overall = je.mpjpe(JointGroup::Overall);
+        assert!(overall > 0.0 && overall < 50.0);
+        // Palm regresses better than fingers — PCK ordering follows.
+        assert!(je.pck(JointGroup::Palm, 40.0) > je.pck(JointGroup::Fingers, 40.0));
+    }
+
+    #[test]
+    fn pck_curve_is_monotone_and_auc_bounded() {
+        let mut je = JointErrors::new();
+        for k in 0..10 {
+            let (p, t) = uniform_frame(0.005 * k as f32);
+            je.push_frame(&p, &t);
+        }
+        let curve = je.pck_curve(JointGroup::Overall, 60.0, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "PCK must not decrease");
+        }
+        let auc = je.auc(JointGroup::Overall, 60.0);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut je = JointErrors::new();
+        let (p, t) = uniform_frame(0.02);
+        je.push_frame(&p, &t);
+        let cdf = je.error_cdf(JointGroup::Overall);
+        assert_eq!(cdf.last().unwrap().fraction, 1.0);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = JointErrors::new();
+        let mut b = JointErrors::new();
+        let (p, t) = uniform_frame(0.01);
+        a.push_frame(&p, &t);
+        b.push_frame(&p, &t);
+        a.merge(&b);
+        assert_eq!(a.len(), 42);
+    }
+
+    #[test]
+    fn push_flat_matches_push_frame() {
+        let (p, t) = uniform_frame(0.025);
+        let mut a = JointErrors::new();
+        a.push_frame(&p, &t);
+        let pf: Vec<f32> = p.iter().flat_map(|v| v.to_array()).collect();
+        let tf: Vec<f32> = t.iter().flat_map(|v| v.to_array()).collect();
+        let mut b = JointErrors::new();
+        b.push_flat(&pf, &tf);
+        assert!((a.mpjpe(JointGroup::Overall) - b.mpjpe(JointGroup::Overall)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_collection_is_safe() {
+        let je = JointErrors::new();
+        assert!(je.is_empty());
+        assert_eq!(je.mpjpe(JointGroup::Overall), 0.0);
+        assert_eq!(je.pck(JointGroup::Palm, 40.0), 0.0);
+    }
+}

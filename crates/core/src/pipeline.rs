@@ -1,0 +1,231 @@
+//! The end-to-end mmHand pipeline (paper Fig. 2): raw radar frames →
+//! pre-processing → 3-D skeletons → MANO meshes, with the stage timing
+//! instrumentation behind the paper's Fig. 26.
+
+use crate::cube::CubeBuilder;
+use crate::mesh::{MeshReconstructor, ReconstructedHand};
+use crate::train::TrainedModel;
+use mmhand_nn::Tensor;
+use mmhand_radar::RawFrame;
+use std::time::Instant;
+
+/// Wall-clock timing of one pipeline invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTiming {
+    /// Pre-processing + joint regression time (skeleton stage), ms.
+    pub skeleton_ms: f64,
+    /// Mesh-reconstruction time, ms.
+    pub mesh_ms: f64,
+}
+
+impl StageTiming {
+    /// Total pipeline time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.skeleton_ms + self.mesh_ms
+    }
+}
+
+/// One pipeline result: skeletons and meshes for a window of frames.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// One flat 63-float skeleton per segment in the window.
+    pub skeletons: Vec<Vec<f32>>,
+    /// One reconstructed hand per skeleton.
+    pub hands: Vec<ReconstructedHand>,
+    /// Stage timings for this invocation.
+    pub timing: StageTiming,
+}
+
+/// The full estimator: cube builder + trained regressor + mesh module.
+pub struct MmHandPipeline {
+    builder: CubeBuilder,
+    model: TrainedModel,
+    mesh: MeshReconstructor,
+}
+
+impl MmHandPipeline {
+    /// Assembles a pipeline from trained parts.
+    pub fn new(builder: CubeBuilder, model: TrainedModel, mesh: MeshReconstructor) -> Self {
+        MmHandPipeline { builder, model, mesh }
+    }
+
+    /// The cube builder (e.g. to inspect configuration).
+    pub fn builder(&self) -> &CubeBuilder {
+        &self.builder
+    }
+
+    /// The mesh reconstructor.
+    pub fn mesh_reconstructor(&self) -> &MeshReconstructor {
+        &self.mesh
+    }
+
+    /// Converts raw frames into per-segment input tensors. Frames that do
+    /// not fill a whole segment are dropped.
+    pub fn frames_to_segments(&mut self, frames: &[RawFrame]) -> Vec<Tensor> {
+        let st = self.builder.config().frames_per_segment;
+        let n_segments = frames.len() / st;
+        (0..n_segments)
+            .map(|s| {
+                let cubes: Vec<_> = (0..st)
+                    .map(|k| self.builder.process_frame(&frames[s * st + k]))
+                    .collect();
+                self.builder.segment_tensor(&cubes)
+            })
+            .collect()
+    }
+
+    /// Regresses skeletons only (no meshes) with timing.
+    pub fn estimate_skeletons(&mut self, frames: &[RawFrame]) -> (Vec<Vec<f32>>, StageTiming) {
+        let start = Instant::now();
+        let segments = self.frames_to_segments(frames);
+        let skeletons = if segments.is_empty() {
+            Vec::new()
+        } else {
+            self.model.predict_sequence(&segments)
+        };
+        let timing = StageTiming {
+            skeleton_ms: start.elapsed().as_secs_f64() * 1000.0,
+            mesh_ms: 0.0,
+        };
+        (skeletons, timing)
+    }
+
+    /// Full pipeline: skeletons plus reconstructed meshes.
+    ///
+    /// Uses the fitted mesh networks when available, the analytic IK path
+    /// otherwise.
+    pub fn estimate(&mut self, frames: &[RawFrame]) -> PipelineOutput {
+        let (skeletons, mut timing) = self.estimate_skeletons(frames);
+        let start = Instant::now();
+        let hands: Vec<ReconstructedHand> = skeletons
+            .iter()
+            .map(|s| {
+                if self.mesh.is_fitted() {
+                    self.mesh.reconstruct(s)
+                } else {
+                    self.mesh.reconstruct_analytic(s)
+                }
+            })
+            .collect();
+        timing.mesh_ms = start.elapsed().as_secs_f64() * 1000.0;
+        PipelineOutput { skeletons, hands, timing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{CubeBuilder, CubeConfig};
+    use crate::eval::{build_cohort, train_reference_model, DataConfig};
+    use crate::model::ModelConfig;
+    use crate::train::TrainConfig;
+    use mmhand_hand::gesture::Gesture;
+    use mmhand_hand::trajectory::GestureTrack;
+    use mmhand_hand::user::UserProfile;
+    use mmhand_math::Vec3;
+    use mmhand_radar::capture::{record_session, CaptureConfig};
+    use mmhand_radar::{ChirpConfig, Environment};
+
+    fn tiny_pipeline() -> (MmHandPipeline, Vec<mmhand_radar::RawFrame>) {
+        let chirp = ChirpConfig { chirps_per_tx: 8, samples_per_chirp: 32, ..Default::default() };
+        let cube = CubeConfig {
+            chirp,
+            range_bins: 8,
+            doppler_bins: 4,
+            azimuth_bins: 4,
+            elevation_bins: 4,
+            frames_per_segment: 2,
+            range_max_m: 0.55,
+            ..Default::default()
+        };
+        let data = DataConfig {
+            users: 2,
+            frames_per_user: 16,
+            gestures_per_track: 2,
+            seq_len: 2,
+            capture: CaptureConfig {
+                chirp,
+                environment: Environment::Playground,
+                noise_sigma: 0.005,
+                ..Default::default()
+            },
+            cube: cube.clone(),
+            seed: 3,
+            ..Default::default()
+        };
+        let model_cfg = ModelConfig {
+            channels: 6,
+            blocks: 1,
+            feature_dim: 24,
+            lstm_hidden: 24,
+            ..data.model_config()
+        };
+        let seqs = build_cohort(&data);
+        let model = train_reference_model(
+            &seqs,
+            &model_cfg,
+            &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
+        );
+        let pipeline = MmHandPipeline::new(
+            CubeBuilder::new(cube),
+            model,
+            crate::mesh::MeshReconstructor::new(0),
+        );
+        // A fresh capture to run inference on.
+        let user = UserProfile::generate(1, 3);
+        let track = GestureTrack::from_gestures(
+            &[Gesture::OpenPalm, Gesture::Victory],
+            Vec3::new(0.0, 0.3, 0.0),
+            0.3,
+            0.3,
+        );
+        let session = record_session(
+            &user,
+            &track,
+            8,
+            &CaptureConfig { chirp, noise_sigma: 0.005, ..Default::default() },
+        );
+        (pipeline, session.frames)
+    }
+
+    #[test]
+    fn pipeline_produces_skeletons_and_meshes() {
+        let (mut pipeline, frames) = tiny_pipeline();
+        let out = pipeline.estimate(&frames);
+        assert_eq!(out.skeletons.len(), 4); // 8 frames / 2 per segment
+        assert_eq!(out.hands.len(), 4);
+        for s in &out.skeletons {
+            assert_eq!(s.len(), 63);
+            assert!(s.iter().all(|v| v.is_finite()));
+        }
+        for h in &out.hands {
+            assert!(!h.mesh.vertices.is_empty());
+        }
+        assert!(out.timing.skeleton_ms > 0.0);
+        assert!(out.timing.mesh_ms > 0.0);
+        assert!(out.timing.total_ms() >= out.timing.skeleton_ms);
+    }
+
+    #[test]
+    fn skeleton_only_path_skips_mesh_time() {
+        let (mut pipeline, frames) = tiny_pipeline();
+        let (skeletons, timing) = pipeline.estimate_skeletons(&frames);
+        assert_eq!(skeletons.len(), 4);
+        assert_eq!(timing.mesh_ms, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let (mut pipeline, _) = tiny_pipeline();
+        let out = pipeline.estimate(&[]);
+        assert!(out.skeletons.is_empty());
+        assert!(out.hands.is_empty());
+    }
+
+    #[test]
+    fn partial_segment_is_dropped() {
+        let (mut pipeline, frames) = tiny_pipeline();
+        let out = pipeline.estimate(&frames[..3]); // 1.5 segments
+        assert_eq!(out.skeletons.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! This is the workhorse behind the range-FFT, Doppler-FFT and angle-FFT of
+//! the pre-processing pipeline. Sizes must be powers of two; callers that
+//! have other lengths zero-pad with [`zero_pad_pow2`].
+
+use mmhand_math::Complex;
+
+/// Returns the smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Zero-pads `x` to the next power-of-two length.
+pub fn zero_pad_pow2(x: &[Complex]) -> Vec<Complex> {
+    let mut out = x.to_vec();
+    out.resize(next_pow2(x.len()), Complex::ZERO);
+    out
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn fft_inplace(x: &mut [Complex]) {
+    transform(x, false);
+}
+
+/// In-place inverse FFT (including the `1/N` normalisation).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn ifft_inplace(x: &mut [Complex]) {
+    transform(x, true);
+    let n = x.len() as f32;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+/// Forward FFT returning a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut out = x.to_vec();
+    fft_inplace(&mut out);
+    out
+}
+
+/// Inverse FFT returning a new vector (including the `1/N` normalisation).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut out = x.to_vec();
+    ifft_inplace(&mut out);
+    out
+}
+
+/// FFT of a real-valued signal (converts to complex then transforms).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn fft_real(x: &[f32]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = x.iter().map(|&re| Complex::new(re, 0.0)).collect();
+    fft_inplace(&mut buf);
+    buf
+}
+
+/// Swaps the two halves of a spectrum so DC moves to the centre — the usual
+/// presentation for Doppler and angle spectra where negative frequencies
+/// (approaching motion / negative angles) sit to the left.
+pub fn fft_shift<T: Copy>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+/// Magnitude of each bin.
+pub fn magnitude(x: &[Complex]) -> Vec<f32> {
+    x.iter().map(|c| c.abs()).collect()
+}
+
+/// Power (squared magnitude) of each bin.
+pub fn power(x: &[Complex]) -> Vec<f32> {
+    x.iter().map(|c| c.norm_sqr()).collect()
+}
+
+fn transform(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(is_pow2(n), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for j in 0..len / 2 {
+                let u = x[i + j];
+                let v = x[i + j + len / 2] * w;
+                x[i + j] = u + v;
+                x[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TAU: f32 = 2.0 * std::f32::consts::PI;
+
+    fn tone(n: usize, k: f32, amp: f32) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::from_polar(amp, TAU * k * i as f32 / n as f32))
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let spec = fft(&x);
+        for bin in spec {
+            assert!((bin - Complex::ONE).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin_zero() {
+        let x = vec![Complex::ONE; 16];
+        let spec = fft(&x);
+        assert!((spec[0].re - 16.0).abs() < 1e-4);
+        for bin in &spec[1..] {
+            assert!(bin.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_expected_bin() {
+        let n = 128;
+        for k in [1usize, 7, 31, 64, 100] {
+            let spec = fft(&tone(n, k as f32, 2.0));
+            let peak = (0..n)
+                .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
+                .unwrap();
+            assert_eq!(peak, k, "tone bin {k}");
+            assert!((spec[k].abs() - 2.0 * n as f32).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a = tone(n, 3.0, 1.0);
+        let b = tone(n, 9.0, 0.5);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fs = fft(&sum);
+        for i in 0..n {
+            assert!((fs[i] - (fa[i] + fb[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_shift_even_and_odd() {
+        assert_eq!(fft_shift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fft_shift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_inplace(&mut x);
+    }
+
+    #[test]
+    fn zero_pad_reaches_pow2() {
+        let x = vec![Complex::ONE; 12];
+        let padded = zero_pad_pow2(&x);
+        assert_eq!(padded.len(), 16);
+        assert_eq!(&padded[..12], &x[..]);
+        assert!(padded[12..].iter().all(|c| *c == Complex::ZERO));
+    }
+
+    #[test]
+    fn real_fft_matches_complex_fft() {
+        let xs: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
+        let a = fft_real(&xs);
+        let b = fft(&xs.iter().map(|&r| Complex::new(r, 0.0)).collect::<Vec<_>>());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_recovers_signal(
+            xs in proptest::collection::vec((-10f32..10.0, -10f32..10.0), 1..6usize)
+        ) {
+            // Build a power-of-two signal from arbitrary complex samples.
+            let sig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let sig = zero_pad_pow2(&sig);
+            let back = ifft(&fft(&sig));
+            for (a, b) in sig.iter().zip(&back) {
+                prop_assert!((*a - *b).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_is_preserved(
+            xs in proptest::collection::vec((-5f32..5.0, -5f32..5.0), 8usize)
+        ) {
+            let sig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let spec = fft(&sig);
+            let time_energy: f32 = sig.iter().map(|c| c.norm_sqr()).sum();
+            let freq_energy: f32 = spec.iter().map(|c| c.norm_sqr()).sum::<f32>() / sig.len() as f32;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-2 * (1.0 + time_energy));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Range-, Doppler- and angle-spectrum computation plus peak utilities.
+//!
+//! These wrap the raw FFT/zoom primitives with radar semantics:
+//!
+//! * **Range-FFT** over the fast-time samples of one chirp: bin `k`
+//!   corresponds to range `r = c · f_IF · T_c / (2B)` (paper §III).
+//! * **Doppler-FFT** over slow time at a fixed range bin, shifted so zero
+//!   velocity is centred.
+//! * **Angle spectrum** over the virtual antenna array via [`zoom_dft`]
+//!   restricted to ±30° with refinement factor 2, following the paper.
+
+use crate::fft::{fft_inplace, fft_shift};
+use crate::window::Window;
+use crate::zoom::zoom_dft;
+use mmhand_math::Complex;
+
+/// Computes the range spectrum of one chirp's fast-time samples.
+///
+/// The samples are windowed and transformed; only the first half of the
+/// spectrum is meaningful for real-valued IF data, but complex IQ data uses
+/// all bins. Length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `samples.len()` is not a power of two.
+pub fn range_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
+    let mut buf = samples.to_vec();
+    window.apply_inplace(&mut buf);
+    fft_inplace(&mut buf);
+    buf
+}
+
+/// Computes the Doppler spectrum across slow-time (chirp-to-chirp) samples
+/// at one range bin, centred with [`fft_shift`] so bin `n/2` is zero
+/// velocity.
+///
+/// # Panics
+///
+/// Panics if `samples.len()` is not a power of two.
+pub fn doppler_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
+    let mut buf = samples.to_vec();
+    window.apply_inplace(&mut buf);
+    fft_inplace(&mut buf);
+    fft_shift(&buf)
+}
+
+/// Computes the angular spectrum from per-virtual-antenna phasors.
+///
+/// `elements` holds one complex value per (half-wavelength-spaced) virtual
+/// antenna. The spectrum is evaluated on `bins` points of `sin(θ)` spanning
+/// `±sin(max_angle_rad)`; with the paper's settings (`max_angle` = 30°,
+/// refinement factor 2 applied by the caller through `bins`) this is the
+/// zoom-FFT angle estimation of §III. Bin `i` maps to angle
+/// `asin(sin_theta_grid[i])`.
+pub fn angle_spectrum(elements: &[Complex], max_angle_rad: f32, bins: usize) -> Vec<Complex> {
+    // Half-wavelength spacing: spatial frequency f = sin(θ) / 2 cycles/element.
+    let f_max = max_angle_rad.sin() * 0.5;
+    zoom_dft(elements, -f_max, f_max, bins)
+}
+
+/// Returns the angles (radians) corresponding to [`angle_spectrum`] bins.
+pub fn angle_grid(max_angle_rad: f32, bins: usize) -> Vec<f32> {
+    let s_max = max_angle_rad.sin();
+    let step = if bins <= 1 { 0.0 } else { 2.0 * s_max / (bins - 1) as f32 };
+    (0..bins).map(|i| (-s_max + step * i as f32).asin()).collect()
+}
+
+/// A detected spectrum peak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// Bin index of the local maximum.
+    pub index: usize,
+    /// Magnitude at the peak.
+    pub magnitude: f32,
+}
+
+/// Finds local maxima of `mag` that exceed `min_height`, keeping peaks at
+/// least `min_distance` bins apart (strongest wins). Result is sorted by
+/// index.
+pub fn find_peaks(mag: &[f32], min_height: f32, min_distance: usize) -> Vec<Peak> {
+    let n = mag.len();
+    let mut candidates: Vec<Peak> = (0..n)
+        .filter(|&i| {
+            let left = if i == 0 { f32::NEG_INFINITY } else { mag[i - 1] };
+            let right = if i + 1 == n { f32::NEG_INFINITY } else { mag[i + 1] };
+            mag[i] >= min_height && mag[i] >= left && mag[i] > right
+        })
+        .map(|index| Peak { index, magnitude: mag[index] })
+        .collect();
+    // Strongest-first suppression of close neighbours.
+    candidates.sort_by(|a, b| b.magnitude.total_cmp(&a.magnitude));
+    let mut kept: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if kept
+            .iter()
+            .all(|k| k.index.abs_diff(c.index) >= min_distance.max(1))
+        {
+            kept.push(c);
+        }
+    }
+    kept.sort_by_key(|p| p.index);
+    kept
+}
+
+/// Returns the first dominant peak — the lowest-index peak whose magnitude
+/// is at least `dominance` × the global maximum.
+///
+/// The paper's observation is that the hand is the closest reflector during
+/// interaction, so it sits in the *first* dominant range peak; this helper
+/// implements that selection rule.
+pub fn first_dominant_peak(mag: &[f32], dominance: f32, min_distance: usize) -> Option<Peak> {
+    let global_max = mag.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !global_max.is_finite() || global_max <= 0.0 {
+        return None;
+    }
+    find_peaks(mag, global_max * dominance, min_distance)
+        .into_iter()
+        .next()
+}
+
+/// Converts a range-FFT bin index to metres.
+///
+/// `bandwidth_hz` is the chirp sweep bandwidth `B`, `n_bins` the FFT length.
+/// Derived from `r = c·f·T_c / (2B)` with `f = k·f_s/N` and `f_s·T_c =`
+/// samples-per-chirp, giving `r = k · c / (2B) · (samples / N)`; when the
+/// FFT length equals the sample count this is the familiar
+/// `range_resolution = c / (2B)`.
+pub fn range_bin_to_meters(bin: usize, n_bins: usize, samples_per_chirp: usize, bandwidth_hz: f64) -> f64 {
+    let res = mmhand_math::SPEED_OF_LIGHT / (2.0 * bandwidth_hz);
+    bin as f64 * res * samples_per_chirp as f64 / n_bins as f64
+}
+
+/// Converts a centred Doppler bin to radial velocity in m/s.
+///
+/// `wavelength_m` is the carrier wavelength λ, `chirp_period_s` the
+/// chirp-to-chirp period `T_c` (per TX in TDM-MIMO), and `n_bins` the
+/// Doppler FFT length; bin `n/2` is zero velocity, and the unambiguous
+/// velocity span is `±λ / (4 T_c)` (from `v = λΔφ/(4πT_c)`, paper §III).
+pub fn doppler_bin_to_mps(bin: usize, n_bins: usize, wavelength_m: f64, chirp_period_s: f64) -> f64 {
+    let v_max = wavelength_m / (4.0 * chirp_period_s);
+    let centred = bin as f64 - n_bins as f64 / 2.0;
+    centred / (n_bins as f64 / 2.0) * v_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TAU: f32 = 2.0 * std::f32::consts::PI;
+
+    #[test]
+    fn range_fft_localises_if_tone() {
+        let n = 64;
+        let k = 9.0;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(TAU * k * i as f32 / n as f32))
+            .collect();
+        let spec = range_fft(&sig, Window::Hann);
+        let peak = (0..n)
+            .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
+            .unwrap();
+        assert_eq!(peak, 9);
+    }
+
+    #[test]
+    fn doppler_fft_zero_velocity_is_centred() {
+        let n = 32;
+        let sig = vec![Complex::ONE; n]; // static target: DC in slow time
+        let spec = doppler_fft(&sig, Window::Rectangular);
+        let peak = (0..n)
+            .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
+            .unwrap();
+        assert_eq!(peak, n / 2);
+    }
+
+    #[test]
+    fn moving_target_shifts_off_centre() {
+        let n = 32;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(TAU * 4.0 * i as f32 / n as f32))
+            .collect();
+        let spec = doppler_fft(&sig, Window::Rectangular);
+        let peak = (0..n)
+            .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
+            .unwrap();
+        assert_eq!(peak, n / 2 + 4);
+    }
+
+    #[test]
+    fn angle_spectrum_peaks_at_source_angle() {
+        // 8-element half-wavelength array, source at +20°.
+        let n_el = 8;
+        let theta = mmhand_math::deg_to_rad(20.0);
+        let elements: Vec<Complex> = (0..n_el)
+            .map(|m| Complex::from_angle(TAU * 0.5 * theta.sin() * m as f32))
+            .collect();
+        let bins = 33;
+        let max_angle = mmhand_math::deg_to_rad(30.0);
+        let spec = angle_spectrum(&elements, max_angle, bins);
+        let grid = angle_grid(max_angle, bins);
+        let peak = (0..bins)
+            .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
+            .unwrap();
+        assert!(
+            (grid[peak] - theta).abs() < mmhand_math::deg_to_rad(4.0),
+            "angle peak at {}°",
+            mmhand_math::rad_to_deg(grid[peak])
+        );
+    }
+
+    #[test]
+    fn angle_grid_is_symmetric() {
+        let grid = angle_grid(mmhand_math::deg_to_rad(30.0), 17);
+        assert!((grid[0] + grid[16]).abs() < 1e-6);
+        assert!(grid[8].abs() < 1e-6);
+    }
+
+    #[test]
+    fn find_peaks_basic() {
+        let mag = [0.0, 1.0, 0.2, 3.0, 0.1, 2.0, 0.0];
+        let peaks = find_peaks(&mag, 0.5, 1);
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn find_peaks_suppresses_close_neighbours() {
+        let mag = [0.0, 2.0, 0.1, 3.0, 0.0];
+        let peaks = find_peaks(&mag, 0.5, 3);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+    }
+
+    #[test]
+    fn first_dominant_peak_prefers_closest() {
+        // Hand at bin 3 (mag 5), body at bin 10 (mag 8): hand is first
+        // dominant with dominance 0.5.
+        let mut mag = vec![0.0_f32; 16];
+        mag[3] = 5.0;
+        mag[10] = 8.0;
+        let p = first_dominant_peak(&mag, 0.5, 2).unwrap();
+        assert_eq!(p.index, 3);
+        // With dominance 0.9 only the body peak qualifies.
+        let p = first_dominant_peak(&mag, 0.9, 2).unwrap();
+        assert_eq!(p.index, 10);
+    }
+
+    #[test]
+    fn first_dominant_peak_empty_or_zero() {
+        assert!(first_dominant_peak(&[], 0.5, 1).is_none());
+        assert!(first_dominant_peak(&[0.0, 0.0], 0.5, 1).is_none());
+    }
+
+    #[test]
+    fn range_bin_conversion_matches_resolution() {
+        // 4 GHz bandwidth → 3.75 cm resolution, N == samples.
+        let r1 = range_bin_to_meters(1, 64, 64, 4.0e9);
+        assert!((r1 - 0.0375).abs() < 1e-4, "resolution {r1}");
+        let r10 = range_bin_to_meters(10, 64, 64, 4.0e9);
+        assert!((r10 - 0.375).abs() < 1e-3);
+    }
+
+    #[test]
+    fn doppler_bin_conversion_is_antisymmetric() {
+        let n = 16;
+        let lambda = 0.0039; // ~77 GHz
+        let tc = 240e-6; // 3 TX × 80 µs
+        let v_lo = doppler_bin_to_mps(0, n, lambda, tc);
+        let v_hi = doppler_bin_to_mps(n - 1, n, lambda, tc);
+        assert!(v_lo < 0.0 && v_hi > 0.0);
+        assert!(doppler_bin_to_mps(n / 2, n, lambda, tc).abs() < 1e-12);
+        // Max unambiguous velocity λ/(4 Tc) ≈ 4.06 m/s.
+        assert!((v_lo + lambda / (4.0 * tc)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn peaks_are_sorted_and_spaced(mag in proptest::collection::vec(0f32..10.0, 4..64),
+                                       dist in 1usize..6) {
+            let peaks = find_peaks(&mag, 1.0, dist);
+            for w in peaks.windows(2) {
+                prop_assert!(w[0].index < w[1].index);
+                prop_assert!(w[1].index - w[0].index >= dist);
+            }
+            for p in &peaks {
+                prop_assert!(p.magnitude >= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Gesture library: the "interaction gestures and counting gestures" the
+//! paper's volunteers performed (§VI-A).
+//!
+//! Each [`Gesture`] maps to a target [`HandPose`] articulation;
+//! [`crate::trajectory`] strings gestures together into continuous motion.
+
+use crate::pose::HandPose;
+use crate::skeleton::Finger;
+
+/// A named static hand gesture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gesture {
+    /// Flat open hand, fingers together.
+    OpenPalm,
+    /// Open hand with fingers spread apart.
+    SpreadPalm,
+    /// Closed fist.
+    Fist,
+    /// Index finger extended (pointing).
+    Point,
+    /// Thumb and index pinched together.
+    Pinch,
+    /// Thumb up, other fingers curled.
+    ThumbsUp,
+    /// "OK" sign: thumb–index ring, other fingers extended.
+    Ok,
+    /// "Victory"/counting-two: index and middle extended.
+    Victory,
+    /// Counting gesture for a digit 0–9 (ASL-style one-hand counting).
+    Count(u8),
+}
+
+impl Gesture {
+    /// A canonical list of the interaction gestures (non-counting).
+    pub const INTERACTION: [Gesture; 8] = [
+        Gesture::OpenPalm,
+        Gesture::SpreadPalm,
+        Gesture::Fist,
+        Gesture::Point,
+        Gesture::Pinch,
+        Gesture::ThumbsUp,
+        Gesture::Ok,
+        Gesture::Victory,
+    ];
+
+    /// All ten counting gestures.
+    pub fn counting() -> Vec<Gesture> {
+        (0..=9).map(Gesture::Count).collect()
+    }
+
+    /// Every gesture in the library.
+    pub fn all() -> Vec<Gesture> {
+        let mut v = Self::INTERACTION.to_vec();
+        v.extend(Self::counting());
+        v
+    }
+
+    /// A short stable name, e.g. `"count_3"`.
+    pub fn name(self) -> String {
+        match self {
+            Gesture::OpenPalm => "open_palm".to_string(),
+            Gesture::SpreadPalm => "spread_palm".to_string(),
+            Gesture::Fist => "fist".to_string(),
+            Gesture::Point => "point".to_string(),
+            Gesture::Pinch => "pinch".to_string(),
+            Gesture::ThumbsUp => "thumbs_up".to_string(),
+            Gesture::Ok => "ok".to_string(),
+            Gesture::Victory => "victory".to_string(),
+            Gesture::Count(n) => format!("count_{n}"),
+        }
+    }
+
+    /// The target articulation of this gesture (identity global transform;
+    /// the caller positions/orients the hand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a counting digit exceeds 9.
+    pub fn pose(self) -> HandPose {
+        const CURLED: f32 = 1.55;
+        const HALF: f32 = 0.9;
+        let mut p = HandPose::default();
+        match self {
+            Gesture::OpenPalm => {}
+            Gesture::SpreadPalm => {
+                p.spreads = [0.3, 0.2, 0.0, -0.2, -0.3];
+            }
+            Gesture::Fist => {
+                for f in Finger::ALL {
+                    p = p.with_finger_curl(f, CURLED);
+                }
+                p.curls[0] = [0.9, 0.8, 0.6]; // thumb wraps less
+            }
+            Gesture::Point => {
+                for f in [Finger::Middle, Finger::Ring, Finger::Pinky] {
+                    p = p.with_finger_curl(f, CURLED);
+                }
+                p.curls[0] = [0.8, 0.7, 0.5];
+            }
+            Gesture::Pinch => {
+                p.curls[Finger::Thumb.index()] = [0.55, 0.6, 0.5];
+                p.curls[Finger::Index.index()] = [0.9, 0.9, 0.65];
+                for f in [Finger::Middle, Finger::Ring, Finger::Pinky] {
+                    p = p.with_finger_curl(f, 0.35);
+                }
+            }
+            Gesture::ThumbsUp => {
+                for f in [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky] {
+                    p = p.with_finger_curl(f, CURLED);
+                }
+                p.spreads[0] = 0.3;
+            }
+            Gesture::Ok => {
+                p.curls[Finger::Thumb.index()] = [0.5, 0.55, 0.45];
+                p.curls[Finger::Index.index()] = [0.8, 0.8, 0.6];
+                p.spreads[2..5].copy_from_slice(&[-0.05, -0.12, -0.2]);
+            }
+            Gesture::Victory => {
+                for f in [Finger::Ring, Finger::Pinky] {
+                    p = p.with_finger_curl(f, CURLED);
+                }
+                p.curls[0] = [0.8, 0.7, 0.5];
+                p.spreads[1] = 0.15;
+                p.spreads[2] = -0.15;
+            }
+            Gesture::Count(n) => {
+                assert!(n <= 9, "counting gesture digit {n} out of range");
+                // One-hand counting: 0 = fist; 1–5 extend fingers starting
+                // from the index; 6–9 re-curl starting from the pinky while
+                // the thumb touches it (approximated by a half curl).
+                for f in Finger::ALL {
+                    p = p.with_finger_curl(f, CURLED);
+                }
+                p.curls[0] = [0.9, 0.8, 0.6];
+                let extend = |p: &mut HandPose, f: Finger| {
+                    p.curls[f.index()] = [0.0; 3];
+                };
+                match n {
+                    0 => {}
+                    1..=4 => {
+                        let order = [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky];
+                        for &f in order.iter().take(n as usize) {
+                            extend(&mut p, f);
+                        }
+                    }
+                    5 => {
+                        for f in Finger::ALL {
+                            extend(&mut p, f);
+                        }
+                        p.spreads = [0.3, 0.15, 0.0, -0.15, -0.3];
+                    }
+                    _ => {
+                        // 6..=9: all extended except thumb + one finger
+                        // half-curled to touch the thumb.
+                        for f in Finger::ALL {
+                            extend(&mut p, f);
+                        }
+                        let touch = match n {
+                            6 => Finger::Pinky,
+                            7 => Finger::Ring,
+                            8 => Finger::Middle,
+                            _ => Finger::Index,
+                        };
+                        p.curls[touch.index()] = [HALF, HALF, 0.5];
+                        p.curls[0] = [0.5, 0.5, 0.4];
+                    }
+                }
+            }
+        }
+        p.clamped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::HandShape;
+
+    #[test]
+    fn all_gestures_have_unique_names() {
+        let mut names: Vec<String> = Gesture::all().iter().map(|g| g.name()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert_eq!(total, 18);
+    }
+
+    #[test]
+    fn poses_are_within_limits() {
+        for g in Gesture::all() {
+            let p = g.pose();
+            for c in p.curls.iter().flatten() {
+                assert!((-0.15..=crate::pose::MAX_CURL).contains(c), "{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fist_and_open_differ_most_at_tips() {
+        let shape = HandShape::default();
+        let open = Gesture::OpenPalm.pose().joints(&shape);
+        let fist = Gesture::Fist.pose().joints(&shape);
+        let tip_move = fist[Finger::Index.tip()].distance(open[Finger::Index.tip()]);
+        let base_move = fist[Finger::Index.base()].distance(open[Finger::Index.base()]);
+        assert!(tip_move > 0.05, "tip moved only {tip_move}");
+        assert!(base_move < 1e-6, "knuckle should not move");
+    }
+
+    #[test]
+    fn point_extends_only_index() {
+        let shape = HandShape::default();
+        let j = Gesture::Point.pose().joints(&shape);
+        let straightness = |f: Finger| {
+            let [a, b, c, d] = f.joints();
+            j[a].distance(j[b]) + j[b].distance(j[c]) + j[c].distance(j[d])
+                - j[a].distance(j[d])
+        };
+        assert!(straightness(Finger::Index) < 1e-4);
+        assert!(straightness(Finger::Middle) > 0.01);
+        assert!(straightness(Finger::Pinky) > 0.01);
+    }
+
+    #[test]
+    fn pinch_brings_thumb_and_index_together() {
+        let shape = HandShape::default();
+        let j = Gesture::Pinch.pose().joints(&shape);
+        let gap = j[Finger::Thumb.tip()].distance(j[Finger::Index.tip()]);
+        let open = Gesture::OpenPalm.pose().joints(&shape);
+        let open_gap = open[Finger::Thumb.tip()].distance(open[Finger::Index.tip()]);
+        assert!(gap < open_gap * 0.65, "pinch gap {gap} vs open {open_gap}");
+    }
+
+    #[test]
+    fn counting_extends_monotonically_one_to_five() {
+        let shape = HandShape::default();
+        let extended = |n: u8| -> usize {
+            let j = Gesture::Count(n).pose().joints(&shape);
+            Finger::ALL
+                .iter()
+                .filter(|f| {
+                    let [a, b, c, d] = f.joints();
+                    let sum = j[a].distance(j[b]) + j[b].distance(j[c]) + j[c].distance(j[d]);
+                    sum - j[a].distance(j[d]) < 1e-3
+                })
+                .count()
+        };
+        assert_eq!(extended(0), 0);
+        for n in 1..=4u8 {
+            assert_eq!(extended(n), n as usize, "count_{n}");
+        }
+        assert_eq!(extended(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn digit_out_of_range_panics() {
+        Gesture::Count(10).pose();
+    }
+}

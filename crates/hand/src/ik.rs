@@ -1,0 +1,230 @@
+//! Inverse kinematics: joint rotations `θ` from 21 joint positions.
+//!
+//! The paper solves this end-to-end with a neural network (§V); this module
+//! provides the *analytic* solution used (a) to produce training targets
+//! for that network, and (b) as a deterministic fallback that turns any
+//! predicted skeleton into MANO pose parameters.
+//!
+//! The algorithm walks the kinematic tree root-to-tip. For each bone it
+//! finds the shortest-arc rotation aligning the (globally rotated) rest
+//! bone direction with the observed direction, accumulates it into the
+//! joint's global rotation, and converts the increment into the joint's
+//! local rotation vector.
+
+use crate::skeleton::{Finger, JOINT_COUNT, PARENTS};
+use mmhand_math::{Quaternion, Vec3};
+
+/// Shortest-arc quaternion rotating unit vector `a` onto unit vector `b`.
+///
+/// Degenerate cases: identical vectors give the identity; opposite vectors
+/// rotate π about an arbitrary perpendicular axis.
+pub fn rotation_between(a: Vec3, b: Vec3) -> Quaternion {
+    let a = a.normalized();
+    let b = b.normalized();
+    let d = a.dot(b).clamp(-1.0, 1.0);
+    if d >= 1.0 - 1e-6 {
+        return Quaternion::IDENTITY;
+    }
+    if d <= -1.0 + 1e-6 {
+        // Opposite: pick any perpendicular axis.
+        let axis = if a.x.abs() < 0.9 { a.cross(Vec3::X) } else { a.cross(Vec3::Y) };
+        return Quaternion::from_axis_angle(axis.normalized(), std::f32::consts::PI);
+    }
+    let axis = a.cross(b).normalized();
+    Quaternion::from_axis_angle(axis, d.acos())
+}
+
+/// Result of inverse kinematics: per-joint local rotation vectors
+/// (the MANO `θ ∈ R^{21×3}`) plus the residual alignment error.
+#[derive(Clone, Debug)]
+pub struct IkSolution {
+    /// Rotation vector per joint; fingertips are identity.
+    pub theta: [Vec3; JOINT_COUNT],
+    /// Mean angular residual (radians) across bones after solving.
+    pub residual: f32,
+}
+
+/// Solves for joint rotations that pose `rest` into `observed`.
+///
+/// `rest` is the rest-pose skeleton (e.g. [`crate::mano::ManoModel::rest_joints`]);
+/// `observed` the target skeleton in the same (hand-local) frame, i.e. with
+/// the wrist at the same origin. Positions are used only through bone
+/// *directions*, so differing bone lengths (a network's imperfect scale)
+/// do not break the solve.
+pub fn solve_ik(rest: &[Vec3; JOINT_COUNT], observed: &[Vec3; JOINT_COUNT]) -> IkSolution {
+    let mut theta = [Vec3::ZERO; JOINT_COUNT];
+    let mut global = [Quaternion::IDENTITY; JOINT_COUNT];
+
+    // Wrist orientation from the palm frame: wrist→middle-MCP and
+    // wrist→index-MCP span the palm plane.
+    let palm_axes = |j: &[Vec3; JOINT_COUNT]| -> (Vec3, Vec3) {
+        let up = (j[Finger::Middle.base()] - j[0]).normalized();
+        let toward_index = (j[Finger::Index.base()] - j[0]).normalized();
+        let normal = up.cross(toward_index).normalized();
+        (up, normal)
+    };
+    let (ru, rn) = palm_axes(rest);
+    let (ou, on) = palm_axes(observed);
+    // Two-step alignment: first align the palm "up", then twist the normal.
+    let q1 = rotation_between(ru, ou);
+    let q2 = rotation_between(q1.rotate(rn), on);
+    global[0] = (q2 * q1).normalized();
+    theta[0] = global[0].to_rotation_vector();
+
+    // Per-finger chains.
+    let mut residual = 0.0;
+    let mut bone_count = 0;
+    for finger in Finger::ALL {
+        let chain = finger.joints();
+        let mut parent = 0usize;
+        for &child in &chain {
+            let p_global = global[PARENTS[child].expect("finger joints have parents")];
+            let rest_dir = (rest[child] - rest[parent]).normalized();
+            let obs_dir = (observed[child] - observed[parent]).normalized();
+            if rest_dir == Vec3::ZERO || obs_dir == Vec3::ZERO {
+                parent = child;
+                continue;
+            }
+            let current = p_global.rotate(rest_dir);
+            let align = rotation_between(current, obs_dir);
+            let new_global = (align * p_global).normalized();
+            // Rotation at `parent` drives the bone parent→child, so record
+            // the local increment at the parent joint (standard MANO
+            // convention: θ_j rotates joint j's children).
+            let parent_parent = PARENTS[parent].map(|pp| global[pp]).unwrap_or(global[0]);
+            let local = if parent == 0 {
+                // Finger base bones (wrist→MCP) are rigid palm structure;
+                // their alignment is already captured by the wrist rotation.
+                global[child] = p_global;
+                parent = child;
+                residual += current.dot(obs_dir).clamp(-1.0, 1.0).acos();
+                bone_count += 1;
+                continue;
+            } else {
+                parent_parent.conj() * new_global
+            };
+            theta[parent] = local.normalized().to_rotation_vector();
+            global[parent] = new_global;
+            global[child] = new_global;
+            residual += 0.0; // exact alignment for articulated bones
+            bone_count += 1;
+            parent = child;
+        }
+    }
+
+    IkSolution {
+        theta,
+        residual: if bone_count == 0 { 0.0 } else { residual / bone_count as f32 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesture::Gesture;
+    use crate::mano::ManoModel;
+    use crate::pose::HandPose;
+    use crate::shape::HandShape;
+    use proptest::prelude::*;
+
+    fn fk_error(model: &ManoModel, target: &[Vec3; JOINT_COUNT]) -> f32 {
+        let sol = solve_ik(model.rest_joints(), target);
+        let posed = model.posed_joints(&[0.0; 10], &sol.theta);
+        (0..JOINT_COUNT)
+            .map(|i| posed[i].distance(target[i]))
+            .sum::<f32>()
+            / JOINT_COUNT as f32
+    }
+
+    #[test]
+    fn rotation_between_basic() {
+        let q = rotation_between(Vec3::X, Vec3::Y);
+        assert!((q.rotate(Vec3::X) - Vec3::Y).norm() < 1e-5);
+        let id = rotation_between(Vec3::Z, Vec3::Z);
+        assert!((id.rotate(Vec3::X) - Vec3::X).norm() < 1e-6);
+        let opp = rotation_between(Vec3::X, -Vec3::X);
+        assert!((opp.rotate(Vec3::X) + Vec3::X).norm() < 1e-5);
+    }
+
+    #[test]
+    fn identity_for_rest_pose() {
+        let model = ManoModel::new();
+        let sol = solve_ik(model.rest_joints(), model.rest_joints());
+        for (j, t) in sol.theta.iter().enumerate() {
+            assert!(t.norm() < 1e-3, "joint {j} rotation {}", t.norm());
+        }
+    }
+
+    #[test]
+    fn reconstructs_gesture_poses() {
+        let model = ManoModel::new();
+        let shape = HandShape::default();
+        for g in [Gesture::Fist, Gesture::Point, Gesture::Pinch, Gesture::Count(3)] {
+            let target = g.pose().joints(&shape);
+            let err = fk_error(&model, &target);
+            assert!(err < 0.004, "{g:?} mean FK error {err}");
+        }
+    }
+
+    #[test]
+    fn reconstructs_globally_rotated_hand() {
+        let model = ManoModel::new();
+        let shape = HandShape::default();
+        let mut pose = Gesture::Victory.pose();
+        pose.orientation =
+            Quaternion::from_axis_angle(Vec3::new(0.2, 1.0, 0.3), 0.8);
+        let target = pose.joints(&shape);
+        let err = fk_error(&model, &target);
+        assert!(err < 0.006, "rotated FK error {err}");
+    }
+
+    #[test]
+    fn tolerates_scaled_skeletons() {
+        // A network predicting a slightly larger hand still gets a valid θ.
+        let model = ManoModel::new();
+        let shape = HandShape::default();
+        let mut target = Gesture::Point.pose().joints(&shape);
+        for t in &mut target {
+            *t = *t * 1.08;
+        }
+        let sol = solve_ik(model.rest_joints(), &target);
+        let posed = model.posed_joints(&[0.0; 10], &sol.theta);
+        // Directional agreement: tip direction within a few degrees.
+        let tip_dir_t = (target[8] - target[5]).normalized();
+        let tip_dir_p = (posed[8] - posed[5]).normalized();
+        assert!(tip_dir_t.dot(tip_dir_p) > 0.99);
+    }
+
+    #[test]
+    fn fingertip_thetas_are_zero() {
+        let model = ManoModel::new();
+        let shape = HandShape::default();
+        let target = Gesture::Fist.pose().joints(&shape);
+        let sol = solve_ik(model.rest_joints(), &target);
+        for f in Finger::ALL {
+            assert_eq!(sol.theta[f.tip()], Vec3::ZERO);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_articulations_reconstruct(
+            c in proptest::collection::vec(0f32..1.4, 15),
+            s in proptest::collection::vec(-0.25f32..0.25, 5),
+        ) {
+            let model = ManoModel::new();
+            let shape = HandShape::default();
+            let mut pose = HandPose::default();
+            for f in 0..5 {
+                for k in 0..3 {
+                    pose.curls[f][k] = c[f * 3 + k];
+                }
+                pose.spreads[f] = s[f];
+            }
+            let target = pose.joints(&shape);
+            let err = fk_error(&model, &target);
+            prop_assert!(err < 0.006, "FK error {err}");
+        }
+    }
+}

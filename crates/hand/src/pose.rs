@@ -1,0 +1,365 @@
+//! Hand pose parameters and forward kinematics.
+//!
+//! A [`HandPose`] is the articulation state of the hand: per-segment
+//! flexion ("curl") angles, per-finger abduction ("spread") angles, and the
+//! global wrist position/orientation. [`HandPose::joints`] runs forward
+//! kinematics against a [`HandShape`] to produce the 21 world-space joint
+//! positions that serve as simulation ground truth.
+//!
+//! ## Frames
+//!
+//! World frame (radar convention): `+X` right, `+Y` radar boresight
+//! (from the radar toward the user), `+Z` up. The hand's *local* frame has
+//! the wrist at the origin, fingers extending along `+Z` and the palm
+//! normal along `-Y` — i.e. with identity orientation the palm faces the
+//! radar, the dominant situation in the paper's experiments.
+
+use crate::shape::HandShape;
+use crate::skeleton::{Finger, JOINT_COUNT};
+use mmhand_math::{Mat3, Quaternion, Vec3};
+
+/// Palm normal direction in the hand-local frame.
+const PALM_NORMAL: Vec3 = Vec3 { x: 0.0, y: -1.0, z: 0.0 };
+
+/// Maximum anatomically sensible flexion per joint, radians (~100°).
+pub const MAX_CURL: f32 = 1.75;
+
+/// Maximum abduction magnitude, radians (~20°).
+pub const MAX_SPREAD: f32 = 0.35;
+
+/// Articulated hand pose.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HandPose {
+    /// Flexion angle (radians) of each finger segment, indexed
+    /// `[finger][segment]` with segment 0 at the knuckle. `0` is straight,
+    /// positive curls toward the palm.
+    pub curls: [[f32; 3]; 5],
+    /// Abduction angle (radians) per finger; positive spreads toward the
+    /// thumb side.
+    pub spreads: [f32; 5],
+    /// Wrist position in world coordinates (metres).
+    pub position: Vec3,
+    /// Hand orientation (rotates the local frame into the world frame).
+    pub orientation: Quaternion,
+}
+
+impl Default for HandPose {
+    /// A flat open hand at the world origin.
+    fn default() -> Self {
+        HandPose {
+            curls: [[0.0; 3]; 5],
+            spreads: [0.0; 5],
+            position: Vec3::ZERO,
+            orientation: Quaternion::IDENTITY,
+        }
+    }
+}
+
+impl HandPose {
+    /// An open, flat hand (alias of `Default`).
+    pub fn open() -> Self {
+        HandPose::default()
+    }
+
+    /// Clamps curls and spreads to anatomical limits in place and returns
+    /// `self` for chaining.
+    pub fn clamped(mut self) -> Self {
+        for c in self.curls.iter_mut().flatten() {
+            *c = c.clamp(-0.15, MAX_CURL);
+        }
+        for s in &mut self.spreads {
+            *s = s.clamp(-MAX_SPREAD, MAX_SPREAD);
+        }
+        self
+    }
+
+    /// Linearly interpolates articulation and position, and slerps the
+    /// orientation. `t = 0` is `self`, `t = 1` is `other`.
+    pub fn lerp(&self, other: &HandPose, t: f32) -> HandPose {
+        let mut curls = [[0.0; 3]; 5];
+        let mut spreads = [0.0; 5];
+        for f in 0..5 {
+            for s in 0..3 {
+                curls[f][s] = self.curls[f][s] + (other.curls[f][s] - self.curls[f][s]) * t;
+            }
+            spreads[f] = self.spreads[f] + (other.spreads[f] - self.spreads[f]) * t;
+        }
+        HandPose {
+            curls,
+            spreads,
+            position: self.position.lerp(other.position, t),
+            orientation: self.orientation.slerp(other.orientation, t),
+        }
+    }
+
+    /// Sets every segment of `finger` to the same curl angle.
+    pub fn with_finger_curl(mut self, finger: Finger, curl: f32) -> Self {
+        self.curls[finger.index()] = [curl; 3];
+        self
+    }
+
+    /// Base position of each finger in the hand-local frame.
+    fn finger_base(shape: &HandShape, finger: Finger) -> Vec3 {
+        let w = shape.palm_width * shape.scale;
+        let l = shape.palm_length * shape.scale;
+        match finger {
+            // The thumb CMC sits low on the radial side of the palm.
+            Finger::Thumb => Vec3::new(0.45 * w, -0.2 * shape.palm_thickness, 0.25 * l),
+            Finger::Index => Vec3::new(0.375 * w, 0.0, l),
+            Finger::Middle => Vec3::new(0.125 * w, 0.0, 1.02 * l),
+            Finger::Ring => Vec3::new(-0.125 * w, 0.0, l),
+            Finger::Pinky => Vec3::new(-0.375 * w, 0.0, 0.93 * l),
+        }
+    }
+
+    /// Rest direction of each finger in the hand-local frame.
+    fn finger_direction(finger: Finger) -> Vec3 {
+        match finger {
+            Finger::Thumb => Vec3::new(0.80, -0.18, 0.57).normalized(),
+            Finger::Index => Vec3::new(0.07, 0.0, 1.0).normalized(),
+            Finger::Middle => Vec3::Z,
+            Finger::Ring => Vec3::new(-0.07, 0.0, 1.0).normalized(),
+            Finger::Pinky => Vec3::new(-0.14, 0.0, 0.99).normalized(),
+        }
+    }
+
+    /// Forward kinematics: world positions of the 21 joints.
+    pub fn joints(&self, shape: &HandShape) -> [Vec3; JOINT_COUNT] {
+        let mut local = [Vec3::ZERO; JOINT_COUNT];
+        // Wrist is the local origin.
+        for finger in Finger::ALL {
+            let fi = finger.index();
+            let base = Self::finger_base(shape, finger);
+            // Abduction: rotate the rest direction about the palm normal.
+            let spread_rot = Mat3::rotation_axis_angle(PALM_NORMAL, -self.spreads[fi]);
+            let dir0 = spread_rot * Self::finger_direction(finger);
+            // Flexion axis: perpendicular to the finger and palm normal.
+            let flex_axis = dir0.cross(PALM_NORMAL).normalized();
+            let lengths = shape.segment_lengths[fi];
+            let joints = finger.joints();
+            let mut pos = base;
+            local[joints[0]] = pos;
+            let mut cum_angle = 0.0;
+            for seg in 0..3 {
+                cum_angle += self.curls[fi][seg];
+                let dir = Mat3::rotation_axis_angle(flex_axis, cum_angle) * dir0;
+                pos += dir * (lengths[seg] * shape.scale);
+                local[joints[seg + 1]] = pos;
+            }
+        }
+        // Local → world.
+        let mut world = [Vec3::ZERO; JOINT_COUNT];
+        for (w, l) in world.iter_mut().zip(local.iter()) {
+            *w = self.position + self.orientation.rotate(*l);
+        }
+        world
+    }
+
+    /// World-space palm normal for this pose.
+    pub fn palm_normal(&self) -> Vec3 {
+        self.orientation.rotate(PALM_NORMAL)
+    }
+}
+
+/// Direction vectors of the 20 phalange bones, `child - parent`, normalised.
+///
+/// This is the `Dp ∈ R^{20×3}` input the paper feeds (together with the
+/// joint coordinates) to the pose-parameter network in §V.
+pub fn bone_directions(joints: &[Vec3; JOINT_COUNT]) -> [Vec3; 20] {
+    let mut out = [Vec3::ZERO; 20];
+    for (i, (p, c)) in crate::skeleton::bones().enumerate() {
+        out[i] = (joints[c] - joints[p]).normalized();
+    }
+    out
+}
+
+/// Lengths of the 20 bones in metres.
+pub fn bone_lengths(joints: &[Vec3; JOINT_COUNT]) -> [f32; 20] {
+    let mut out = [0.0; 20];
+    for (i, (p, c)) in crate::skeleton::bones().enumerate() {
+        out[i] = (joints[c] - joints[p]).norm();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton;
+    use proptest::prelude::*;
+
+    fn default_joints() -> [Vec3; JOINT_COUNT] {
+        HandPose::default().joints(&HandShape::default())
+    }
+
+    #[test]
+    fn wrist_is_at_pose_position() {
+        let mut pose = HandPose::default();
+        pose.position = Vec3::new(0.1, 0.3, -0.05);
+        let j = pose.joints(&HandShape::default());
+        assert!((j[0] - pose.position).norm() < 1e-7);
+    }
+
+    #[test]
+    fn open_hand_fingers_point_up() {
+        let j = default_joints();
+        for f in [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky] {
+            let tip = j[f.tip()];
+            let base = j[f.base()];
+            let dir = (tip - base).normalized();
+            assert!(dir.z > 0.95, "{f:?} direction {dir}");
+        }
+    }
+
+    #[test]
+    fn open_fingers_are_straight() {
+        // Collinearity: |AB|+|BC|+|CD| ≈ |AD| for an open hand (the paper's
+        // collinear kinematic constraint, Eq. 9).
+        let j = default_joints();
+        for f in Finger::ALL {
+            let [a, b, c, d] = f.joints();
+            let sum = j[a].distance(j[b]) + j[b].distance(j[c]) + j[c].distance(j[d]);
+            let direct = j[a].distance(j[d]);
+            assert!(sum <= 1.001 * direct, "{f:?}: {sum} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn curled_fingers_stay_coplanar() {
+        // Bending moves joints off the line but keeps them in the flexion
+        // plane (the paper's coplanar constraint).
+        let shape = HandShape::default();
+        let pose = HandPose::default().with_finger_curl(Finger::Index, 0.9);
+        let j = pose.joints(&shape);
+        let [a, b, c, d] = Finger::Index.joints();
+        let v1 = j[b] - j[a];
+        let v2 = j[c] - j[b];
+        let v3 = j[d] - j[c];
+        let normal = v1.cross(v2).normalized();
+        assert!(normal.norm() > 0.5, "degenerate normal");
+        assert!(v3.normalized().dot(normal).abs() < 1e-3);
+        // And the chain is genuinely bent.
+        let sum = v1.norm() + v2.norm() + v3.norm();
+        assert!(sum > 1.05 * j[a].distance(j[d]));
+    }
+
+    #[test]
+    fn full_fist_brings_tips_near_palm() {
+        let shape = HandShape::default();
+        let mut pose = HandPose::default();
+        for f in [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky] {
+            pose = pose.with_finger_curl(f, 1.6);
+        }
+        let j = pose.joints(&shape);
+        for f in [Finger::Index, Finger::Middle, Finger::Ring, Finger::Pinky] {
+            let tip = j[f.tip()];
+            // Tip should fall below the knuckle line and toward the palm.
+            assert!(tip.z < j[f.base()].z, "{f:?} tip not curled");
+            assert!(tip.y < -0.01, "{f:?} tip not toward palm: {tip}");
+        }
+    }
+
+    #[test]
+    fn bone_lengths_match_shape() {
+        let shape = HandShape::default();
+        let j = default_joints();
+        let lens = bone_lengths(&j);
+        // Bone 4 (index 5→6 is bone #5 in bones() order): check a couple.
+        for (i, (p, c)) in skeleton::bones().enumerate() {
+            if let Some(f) = skeleton::finger_of(c) {
+                if skeleton::finger_of(p) == Some(f) {
+                    let seg = f.joints().iter().position(|&x| x == p).unwrap();
+                    let expected = shape.segment_lengths[f.index()][seg] * shape.scale;
+                    assert!(
+                        (lens[i] - expected).abs() < 1e-6,
+                        "bone {p}->{c}: {} vs {}",
+                        lens[i],
+                        expected
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_rotates_whole_hand() {
+        let shape = HandShape::default();
+        let mut pose = HandPose::default();
+        pose.orientation = Quaternion::from_axis_angle(Vec3::X, std::f32::consts::FRAC_PI_2);
+        let j = pose.joints(&shape);
+        // Rotating +90° about +X maps the local +Z finger axis onto -Y.
+        let dir = (j[Finger::Middle.tip()] - j[0]).normalized();
+        assert!(dir.y < -0.9, "rotated direction {dir}");
+    }
+
+    #[test]
+    fn lerp_endpoints_match() {
+        let a = HandPose::default();
+        let mut b = HandPose::default().with_finger_curl(Finger::Middle, 1.2);
+        b.position = Vec3::new(0.0, 0.4, 0.0);
+        let s = HandShape::default();
+        let ja = a.joints(&s);
+        let j0 = a.lerp(&b, 0.0).joints(&s);
+        let j1 = b.joints(&s);
+        let jb = a.lerp(&b, 1.0).joints(&s);
+        for i in 0..JOINT_COUNT {
+            assert!((ja[i] - j0[i]).norm() < 1e-6);
+            assert!((j1[i] - jb[i]).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamp_limits_extremes() {
+        let mut p = HandPose::default();
+        p.curls[0][0] = 9.0;
+        p.spreads[2] = -2.0;
+        let c = p.clamped();
+        assert!(c.curls[0][0] <= MAX_CURL);
+        assert!(c.spreads[2] >= -MAX_SPREAD);
+    }
+
+    proptest! {
+        #[test]
+        fn joints_always_finite_and_bounded(
+            c in proptest::collection::vec(0f32..1.7, 15),
+            s in proptest::collection::vec(-0.3f32..0.3, 5),
+            px in -0.5f32..0.5, py in 0.1f32..1.0, pz in -0.5f32..0.5,
+        ) {
+            let mut pose = HandPose::default();
+            for f in 0..5 {
+                for k in 0..3 {
+                    pose.curls[f][k] = c[f * 3 + k];
+                }
+                pose.spreads[f] = s[f];
+            }
+            pose.position = Vec3::new(px, py, pz);
+            let shape = HandShape::default();
+            let joints = pose.joints(&shape);
+            let max_reach = shape.palm_length + 0.25;
+            for j in joints {
+                prop_assert!(j.is_finite());
+                prop_assert!(j.distance(pose.position) < max_reach);
+            }
+        }
+
+        #[test]
+        fn bone_lengths_invariant_to_pose(
+            curl in 0f32..1.6, spread in -0.3f32..0.3, theta in -3f32..3.0
+        ) {
+            // Rigidity: articulation never stretches bones.
+            let shape = HandShape::default();
+            let mut pose = HandPose::default();
+            for f in 0..5 {
+                pose.curls[f] = [curl; 3];
+                pose.spreads[f] = spread;
+            }
+            pose.orientation = Quaternion::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), theta);
+            let rest = bone_lengths(&HandPose::default().joints(&shape));
+            let posed = bone_lengths(&pose.joints(&shape));
+            for i in 0..20 {
+                prop_assert!((rest[i] - posed[i]).abs() < 1e-5,
+                             "bone {i}: {} vs {}", rest[i], posed[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Anatomical hand-shape parameters.
+//!
+//! [`HandShape`] carries the bone-length/width parameters that differ
+//! between users. It doubles as the semantic interpretation of the MANO
+//! shape vector `β ∈ R¹⁰` (paper §V): [`HandShape::from_beta`] maps a shape
+//! coefficient vector to concrete anatomy, and [`HandShape::to_beta`]
+//! inverts it. This keeps the simulator, the mesh model and the
+//! shape-regression network consistent with each other.
+
+use crate::skeleton::Finger;
+
+/// Number of MANO shape coefficients.
+pub const BETA_DIM: usize = 10;
+
+/// Relative sensitivity of anatomy to one unit of a shape coefficient.
+/// β is roughly standard-normal, so ±3σ spans ±12 % of each dimension.
+const BETA_GAIN: f32 = 0.04;
+
+/// Per-user anatomical hand parameters (metres).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HandShape {
+    /// Global scale multiplier applied to every length.
+    pub scale: f32,
+    /// Wrist-to-knuckle palm length.
+    pub palm_length: f32,
+    /// Knuckle-row palm width.
+    pub palm_width: f32,
+    /// Palm thickness (used by the mesh and scatterer models).
+    pub palm_thickness: f32,
+    /// Per-finger segment lengths `[proximal, middle, distal]`,
+    /// indexed by [`Finger::index`].
+    pub segment_lengths: [[f32; 3]; 5],
+    /// Per-finger flesh radius, indexed by [`Finger::index`].
+    pub finger_radius: [f32; 5],
+}
+
+impl Default for HandShape {
+    /// An average adult right hand.
+    fn default() -> Self {
+        HandShape {
+            scale: 1.0,
+            palm_length: 0.095,
+            palm_width: 0.084,
+            palm_thickness: 0.028,
+            segment_lengths: [
+                // thumb: CMC→MCP, MCP→IP, IP→TIP
+                [0.046, 0.034, 0.028],
+                // index
+                [0.044, 0.026, 0.022],
+                // middle
+                [0.048, 0.030, 0.024],
+                // ring
+                [0.044, 0.028, 0.023],
+                // pinky
+                [0.034, 0.021, 0.019],
+            ],
+            finger_radius: [0.011, 0.009, 0.009, 0.0085, 0.0075],
+        }
+    }
+}
+
+impl HandShape {
+    /// Builds anatomy from a MANO-style shape vector.
+    ///
+    /// Component meanings: `β0` global size, `β1` palm width, `β2` palm
+    /// length, `β3` overall finger length, `β4..=β8` per-finger length,
+    /// `β9` thickness/radius. Coefficients are unitless, roughly
+    /// standard-normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta.len() != 10`.
+    pub fn from_beta(beta: &[f32]) -> Self {
+        assert_eq!(beta.len(), BETA_DIM, "beta must have {BETA_DIM} components");
+        let f = |b: f32| 1.0 + BETA_GAIN * b;
+        let base = HandShape::default();
+        let mut segment_lengths = base.segment_lengths;
+        for (fi, seg) in segment_lengths.iter_mut().enumerate() {
+            let factor = f(beta[3]) * f(beta[4 + fi]);
+            for len in seg.iter_mut() {
+                *len *= factor;
+            }
+        }
+        let mut finger_radius = base.finger_radius;
+        for r in &mut finger_radius {
+            *r *= f(beta[9]);
+        }
+        HandShape {
+            scale: f(beta[0]),
+            palm_length: base.palm_length * f(beta[2]),
+            palm_width: base.palm_width * f(beta[1]),
+            palm_thickness: base.palm_thickness * f(beta[9]),
+            segment_lengths,
+            finger_radius,
+        }
+    }
+
+    /// Recovers the shape vector that [`HandShape::from_beta`] would map to
+    /// this anatomy (exact for shapes produced by `from_beta`; a projection
+    /// otherwise — per-segment ratios within one finger are averaged).
+    pub fn to_beta(&self) -> [f32; BETA_DIM] {
+        let base = HandShape::default();
+        let inv = |ratio: f32| (ratio - 1.0) / BETA_GAIN;
+        let mut beta = [0.0; BETA_DIM];
+        beta[0] = inv(self.scale);
+        beta[1] = inv(self.palm_width / base.palm_width);
+        beta[2] = inv(self.palm_length / base.palm_length);
+        beta[9] = inv(self.palm_thickness / base.palm_thickness);
+        // Joint finger-length factor: geometric mean over all fingers.
+        let mut ratios = [0.0_f32; 5];
+        for fi in 0..5 {
+            let mut r = 0.0;
+            for s in 0..3 {
+                r += self.segment_lengths[fi][s] / base.segment_lengths[fi][s];
+            }
+            ratios[fi] = r / 3.0;
+        }
+        let mean: f32 = ratios.iter().product::<f32>().powf(0.2);
+        beta[3] = inv(mean);
+        for fi in 0..5 {
+            beta[4 + fi] = inv(ratios[fi] / mean);
+        }
+        beta
+    }
+
+    /// Total length of a straight finger from its base joint to the tip.
+    pub fn finger_length(&self, finger: Finger) -> f32 {
+        self.segment_lengths[finger.index()].iter().sum::<f32>() * self.scale
+    }
+
+    /// Returns `true` when all dimensions are positive and within loose
+    /// human bounds (used for validation after regression).
+    pub fn is_plausible(&self) -> bool {
+        let lengths_ok = self
+            .segment_lengths
+            .iter()
+            .flatten()
+            .all(|&l| (0.005..0.1).contains(&l));
+        let radii_ok = self.finger_radius.iter().all(|&r| (0.002..0.03).contains(&r));
+        (0.5..2.0).contains(&self.scale)
+            && (0.05..0.15).contains(&self.palm_length)
+            && (0.04..0.14).contains(&self.palm_width)
+            && lengths_ok
+            && radii_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_shape_is_plausible() {
+        assert!(HandShape::default().is_plausible());
+    }
+
+    #[test]
+    fn zero_beta_is_default() {
+        let s = HandShape::from_beta(&[0.0; 10]);
+        assert_eq!(s, HandShape::default());
+    }
+
+    #[test]
+    fn positive_scale_beta_grows_hand() {
+        let s = HandShape::from_beta(&[2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(s.scale > 1.0);
+        assert!(s.finger_length(Finger::Index) > HandShape::default().finger_length(Finger::Index));
+    }
+
+    #[test]
+    fn finger_beta_targets_single_finger() {
+        let mut beta = [0.0_f32; 10];
+        beta[4] = 3.0; // thumb
+        let s = HandShape::from_beta(&beta);
+        let d = HandShape::default();
+        assert!(s.finger_length(Finger::Thumb) > d.finger_length(Finger::Thumb));
+        assert_eq!(s.finger_length(Finger::Pinky), d.finger_length(Finger::Pinky));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must have")]
+    fn wrong_beta_length_panics() {
+        HandShape::from_beta(&[0.0; 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn beta_round_trip_preserves_anatomy(b in proptest::collection::vec(-2.0f32..2.0, 10)) {
+            // β ↔ anatomy is overparameterised (β3 and β4..β8 both scale
+            // finger lengths), so the round trip is checked in shape space.
+            let shape = HandShape::from_beta(&b);
+            let back = HandShape::from_beta(&shape.to_beta());
+            prop_assert!((back.scale - shape.scale).abs() < 1e-3);
+            prop_assert!((back.palm_width - shape.palm_width).abs() < 1e-4);
+            prop_assert!((back.palm_length - shape.palm_length).abs() < 1e-4);
+            for f in 0..5 {
+                for s in 0..3 {
+                    let (a, b) = (back.segment_lengths[f][s], shape.segment_lengths[f][s]);
+                    prop_assert!((a - b).abs() < 0.02 * b, "finger {f} seg {s}: {a} vs {b}");
+                }
+            }
+        }
+
+        #[test]
+        fn moderate_betas_stay_plausible(b in proptest::collection::vec(-3.0f32..3.0, 10)) {
+            prop_assert!(HandShape::from_beta(&b).is_plausible());
+        }
+    }
+}

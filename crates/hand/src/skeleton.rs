@@ -1,0 +1,228 @@
+//! The 21-joint hand skeleton (paper Fig. 4).
+//!
+//! mmHand represents a hand by a wrist joint, 16 finger joints and 4
+//! fingertip joints. We adopt the MediaPipe Hands indexing — the same
+//! convention the paper uses for its ground truth — so joint `i` here is
+//! directly comparable to the paper's joint `i`:
+//!
+//! ```text
+//!  0 wrist
+//!  1..=4   thumb  (CMC, MCP, IP,  TIP)
+//!  5..=8   index  (MCP, PIP, DIP, TIP)
+//!  9..=12  middle (MCP, PIP, DIP, TIP)
+//! 13..=16  ring   (MCP, PIP, DIP, TIP)
+//! 17..=20  pinky  (MCP, PIP, DIP, TIP)
+//! ```
+
+/// Number of joints in the hand model.
+pub const JOINT_COUNT: usize = 21;
+
+/// Number of bones (parent→child links).
+pub const BONE_COUNT: usize = 20;
+
+/// Parent joint of each joint; the wrist (index 0) has no parent.
+pub const PARENTS: [Option<usize>; JOINT_COUNT] = [
+    None,
+    Some(0),
+    Some(1),
+    Some(2),
+    Some(3),
+    Some(0),
+    Some(5),
+    Some(6),
+    Some(7),
+    Some(0),
+    Some(9),
+    Some(10),
+    Some(11),
+    Some(0),
+    Some(13),
+    Some(14),
+    Some(15),
+    Some(0),
+    Some(17),
+    Some(18),
+    Some(19),
+];
+
+/// The five fingers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Finger {
+    /// Thumb (joints 1–4).
+    Thumb,
+    /// Index finger (joints 5–8).
+    Index,
+    /// Middle finger (joints 9–12).
+    Middle,
+    /// Ring finger (joints 13–16).
+    Ring,
+    /// Pinky finger (joints 17–20).
+    Pinky,
+}
+
+impl Finger {
+    /// All fingers in joint-index order.
+    pub const ALL: [Finger; 5] = [
+        Finger::Thumb,
+        Finger::Index,
+        Finger::Middle,
+        Finger::Ring,
+        Finger::Pinky,
+    ];
+
+    /// The four joint indices of this finger, base to tip.
+    pub const fn joints(self) -> [usize; 4] {
+        match self {
+            Finger::Thumb => [1, 2, 3, 4],
+            Finger::Index => [5, 6, 7, 8],
+            Finger::Middle => [9, 10, 11, 12],
+            Finger::Ring => [13, 14, 15, 16],
+            Finger::Pinky => [17, 18, 19, 20],
+        }
+    }
+
+    /// Index of this finger in [`Finger::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Finger::Thumb => 0,
+            Finger::Index => 1,
+            Finger::Middle => 2,
+            Finger::Ring => 3,
+            Finger::Pinky => 4,
+        }
+    }
+
+    /// The fingertip joint index.
+    pub const fn tip(self) -> usize {
+        self.joints()[3]
+    }
+
+    /// The base (knuckle) joint index.
+    pub const fn base(self) -> usize {
+        self.joints()[0]
+    }
+}
+
+/// Returns the finger a joint belongs to, or `None` for the wrist.
+pub const fn finger_of(joint: usize) -> Option<Finger> {
+    match joint {
+        1..=4 => Some(Finger::Thumb),
+        5..=8 => Some(Finger::Index),
+        9..=12 => Some(Finger::Middle),
+        13..=16 => Some(Finger::Ring),
+        17..=20 => Some(Finger::Pinky),
+        _ => None,
+    }
+}
+
+/// Returns `true` for the paper's "palm" joint group: the wrist plus the
+/// five finger bases. The remaining 15 joints are the "fingers" group used
+/// in the palm-vs-finger breakdowns of Figs. 14, 16 and 17.
+pub const fn is_palm_joint(joint: usize) -> bool {
+    matches!(joint, 0 | 1 | 5 | 9 | 13 | 17)
+}
+
+/// Indices of the palm joint group.
+pub const PALM_JOINTS: [usize; 6] = [0, 1, 5, 9, 13, 17];
+
+/// Iterator-friendly list of all bones as `(parent, child)` pairs.
+pub fn bones() -> impl Iterator<Item = (usize, usize)> {
+    (0..JOINT_COUNT).filter_map(|j| PARENTS[j].map(|p| (p, j)))
+}
+
+/// Human-readable joint name, e.g. `"index_pip"`.
+pub const fn joint_name(joint: usize) -> &'static str {
+    const NAMES: [&str; JOINT_COUNT] = [
+        "wrist",
+        "thumb_cmc",
+        "thumb_mcp",
+        "thumb_ip",
+        "thumb_tip",
+        "index_mcp",
+        "index_pip",
+        "index_dip",
+        "index_tip",
+        "middle_mcp",
+        "middle_pip",
+        "middle_dip",
+        "middle_tip",
+        "ring_mcp",
+        "ring_pip",
+        "ring_dip",
+        "ring_tip",
+        "pinky_mcp",
+        "pinky_pip",
+        "pinky_dip",
+        "pinky_tip",
+    ];
+    NAMES[joint]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_count_matches_paper() {
+        // 1 wrist + 16 finger joints + 4 fingertips... the paper counts the
+        // thumb CMC among the 16; either way the model totals 21 joints.
+        assert_eq!(JOINT_COUNT, 21);
+        assert_eq!(bones().count(), BONE_COUNT);
+    }
+
+    #[test]
+    fn parents_form_a_tree_rooted_at_wrist() {
+        assert!(PARENTS[0].is_none());
+        for j in 1..JOINT_COUNT {
+            let mut cur = j;
+            let mut hops = 0;
+            while let Some(p) = PARENTS[cur] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 4, "chain from joint {j} too deep");
+            }
+            assert_eq!(cur, 0, "joint {j} does not reach the wrist");
+        }
+    }
+
+    #[test]
+    fn fingers_partition_non_wrist_joints() {
+        let mut seen = [false; JOINT_COUNT];
+        seen[0] = true;
+        for f in Finger::ALL {
+            for j in f.joints() {
+                assert!(!seen[j], "joint {j} in two fingers");
+                seen[j] = true;
+                assert_eq!(finger_of(j), Some(f));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(finger_of(0), None);
+    }
+
+    #[test]
+    fn palm_group_has_six_joints() {
+        let count = (0..JOINT_COUNT).filter(|&j| is_palm_joint(j)).count();
+        assert_eq!(count, PALM_JOINTS.len());
+        for &j in &PALM_JOINTS {
+            assert!(is_palm_joint(j));
+        }
+        assert!(!is_palm_joint(8));
+    }
+
+    #[test]
+    fn tips_have_no_children() {
+        for f in Finger::ALL {
+            let tip = f.tip();
+            assert!(bones().all(|(p, _)| p != tip), "tip {tip} has a child");
+        }
+    }
+
+    #[test]
+    fn joint_names_are_unique() {
+        let mut names: Vec<&str> = (0..JOINT_COUNT).map(joint_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), JOINT_COUNT);
+    }
+}

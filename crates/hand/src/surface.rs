@@ -1,0 +1,237 @@
+//! Radar scatterer sampling on the hand surface.
+//!
+//! A millimetre-wave radar does not see joints — it sees reflections from
+//! skin. This module converts a posed hand (21 joint positions + shape)
+//! into a set of point scatterers with radar cross-sections (RCS): samples
+//! along each phalange at the flesh radius, plus a denser patch over the
+//! palm. The radar simulator sums the returns of these scatterers.
+
+use crate::shape::HandShape;
+use crate::skeleton::{self, Finger, JOINT_COUNT};
+use mmhand_math::Vec3;
+
+/// Body region a scatterer belongs to (used by shadowing models).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScattererRegion {
+    /// A point on a finger.
+    Finger,
+    /// A point on the palm slab.
+    #[default]
+    Palm,
+}
+
+/// One point scatterer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scatterer {
+    /// Position in world coordinates (metres).
+    pub position: Vec3,
+    /// Relative radar cross-section (unitless; palm patch ≈ 1).
+    pub rcs: f32,
+    /// Region of the hand this point samples.
+    pub region: ScattererRegion,
+}
+
+/// Scatterer sampling density.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfaceConfig {
+    /// Samples per phalange bone.
+    pub per_bone: usize,
+    /// Palm grid resolution (`n × n` points).
+    pub palm_grid: usize,
+    /// RCS of one palm patch point.
+    pub palm_rcs: f32,
+    /// RCS of one finger point (fingers are thin ⇒ weaker returns).
+    pub finger_rcs: f32,
+}
+
+impl Default for SurfaceConfig {
+    fn default() -> Self {
+        SurfaceConfig { per_bone: 3, palm_grid: 4, palm_rcs: 1.0, finger_rcs: 0.35 }
+    }
+}
+
+/// Samples scatterers for a posed hand.
+///
+/// `joints` are the world-space joint positions (from
+/// [`crate::pose::HandPose::joints`]); `palm_normal` the world-space palm
+/// normal (from [`crate::pose::HandPose::palm_normal`]); `shape` provides
+/// flesh radii. Scatterer RCS scales with flesh radius so thick fingers
+/// reflect more.
+pub fn sample_scatterers(
+    joints: &[Vec3; JOINT_COUNT],
+    palm_normal: Vec3,
+    shape: &HandShape,
+    config: &SurfaceConfig,
+) -> Vec<Scatterer> {
+    let mut out = Vec::new();
+
+    // Finger scatterers: points along each bone, displaced by the flesh
+    // radius toward the radar-facing side (the palm normal points at the
+    // radar in the nominal setup, so displace along it).
+    for (p, c) in skeleton::bones() {
+        let finger = skeleton::finger_of(c).expect("child joint is always on a finger");
+        // Skip the wrist→MCP links for non-thumb fingers: that region is
+        // covered by the palm patch below.
+        if p == 0 && finger != Finger::Thumb {
+            continue;
+        }
+        let radius = shape.finger_radius[finger.index()] * shape.scale;
+        for k in 0..config.per_bone {
+            let t = (k as f32 + 0.5) / config.per_bone as f32;
+            let pos = joints[p].lerp(joints[c], t) + palm_normal * radius;
+            out.push(Scatterer {
+                position: pos,
+                rcs: config.finger_rcs * radius / 0.009,
+                region: ScattererRegion::Finger,
+            });
+        }
+    }
+
+    // Palm patch: a grid spanning wrist → knuckle row, displaced by half
+    // the palm thickness along the palm normal.
+    let wrist = joints[0];
+    let index_mcp = joints[Finger::Index.base()];
+    let pinky_mcp = joints[Finger::Pinky.base()];
+    let offset = palm_normal * (shape.palm_thickness * 0.5 * shape.scale);
+    let n = config.palm_grid.max(2);
+    for i in 0..n {
+        for j in 0..n {
+            let u = (i as f32 + 0.5) / n as f32; // wrist → knuckles
+            let v = (j as f32 + 0.5) / n as f32; // pinky → index side
+            let knuckle = pinky_mcp.lerp(index_mcp, v);
+            let pos = wrist.lerp(knuckle, u) + offset;
+            out.push(Scatterer {
+                position: pos,
+                rcs: config.palm_rcs / (n * n) as f32 * 24.0,
+                region: ScattererRegion::Palm,
+            });
+        }
+    }
+    out
+}
+
+/// Total RCS of a scatterer set.
+pub fn total_rcs(scatterers: &[Scatterer]) -> f32 {
+    scatterers.iter().map(|s| s.rcs).sum()
+}
+
+/// Geometric centroid weighted by RCS; `Vec3::ZERO` for an empty set.
+pub fn rcs_centroid(scatterers: &[Scatterer]) -> Vec3 {
+    let total = total_rcs(scatterers);
+    if total <= 0.0 {
+        return Vec3::ZERO;
+    }
+    scatterers
+        .iter()
+        .map(|s| s.position * (s.rcs / total))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesture::Gesture;
+    use crate::pose::HandPose;
+
+    fn scatter(pose: &HandPose) -> Vec<Scatterer> {
+        let shape = HandShape::default();
+        sample_scatterers(
+            &pose.joints(&shape),
+            pose.palm_normal(),
+            &shape,
+            &SurfaceConfig::default(),
+        )
+    }
+
+    #[test]
+    fn produces_expected_counts() {
+        let cfg = SurfaceConfig::default();
+        let s = scatter(&HandPose::default());
+        // 16 finger bones (20 minus 4 wrist→MCP skips) × per_bone + palm grid.
+        let expected = 16 * cfg.per_bone + cfg.palm_grid * cfg.palm_grid;
+        assert_eq!(s.len(), expected);
+    }
+
+    #[test]
+    fn scatterers_stay_near_the_hand() {
+        let mut pose = HandPose::default();
+        pose.position = Vec3::new(0.05, 0.3, -0.02);
+        let shape = HandShape::default();
+        let joints = pose.joints(&shape);
+        let s = sample_scatterers(&joints, pose.palm_normal(), &shape, &SurfaceConfig::default());
+        for sc in &s {
+            assert!(sc.position.is_finite());
+            assert!(
+                sc.position.distance(pose.position) < 0.30,
+                "scatterer {} too far",
+                sc.position
+            );
+            assert!(sc.rcs > 0.0);
+        }
+    }
+
+    #[test]
+    fn fist_shrinks_scatterer_extent() {
+        let open = scatter(&Gesture::OpenPalm.pose());
+        let fist = scatter(&Gesture::Fist.pose());
+        let extent = |s: &[Scatterer]| {
+            let mut lo = Vec3::splat(f32::INFINITY);
+            let mut hi = Vec3::splat(f32::NEG_INFINITY);
+            for sc in s {
+                lo = lo.min(sc.position);
+                hi = hi.max(sc.position);
+            }
+            (hi - lo).norm()
+        };
+        assert!(extent(&fist) < extent(&open) * 0.8);
+    }
+
+    #[test]
+    fn centroid_tracks_hand_position() {
+        let shape = HandShape::default();
+        let mut pose = HandPose::default();
+        pose.position = Vec3::new(0.0, 0.35, 0.0);
+        let s = sample_scatterers(
+            &pose.joints(&shape),
+            pose.palm_normal(),
+            &shape,
+            &SurfaceConfig::default(),
+        );
+        let c = rcs_centroid(&s);
+        assert!(c.distance(pose.position) < 0.15);
+        assert!(c.y > 0.25 && c.y < 0.45);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        assert_eq!(total_rcs(&[]), 0.0);
+        assert_eq!(rcs_centroid(&[]), Vec3::ZERO);
+    }
+
+    #[test]
+    fn palm_dominates_total_rcs() {
+        // The paper notes fingers have small reflection area; our model
+        // gives the palm patch the larger share.
+        let s = scatter(&HandPose::default());
+        let palm: f32 = s
+            .iter()
+            .filter(|x| x.region == ScattererRegion::Palm)
+            .map(|x| x.rcs)
+            .sum();
+        let fingers: f32 = total_rcs(&s) - palm;
+        assert!(palm > fingers, "palm {palm} vs fingers {fingers}");
+    }
+
+    #[test]
+    fn thicker_hands_reflect_more() {
+        let thin = HandShape::from_beta(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -2.0]);
+        let thick = HandShape::from_beta(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+        let pose = HandPose::default();
+        let cfg = SurfaceConfig::default();
+        let s_thin =
+            sample_scatterers(&pose.joints(&thin), pose.palm_normal(), &thin, &cfg);
+        let s_thick =
+            sample_scatterers(&pose.joints(&thick), pose.palm_normal(), &thick, &cfg);
+        assert!(total_rcs(&s_thick) > total_rcs(&s_thin));
+    }
+}

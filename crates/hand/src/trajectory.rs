@@ -1,0 +1,286 @@
+//! Continuous hand-motion generation.
+//!
+//! The paper's volunteers performed *continuous* gestures while the radar
+//! recorded frames. [`GestureTrack`] models that: a sequence of keyframed
+//! [`HandPose`]s connected by smooth (minimum-jerk-style) interpolation,
+//! plus small physiological tremor, sampled at the radar frame rate.
+
+use crate::gesture::Gesture;
+use crate::pose::HandPose;
+use mmhand_math::rng::normal;
+use mmhand_math::{Quaternion, Vec3};
+use rand::Rng;
+
+/// Smoothstep-style minimum-jerk blend: `6t⁵ − 15t⁴ + 10t³`.
+///
+/// Has zero velocity and acceleration at both ends, a good model of
+/// deliberate human reach-and-hold motion.
+pub fn min_jerk(t: f32) -> f32 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// A pose keyframe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Keyframe {
+    /// Time of the keyframe in seconds.
+    pub time_s: f32,
+    /// Pose held at this time.
+    pub pose: HandPose,
+}
+
+/// A continuous, sampleable hand trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct GestureTrack {
+    keyframes: Vec<Keyframe>,
+}
+
+impl GestureTrack {
+    /// Creates a track from keyframes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyframes` is empty or times are not strictly increasing.
+    pub fn new(keyframes: Vec<Keyframe>) -> Self {
+        assert!(!keyframes.is_empty(), "track needs at least one keyframe");
+        for w in keyframes.windows(2) {
+            assert!(
+                w[1].time_s > w[0].time_s,
+                "keyframe times must be strictly increasing"
+            );
+        }
+        GestureTrack { keyframes }
+    }
+
+    /// Builds a track that visits the given gestures in order, holding each
+    /// for `hold_s` seconds with `transition_s` second blends, at world
+    /// `position` facing the radar.
+    pub fn from_gestures(
+        gestures: &[Gesture],
+        position: Vec3,
+        hold_s: f32,
+        transition_s: f32,
+    ) -> Self {
+        assert!(!gestures.is_empty(), "need at least one gesture");
+        let mut keyframes = Vec::new();
+        let mut t = 0.0;
+        for g in gestures {
+            let mut pose = g.pose();
+            pose.position = position;
+            keyframes.push(Keyframe { time_s: t, pose });
+            t += hold_s;
+            keyframes.push(Keyframe { time_s: t, pose });
+            t += transition_s;
+        }
+        GestureTrack::new(keyframes)
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_s(&self) -> f32 {
+        self.keyframes.last().unwrap().time_s - self.keyframes[0].time_s
+    }
+
+    /// The underlying keyframes.
+    pub fn keyframes(&self) -> &[Keyframe] {
+        &self.keyframes
+    }
+
+    /// Samples the pose at time `t` (clamped to the track's time span),
+    /// blending keyframes with [`min_jerk`].
+    pub fn sample(&self, t: f32) -> HandPose {
+        let first = self.keyframes.first().unwrap();
+        let last = self.keyframes.last().unwrap();
+        if t <= first.time_s {
+            return first.pose;
+        }
+        if t >= last.time_s {
+            return last.pose;
+        }
+        let idx = self
+            .keyframes
+            .partition_point(|k| k.time_s <= t)
+            .saturating_sub(1);
+        let a = &self.keyframes[idx];
+        let b = &self.keyframes[idx + 1];
+        let u = (t - a.time_s) / (b.time_s - a.time_s);
+        a.pose.lerp(&b.pose, min_jerk(u))
+    }
+
+    /// Samples `n` poses at the given frame rate starting from `t = 0`,
+    /// adding physiological tremor — small joint-angle and position noise —
+    /// from `rng`. `tremor` is the angular noise σ in radians (positional
+    /// noise is `tremor × 1 cm`); `0.0` gives the clean trajectory.
+    pub fn sample_frames<R: Rng + ?Sized>(
+        &self,
+        frame_rate_hz: f32,
+        n: usize,
+        tremor: f32,
+        rng: &mut R,
+    ) -> Vec<HandPose> {
+        (0..n)
+            .map(|i| {
+                let mut p = self.sample(i as f32 / frame_rate_hz);
+                if tremor > 0.0 {
+                    for c in p.curls.iter_mut().flatten() {
+                        *c += normal(rng, 0.0, tremor);
+                    }
+                    p.position += Vec3::new(
+                        normal(rng, 0.0, tremor * 0.01),
+                        normal(rng, 0.0, tremor * 0.01),
+                        normal(rng, 0.0, tremor * 0.01),
+                    );
+                    p = p.clamped();
+                }
+                p
+            })
+            .collect()
+    }
+}
+
+/// Builds a wave track: an open palm rocking about the forearm axis.
+pub fn wave_track(position: Vec3, cycles: usize, period_s: f32) -> GestureTrack {
+    let mut keyframes = Vec::new();
+    let base = Gesture::OpenPalm.pose();
+    for i in 0..=(cycles * 2) {
+        let t = i as f32 * period_s / 2.0;
+        let angle = if i % 2 == 0 { -0.35 } else { 0.35 };
+        let mut pose = base;
+        pose.position = position;
+        pose.orientation = Quaternion::from_axis_angle(Vec3::Z, angle);
+        keyframes.push(Keyframe { time_s: t, pose });
+    }
+    GestureTrack::new(keyframes)
+}
+
+/// Builds a swipe track: an open palm translating side to side.
+pub fn swipe_track(position: Vec3, span_m: f32, period_s: f32, cycles: usize) -> GestureTrack {
+    let mut keyframes = Vec::new();
+    let base = Gesture::OpenPalm.pose();
+    for i in 0..=(cycles * 2) {
+        let t = i as f32 * period_s / 2.0;
+        let dx = if i % 2 == 0 { -span_m / 2.0 } else { span_m / 2.0 };
+        let mut pose = base;
+        pose.position = position + Vec3::new(dx, 0.0, 0.0);
+        keyframes.push(Keyframe { time_s: t, pose });
+    }
+    GestureTrack::new(keyframes)
+}
+
+/// Builds a grab track: open palm closing into a fist and reopening.
+pub fn grab_track(position: Vec3, period_s: f32, cycles: usize) -> GestureTrack {
+    let mut gestures = Vec::new();
+    for _ in 0..cycles {
+        gestures.push(Gesture::OpenPalm);
+        gestures.push(Gesture::Fist);
+    }
+    gestures.push(Gesture::OpenPalm);
+    GestureTrack::from_gestures(&gestures, position, period_s * 0.2, period_s * 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_math::rng::stream_rng;
+
+    #[test]
+    fn min_jerk_boundary_conditions() {
+        assert_eq!(min_jerk(0.0), 0.0);
+        assert_eq!(min_jerk(1.0), 1.0);
+        assert!((min_jerk(0.5) - 0.5).abs() < 1e-6);
+        // Near-zero slope at the ends.
+        assert!(min_jerk(0.01) < 1e-4);
+        assert!(1.0 - min_jerk(0.99) < 1e-4);
+        // Clamped outside [0, 1].
+        assert_eq!(min_jerk(-1.0), 0.0);
+        assert_eq!(min_jerk(2.0), 1.0);
+    }
+
+    #[test]
+    fn sample_clamps_to_span() {
+        let track = GestureTrack::from_gestures(
+            &[Gesture::OpenPalm, Gesture::Fist],
+            Vec3::new(0.0, 0.3, 0.0),
+            0.5,
+            0.5,
+        );
+        let before = track.sample(-1.0);
+        let after = track.sample(100.0);
+        assert_eq!(before.curls, Gesture::OpenPalm.pose().curls);
+        assert_eq!(after.curls, Gesture::Fist.pose().curls);
+    }
+
+    #[test]
+    fn track_transitions_between_gestures() {
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        let track =
+            GestureTrack::from_gestures(&[Gesture::OpenPalm, Gesture::Fist], pos, 0.4, 0.4);
+        // During the hold the pose is exactly the gesture.
+        let held = track.sample(0.2);
+        assert_eq!(held.curls, Gesture::OpenPalm.pose().curls);
+        // Mid-transition the curls are strictly between open and fist.
+        let mid = track.sample(0.6);
+        let fist = Gesture::Fist.pose();
+        let idx = crate::skeleton::Finger::Index.index();
+        assert!(mid.curls[idx][0] > 0.05);
+        assert!(mid.curls[idx][0] < fist.curls[idx][0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_keyframes_panic() {
+        let k = Keyframe { time_s: 0.0, pose: HandPose::default() };
+        GestureTrack::new(vec![k, k]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyframe")]
+    fn empty_track_panics() {
+        GestureTrack::new(Vec::new());
+    }
+
+    #[test]
+    fn tremor_perturbs_but_zero_noise_is_clean() {
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        let track = GestureTrack::from_gestures(&[Gesture::OpenPalm], pos, 1.0, 0.1);
+        let mut rng = stream_rng(3, "tremor");
+        let clean = track.sample_frames(20.0, 10, 0.0, &mut rng);
+        for p in &clean {
+            assert_eq!(p.curls, Gesture::OpenPalm.pose().curls);
+        }
+        let noisy = track.sample_frames(20.0, 10, 0.02, &mut rng);
+        let any_moved = noisy
+            .iter()
+            .any(|p| p.curls != Gesture::OpenPalm.pose().curls);
+        assert!(any_moved);
+    }
+
+    #[test]
+    fn builders_produce_motion() {
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        for track in [
+            wave_track(pos, 2, 1.0),
+            swipe_track(pos, 0.2, 1.0, 2),
+            grab_track(pos, 1.0, 2),
+        ] {
+            assert!(track.duration_s() > 0.5);
+            // Quarter-duration lands mid-swing for the periodic builders
+            // (half-duration would land back on the starting keyframe).
+            let a = track.sample(0.0);
+            let b = track.sample(track.duration_s() * 0.25);
+            let shape = crate::shape::HandShape::default();
+            let ja = a.joints(&shape);
+            let jb = b.joints(&shape);
+            let moved: f32 = (0..21).map(|i| ja[i].distance(jb[i])).sum();
+            assert!(moved > 0.01, "track did not move the hand");
+        }
+    }
+
+    #[test]
+    fn swipe_spans_requested_width() {
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        let track = swipe_track(pos, 0.3, 1.0, 1);
+        let left = track.sample(0.0).position.x;
+        let right = track.sample(0.5).position.x;
+        assert!((right - left - 0.3).abs() < 1e-6);
+    }
+}

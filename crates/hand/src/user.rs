@@ -1,0 +1,150 @@
+//! Per-user simulation profiles.
+//!
+//! The paper's dataset covers 10 volunteers (5 male, 5 female, heights
+//! 1.65–1.85 m, varying body types). [`UserProfile`] is our synthetic
+//! equivalent: a seeded bundle of anatomical variation ([`HandShape`]),
+//! motion style (tempo, tremor), and a body model used by the radar
+//! simulator for clutter. Profiles are deterministic functions of
+//! `(master_seed, user_id)` so every experiment sees the same population.
+
+use crate::gesture::Gesture;
+use crate::shape::HandShape;
+use crate::trajectory::GestureTrack;
+use mmhand_math::rng::{clamped_normal, stream_rng};
+use mmhand_math::Vec3;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A synthetic study participant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserProfile {
+    /// 1-based user id, matching the paper's "User ID" axes.
+    pub id: usize,
+    /// Anatomical hand shape.
+    pub shape: HandShape,
+    /// Gesture tempo multiplier (1.0 = nominal speed).
+    pub tempo: f32,
+    /// Physiological tremor σ in radians fed to trajectory sampling.
+    pub tremor: f32,
+    /// Body height in metres (drives the body-clutter model).
+    pub height_m: f32,
+    /// Torso radar cross-section scale (body-type proxy).
+    pub body_rcs: f32,
+    /// Seed for this user's gesture-sequence randomness.
+    pub seed: u64,
+}
+
+impl UserProfile {
+    /// Generates the profile of user `id` (1-based) under `master_seed`.
+    pub fn generate(id: usize, master_seed: u64) -> Self {
+        let mut rng = stream_rng(master_seed, &format!("user-{id}"));
+        // Hand size correlates loosely with height.
+        let height = clamped_normal(&mut rng, 1.75, 0.06, 1.65, 1.85);
+        let size_bias = (height - 1.75) / 0.10 * 1.2;
+        let mut beta = [0.0_f32; 10];
+        for (i, b) in beta.iter_mut().enumerate() {
+            *b = clamped_normal(&mut rng, 0.0, 1.0, -2.5, 2.5);
+            if i == 0 {
+                *b += size_bias;
+            }
+        }
+        UserProfile {
+            id,
+            shape: HandShape::from_beta(&beta),
+            tempo: clamped_normal(&mut rng, 1.0, 0.15, 0.7, 1.4),
+            tremor: clamped_normal(&mut rng, 0.012, 0.004, 0.004, 0.025),
+            height_m: height,
+            body_rcs: clamped_normal(&mut rng, 1.0, 0.25, 0.6, 1.6),
+            seed: rng.gen(),
+        }
+    }
+
+    /// Generates the paper's cohort of `n` users.
+    pub fn cohort(n: usize, master_seed: u64) -> Vec<UserProfile> {
+        (1..=n).map(|id| UserProfile::generate(id, master_seed)).collect()
+    }
+
+    /// Builds a random continuous gesture track for this user: a shuffled
+    /// mix of interaction and counting gestures at `position`, holding and
+    /// transitioning at the user's tempo. `session` decorrelates repeated
+    /// recordings of the same user.
+    pub fn random_track(&self, position: Vec3, gesture_count: usize, session: u64) -> GestureTrack {
+        let mut rng = stream_rng(self.seed, &format!("track-{session}"));
+        let pool = Gesture::all();
+        let mut gestures = Vec::with_capacity(gesture_count);
+        for _ in 0..gesture_count {
+            gestures.push(*pool.choose(&mut rng).expect("gesture pool is non-empty"));
+        }
+        let hold = 0.45 / self.tempo;
+        let trans = 0.35 / self.tempo;
+        GestureTrack::from_gestures(&gestures, position, hold, trans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = UserProfile::generate(3, 42);
+        let b = UserProfile::generate(3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn users_differ_from_each_other() {
+        let users = UserProfile::cohort(10, 42);
+        assert_eq!(users.len(), 10);
+        for w in users.windows(2) {
+            assert_ne!(w[0].shape, w[1].shape, "users {} and {}", w[0].id, w[1].id);
+        }
+    }
+
+    #[test]
+    fn master_seed_changes_population() {
+        let a = UserProfile::generate(1, 1);
+        let b = UserProfile::generate(1, 2);
+        assert_ne!(a.shape, b.shape);
+    }
+
+    #[test]
+    fn parameters_are_within_bounds() {
+        for u in UserProfile::cohort(20, 7) {
+            assert!(u.shape.is_plausible(), "user {} shape", u.id);
+            assert!((0.7..=1.4).contains(&u.tempo));
+            assert!((1.65..=1.85).contains(&u.height_m));
+            assert!(u.tremor > 0.0);
+            assert!(u.body_rcs > 0.0);
+        }
+    }
+
+    #[test]
+    fn tracks_are_reproducible_per_session() {
+        let u = UserProfile::generate(2, 9);
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        let t1 = u.random_track(pos, 5, 0);
+        let t2 = u.random_track(pos, 5, 0);
+        assert_eq!(t1.keyframes().len(), t2.keyframes().len());
+        assert_eq!(t1.sample(0.7).curls, t2.sample(0.7).curls);
+        // Different sessions should (with overwhelming probability) differ.
+        let t3 = u.random_track(pos, 5, 1);
+        let differs = (0..10).any(|i| {
+            let t = i as f32 * 0.3;
+            t1.sample(t).curls != t3.sample(t).curls
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn track_duration_scales_with_tempo() {
+        let mut fast = UserProfile::generate(1, 5);
+        let mut slow = fast.clone();
+        fast.tempo = 1.4;
+        slow.tempo = 0.7;
+        let pos = Vec3::new(0.0, 0.3, 0.0);
+        let tf = fast.random_track(pos, 6, 0);
+        let ts = slow.random_track(pos, 6, 0);
+        assert!(ts.duration_s() > tf.duration_s());
+    }
+}

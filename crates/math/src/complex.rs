@@ -1,0 +1,288 @@
+//! Complex arithmetic for the FMCW/DSP stack.
+//!
+//! The radar simulator synthesises complex IF samples and the DSP crate runs
+//! FFTs over them; both use [`Complex`], a plain `f32` pair with the usual
+//! field operations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+///
+/// # Examples
+///
+/// ```
+/// use mmhand_math::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real component.
+    pub re: f32,
+    /// Imaginary component.
+    pub im: f32,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number on the unit circle, `e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mmhand_math::Complex;
+    /// let z = Complex::from_angle(std::f32::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-6 && z.im.abs() < 1e-6);
+    /// ```
+    #[inline]
+    pub fn from_angle(theta: f32) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Returns the squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns the argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the magnitude is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "reciprocal of zero complex number");
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Returns `true` when either component is NaN or infinite.
+    #[inline]
+    pub fn is_non_finite(self) -> bool {
+        !self.re.is_finite() || !self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f32) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Division by a complex number *is* multiplication by its reciprocal;
+    // clippy's suspicious-arithmetic lint doesn't know complex algebra.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f32> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f32) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f32> for Complex {
+    #[inline]
+    fn from(re: f32) -> Complex {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex, eps: f32) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn basic_identities() {
+        assert_eq!(Complex::ONE * Complex::I, Complex::I);
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 0.7);
+        assert!((z.abs() - 2.5).abs() < 1e-6);
+        assert!((z.arg() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conjugate_multiplication_is_norm() {
+        let z = Complex::new(3.0, -4.0);
+        let n = z * z.conj();
+        assert!((n.re - 25.0).abs() < 1e-5);
+        assert!(n.im.abs() < 1e-5);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.3, -2.1);
+        let b = Complex::new(0.4, 0.9);
+        assert!(close(a * b / b, a, 1e-5));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(ar in -1e3f32..1e3, ai in -1e3f32..1e3,
+                        br in -1e3f32..1e3, bi in -1e3f32..1e3) {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            prop_assert!(close(a * b, b * a, 1e-2));
+        }
+
+        #[test]
+        fn abs_is_multiplicative(ar in -1e2f32..1e2, ai in -1e2f32..1e2,
+                                 br in -1e2f32..1e2, bi in -1e2f32..1e2) {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            let lhs = (a * b).abs();
+            let rhs = a.abs() * b.abs();
+            prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs));
+        }
+
+        #[test]
+        fn from_angle_is_unit(theta in -10.0f32..10.0) {
+            prop_assert!((Complex::from_angle(theta).abs() - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Rotation representations used by the pose-regression head and the
+//! MANO-style model.
+//!
+//! The paper's pose network outputs unit quaternions `Q ∈ R^{21×4}` which are
+//! then converted to the axis-angle parameters `θ ∈ R^{21×3}` consumed by
+//! MANO; [`Quaternion::to_axis_angle`] and [`AxisAngle::to_quaternion`]
+//! implement exactly that conversion.
+
+use crate::{Mat3, Vec3};
+use std::ops::Mul;
+
+/// A rotation quaternion `w + xi + yj + zk`.
+///
+/// Not all constructors normalise; call [`Quaternion::normalized`] before
+/// converting network outputs to rotations.
+///
+/// # Examples
+///
+/// ```
+/// use mmhand_math::{Quaternion, Vec3};
+///
+/// let q = Quaternion::from_axis_angle(Vec3::Z, std::f32::consts::PI);
+/// let v = q.rotate(Vec3::X);
+/// assert!((v + Vec3::X).norm() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f32,
+    /// Vector part, i component.
+    pub x: f32,
+    /// Vector part, j component.
+    pub y: f32,
+    /// Vector part, k component.
+    pub z: f32,
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Quaternion::IDENTITY
+    }
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub const IDENTITY: Quaternion = Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from components. No normalisation is performed.
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Quaternion { w, x, y, z }
+    }
+
+    /// Creates a unit quaternion rotating by `theta` radians about `axis`.
+    ///
+    /// A zero axis yields the identity.
+    pub fn from_axis_angle(axis: Vec3, theta: f32) -> Self {
+        let a = axis.normalized();
+        if a == Vec3::ZERO {
+            return Quaternion::IDENTITY;
+        }
+        let (s, c) = (theta * 0.5).sin_cos();
+        Quaternion::new(c, a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Creates a quaternion from an axis-angle vector whose direction is the
+    /// axis and magnitude the angle (the MANO `θ` convention).
+    pub fn from_rotation_vector(rv: Vec3) -> Self {
+        let theta = rv.norm();
+        if theta < 1e-12 {
+            return Quaternion::IDENTITY;
+        }
+        Quaternion::from_axis_angle(rv / theta, theta)
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalised quaternion, or the identity when the norm is
+    /// below `1e-12` (e.g. an untrained network emitting zeros).
+    pub fn normalized(self) -> Quaternion {
+        let n = self.norm();
+        if n < 1e-12 {
+            Quaternion::IDENTITY
+        } else {
+            Quaternion::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Returns the conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conj(self) -> Quaternion {
+        Quaternion::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotates a vector by this quaternion (assumed unit).
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2u × (u × v + w v), u = (x, y, z)
+        let u = Vec3::new(self.x, self.y, self.z);
+        let t = u.cross(v) * 2.0;
+        v + t * self.w + u.cross(t)
+    }
+
+    /// Converts to the equivalent rotation matrix (assumed unit).
+    pub fn to_matrix(self) -> Mat3 {
+        let Quaternion { w, x, y, z } = self;
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Converts a unit quaternion to axis-angle form with the angle in
+    /// `[0, π]`. The identity maps to a zero axis-angle.
+    pub fn to_axis_angle(self) -> AxisAngle {
+        let q = if self.w < 0.0 {
+            // Use the canonical hemisphere so the angle lands in [0, π].
+            Quaternion::new(-self.w, -self.x, -self.y, -self.z)
+        } else {
+            self
+        };
+        let sin_half = Vec3::new(q.x, q.y, q.z).norm();
+        if sin_half < 1e-9 {
+            return AxisAngle { axis: Vec3::ZERO, angle: 0.0 };
+        }
+        let angle = 2.0 * sin_half.atan2(q.w);
+        AxisAngle {
+            axis: Vec3::new(q.x, q.y, q.z) / sin_half,
+            angle,
+        }
+    }
+
+    /// Converts to a rotation vector (axis scaled by angle) — the MANO `θ`
+    /// parameterisation for one joint.
+    pub fn to_rotation_vector(self) -> Vec3 {
+        let aa = self.to_axis_angle();
+        aa.axis * aa.angle
+    }
+
+    /// Spherical linear interpolation between unit quaternions.
+    ///
+    /// `t = 0` returns `self`; `t = 1` returns `other`. Takes the shorter
+    /// arc.
+    pub fn slerp(self, other: Quaternion, t: f32) -> Quaternion {
+        let mut cos = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        let mut b = other;
+        if cos < 0.0 {
+            cos = -cos;
+            b = Quaternion::new(-other.w, -other.x, -other.y, -other.z);
+        }
+        if cos > 0.9995 {
+            // Nearly parallel: fall back to normalised lerp.
+            return Quaternion::new(
+                self.w + (b.w - self.w) * t,
+                self.x + (b.x - self.x) * t,
+                self.y + (b.y - self.y) * t,
+                self.z + (b.z - self.z) * t,
+            )
+            .normalized();
+        }
+        let theta = cos.clamp(-1.0, 1.0).acos();
+        let sin = theta.sin();
+        let wa = ((1.0 - t) * theta).sin() / sin;
+        let wb = (t * theta).sin() / sin;
+        Quaternion::new(
+            self.w * wa + b.w * wb,
+            self.x * wa + b.x * wb,
+            self.y * wa + b.y * wb,
+            self.z * wa + b.z * wb,
+        )
+    }
+}
+
+impl Mul for Quaternion {
+    type Output = Quaternion;
+    /// Hamilton product; `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    fn mul(self, r: Quaternion) -> Quaternion {
+        Quaternion::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+}
+
+/// An axis-angle rotation: unit `axis` and `angle` in radians.
+///
+/// The MANO pose parameters `θ` are rotation vectors, i.e. `axis * angle`;
+/// see [`AxisAngle::to_rotation_vector`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AxisAngle {
+    /// Unit rotation axis (zero for the identity rotation).
+    pub axis: Vec3,
+    /// Rotation angle in radians.
+    pub angle: f32,
+}
+
+impl AxisAngle {
+    /// Creates an axis-angle rotation; `axis` is normalised internally.
+    pub fn new(axis: Vec3, angle: f32) -> Self {
+        AxisAngle { axis: axis.normalized(), angle }
+    }
+
+    /// Converts to a unit quaternion.
+    pub fn to_quaternion(self) -> Quaternion {
+        Quaternion::from_axis_angle(self.axis, self.angle)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_matrix(self) -> Mat3 {
+        Mat3::rotation_axis_angle(self.axis, self.angle)
+    }
+
+    /// Returns the rotation vector `axis * angle`.
+    pub fn to_rotation_vector(self) -> Vec3 {
+        self.axis * self.angle
+    }
+
+    /// Builds an axis-angle from a rotation vector.
+    pub fn from_rotation_vector(rv: Vec3) -> Self {
+        let angle = rv.norm();
+        if angle < 1e-12 {
+            AxisAngle { axis: Vec3::ZERO, angle: 0.0 }
+        } else {
+            AxisAngle { axis: rv / angle, angle }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_rotates_nothing() {
+        let v = Vec3::new(0.3, -0.7, 1.1);
+        assert!((Quaternion::IDENTITY.rotate(v) - v).norm() < 1e-7);
+    }
+
+    #[test]
+    fn matrix_and_quaternion_rotation_agree() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, -2.0, 0.5), 1.2);
+        let m = q.to_matrix();
+        let v = Vec3::new(0.2, 0.9, -0.4);
+        assert!((q.rotate(v) - m * v).norm() < 1e-5);
+    }
+
+    #[test]
+    fn axis_angle_round_trip() {
+        let aa = AxisAngle::new(Vec3::new(0.0, 1.0, 1.0), 0.9);
+        let back = aa.to_quaternion().to_axis_angle();
+        assert!((back.angle - 0.9).abs() < 1e-5);
+        assert!((back.axis - aa.axis).norm() < 1e-4);
+    }
+
+    #[test]
+    fn negative_hemisphere_canonicalised() {
+        let q = Quaternion::from_axis_angle(Vec3::X, 1.0);
+        let neg = Quaternion::new(-q.w, -q.x, -q.y, -q.z);
+        let aa = neg.to_axis_angle();
+        assert!((aa.angle - 1.0).abs() < 1e-5);
+        assert!((aa.axis - Vec3::X).norm() < 1e-4);
+    }
+
+    #[test]
+    fn zero_quaternion_normalises_to_identity() {
+        assert_eq!(Quaternion::new(0.0, 0.0, 0.0, 0.0).normalized(), Quaternion::IDENTITY);
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Quaternion::from_axis_angle(Vec3::Z, 0.2);
+        let b = Quaternion::from_axis_angle(Vec3::Z, 1.4);
+        assert!((a.slerp(b, 0.0).rotate(Vec3::X) - a.rotate(Vec3::X)).norm() < 1e-4);
+        assert!((a.slerp(b, 1.0).rotate(Vec3::X) - b.rotate(Vec3::X)).norm() < 1e-4);
+    }
+
+    #[test]
+    fn slerp_halfway_about_common_axis() {
+        let a = Quaternion::IDENTITY;
+        let b = Quaternion::from_axis_angle(Vec3::Z, 1.0);
+        let mid = a.slerp(b, 0.5);
+        let expected = Quaternion::from_axis_angle(Vec3::Z, 0.5);
+        assert!((mid.rotate(Vec3::X) - expected.rotate(Vec3::X)).norm() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn composition_matches_sequential_rotation(
+            a1 in -3f32..3.0, a2 in -3f32..3.0,
+            vx in -2f32..2.0, vy in -2f32..2.0, vz in -2f32..2.0) {
+            let qa = Quaternion::from_axis_angle(Vec3::new(1.0, 0.3, -0.2), a1);
+            let qb = Quaternion::from_axis_angle(Vec3::new(-0.4, 1.0, 0.6), a2);
+            let v = Vec3::new(vx, vy, vz);
+            let lhs = (qa * qb).rotate(v);
+            let rhs = qa.rotate(qb.rotate(v));
+            prop_assert!((lhs - rhs).norm() < 1e-3);
+        }
+
+        #[test]
+        fn rotation_vector_round_trip(rx in -2f32..2.0, ry in -2f32..2.0, rz in -2f32..2.0) {
+            let rv = Vec3::new(rx, ry, rz);
+            prop_assume!(rv.norm() > 1e-3 && rv.norm() < std::f32::consts::PI - 1e-2);
+            let back = Quaternion::from_rotation_vector(rv).to_rotation_vector();
+            prop_assert!((back - rv).norm() < 1e-3);
+        }
+
+        #[test]
+        fn rotate_preserves_norm(theta in -6f32..6.0,
+                                 vx in -3f32..3.0, vy in -3f32..3.0, vz in -3f32..3.0) {
+            let q = Quaternion::from_axis_angle(Vec3::new(0.2, -0.9, 0.4), theta);
+            let v = Vec3::new(vx, vy, vz);
+            prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-3);
+        }
+    }
+}

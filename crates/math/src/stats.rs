@@ -1,0 +1,279 @@
+//! Statistics used by the evaluation harness: MPJPE-style means, standard
+//! deviations, percentiles, empirical CDFs (paper Figs. 15 and 26) and the
+//! trapezoidal AUC of a PCK curve (paper Fig. 14).
+
+/// Arithmetic mean; returns `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; returns `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Linear-interpolated percentile with `p` in `[0, 100]`.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f32;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+/// A point on an empirical cumulative distribution function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CdfPoint {
+    /// Sample value.
+    pub value: f32,
+    /// Fraction of samples ≤ `value`, in `[0, 1]`.
+    pub fraction: f32,
+}
+
+/// Computes the empirical CDF of `xs` as a sorted list of points.
+///
+/// # Panics
+///
+/// Panics if any sample is NaN.
+pub fn empirical_cdf(xs: &[f32]) -> Vec<CdfPoint> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in empirical_cdf"));
+    let n = sorted.len() as f32;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &value)| CdfPoint { value, fraction: (i + 1) as f32 / n })
+        .collect()
+}
+
+/// Fraction of samples that are ≤ `threshold` (a single CDF evaluation).
+pub fn fraction_below(xs: &[f32], threshold: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x <= threshold).count() as f32 / xs.len() as f32
+}
+
+/// Trapezoidal area under a curve given as `(x, y)` pairs, normalised by the
+/// x-span so a constant `y = c` curve has AUC `c` (the paper's PCK-AUC
+/// convention).
+///
+/// Returns `0.0` when fewer than two points or the x-span is zero. Points
+/// must be sorted by `x`.
+pub fn normalized_auc(points: &[(f32, f32)]) -> f32 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let span = points.last().unwrap().0 - points[0].0;
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        area += (x1 - x0) * (y0 + y1) * 0.5;
+    }
+    area / span
+}
+
+/// Online mean/variance accumulator (Welford's algorithm), used by the
+/// training loop to track losses without storing every sample.
+///
+/// # Examples
+///
+/// ```
+/// use mmhand_math::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f32,
+    max: f32,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { count: 0, mean: 0.0, m2: 0.0, min: f32::INFINITY, max: f32::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f32) {
+        self.count += 1;
+        let delta = x as f64 - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x as f64 - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean as f32
+        }
+    }
+
+    /// Population standard deviation; `0.0` with fewer than two samples.
+    pub fn std_dev(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            ((self.m2 / self.count as f64) as f32).sqrt()
+        }
+    }
+
+    /// Smallest sample; `0.0` when empty.
+    pub fn min(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; `0.0` when empty.
+    pub fn max(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f32> for Accumulator {
+    fn extend<T: IntoIterator<Item = f32>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&xs, 0.0) - 10.0).abs() < 1e-6);
+        assert!((percentile(&xs, 100.0) - 40.0).abs() < 1e-6);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = empirical_cdf(&xs);
+        assert_eq!(cdf.last().unwrap().fraction, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].value <= w[1].value);
+            assert!(w[0].fraction <= w[1].fraction);
+        }
+    }
+
+    #[test]
+    fn auc_of_constant_curve_is_constant() {
+        let pts: Vec<(f32, f32)> = (0..=60).map(|x| (x as f32, 0.7)).collect();
+        assert!((normalized_auc(&pts) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auc_of_linear_ramp_is_half() {
+        let pts: Vec<(f32, f32)> = (0..=10).map(|x| (x as f32, x as f32 / 10.0)).collect();
+        assert!((normalized_auc(&pts) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_stats() {
+        let xs = [1.5, -2.0, 0.25, 8.0, 3.5];
+        let mut acc = Accumulator::new();
+        acc.extend(xs.iter().copied());
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-5);
+        assert!((acc.std_dev() - std_dev(&xs)).abs() < 1e-5);
+        assert_eq!(acc.min(), -2.0);
+        assert_eq!(acc.max(), 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_below_is_monotone(xs in proptest::collection::vec(-100f32..100.0, 1..50),
+                                      t1 in -100f32..100.0, t2 in -100f32..100.0) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(fraction_below(&xs, lo) <= fraction_below(&xs, hi));
+        }
+
+        #[test]
+        fn percentile_bounded_by_extremes(xs in proptest::collection::vec(-100f32..100.0, 1..50),
+                                          p in 0f32..100.0) {
+            let v = percentile(&xs, p);
+            let mn = xs.iter().cloned().fold(f32::INFINITY, f32::min);
+            let mx = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(v >= mn - 1e-4 && v <= mx + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Convolution primitives: im2col/col2im and the forward/backward kernels
+//! shared by `Conv2d` and `ConvTranspose2d` tape ops.
+//!
+//! All functions operate on row-major `(N, C, H, W)` buffers. Transposed
+//! convolution is implemented through the classic duality: its forward pass
+//! is the data-gradient of a convolution and vice versa.
+
+use crate::tensor::{gemm, gemm_a_bt, gemm_at_b, Tensor};
+
+/// Geometry of a 2-D convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial size for an input of `h` (or `w`) pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_size(&self, h: usize) -> usize {
+        let padded = h + 2 * self.pad;
+        assert!(padded >= self.kernel, "kernel {} larger than padded input {padded}", self.kernel);
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Input spatial size a transposed convolution produces from `h` pixels:
+    /// `(h − 1)·stride − 2·pad + kernel`.
+    pub fn transpose_out_size(&self, h: usize) -> usize {
+        (h - 1) * self.stride + self.kernel - 2 * self.pad
+    }
+}
+
+/// Unfolds one sample `(C, H, W)` into a `(C·k·k, Ho·Wo)` column matrix.
+#[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would obscure it
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    ho: usize,
+    wo: usize,
+    cols: &mut [f32],
+) {
+    let k = spec.kernel;
+    debug_assert_eq!(cols.len(), c * k * k * ho * wo);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((ch * k + ky) * k + kx) * (ho * wo);
+                for oy in 0..ho {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    for ox in 0..wo {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            x[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[row + oy * wo + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a `(C·k·k, Ho·Wo)` column matrix back into `(C, H, W)`,
+/// accumulating overlapping contributions.
+#[allow(clippy::too_many_arguments)] // hot inner kernel; a struct would obscure it
+fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    ho: usize,
+    wo: usize,
+    x: &mut [f32],
+) {
+    let k = spec.kernel;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((ch * k + ky) * k + kx) * (ho * wo);
+                for oy in 0..ho {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        x[(ch * h + iy as usize) * w + ix as usize] +=
+                            cols[row + oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward pass.
+///
+/// `x` is `(N, C, H, W)`, `weight` `(O, C, k, k)`, `bias` length `O` (or
+/// empty for no bias). Returns `(N, O, Ho, Wo)`.
+pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &ConvSpec) -> Tensor {
+    let [n, c, h, w] = dims4(x);
+    assert_eq!(c, spec.in_channels, "input channels");
+    let (o, k) = (spec.out_channels, spec.kernel);
+    assert_eq!(weight.shape(), &[o, c, k, k], "weight shape");
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, o, ho, wo]);
+    let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+    for s in 0..n {
+        let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
+        im2col(xs, c, h, w, spec, ho, wo, &mut cols);
+        let out_s = &mut out.data_mut()[s * o * ho * wo..(s + 1) * o * ho * wo];
+        gemm(weight.data(), &cols, out_s, o, c * k * k, ho * wo);
+        if !bias.is_empty() {
+            for (oc, &b) in bias.iter().enumerate() {
+                for v in &mut out_s[oc * ho * wo..(oc + 1) * ho * wo] {
+                    *v += b;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution backward pass.
+///
+/// Returns `(dx, dweight, dbias)` for upstream gradient `dy`
+/// of shape `(N, O, Ho, Wo)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    spec: &ConvSpec,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let [n, c, h, w] = dims4(x);
+    let (o, k) = (spec.out_channels, spec.kernel);
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    assert_eq!(dy.shape(), &[n, o, ho, wo], "dy shape");
+
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut dw = Tensor::zeros(&[o, c, k, k]);
+    let mut db = vec![0.0_f32; o];
+    let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+    let mut dcols = vec![0.0_f32; c * k * k * ho * wo];
+
+    for s in 0..n {
+        let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
+        let dys = &dy.data()[s * o * ho * wo..(s + 1) * o * ho * wo];
+        im2col(xs, c, h, w, spec, ho, wo, &mut cols);
+        // dW += dY · colsᵀ  — (o, hw)·(hw, ckk)
+        gemm_a_bt(dys, &cols, dw.data_mut(), o, ho * wo, c * k * k);
+        // dcols = Wᵀ · dY — (ckk, o)·(o, hw)
+        dcols.iter_mut().for_each(|v| *v = 0.0);
+        gemm_at_b(weight.data(), dys, &mut dcols, c * k * k, o, ho * wo);
+        let dxs = &mut dx.data_mut()[s * c * h * w..(s + 1) * c * h * w];
+        col2im(&dcols, c, h, w, spec, ho, wo, dxs);
+        for oc in 0..o {
+            db[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Transposed-convolution forward pass.
+///
+/// `x` is `(N, C_in, H, W)`; `weight` is `(C_in, C_out, k, k)` (the PyTorch
+/// `ConvTranspose2d` layout); output is `(N, C_out, Ho, Wo)` with
+/// `Ho = (H−1)·stride + k − 2·pad`. `spec.in_channels`/`out_channels` refer
+/// to the *transposed* op's input/output.
+pub fn conv_transpose2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: &ConvSpec,
+) -> Tensor {
+    let [n, c_in, h, w] = dims4(x);
+    assert_eq!(c_in, spec.in_channels, "input channels");
+    let c_out = spec.out_channels;
+    let k = spec.kernel;
+    assert_eq!(weight.shape(), &[c_in, c_out, k, k], "weight shape");
+    let (ho, wo) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
+    // Duality: convT forward == data-gradient of a conv mapping
+    // (c_out → c_in) evaluated at dy = x.
+    let dual = ConvSpec {
+        in_channels: c_out,
+        out_channels: c_in,
+        kernel: k,
+        stride: spec.stride,
+        pad: spec.pad,
+    };
+    let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
+    let mut dcols = vec![0.0_f32; c_out * k * k * h * w];
+    for s in 0..n {
+        let xs = &x.data()[s * c_in * h * w..(s + 1) * c_in * h * w];
+        dcols.iter_mut().for_each(|v| *v = 0.0);
+        // dcols = Wᵀ·x with W viewed as (c_in, c_out·k·k).
+        gemm_at_b(weight.data(), xs, &mut dcols, c_out * k * k, c_in, h * w);
+        let out_s = &mut out.data_mut()[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+        col2im(&dcols, c_out, ho, wo, &dual, h, w, out_s);
+        if !bias.is_empty() {
+            for (oc, &b) in bias.iter().enumerate() {
+                for v in &mut out_s[oc * ho * wo..(oc + 1) * ho * wo] {
+                    *v += b;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Transposed-convolution backward pass; returns `(dx, dweight, dbias)`.
+pub fn conv_transpose2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    spec: &ConvSpec,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let [n, c_in, h, w] = dims4(x);
+    let c_out = spec.out_channels;
+    let k = spec.kernel;
+    let (ho, wo) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
+    assert_eq!(dy.shape(), &[n, c_out, ho, wo], "dy shape");
+    let dual = ConvSpec {
+        in_channels: c_out,
+        out_channels: c_in,
+        kernel: k,
+        stride: spec.stride,
+        pad: spec.pad,
+    };
+
+    let mut dx = Tensor::zeros(&[n, c_in, h, w]);
+    let mut dw = Tensor::zeros(&[c_in, c_out, k, k]);
+    let mut db = vec![0.0_f32; c_out];
+    let mut cols = vec![0.0_f32; c_out * k * k * h * w];
+
+    for s in 0..n {
+        let dys = &dy.data()[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+        let xs = &x.data()[s * c_in * h * w..(s + 1) * c_in * h * w];
+        // dx = conv_forward(dy) with the dual spec and weight (c_in,c_out·k·k).
+        im2col(dys, c_out, ho, wo, &dual, h, w, &mut cols);
+        let dxs = &mut dx.data_mut()[s * c_in * h * w..(s + 1) * c_in * h * w];
+        gemm(weight.data(), &cols, dxs, c_in, c_out * k * k, h * w);
+        // dW += xs · colsᵀ  — (c_in, hw)·(hw, c_out·k·k).
+        gemm_a_bt(xs, &cols, dw.data_mut(), c_in, h * w, c_out * k * k);
+        for oc in 0..c_out {
+            db[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Extracts the 4 dimensions of an `(N, C, H, W)` tensor.
+///
+/// # Panics
+///
+/// Panics unless the tensor is 4-D.
+pub fn dims4(x: &Tensor) -> [usize; 4] {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected 4-D tensor, got {s:?}");
+    [s[0], s[1], s[2], s[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_math::rng::stream_rng;
+
+    fn finite_diff_conv(
+        x: &Tensor,
+        w: &Tensor,
+        b: &[f32],
+        spec: &ConvSpec,
+        loss: impl Fn(&Tensor) -> f32,
+        wrt_x: bool,
+        idx: usize,
+    ) -> f32 {
+        let eps = 1e-2;
+        let eval = |xp: &Tensor, wp: &Tensor| loss(&conv2d_forward(xp, wp, b, spec));
+        if wrt_x {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            (eval(&xp, w) - eval(&xm, w)) / (2.0 * eps)
+        } else {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            (eval(x, &wp) - eval(x, &wm)) / (2.0 * eps)
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // 1×1 kernel of value 1 with a single channel is identity.
+        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 1, stride: 1, pad: 0 };
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv2d_forward(&x, &w, &[], &spec);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_known_values_with_padding() {
+        // 3×3 averaging kernel over a 3×3 input of ones, pad 1:
+        // centre sees 9 ones, corners see 4.
+        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, pad: 1 };
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv2d_forward(&x, &w, &[], &spec);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.data()[4], 9.0);
+        assert_eq!(y.data()[0], 4.0);
+        assert_eq!(y.data()[1], 6.0);
+    }
+
+    #[test]
+    fn conv_stride_two_halves_spatial_size() {
+        let spec = ConvSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, pad: 1 };
+        let mut rng = stream_rng(1, "c");
+        let x = Tensor::randn(&[2, 2, 16, 16], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.1, &mut rng);
+        let y = conv2d_forward(&x, &w, &[0.5, -0.5, 0.0], &spec);
+        assert_eq!(y.shape(), &[2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn bias_shifts_every_output() {
+        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 1, stride: 1, pad: 0 };
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv2d_forward(&x, &w, &[2.5], &spec);
+        assert!(y.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let spec = ConvSpec { in_channels: 2, out_channels: 2, kernel: 3, stride: 2, pad: 1 };
+        let mut rng = stream_rng(2, "g");
+        let x = Tensor::randn(&[1, 2, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.5, &mut rng);
+        let b = vec![0.1, -0.2];
+        let y = conv2d_forward(&x, &w, &b, &spec);
+        // Loss = sum(y²)/2 so dy = y.
+        let (dx, dw, db) = conv2d_backward(&x, &w, &y, &spec);
+        let loss = |y: &Tensor| 0.5 * y.data().iter().map(|v| v * v).sum::<f32>();
+        for idx in [0usize, 7, 35, 71] {
+            let num = finite_diff_conv(&x, &w, &b, &spec, loss, true, idx);
+            assert!(
+                (dx.data()[idx] - num).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{idx}] {} vs {num}",
+                dx.data()[idx]
+            );
+        }
+        for idx in [0usize, 5, 17, 35] {
+            let num = finite_diff_conv(&x, &w, &b, &spec, loss, false, idx);
+            assert!(
+                (dw.data()[idx] - num).abs() < 2e-2 * (1.0 + num.abs()),
+                "dw[{idx}] {} vs {num}",
+                dw.data()[idx]
+            );
+        }
+        // Bias gradient equals the sum of dy per channel.
+        let hw = y.shape()[2] * y.shape()[3];
+        let expect_db0: f32 = y.data()[..hw].iter().sum();
+        assert!((db[0] - expect_db0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_conv_upsamples() {
+        let spec = ConvSpec { in_channels: 3, out_channels: 2, kernel: 4, stride: 2, pad: 1 };
+        let mut rng = stream_rng(3, "t");
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 4, 4], 0.1, &mut rng);
+        let y = conv_transpose2d_forward(&x, &w, &[], &spec);
+        assert_eq!(y.shape(), &[1, 2, 16, 16]);
+    }
+
+    #[test]
+    fn transpose_conv_is_adjoint_of_conv() {
+        // <conv(x), y> == <x, convT(y)> when they share a weight.
+        let mut rng = stream_rng(4, "adj");
+        // 7×7 round-trips exactly under k = 3, s = 2, p = 1:
+        // (7+2−3)/2+1 = 4 and (4−1)·2+3−2 = 7.
+        let conv_spec = ConvSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, pad: 1 };
+        let x = Tensor::randn(&[1, 2, 7, 7], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.3, &mut rng);
+        let cx = conv2d_forward(&x, &w, &[], &conv_spec);
+        let y = Tensor::randn(cx.shape(), 1.0, &mut rng);
+        // convT with the dual layout: weight (3, 2, k, k) viewed as
+        // (c_in=3 → c_out=2).
+        let t_spec = ConvSpec { in_channels: 3, out_channels: 2, kernel: 3, stride: 2, pad: 1 };
+        let ty = conv_transpose2d_forward(&y, &w, &[], &t_spec);
+        let lhs: f32 = cx.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(ty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn transpose_conv_gradients_match_finite_differences() {
+        let spec = ConvSpec { in_channels: 2, out_channels: 2, kernel: 4, stride: 2, pad: 1 };
+        let mut rng = stream_rng(5, "tg");
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 2, 4, 4], 0.3, &mut rng);
+        let y = conv_transpose2d_forward(&x, &w, &[], &spec);
+        let (dx, dw, _db) = conv_transpose2d_backward(&x, &w, &y, &spec);
+        let eps = 1e-2;
+        let loss =
+            |t: &Tensor| 0.5 * t.data().iter().map(|v| v * v).sum::<f32>();
+        for idx in [0usize, 9, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&conv_transpose2d_forward(&xp, &w, &[], &spec))
+                - loss(&conv_transpose2d_forward(&xm, &w, &[], &spec)))
+                / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - num).abs() < 3e-2 * (1.0 + num.abs()),
+                "dx[{idx}] {} vs {num}",
+                dx.data()[idx]
+            );
+        }
+        for idx in [0usize, 15, 40] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&conv_transpose2d_forward(&x, &wp, &[], &spec))
+                - loss(&conv_transpose2d_forward(&x, &wm, &[], &spec)))
+                / (2.0 * eps);
+            assert!(
+                (dw.data()[idx] - num).abs() < 3e-2 * (1.0 + num.abs()),
+                "dw[{idx}] {} vs {num}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn out_size_formulas() {
+        let s = ConvSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, pad: 1 };
+        assert_eq!(s.out_size(16), 8);
+        let t = ConvSpec { in_channels: 1, out_channels: 1, kernel: 4, stride: 2, pad: 1 };
+        assert_eq!(t.transpose_out_size(8), 16);
+        // Round trip: down then up restores 16.
+    }
+}

@@ -1,0 +1,161 @@
+//! Optimisation: Adam with the paper's cosine learning-rate decay.
+//!
+//! The paper trains with an initial learning rate of 0.001 following cosine
+//! decay (§VI-A); [`Adam`] plus [`CosineSchedule`] reproduce that setup.
+
+use crate::param::ParamStore;
+
+/// Adam optimiser state (β₁/β₂ moments live in the [`ParamStore`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Adam {
+    /// Base learning rate (the schedule multiplies this).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Steps taken so far.
+    step: u64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new(1e-3)
+    }
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given base learning rate and the
+    /// standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0 }
+    }
+
+    /// Number of update steps performed.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update with an explicit learning rate (e.g. from a
+    /// schedule), consuming the accumulated gradients in `store`.
+    pub fn step_with_lr(&mut self, store: &mut ParamStore, lr: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for id in store.ids() {
+            let (value, grad, m, v) = store.adam_buffers(id);
+            let gd = grad.data();
+            for i in 0..gd.len() {
+                let g = gd[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Applies one update at the base learning rate.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.step_with_lr(store, self.lr);
+    }
+}
+
+/// Cosine learning-rate decay from `base_lr` to `min_lr` over
+/// `total_steps`.
+#[derive(Clone, Copy, Debug)]
+pub struct CosineSchedule {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Steps over which to decay.
+    pub total_steps: u64,
+}
+
+impl CosineSchedule {
+    /// Creates the paper's schedule: 1e-3 decaying to `min_lr` over
+    /// `total_steps`.
+    pub fn new(base_lr: f32, total_steps: u64) -> Self {
+        CosineSchedule { base_lr, min_lr: base_lr * 0.01, total_steps }
+    }
+
+    /// Learning rate at `step` (clamped past `total_steps`).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        let t = (step.min(self.total_steps)) as f32 / self.total_steps.max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        // Minimise mean((w − target)²); Adam should converge quickly.
+        let mut store = ParamStore::new();
+        let w_id = store.add("w", Tensor::from_vec(&[3], vec![5.0, -4.0, 2.0]));
+        let target = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..300 {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let w = tape.param(&store, w_id);
+            let t = tape.leaf(target.clone());
+            let d = tape.sub(w, t);
+            let sq = tape.mul(d, d);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        for (w, t) in store.value(w_id).data().iter().zip(target.data()) {
+            assert!((w - t).abs() < 0.05, "{w} vs {t}");
+        }
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn cosine_schedule_decays_smoothly() {
+        let s = CosineSchedule::new(1e-3, 100);
+        assert!((s.lr_at(0) - 1e-3).abs() < 1e-9);
+        assert!(s.lr_at(50) < s.lr_at(10));
+        assert!(s.lr_at(100) <= s.lr_at(99));
+        assert!((s.lr_at(100) - s.min_lr).abs() < 1e-9);
+        // Clamped beyond the horizon.
+        assert_eq!(s.lr_at(1000), s.lr_at(100));
+    }
+
+    #[test]
+    fn schedule_handles_zero_total_steps() {
+        let s = CosineSchedule::new(1e-3, 0);
+        assert!(s.lr_at(0).is_finite());
+    }
+
+    #[test]
+    fn step_with_schedule_converges() {
+        let mut store = ParamStore::new();
+        let w_id = store.add("w", Tensor::from_vec(&[1], vec![4.0]));
+        let sched = CosineSchedule::new(0.2, 200);
+        let mut adam = Adam::new(0.2);
+        for step in 0..200 {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let w = tape.param(&store, w_id);
+            let sq = tape.mul(w, w);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss, &mut store);
+            adam.step_with_lr(&mut store, sched.lr_at(step));
+        }
+        assert!(store.value(w_id).data()[0].abs() < 0.05);
+    }
+}

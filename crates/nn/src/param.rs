@@ -1,0 +1,216 @@
+//! Trainable-parameter storage.
+//!
+//! [`ParamStore`] owns every parameter tensor of a model together with its
+//! gradient accumulator and Adam moment buffers. Layers hold [`ParamId`]
+//! handles; the [`crate::tape::Tape`] routes gradients here during
+//! `backward`, and [`crate::optim::Adam`] consumes them.
+
+use crate::tensor::Tensor;
+
+/// Handle to one parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Storage for all parameters of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Registers a parameter initialised to `value`; returns its handle.
+    pub fn add(&mut self, name: &str, value: Tensor) -> ParamId {
+        let shape = value.shape().to_vec();
+        self.params.push(Param {
+            name: name.to_string(),
+            value,
+            grad: Tensor::zeros(&shape),
+            m: Tensor::zeros(&shape),
+            v: Tensor::zeros(&shape),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The parameter's current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to the parameter's value (e.g. for loading weights).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Adds `g` into the parameter's gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.params[id.0].grad.add_assign(g);
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            for g in p.grad.data_mut() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / monitoring).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.data())
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                for g in p.grad.data_mut() {
+                    *g *= s;
+                }
+            }
+        }
+    }
+
+    /// All parameter handles.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+
+    pub(crate) fn adam_buffers(
+        &mut self,
+        id: ParamId,
+    ) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor) {
+        let p = &mut self.params[id.0];
+        (&mut p.value, &p.grad, &mut p.m, &mut p.v)
+    }
+
+    /// Serialises all parameter values into a flat byte-free `Vec<f32>`
+    /// (concatenated in registration order) — a minimal checkpoint format.
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.params.iter().flat_map(|p| p.value.data().iter().copied()).collect()
+    }
+
+    /// Restores values from a [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` has the wrong total length.
+    pub fn restore(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.scalar_count(), "snapshot length");
+        let mut off = 0;
+        for p in &mut self.params {
+            let n = p.value.len();
+            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        assert_eq!(s.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(s.name(id), "w");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.scalar_count(), 2);
+    }
+
+    #[test]
+    fn gradient_accumulation_and_zero() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(&[2]));
+        s.accumulate_grad(id, &Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        s.accumulate_grad(id, &Tensor::from_vec(&[2], vec![0.5, 0.5]));
+        assert_eq!(s.grad(id).data(), &[1.5, -0.5]);
+        s.zero_grad();
+        assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_norm_and_clipping() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(&[2]));
+        s.accumulate_grad(id, &Tensor::from_vec(&[2], vec![3.0, 4.0]));
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the threshold is a no-op.
+        s.clip_grad_norm(10.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        let b = s.add("b", Tensor::from_vec(&[1], vec![3.0]));
+        let snap = s.snapshot();
+        s.value_mut(a).data_mut()[0] = 99.0;
+        s.value_mut(b).data_mut()[0] = 99.0;
+        s.restore(&snap);
+        assert_eq!(s.value(a).data(), &[1.0, 2.0]);
+        assert_eq!(s.value(b).data(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot length")]
+    fn restore_checks_length() {
+        let mut s = ParamStore::new();
+        s.add("a", Tensor::zeros(&[3]));
+        s.restore(&[0.0; 2]);
+    }
+}

@@ -1,0 +1,304 @@
+//! End-to-end capture simulation: a user performing a gesture track in
+//! front of the radar, under configurable experimental conditions.
+//!
+//! This is the synthetic stand-in for the paper's data-collection rig
+//! (IWR1443 + DCA1000EVM + depth camera): it produces the raw radar frames
+//! *and* the ground-truth 21-joint labels the depth camera + MediaPipe
+//! would have produced.
+
+use crate::array::VirtualArray;
+use crate::config::ChirpConfig;
+use crate::impairments::{GloveMaterial, HeldObject, ObstacleMaterial};
+use crate::scene::{body_targets, BodyPlacement, Environment, Scene};
+use crate::synth::{synthesize_frame, RawFrame};
+use mmhand_hand::surface::{sample_scatterers, ScattererRegion, SurfaceConfig};
+use mmhand_hand::trajectory::GestureTrack;
+use mmhand_hand::user::UserProfile;
+use mmhand_math::rng::{normal, stream_rng};
+use mmhand_math::Vec3;
+
+/// Experimental conditions for a capture session.
+#[derive(Clone, Debug)]
+pub struct CaptureConfig {
+    /// Radar chirp/frame parameters.
+    pub chirp: ChirpConfig,
+    /// Scatterer sampling density.
+    pub surface: SurfaceConfig,
+    /// Background environment.
+    pub environment: Environment,
+    /// Where the user's body stands.
+    pub body: BodyPlacement,
+    /// Optional glove worn by the user.
+    pub glove: Option<GloveMaterial>,
+    /// Optional object held in the hand.
+    pub held_object: Option<HeldObject>,
+    /// Optional obstacle `(material, range from radar in metres)`.
+    pub obstacle: Option<(ObstacleMaterial, f32)>,
+    /// Thermal-noise σ per ADC sample.
+    pub noise_sigma: f32,
+    /// Ground-truth label noise σ in metres (MediaPipe is not perfect;
+    /// `0.0` gives exact labels).
+    pub label_noise_m: f32,
+    /// Master seed for all randomness in the session.
+    pub seed: u64,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            chirp: ChirpConfig::default(),
+            surface: SurfaceConfig::default(),
+            environment: Environment::Classroom,
+            body: BodyPlacement::Front,
+            glove: None,
+            held_object: None,
+            obstacle: None,
+            noise_sigma: 0.02,
+            label_noise_m: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A recorded capture session: raw frames plus ground-truth labels.
+#[derive(Clone, Debug)]
+pub struct CaptureSession {
+    /// Raw radar frames, one per video-rate frame.
+    pub frames: Vec<RawFrame>,
+    /// Ground-truth 21-joint positions per frame (world/radar frame).
+    pub truth: Vec<[Vec3; 21]>,
+    /// The configuration the session was recorded under.
+    pub config: CaptureConfig,
+}
+
+impl CaptureSession {
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when no frames were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Records `n_frames` of `user` performing `track` under `config`.
+///
+/// Ground-truth labels are the simulator's exact joint positions (plus
+/// optional label noise): the synthetic analogue of the depth-camera +
+/// MediaPipe ground truth in the paper.
+pub fn record_session(
+    user: &UserProfile,
+    track: &GestureTrack,
+    n_frames: usize,
+    config: &CaptureConfig,
+) -> CaptureSession {
+    let array = VirtualArray::new(&config.chirp);
+    let frame_rate = config.chirp.frame_rate_hz as f32;
+    let mut pose_rng = stream_rng(config.seed, &format!("poses-u{}", user.id));
+    let poses = track.sample_frames(frame_rate, n_frames, user.tremor, &mut pose_rng);
+
+    let mut synth_rng = stream_rng(config.seed, &format!("synth-u{}", user.id));
+    let mut label_rng = stream_rng(config.seed, &format!("labels-u{}", user.id));
+
+    let mut frames = Vec::with_capacity(n_frames);
+    let mut truth = Vec::with_capacity(n_frames);
+    let mut prev_scatterers: Option<Vec<Vec3>> = None;
+
+    for (i, pose) in poses.iter().enumerate() {
+        let t = i as f32 / frame_rate;
+        let joints = pose.joints(&user.shape);
+        let palm_normal = pose.palm_normal();
+        let mut scatterers =
+            sample_scatterers(&joints, palm_normal, &user.shape, &config.surface);
+
+        // Held object: shadow hand regions and add the object's reflectors.
+        let mut extra_targets = Vec::new();
+        let hand_velocity = match &prev_scatterers {
+            Some(prev) if prev.len() == scatterers.len() => {
+                // Mean scatterer velocity approximates gross hand motion.
+                let dt = 1.0 / frame_rate;
+                let mut v = Vec3::ZERO;
+                for (s, p) in scatterers.iter().zip(prev) {
+                    v += (s.position - *p) / dt;
+                }
+                v / scatterers.len() as f32
+            }
+            _ => Vec3::ZERO,
+        };
+        if let Some(obj) = config.held_object {
+            let (targets, palm_factor, finger_factor) =
+                obj.targets(&joints, palm_normal, hand_velocity);
+            extra_targets.extend(targets);
+            for s in &mut scatterers {
+                s.rcs *= match s.region {
+                    ScattererRegion::Palm => palm_factor,
+                    ScattererRegion::Finger => finger_factor,
+                };
+            }
+        }
+
+        // Glove: attenuate skin and add the fabric layer.
+        if let Some(glove) = config.glove {
+            scatterers = glove.apply(&scatterers, config.seed ^ i as u64);
+        }
+
+        // Obstacle: attenuate everything behind it, add its reflection.
+        let mut hand_rcs_scale = 1.0;
+        if let Some((material, range)) = config.obstacle {
+            hand_rcs_scale *= material.two_way_power_factor();
+            extra_targets.extend(material.targets(range));
+        }
+
+        // Per-scatterer velocities from the previous frame.
+        let velocities: Vec<Vec3> = match &prev_scatterers {
+            Some(prev) if prev.len() == scatterers.len() => {
+                let dt = 1.0 / frame_rate;
+                scatterers
+                    .iter()
+                    .zip(prev)
+                    .map(|(s, p)| (s.position - *p) / dt)
+                    .collect()
+            }
+            _ => vec![Vec3::ZERO; scatterers.len()],
+        };
+        prev_scatterers = Some(scatterers.iter().map(|s| s.position).collect());
+
+        // Assemble the scene.
+        let mut scene = Scene::new(config.noise_sigma);
+        scene.add_hand(&scatterers, &velocities, hand_rcs_scale);
+        scene.add_targets(extra_targets);
+        scene.add_targets(body_targets(
+            pose.position,
+            config.body,
+            user.height_m,
+            user.body_rcs,
+            config.seed ^ (user.id as u64) << 8,
+        ));
+        scene.add_targets(config.environment.clutter_targets(config.seed, t));
+
+        frames.push(synthesize_frame(&config.chirp, &array, &scene, &mut synth_rng));
+
+        // Ground truth (optionally noised like real MediaPipe labels).
+        let mut label = joints;
+        if config.label_noise_m > 0.0 {
+            for j in label.iter_mut() {
+                *j += Vec3::new(
+                    normal(&mut label_rng, 0.0, config.label_noise_m),
+                    normal(&mut label_rng, 0.0, config.label_noise_m),
+                    normal(&mut label_rng, 0.0, config.label_noise_m),
+                );
+            }
+        }
+        truth.push(label);
+    }
+
+    CaptureSession { frames, truth, config: config.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_hand::gesture::Gesture;
+
+    fn quick_session(config: &CaptureConfig, n: usize) -> CaptureSession {
+        let user = UserProfile::generate(1, 11);
+        let track = GestureTrack::from_gestures(
+            &[Gesture::OpenPalm, Gesture::Fist],
+            Vec3::new(0.0, 0.3, 0.0),
+            0.3,
+            0.3,
+        );
+        record_session(&user, &track, n, config)
+    }
+
+    #[test]
+    fn session_has_frames_and_labels() {
+        let s = quick_session(&CaptureConfig::default(), 6);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.truth.len(), 6);
+        assert!(!s.is_empty());
+        for f in &s.frames {
+            assert!(!f.has_non_finite());
+            assert!(f.rms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sessions_are_reproducible() {
+        let a = quick_session(&CaptureConfig::default(), 3);
+        let b = quick_session(&CaptureConfig::default(), 3);
+        assert_eq!(a.frames[2].chirp_samples(0, 0, 0), b.frames[2].chirp_samples(0, 0, 0));
+        assert_eq!(a.truth[2], b.truth[2]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick_session(&CaptureConfig::default(), 2);
+        let cfg = CaptureConfig { seed: 99, ..CaptureConfig::default() };
+        let b = quick_session(&cfg, 2);
+        assert_ne!(a.frames[1].chirp_samples(0, 0, 0), b.frames[1].chirp_samples(0, 0, 0));
+    }
+
+    #[test]
+    fn truth_tracks_the_gesture() {
+        let s = quick_session(&CaptureConfig::default(), 14);
+        // The fist transition moves fingertips: first and last labels differ.
+        let first_tip = s.truth[0][8];
+        let last_tip = s.truth[s.len() - 1][8];
+        assert!(first_tip.distance(last_tip) > 0.02);
+    }
+
+    #[test]
+    fn obstacle_weakens_hand_return() {
+        let base = quick_session(&CaptureConfig { noise_sigma: 0.0, ..Default::default() }, 2);
+        let cfg = CaptureConfig {
+            noise_sigma: 0.0,
+            obstacle: Some((ObstacleMaterial::WoodBoard, 0.15)),
+            environment: Environment::Playground,
+            ..Default::default()
+        };
+        let blocked = quick_session(&cfg, 2);
+        let base_cfg = CaptureConfig {
+            noise_sigma: 0.0,
+            environment: Environment::Playground,
+            ..Default::default()
+        };
+        let clear = quick_session(&base_cfg, 2);
+        // Frame energy: obstacle adds its own reflection but the *hand band*
+        // check happens in core; here just sanity-check levels are finite
+        // and sessions differ.
+        assert!(base.frames[0].rms() > 0.0);
+        assert_ne!(
+            clear.frames[0].chirp_samples(0, 0, 0),
+            blocked.frames[0].chirp_samples(0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn label_noise_perturbs_truth() {
+        let clean = quick_session(&CaptureConfig::default(), 2);
+        let cfg = CaptureConfig { label_noise_m: 0.003, ..CaptureConfig::default() };
+        let noisy = quick_session(&cfg, 2);
+        let d = clean.truth[0][0].distance(noisy.truth[0][0]);
+        assert!(d > 0.0 && d < 0.05, "label perturbation {d}");
+    }
+
+    #[test]
+    fn glove_session_differs_from_bare() {
+        let bare = quick_session(&CaptureConfig { noise_sigma: 0.0, ..Default::default() }, 1);
+        let cfg = CaptureConfig {
+            noise_sigma: 0.0,
+            glove: Some(GloveMaterial::Cotton),
+            ..Default::default()
+        };
+        let gloved = quick_session(&cfg, 1);
+        assert_ne!(
+            bare.frames[0].chirp_samples(1, 2, 0),
+            gloved.frames[0].chirp_samples(1, 2, 0)
+        );
+        // Ground truth unchanged by the glove.
+        assert_eq!(bare.truth[0], gloved.truth[0]);
+    }
+}

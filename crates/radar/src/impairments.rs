@@ -1,0 +1,375 @@
+//! Test-condition impairments: gloves, handheld objects, and obstacles.
+//!
+//! The paper evaluates mmHand under gloves (§VI-G, Fig. 22), handheld
+//! objects (§VI-H, Fig. 23) and line-of-sight obstacles (§VI-J, Fig. 25).
+//! Each impairment here perturbs the scene the same way the physical
+//! condition perturbs the real propagation channel:
+//!
+//! * **Gloves** add a displaced fabric scattering layer around the hand and
+//!   attenuate/distort skin returns — the paper observes the glove material
+//!   "captured by mmWave signals" causing distortion of the sensed hand.
+//! * **Held objects** add their own reflectors — small palm objects mostly
+//!   shadow the palm; a pen extends past the fingers (the paper notes it is
+//!   mistaken for a finger); a power bank covers the whole hand.
+//! * **Obstacles** attenuate the two-way hand path (material-dependent) and
+//!   add a static reflection at the obstacle's own range.
+
+use crate::scene::PointTarget;
+use mmhand_hand::skeleton::Finger;
+use mmhand_hand::surface::Scatterer;
+use mmhand_math::rng::{normal, stream_rng};
+use mmhand_math::Vec3;
+
+/// Glove material worn over the hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GloveMaterial {
+    /// Thin silk glove: mild attenuation, thin fabric layer.
+    Silk,
+    /// Cotton glove: thicker layer, stronger distortion.
+    Cotton,
+}
+
+impl GloveMaterial {
+    /// Both materials evaluated by the paper.
+    pub const ALL: [GloveMaterial; 2] = [GloveMaterial::Silk, GloveMaterial::Cotton];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GloveMaterial::Silk => "silk",
+            GloveMaterial::Cotton => "cotton",
+        }
+    }
+
+    /// Amplitude transmission through the fabric (one way).
+    fn transmission(self) -> f32 {
+        match self {
+            GloveMaterial::Silk => 0.90,
+            GloveMaterial::Cotton => 0.80,
+        }
+    }
+
+    /// Fabric layer stand-off from the skin, metres.
+    fn layer_offset(self) -> f32 {
+        match self {
+            GloveMaterial::Silk => 0.003,
+            GloveMaterial::Cotton => 0.006,
+        }
+    }
+
+    /// Fabric scattering strength relative to the skin return.
+    fn layer_rcs(self) -> f32 {
+        match self {
+            GloveMaterial::Silk => 0.25,
+            GloveMaterial::Cotton => 0.45,
+        }
+    }
+
+    /// Applies the glove to hand scatterers: attenuates skin returns and
+    /// adds a jittered fabric layer displaced along the radar line of sight.
+    pub fn apply(self, hand: &[Scatterer], seed: u64) -> Vec<Scatterer> {
+        let mut rng = stream_rng(seed, &format!("glove-{}", self.name()));
+        let t2 = self.transmission() * self.transmission(); // two-way
+        let mut out = Vec::with_capacity(hand.len() * 2);
+        for s in hand {
+            out.push(Scatterer { position: s.position, rcs: s.rcs * t2, region: s.region });
+            // Fabric layer point: displaced toward the radar (at origin)
+            // with positional jitter — this is what distorts the sensing.
+            let toward_radar = (-s.position).normalized();
+            let jitter = Vec3::new(
+                normal(&mut rng, 0.0, 0.002),
+                normal(&mut rng, 0.0, 0.002),
+                normal(&mut rng, 0.0, 0.002),
+            );
+            out.push(Scatterer {
+                position: s.position + toward_radar * self.layer_offset() + jitter,
+                rcs: s.rcs * self.layer_rcs(),
+                region: s.region,
+            });
+        }
+        out
+    }
+}
+
+/// Object held in the hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeldObject {
+    /// Table-tennis ball: small, sits in the palm.
+    TableTennisBall,
+    /// Headphone case: small box in the palm.
+    HeadphoneCase,
+    /// Pen: thin rod extending past the fingers.
+    Pen,
+    /// Power bank: large slab covering palm and finger bases.
+    PowerBank,
+}
+
+impl HeldObject {
+    /// The four objects of Fig. 23.
+    pub const ALL: [HeldObject; 4] = [
+        HeldObject::TableTennisBall,
+        HeldObject::HeadphoneCase,
+        HeldObject::Pen,
+        HeldObject::PowerBank,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeldObject::TableTennisBall => "table_tennis_ball",
+            HeldObject::HeadphoneCase => "headphone_case",
+            HeldObject::Pen => "pen",
+            HeldObject::PowerBank => "power_bank",
+        }
+    }
+
+    /// `true` when the paper found the object disrupts finger estimation
+    /// (pen and power bank); palm-confined objects are benign.
+    pub fn affects_fingers(self) -> bool {
+        matches!(self, HeldObject::Pen | HeldObject::PowerBank)
+    }
+
+    /// Generates the object's reflectors given the posed hand joints and
+    /// palm normal, and the attenuation factor applied to *palm-region*
+    /// skin returns it shadows.
+    ///
+    /// Returns `(object_targets, palm_shadow_factor, finger_shadow_factor)`.
+    pub fn targets(
+        self,
+        joints: &[Vec3; 21],
+        palm_normal: Vec3,
+        velocity: Vec3,
+    ) -> (Vec<PointTarget>, f32, f32) {
+        let palm_centre = (joints[0]
+            + joints[Finger::Index.base()]
+            + joints[Finger::Pinky.base()])
+            / 3.0
+            + palm_normal * 0.02;
+        match self {
+            HeldObject::TableTennisBall => {
+                let t = vec![PointTarget { position: palm_centre, velocity, rcs: 1.5 }];
+                (t, 0.55, 0.95)
+            }
+            HeldObject::HeadphoneCase => {
+                let mut t = Vec::new();
+                for dx in [-0.02_f32, 0.02] {
+                    t.push(PointTarget {
+                        position: palm_centre + Vec3::new(dx, 0.0, 0.0),
+                        velocity,
+                        rcs: 1.6,
+                    });
+                }
+                (t, 0.45, 0.9)
+            }
+            HeldObject::Pen => {
+                // A rod from the palm out past the index fingertip — the
+                // reflector the network mistakes for a finger.
+                let tip_dir = (joints[Finger::Index.tip()] - joints[Finger::Index.base()])
+                    .normalized();
+                let mut t = Vec::new();
+                for k in 0..5 {
+                    let s = k as f32 / 4.0;
+                    t.push(PointTarget {
+                        position: palm_centre + tip_dir * (0.02 + s * 0.12),
+                        velocity,
+                        rcs: 0.8,
+                    });
+                }
+                (t, 0.8, 0.6)
+            }
+            HeldObject::PowerBank => {
+                // Large slab between the radar and most of the hand.
+                let mut t = Vec::new();
+                for dx in [-0.03_f32, 0.0, 0.03] {
+                    for dz in [0.0_f32, 0.04, 0.08] {
+                        t.push(PointTarget {
+                            position: palm_centre
+                                + Vec3::new(dx, -0.01, dz)
+                                + palm_normal * 0.01,
+                            velocity,
+                            rcs: 2.2,
+                        });
+                    }
+                }
+                (t, 0.3, 0.35)
+            }
+        }
+    }
+}
+
+/// Line-of-sight obstacle between the radar and the hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObstacleMaterial {
+    /// A4 paper sheet.
+    Paper,
+    /// A piece of cloth.
+    Cloth,
+    /// Thin wooden board.
+    WoodBoard,
+}
+
+impl ObstacleMaterial {
+    /// The three obstacles of Fig. 25.
+    pub const ALL: [ObstacleMaterial; 3] = [
+        ObstacleMaterial::Paper,
+        ObstacleMaterial::Cloth,
+        ObstacleMaterial::WoodBoard,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObstacleMaterial::Paper => "paper",
+            ObstacleMaterial::Cloth => "cloth",
+            ObstacleMaterial::WoodBoard => "wood_board",
+        }
+    }
+
+    /// One-way amplitude transmission at 77 GHz (approximate material
+    /// properties: paper and cloth are nearly transparent, wood much less).
+    pub fn transmission(self) -> f32 {
+        match self {
+            ObstacleMaterial::Paper => 0.92,
+            ObstacleMaterial::Cloth => 0.88,
+            ObstacleMaterial::WoodBoard => 0.60,
+        }
+    }
+
+    /// The obstacle's own reflectivity (front-face RCS).
+    fn reflection_rcs(self) -> f32 {
+        match self {
+            ObstacleMaterial::Paper => 0.8,
+            ObstacleMaterial::Cloth => 1.2,
+            ObstacleMaterial::WoodBoard => 6.0,
+        }
+    }
+
+    /// Two-way power attenuation applied to targets behind the obstacle.
+    pub fn two_way_power_factor(self) -> f32 {
+        let t = self.transmission();
+        t * t * t * t // amplitude² per pass, two passes
+    }
+
+    /// Generates the obstacle's own reflectors: a small panel of static
+    /// targets at `range_m` on boresight.
+    pub fn targets(self, range_m: f32) -> Vec<PointTarget> {
+        let mut out = Vec::new();
+        for dx in [-0.05_f32, 0.05] {
+            for dz in [-0.05_f32, 0.05] {
+                out.push(PointTarget::fixed(
+                    Vec3::new(dx, range_m, dz),
+                    self.reflection_rcs() / 4.0,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_hand::gesture::Gesture;
+    use mmhand_hand::shape::HandShape;
+    use mmhand_hand::surface::{sample_scatterers, SurfaceConfig};
+
+    fn hand_scatterers() -> Vec<Scatterer> {
+        let pose = Gesture::OpenPalm.pose();
+        let shape = HandShape::default();
+        sample_scatterers(
+            &pose.joints(&shape),
+            pose.palm_normal(),
+            &shape,
+            &SurfaceConfig::default(),
+        )
+    }
+
+    #[test]
+    fn gloves_attenuate_and_add_layer() {
+        let hand = hand_scatterers();
+        for m in GloveMaterial::ALL {
+            let gloved = m.apply(&hand, 4);
+            assert_eq!(gloved.len(), hand.len() * 2);
+            // Skin returns attenuated.
+            for (g, h) in gloved.iter().step_by(2).zip(&hand) {
+                assert!(g.rcs < h.rcs);
+                assert_eq!(g.position, h.position);
+            }
+        }
+    }
+
+    #[test]
+    fn cotton_distorts_more_than_silk() {
+        let hand = hand_scatterers();
+        let silk = GloveMaterial::Silk.apply(&hand, 4);
+        let cotton = GloveMaterial::Cotton.apply(&hand, 4);
+        let layer_rcs = |v: &[Scatterer]| -> f32 {
+            v.iter().skip(1).step_by(2).map(|s| s.rcs).sum()
+        };
+        assert!(layer_rcs(&cotton) > layer_rcs(&silk));
+    }
+
+    #[test]
+    fn pen_extends_past_fingertips() {
+        let pose = Gesture::Point.pose();
+        let shape = HandShape::default();
+        let joints = pose.joints(&shape);
+        let (targets, _, finger_factor) =
+            HeldObject::Pen.targets(&joints, pose.palm_normal(), Vec3::ZERO);
+        let tip = joints[Finger::Index.tip()];
+        let wrist = joints[0];
+        let farthest = targets
+            .iter()
+            .map(|t| t.position.distance(wrist))
+            .fold(0.0_f32, f32::max);
+        assert!(farthest > tip.distance(wrist), "pen does not extend past tip");
+        assert!(finger_factor < 1.0);
+        assert!(HeldObject::Pen.affects_fingers());
+    }
+
+    #[test]
+    fn ball_shadows_palm_not_fingers() {
+        let pose = Gesture::OpenPalm.pose();
+        let shape = HandShape::default();
+        let joints = pose.joints(&shape);
+        let (_, palm_f, finger_f) =
+            HeldObject::TableTennisBall.targets(&joints, pose.palm_normal(), Vec3::ZERO);
+        assert!(palm_f < finger_f, "ball should shadow palm more");
+        assert!(!HeldObject::TableTennisBall.affects_fingers());
+    }
+
+    #[test]
+    fn power_bank_is_most_disruptive() {
+        let pose = Gesture::OpenPalm.pose();
+        let shape = HandShape::default();
+        let joints = pose.joints(&shape);
+        let factors: Vec<f32> = HeldObject::ALL
+            .iter()
+            .map(|o| {
+                let (_, p, f) = o.targets(&joints, pose.palm_normal(), Vec3::ZERO);
+                p * f
+            })
+            .collect();
+        let pb = factors[3];
+        assert!(factors[..3].iter().all(|&x| x > pb), "{factors:?}");
+    }
+
+    #[test]
+    fn wood_attenuates_most_and_reflects_most() {
+        let p = ObstacleMaterial::Paper;
+        let c = ObstacleMaterial::Cloth;
+        let w = ObstacleMaterial::WoodBoard;
+        assert!(w.two_way_power_factor() < c.two_way_power_factor());
+        assert!(c.two_way_power_factor() < p.two_way_power_factor());
+        let rcs = |m: ObstacleMaterial| -> f32 { m.targets(0.15).iter().map(|t| t.rcs).sum() };
+        assert!(rcs(w) > rcs(p));
+    }
+
+    #[test]
+    fn obstacle_panel_sits_at_requested_range() {
+        for t in ObstacleMaterial::Cloth.targets(0.12) {
+            assert!((t.position.y - 0.12).abs() < 1e-6);
+            assert_eq!(t.velocity, Vec3::ZERO);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Radar scenes: everything that reflects millimetre waves.
+//!
+//! A [`Scene`] is a set of moving point targets: the hand's scatterers plus
+//! *clutter* — the user's body, furniture, walls, and other people. The
+//! paper evaluates in three environments (playground, corridor, classroom,
+//! Fig. 24) and two body placements (Figs. 20–21); [`Environment`] and
+//! [`BodyPlacement`] model those conditions.
+
+use mmhand_hand::surface::Scatterer;
+use mmhand_math::rng::{normal, stream_rng};
+use mmhand_math::Vec3;
+use rand::Rng;
+
+/// One moving point reflector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointTarget {
+    /// Position in the radar frame (radar at origin, +y boresight), metres.
+    pub position: Vec3,
+    /// Velocity, m/s (used for intra-frame Doppler phase evolution).
+    pub velocity: Vec3,
+    /// Radar cross-section (relative, linear power units).
+    pub rcs: f32,
+}
+
+impl PointTarget {
+    /// A static target.
+    pub fn fixed(position: Vec3, rcs: f32) -> Self {
+        PointTarget { position, velocity: Vec3::ZERO, rcs }
+    }
+}
+
+/// A complete scene for one radar frame.
+#[derive(Clone, Debug, Default)]
+pub struct Scene {
+    /// All reflectors visible this frame.
+    pub targets: Vec<PointTarget>,
+    /// Thermal-noise standard deviation added per ADC sample.
+    pub noise_sigma: f32,
+}
+
+impl Scene {
+    /// Creates an empty scene with the given noise floor.
+    pub fn new(noise_sigma: f32) -> Self {
+        Scene { targets: Vec::new(), noise_sigma }
+    }
+
+    /// Adds hand scatterers with a common velocity and an RCS scale.
+    pub fn add_hand(&mut self, scatterers: &[Scatterer], velocities: &[Vec3], rcs_scale: f32) {
+        assert_eq!(
+            scatterers.len(),
+            velocities.len(),
+            "one velocity per scatterer"
+        );
+        for (s, &v) in scatterers.iter().zip(velocities) {
+            self.targets.push(PointTarget {
+                position: s.position,
+                velocity: v,
+                rcs: s.rcs * rcs_scale,
+            });
+        }
+    }
+
+    /// Adds arbitrary targets.
+    pub fn add_targets(&mut self, targets: impl IntoIterator<Item = PointTarget>) {
+        self.targets.extend(targets);
+    }
+}
+
+/// Where the user's body stands relative to the radar (paper §VI-F).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BodyPlacement {
+    /// Type 1: the user stands in front of the radar, hand outstretched
+    /// toward it — the body is *behind* the hand on boresight.
+    #[default]
+    Front,
+    /// Type 2: the user stands beside the radar and reaches the hand in
+    /// front of it — the body is off-axis.
+    Side,
+}
+
+/// Generates torso/arm scatterers for a user.
+///
+/// `hand_position` anchors the geometry: the body stands ~0.45 m behind the
+/// hand ([`BodyPlacement::Front`]) or displaced ~0.5 m sideways
+/// ([`BodyPlacement::Side`]). `height_m` and `body_rcs` come from the user
+/// profile. Returned targets include slow torso sway so the body is not a
+/// perfect static reflector.
+pub fn body_targets(
+    hand_position: Vec3,
+    placement: BodyPlacement,
+    height_m: f32,
+    body_rcs: f32,
+    seed: u64,
+) -> Vec<PointTarget> {
+    let mut rng = stream_rng(seed, "body");
+    let centre = match placement {
+        BodyPlacement::Front => hand_position + Vec3::new(0.0, 0.45, -0.25),
+        BodyPlacement::Side => hand_position + Vec3::new(0.55, 0.30, -0.25),
+    };
+    let n = 14;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let frac = i as f32 / (n - 1) as f32;
+        let z = (frac - 0.35) * height_m * 0.55;
+        let pos = centre
+            + Vec3::new(
+                normal(&mut rng, 0.0, 0.10),
+                normal(&mut rng, 0.0, 0.05),
+                z,
+            );
+        let sway = Vec3::new(normal(&mut rng, 0.0, 0.01), normal(&mut rng, 0.0, 0.015), 0.0);
+        out.push(PointTarget {
+            position: pos,
+            velocity: sway,
+            rcs: body_rcs * 2.0 / n as f32 * 8.0,
+        });
+    }
+    out
+}
+
+/// Experimental environment (paper Fig. 24).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// Large empty outdoor area — almost no clutter.
+    Playground,
+    /// Empty static background with a few passers-by.
+    Corridor,
+    /// Complex static background plus dynamic people (the default indoor
+    /// case used throughout the evaluation).
+    #[default]
+    Classroom,
+}
+
+impl Environment {
+    /// All environments.
+    pub const ALL: [Environment; 3] =
+        [Environment::Playground, Environment::Corridor, Environment::Classroom];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::Playground => "playground",
+            Environment::Corridor => "corridor",
+            Environment::Classroom => "classroom",
+        }
+    }
+
+    /// Number of static clutter reflectors (walls, furniture).
+    fn static_count(self) -> usize {
+        match self {
+            Environment::Playground => 1,
+            Environment::Corridor => 6,
+            Environment::Classroom => 14,
+        }
+    }
+
+    /// Number of moving people in the background.
+    fn dynamic_count(self) -> usize {
+        match self {
+            Environment::Playground => 0,
+            Environment::Corridor => 1,
+            Environment::Classroom => 3,
+        }
+    }
+
+    /// Generates this environment's clutter. `frame_time_s` drives the
+    /// motion of dynamic clutter so successive frames are coherent.
+    pub fn clutter_targets(self, seed: u64, frame_time_s: f32) -> Vec<PointTarget> {
+        let mut rng = stream_rng(seed, &format!("env-{}", self.name()));
+        let mut out = Vec::new();
+        for _ in 0..self.static_count() {
+            let pos = Vec3::new(
+                rng.gen_range(-1.5_f32..1.5),
+                rng.gen_range(1.2_f32..4.0),
+                rng.gen_range(-0.8_f32..1.2),
+            );
+            out.push(PointTarget::fixed(pos, rng.gen_range(0.5_f32..4.0)));
+        }
+        for p in 0..self.dynamic_count() {
+            // A person walking a slow sinusoidal path across the room.
+            let phase = p as f32 * 2.1;
+            let speed = 0.6;
+            let x0 = rng.gen_range(-1.2_f32..1.2);
+            let y0 = rng.gen_range(1.5_f32..3.5);
+            let x = x0 + (frame_time_s * speed + phase).sin() * 0.8;
+            let vx = (frame_time_s * speed + phase).cos() * 0.8 * speed;
+            out.push(PointTarget {
+                position: Vec3::new(x, y0, 0.0),
+                velocity: Vec3::new(vx, 0.0, 0.0),
+                rcs: rng.gen_range(3.0_f32..8.0),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_hand::surface::Scatterer;
+
+    #[test]
+    fn add_hand_checks_lengths() {
+        let mut scene = Scene::new(0.01);
+        let s = [Scatterer { position: Vec3::Y, rcs: 1.0, region: Default::default() }];
+        scene.add_hand(&s, &[Vec3::ZERO], 1.0);
+        assert_eq!(scene.targets.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one velocity per scatterer")]
+    fn mismatched_velocities_panic() {
+        let mut scene = Scene::new(0.01);
+        let s = [Scatterer { position: Vec3::Y, rcs: 1.0, region: Default::default() }];
+        scene.add_hand(&s, &[], 1.0);
+    }
+
+    #[test]
+    fn body_sits_behind_hand_for_front_placement() {
+        let hand = Vec3::new(0.0, 0.3, 0.0);
+        let body = body_targets(hand, BodyPlacement::Front, 1.75, 1.0, 1);
+        assert!(!body.is_empty());
+        let mean_y: f32 =
+            body.iter().map(|t| t.position.y).sum::<f32>() / body.len() as f32;
+        assert!(mean_y > hand.y + 0.2, "body mean y {mean_y}");
+        let mean_x: f32 =
+            body.iter().map(|t| t.position.x).sum::<f32>() / body.len() as f32;
+        assert!(mean_x.abs() < 0.2);
+    }
+
+    #[test]
+    fn side_placement_moves_body_off_axis() {
+        let hand = Vec3::new(0.0, 0.3, 0.0);
+        let body = body_targets(hand, BodyPlacement::Side, 1.75, 1.0, 1);
+        let mean_x: f32 =
+            body.iter().map(|t| t.position.x).sum::<f32>() / body.len() as f32;
+        assert!(mean_x > 0.3, "body mean x {mean_x}");
+    }
+
+    #[test]
+    fn environment_clutter_density_ordering() {
+        let p = Environment::Playground.clutter_targets(5, 0.0).len();
+        let c = Environment::Corridor.clutter_targets(5, 0.0).len();
+        let k = Environment::Classroom.clutter_targets(5, 0.0).len();
+        assert!(p < c && c < k, "{p} {c} {k}");
+    }
+
+    #[test]
+    fn clutter_stays_beyond_hand_range() {
+        // Static clutter must be farther than the 0.2–0.8 m hand band so the
+        // band-pass filter can reject it.
+        for env in Environment::ALL {
+            for t in env.clutter_targets(9, 0.5) {
+                assert!(t.position.y > 1.0, "{} clutter at {}", env.name(), t.position);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_clutter_is_coherent_across_frames() {
+        let a = Environment::Classroom.clutter_targets(3, 0.00);
+        let b = Environment::Classroom.clutter_targets(3, 0.05);
+        // Same static positions...
+        assert_eq!(a[0].position, b[0].position);
+        // ...but moving people advanced.
+        let last_a = a.last().unwrap().position;
+        let last_b = b.last().unwrap().position;
+        assert!(last_a.distance(last_b) > 1e-5);
+    }
+
+    #[test]
+    fn clutter_is_deterministic_per_seed() {
+        let a = Environment::Corridor.clutter_targets(7, 0.1);
+        let b = Environment::Corridor.clutter_targets(7, 0.1);
+        assert_eq!(a, b);
+        let c = Environment::Corridor.clutter_targets(8, 0.1);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,1 @@
+pub const EXAMPLES: &[&str] = &["quickstart", "gesture_tracking", "mesh_export", "radar_playground", "counting_ui"];

@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests: invariants that must hold across
+//! module boundaries regardless of parameters.
+
+use mmhand_core::loss::{is_straight, kinematic_loss};
+use mmhand_core::metrics::{JointErrors, JointGroup};
+use mmhand_hand::ik::solve_ik;
+use mmhand_hand::mano::ManoModel;
+use mmhand_hand::pose::HandPose;
+use mmhand_hand::shape::HandShape;
+use mmhand_hand::skeleton::Finger;
+use mmhand_nn::Tensor;
+use proptest::prelude::*;
+
+fn pose_from(curls: &[f32], spreads: &[f32]) -> HandPose {
+    let mut pose = HandPose::default();
+    for f in 0..5 {
+        for k in 0..3 {
+            pose.curls[f][k] = curls[f * 3 + k];
+        }
+        pose.spreads[f] = spreads[f];
+    }
+    pose
+}
+
+fn flat_joints(pose: &HandPose, shape: &HandShape) -> Vec<f32> {
+    pose.joints(shape).iter().flat_map(|v| v.to_array()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any forward-kinematics output satisfies its own kinematic loss:
+    /// joints produced by the hand model are always (near-)valid hands.
+    #[test]
+    fn fk_outputs_have_near_zero_kinematic_loss(
+        curls in proptest::collection::vec(0.0f32..1.5, 15),
+        spreads in proptest::collection::vec(-0.25f32..0.25, 5),
+    ) {
+        let shape = HandShape::default();
+        let pose = pose_from(&curls, &spreads);
+        let flat = flat_joints(&pose, &shape);
+        let t = Tensor::from_vec(&[1, 63], flat);
+        let (loss, _) = kinematic_loss(&t, &t);
+        prop_assert!(loss < 5e-3, "self-loss {loss}");
+    }
+
+    /// IK → FK through the MANO model reproduces arbitrary articulations.
+    #[test]
+    fn ik_fk_round_trip_small_error(
+        curls in proptest::collection::vec(0.0f32..1.4, 15),
+    ) {
+        let shape = HandShape::default();
+        let pose = pose_from(&curls, &[0.0; 5]);
+        let target = pose.joints(&shape);
+        let mano = ManoModel::new();
+        let ik = solve_ik(mano.rest_joints(), &target);
+        let posed = mano.posed_joints(&[0.0; 10], &ik.theta);
+        let mean_err: f32 = (0..21)
+            .map(|j| posed[j].distance(target[j]))
+            .sum::<f32>() / 21.0;
+        prop_assert!(mean_err < 0.008, "round-trip error {mean_err}");
+    }
+
+    /// Straightness classification agrees between the gesture generator
+    /// and the loss module: a finger with zero curls is straight, a finger
+    /// curled ≥ 0.5 rad per joint is not.
+    #[test]
+    fn straightness_is_consistent(curl in 0.5f32..1.5) {
+        let shape = HandShape::default();
+        let straight = flat_joints(&HandPose::default(), &shape);
+        let bent = flat_joints(
+            &HandPose::default().with_finger_curl(Finger::Index, curl),
+            &shape,
+        );
+        prop_assert!(is_straight(&straight, Finger::Index));
+        prop_assert!(!is_straight(&bent, Finger::Index));
+    }
+
+    /// Metrics sanity across random error patterns: PCK is monotone in the
+    /// threshold and MPJPE lies between min and max error.
+    #[test]
+    fn metric_consistency(errs in proptest::collection::vec(0.0f32..0.1, 21)) {
+        let truth = [mmhand_math::Vec3::ZERO; 21];
+        let mut pred = truth;
+        for (j, e) in errs.iter().enumerate() {
+            pred[j] = mmhand_math::Vec3::new(*e, 0.0, 0.0);
+        }
+        let mut je = JointErrors::new();
+        je.push_frame(&pred, &truth);
+        let p20 = je.pck(JointGroup::Overall, 20.0);
+        let p40 = je.pck(JointGroup::Overall, 40.0);
+        prop_assert!(p40 >= p20);
+        let m = je.mpjpe(JointGroup::Overall);
+        let lo = errs.iter().cloned().fold(f32::MAX, f32::min) * 1000.0;
+        let hi = errs.iter().cloned().fold(f32::MIN, f32::max) * 1000.0;
+        prop_assert!(m >= lo - 1e-3 && m <= hi + 1e-3);
+    }
+
+    /// Kinematic-loss gradients are finite for arbitrary (even wild)
+    /// predictions — training can never be poisoned by NaNs.
+    #[test]
+    fn kinematic_loss_is_finite_for_wild_predictions(
+        pred in proptest::collection::vec(-1.0f32..1.0, 63),
+    ) {
+        let shape = HandShape::default();
+        let truth = flat_joints(&HandPose::default(), &shape);
+        let t = Tensor::from_vec(&[1, 63], truth);
+        let p = Tensor::from_vec(&[1, 63], pred);
+        let (loss, grad) = kinematic_loss(&p, &t);
+        prop_assert!(loss.is_finite());
+        prop_assert!(!grad.has_non_finite());
+    }
+}
+
+#[test]
+fn scatterers_respond_to_shape_and_pose_consistently() {
+    // Cross-crate: the surface sampler must place every scatterer within
+    // the hand model's reach for every gesture in the library.
+    use mmhand_hand::surface::{sample_scatterers, SurfaceConfig};
+    let shape = HandShape::default();
+    let reach = shape.palm_length + shape.finger_length(Finger::Middle) + 0.05;
+    for g in mmhand_hand::Gesture::all() {
+        let mut pose = g.pose();
+        pose.position = mmhand_math::Vec3::new(0.0, 0.3, 0.0);
+        let joints = pose.joints(&shape);
+        let s = sample_scatterers(&joints, pose.palm_normal(), &shape, &SurfaceConfig::default());
+        for sc in &s {
+            assert!(
+                sc.position.distance(pose.position) < reach,
+                "{} scatterer outside reach",
+                g.name()
+            );
+        }
+    }
+}
