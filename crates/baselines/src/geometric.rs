@@ -176,8 +176,8 @@ mod tests {
             ..Default::default()
         };
         let session = record_session(&user, &track, 24, &capture);
-        let mut builder = CubeBuilder::new(cube.clone());
-        let seqs = session_to_sequences(&mut builder, &session, 2, 1);
+        let builder = CubeBuilder::new(cube.clone());
+        let seqs = session_to_sequences(&builder, &session, 2, 1);
         (cube, seqs)
     }
 

@@ -22,18 +22,33 @@ fn path_for(key: &str) -> PathBuf {
 /// Saves a float slice under `key`. Errors are propagated so callers can
 /// decide whether caching is critical.
 ///
+/// The write is atomic: data goes to a process-unique `.tmp` sibling first
+/// and is renamed into place, so concurrent experiment runners (or a killed
+/// run) can never leave a truncated entry that [`load_f32`] would reject —
+/// readers see either the old file or the complete new one.
+///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
 pub fn save_f32(key: &str, data: &[f32]) -> std::io::Result<()> {
     fs::create_dir_all(cache_dir())?;
-    let mut buf = Vec::with_capacity(4 + data.len() * 4);
+    let mut buf = Vec::with_capacity(8 + data.len() * 4);
     buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
     for v in data {
         buf.extend_from_slice(&v.to_le_bytes());
     }
-    let mut f = fs::File::create(path_for(key))?;
-    f.write_all(&buf)
+    let target = path_for(key);
+    let tmp = target.with_extension(format!("f32.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+        fs::rename(&tmp, &target)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads a float vector saved with [`save_f32`], or `None` when missing or

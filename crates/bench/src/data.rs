@@ -78,42 +78,41 @@ pub fn build_training_cohort(cfg: &ExperimentConfig) -> Vec<SegmentSequence> {
 
 fn build_training_cohort_uncached(cfg: &ExperimentConfig) -> Vec<SegmentSequence> {
     let users = UserProfile::cohort(cfg.data.users, cfg.data.seed);
-    let mut builder = CubeBuilder::new(cfg.data.cube.clone());
-    let mut out = Vec::new();
-    for user in &users {
-        for session in 0..cfg.sessions_per_user {
-            let mut pos_rng =
-                stream_rng(cfg.data.seed ^ user.id as u64, &format!("pos-{session}"));
-            // Range (y) varies across the paper's 20-40 cm band; lateral and
-            // vertical offsets stay small — azimuth resolution is ~7.5° and
-            // the single elevated TX row gives only coarse elevation, so
-            // large x/z variation is unlearnable (true of the IWR1443 too).
-            let position = Vec3::new(
-                pos_rng.gen_range(-0.015_f32..0.015),
-                pos_rng.gen_range(0.26_f32..0.34),
-                pos_rng.gen_range(-0.005_f32..0.005),
-            );
-            let data = DataConfig { hand_position: position, ..cfg.data.clone() };
-            let rec = mmhand_core::eval::record_user_session(&data, user, session as u64);
-            out.extend(session_to_sequences(
-                &mut builder,
-                &rec,
-                cfg.data.seq_len,
-                user.id,
-            ));
-        }
-    }
-    out
+    let builder = CubeBuilder::new(cfg.data.cube.clone());
+    // Every (user, session) pair derives its RNG streams from stable seeds,
+    // so the pairs can be synthesised concurrently; flattening in pair order
+    // keeps the cohort identical at any thread count.
+    let pairs: Vec<(usize, usize)> = (0..users.len())
+        .flat_map(|u| (0..cfg.sessions_per_user).map(move |s| (u, s)))
+        .collect();
+    let per_pair = mmhand_parallel::par_map(&pairs, |&(u, session)| {
+        let user = &users[u];
+        let mut pos_rng =
+            stream_rng(cfg.data.seed ^ user.id as u64, &format!("pos-{session}"));
+        // Range (y) varies across the paper's 20-40 cm band; lateral and
+        // vertical offsets stay small — azimuth resolution is ~7.5° and
+        // the single elevated TX row gives only coarse elevation, so
+        // large x/z variation is unlearnable (true of the IWR1443 too).
+        let position = Vec3::new(
+            pos_rng.gen_range(-0.015_f32..0.015),
+            pos_rng.gen_range(0.26_f32..0.34),
+            pos_rng.gen_range(-0.005_f32..0.005),
+        );
+        let data = DataConfig { hand_position: position, ..cfg.data.clone() };
+        let rec = mmhand_core::eval::record_user_session(&data, user, session as u64);
+        session_to_sequences(&builder, &rec, cfg.data.seq_len, user.id)
+    });
+    per_pair.into_iter().flatten().collect()
 }
 
 /// Builds a test set under `condition` using `cfg.test_users` users and
 /// fresh gesture tracks (session tags disjoint from training).
 pub fn build_test_set(cfg: &ExperimentConfig, condition: &TestCondition) -> Vec<SegmentSequence> {
     let users = UserProfile::cohort(cfg.data.users, cfg.data.seed);
-    let mut builder = CubeBuilder::new(cfg.data.cube.clone());
+    let builder = CubeBuilder::new(cfg.data.cube.clone());
     let tag = 1_000 + name_tag(&condition.name);
-    let mut out = Vec::new();
-    for user in users.iter().take(cfg.test_users) {
+    let test_users: Vec<&UserProfile> = users.iter().take(cfg.test_users).collect();
+    let per_user = mmhand_parallel::par_map(&test_users, |user| {
         let track =
             user.random_track(condition.position, cfg.data.gestures_per_track, tag);
         let capture = CaptureConfig {
@@ -127,9 +126,9 @@ pub fn build_test_set(cfg: &ExperimentConfig, condition: &TestCondition) -> Vec<
             ..cfg.data.capture.clone()
         };
         let session = record_session(user, &track, cfg.test_frames, &capture);
-        out.extend(session_to_sequences(&mut builder, &session, cfg.data.seq_len, user.id));
-    }
-    out
+        session_to_sequences(&builder, &session, cfg.data.seq_len, user.id)
+    });
+    per_user.into_iter().flatten().collect()
 }
 
 fn name_tag(name: &str) -> u64 {

@@ -16,10 +16,14 @@ use mmhand_core::train::TrainConfig;
 pub fn run(cfg: &ExperimentConfig) {
     report::section("Ablation study (hold-out users)");
     let suite = ablations::suite(&cfg.model);
-    let mut full_mpjpe = None;
-    for ablation in &suite {
+    // Every variant trains on the same split independently, so the whole
+    // suite runs concurrently; rows print in suite order afterwards.
+    let results = mmhand_parallel::par_map(&suite, |ablation| {
         let train = TrainConfig { weights: ablation.weights, ..cfg.train.clone() };
-        let errors = runner::holdout_errors(cfg, ablation.name, &ablation.model, &train, None);
+        runner::holdout_errors(cfg, ablation.name, &ablation.model, &train, None)
+    });
+    let mut full_mpjpe = None;
+    for (ablation, errors) in suite.iter().zip(&results) {
         let m = errors.mpjpe(JointGroup::Overall);
         report::data_row(
             ablation.name,

@@ -10,7 +10,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition_both;
+use crate::experiments::evaluate_conditions_both;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -26,15 +26,20 @@ pub fn run(cfg: &ExperimentConfig) {
     let r = 0.4_f32;
 
     println!("angle_deg abs_mpjpe_mm aligned_mpjpe_mm aligned_pck40");
+    let conds: Vec<TestCondition> = ANGLE_BINS_DEG
+        .iter()
+        .map(|&deg| {
+            let theta = mmhand_math::deg_to_rad(deg);
+            TestCondition::at_position(
+                format!("angle_{}", deg as i32),
+                Vec3::new(r * theta.sin(), r * theta.cos(), 0.0),
+            )
+        })
+        .collect();
+    let results = evaluate_conditions_both(&model, cfg, &conds);
     let mut inner = Vec::new();
     let mut outer = Vec::new();
-    for &deg in &ANGLE_BINS_DEG {
-        let theta = mmhand_math::deg_to_rad(deg);
-        let cond = TestCondition::at_position(
-            format!("angle_{}", deg as i32),
-            Vec3::new(r * theta.sin(), r * theta.cos(), 0.0),
-        );
-        let (abs_errors, aligned) = evaluate_condition_both(&model, cfg, &cond);
+    for (&deg, (abs_errors, aligned)) in ANGLE_BINS_DEG.iter().zip(&results) {
         let m = aligned.mpjpe(JointGroup::Overall);
         let p = aligned.pck(JointGroup::Overall, 40.0);
         println!(

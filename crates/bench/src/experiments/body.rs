@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition;
+use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -17,17 +17,22 @@ pub fn run(cfg: &ExperimentConfig) {
     report::section("Fig. 20 & 21: impact of body position");
     let model = runner::reference_model(cfg);
 
-    let mut results = Vec::new();
-    for (placement, label, paper_m, paper_p) in [
+    let rows = [
         (BodyPlacement::Front, "type 1 (body in front)", "19.1mm", "93.6%"),
         (BodyPlacement::Side, "type 2 (body beside)", "18.1mm", "95.4%"),
-    ] {
-        let cond = TestCondition {
+    ];
+    // Both placements evaluate concurrently, in input order.
+    let conds: Vec<TestCondition> = rows
+        .iter()
+        .map(|(placement, label, _, _)| TestCondition {
             name: format!("body_{label}"),
-            body: placement,
+            body: *placement,
             ..TestCondition::nominal()
-        };
-        let errors = evaluate_condition(&model, cfg, &cond);
+        })
+        .collect();
+    let all_errors = evaluate_conditions(&model, cfg, &conds);
+    let mut results = Vec::new();
+    for ((_, label, paper_m, paper_p), errors) in rows.iter().zip(&all_errors) {
         let m = errors.mpjpe(JointGroup::Overall);
         let p = errors.pck(JointGroup::Overall, 40.0);
         report::row(&format!("{label} MPJPE"), report::mm(m), paper_m);

@@ -13,7 +13,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition_both;
+use crate::experiments::evaluate_conditions_both;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -31,14 +31,19 @@ pub fn run(cfg: &ExperimentConfig) {
     println!(
         "distance_cm abs_overall_mm aligned_palm_mm aligned_fingers_mm aligned_overall_mm aligned_pck40"
     );
+    let conds: Vec<TestCondition> = DISTANCES_M
+        .iter()
+        .map(|&d| {
+            TestCondition::at_position(
+                format!("distance_{}", (d * 100.0) as u32),
+                Vec3::new(0.0, d, 0.0),
+            )
+        })
+        .collect();
+    let results = evaluate_conditions_both(&model, cfg, &conds);
     let mut near = Vec::new();
     let mut far = Vec::new();
-    for &d in &DISTANCES_M {
-        let cond = TestCondition::at_position(
-            format!("distance_{}", (d * 100.0) as u32),
-            Vec3::new(0.0, d, 0.0),
-        );
-        let (abs_errors, aligned) = evaluate_condition_both(&model, cfg, &cond);
+    for (&d, (abs_errors, aligned)) in DISTANCES_M.iter().zip(&results) {
         let overall = aligned.mpjpe(JointGroup::Overall);
         println!(
             "{:>11.0} {:>14.1} {:>15.1} {:>18.1} {:>18.1} {:>13.3}",

@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition;
+use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -17,14 +17,17 @@ pub fn run(cfg: &ExperimentConfig) {
     report::section("Fig. 24: impact of environment");
     let model = runner::reference_model(cfg);
 
-    let mut mpjpes = Vec::new();
-    for env in Environment::ALL {
-        let cond = TestCondition {
+    // All environments evaluate in one concurrent batch, in input order.
+    let conds: Vec<TestCondition> = Environment::ALL
+        .map(|env| TestCondition {
             name: format!("env_{}", env.name()),
             environment: env,
             ..TestCondition::nominal()
-        };
-        let errors = evaluate_condition(&model, cfg, &cond);
+        })
+        .to_vec();
+    let all_errors = evaluate_conditions(&model, cfg, &conds);
+    let mut mpjpes = Vec::new();
+    for (env, errors) in Environment::ALL.iter().zip(&all_errors) {
         let m = errors.mpjpe(JointGroup::Overall);
         report::data_row(
             env.name(),

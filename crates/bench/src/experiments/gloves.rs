@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition;
+use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::{JointErrors, JointGroup};
@@ -17,17 +17,19 @@ pub fn run(cfg: &ExperimentConfig) {
     report::section("Fig. 22: impact of gloves (test-only condition)");
     let model = runner::reference_model(cfg);
 
-    let bare = evaluate_condition(&model, cfg, &TestCondition::nominal());
-    report::data_row("bare hand reference", report::mm(bare.mpjpe(JointGroup::Overall)));
+    // Bare-hand reference and every glove material evaluate in one
+    // concurrent batch; results come back in condition order.
+    let mut conds = vec![TestCondition::nominal()];
+    conds.extend(GloveMaterial::ALL.map(|material| TestCondition {
+        name: format!("glove_{}", material.name()),
+        glove: Some(material),
+        ..TestCondition::nominal()
+    }));
+    let results = evaluate_conditions(&model, cfg, &conds);
+    report::data_row("bare hand reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
 
     let mut pooled = JointErrors::new();
-    for material in GloveMaterial::ALL {
-        let cond = TestCondition {
-            name: format!("glove_{}", material.name()),
-            glove: Some(material),
-            ..TestCondition::nominal()
-        };
-        let errors = evaluate_condition(&model, cfg, &cond);
+    for (material, errors) in GloveMaterial::ALL.iter().zip(&results[1..]) {
         report::data_row(
             &format!("{} glove", material.name()),
             format!(
@@ -36,7 +38,7 @@ pub fn run(cfg: &ExperimentConfig) {
                 report::pct(errors.pck(JointGroup::Overall, 40.0)),
             ),
         );
-        pooled.merge(&errors);
+        pooled.merge(errors);
     }
     report::row("gloves overall MPJPE", report::mm(pooled.mpjpe(JointGroup::Overall)), "28.6mm");
     report::row(

@@ -44,3 +44,25 @@ pub fn evaluate_condition_both(
     let test = build_test_set(cfg, condition);
     (model.evaluate(&test), model.evaluate_root_aligned(&test))
 }
+
+/// Evaluates a whole condition sweep concurrently on the
+/// [`mmhand_parallel`] pool, returning one [`JointErrors`] per condition in
+/// input order. Sweep points are independent (each synthesises its own test
+/// set), so this parallelises the dominant cost of the `exp_*` binaries.
+pub fn evaluate_conditions(
+    model: &TrainedModel,
+    cfg: &ExperimentConfig,
+    conditions: &[TestCondition],
+) -> Vec<JointErrors> {
+    mmhand_parallel::par_map(conditions, |cond| evaluate_condition(model, cfg, cond))
+}
+
+/// Batch form of [`evaluate_condition_both`]: evaluates every condition
+/// concurrently, returning `(absolute, root_aligned)` pairs in input order.
+pub fn evaluate_conditions_both(
+    model: &TrainedModel,
+    cfg: &ExperimentConfig,
+    conditions: &[TestCondition],
+) -> Vec<(JointErrors, JointErrors)> {
+    mmhand_parallel::par_map(conditions, |cond| evaluate_condition_both(model, cfg, cond))
+}

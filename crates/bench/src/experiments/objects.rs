@@ -7,7 +7,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition;
+use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -18,18 +18,20 @@ pub fn run(cfg: &ExperimentConfig) {
     report::section("Fig. 23: impact of handheld objects (test-only)");
     let model = runner::reference_model(cfg);
 
-    let bare = evaluate_condition(&model, cfg, &TestCondition::nominal());
-    report::data_row("no object reference", report::mm(bare.mpjpe(JointGroup::Overall)));
+    // The no-object reference and all held objects evaluate in one
+    // concurrent batch; results come back in condition order.
+    let mut conds = vec![TestCondition::nominal()];
+    conds.extend(HeldObject::ALL.map(|object| TestCondition {
+        name: format!("object_{}", object.name()),
+        held_object: Some(object),
+        ..TestCondition::nominal()
+    }));
+    let results = evaluate_conditions(&model, cfg, &conds);
+    report::data_row("no object reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
 
     let mut benign = Vec::new();
     let mut disruptive = Vec::new();
-    for object in HeldObject::ALL {
-        let cond = TestCondition {
-            name: format!("object_{}", object.name()),
-            held_object: Some(object),
-            ..TestCondition::nominal()
-        };
-        let errors = evaluate_condition(&model, cfg, &cond);
+    for (object, errors) in HeldObject::ALL.iter().zip(&results[1..]) {
         let m = errors.mpjpe(JointGroup::Overall);
         report::data_row(
             object.name(),

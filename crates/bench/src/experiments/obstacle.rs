@@ -6,7 +6,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::TestCondition;
-use crate::experiments::evaluate_condition;
+use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
@@ -20,20 +20,23 @@ pub fn run(cfg: &ExperimentConfig) {
     report::section("Fig. 25: impact of obstacles (none-line-of-sight)");
     let model = runner::reference_model(cfg);
 
-    let clear = evaluate_condition(&model, cfg, &TestCondition::nominal());
-    report::data_row("no obstacle reference", report::mm(clear.mpjpe(JointGroup::Overall)));
-
-    for (material, paper) in [
+    let rows = [
         (ObstacleMaterial::Paper, "23.4mm"),
         (ObstacleMaterial::Cloth, "25.1mm"),
         (ObstacleMaterial::WoodBoard, "35.8mm / 80.3%"),
-    ] {
-        let cond = TestCondition {
-            name: format!("obstacle_{}", material.name()),
-            obstacle: Some((material, OBSTACLE_RANGE_M)),
-            ..TestCondition::nominal()
-        };
-        let errors = evaluate_condition(&model, cfg, &cond);
+    ];
+    // The clear-path reference and all obstacles evaluate in one
+    // concurrent batch; results come back in condition order.
+    let mut conds = vec![TestCondition::nominal()];
+    conds.extend(rows.iter().map(|(material, _)| TestCondition {
+        name: format!("obstacle_{}", material.name()),
+        obstacle: Some((*material, OBSTACLE_RANGE_M)),
+        ..TestCondition::nominal()
+    }));
+    let results = evaluate_conditions(&model, cfg, &conds);
+    report::data_row("no obstacle reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
+
+    for ((material, paper), errors) in rows.iter().zip(&results[1..]) {
         report::row(
             material.name(),
             format!(

@@ -154,9 +154,9 @@ impl CubeFrame {
         let [vv, dd, aa] = self.shape;
         let mut out = vec![0.0; dd];
         for v in 0..vv {
-            for d in 0..dd {
+            for (d, slot) in out.iter_mut().enumerate() {
                 for a in 0..aa {
-                    out[d] += self.at(v, d, a);
+                    *slot += self.at(v, d, a);
                 }
             }
         }
@@ -191,7 +191,14 @@ impl CubeBuilder {
     }
 
     /// Processes one raw frame into a cube slice.
-    pub fn process_frame(&mut self, frame: &RawFrame) -> CubeFrame {
+    ///
+    /// All three stages fan out across the `mmhand-parallel` pool: stage 1
+    /// per virtual antenna (each task owns a private band-pass clone —
+    /// `filter_complex` resets its state per call, so a clone is
+    /// equivalent), stage 2 per virtual antenna, stage 3 per velocity bin.
+    /// Every output cell is written by exactly one task, so the cube is
+    /// identical at any thread count.
+    pub fn process_frame(&self, frame: &RawFrame) -> CubeFrame {
         let cfg = &self.config;
         let n_va = cfg.chirp.virtual_antenna_count();
         let chirps = cfg.chirp.chirps_per_tx;
@@ -199,33 +206,38 @@ impl CubeBuilder {
         let d_off = cfg.range_bin_offset();
         let d_bins = cfg.range_bins;
         let v_bins = cfg.doppler_bins;
+        debug_assert_eq!(samples, frame.samples_per_chirp());
+
+        // Virtual-antenna index → (tx, rx) pair, so stage 1 can partition
+        // the output by antenna chunk.
+        let mut pairs = vec![(0usize, 0usize); n_va];
+        for tx in 0..cfg.chirp.tx_count {
+            for rx in 0..cfg.chirp.rx_count {
+                pairs[self.array.element_index(tx, rx)] = (tx, rx);
+            }
+        }
 
         // Range-FFT per (virtual antenna, chirp), band-pass-filtered.
         // rd[va][chirp][d]
         let mut rd = vec![Complex::ZERO; n_va * chirps * d_bins];
-        for tx in 0..cfg.chirp.tx_count {
-            for rx in 0..cfg.chirp.rx_count {
-                let va = self.array.element_index(tx, rx);
-                for chirp in 0..chirps {
-                    let filtered =
-                        self.bandpass.filter_complex(frame.chirp_samples(tx, rx, chirp));
-                    let mut buf = filtered;
-                    Window::Hann.apply_inplace(&mut buf);
-                    fft_inplace(&mut buf);
-                    for d in 0..d_bins {
-                        rd[(va * chirps + chirp) * d_bins + d] = buf[d_off + d];
-                    }
-                }
+        mmhand_parallel::par_chunks_mut(&mut rd, chirps * d_bins, |va, rd_va| {
+            let (tx, rx) = pairs[va];
+            let mut bandpass = self.bandpass.clone();
+            for chirp in 0..chirps {
+                let mut buf = bandpass.filter_complex(frame.chirp_samples(tx, rx, chirp));
+                Window::Hann.apply_inplace(&mut buf);
+                fft_inplace(&mut buf);
+                rd_va[chirp * d_bins..(chirp + 1) * d_bins]
+                    .copy_from_slice(&buf[d_off..d_off + d_bins]);
             }
-        }
-        debug_assert_eq!(samples, frame.samples_per_chirp());
+        });
 
         // Doppler-FFT per (virtual antenna, range bin), keep central V bins.
         // vd[va][v][d]
         let mut vd = vec![Complex::ZERO; n_va * v_bins * d_bins];
-        let mut slow = vec![Complex::ZERO; chirps];
         let v_off = (chirps - v_bins) / 2;
-        for va in 0..n_va {
+        mmhand_parallel::par_chunks_mut(&mut vd, v_bins * d_bins, |va, vd_va| {
+            let mut slow = vec![Complex::ZERO; chirps];
             for d in 0..d_bins {
                 for chirp in 0..chirps {
                     slow[chirp] = rd[(va * chirps + chirp) * d_bins + d];
@@ -235,20 +247,20 @@ impl CubeBuilder {
                 fft_inplace(&mut buf);
                 let shifted = fft_shift(&buf);
                 for v in 0..v_bins {
-                    vd[(va * v_bins + v) * d_bins + d] = shifted[v_off + v];
+                    vd_va[v * d_bins + d] = shifted[v_off + v];
                 }
             }
-        }
+        });
 
-        // Angle spectra per (v, d) cell.
-        let az_row = self.array.azimuth_row().to_vec();
-        let el_row = self.array.elevated_row().to_vec();
-        let az_overlap = self.array.azimuth_overlap().to_vec();
+        // Angle spectra per (v, d) cell, one task per velocity bin.
+        let az_row = self.array.azimuth_row();
+        let el_row = self.array.elevated_row();
+        let az_overlap = self.array.azimuth_overlap();
         let f_max = cfg.max_angle_rad.sin() * 0.5;
         let [_, dd, aa] = cfg.frame_shape();
         let mut out = vec![0.0_f32; v_bins * dd * aa];
-        let mut az_elements = vec![Complex::ZERO; az_row.len()];
-        for v in 0..v_bins {
+        mmhand_parallel::par_chunks_mut(&mut out, dd * aa, |v, out_v| {
+            let mut az_elements = vec![Complex::ZERO; az_row.len()];
             for d in 0..d_bins {
                 // Azimuth: zoom-DFT over the 8-element ULA.
                 for (k, &e) in az_row.iter().enumerate() {
@@ -259,20 +271,20 @@ impl CubeBuilder {
                 // summed overlapping columns of the z = 0 and z = λ/2 rows.
                 let mut bottom = Complex::ZERO;
                 let mut top = Complex::ZERO;
-                for (&et, &eb) in el_row.iter().zip(&az_overlap) {
+                for (&et, &eb) in el_row.iter().zip(az_overlap) {
                     top += vd[(et * v_bins + v) * d_bins + d];
                     bottom += vd[(eb * v_bins + v) * d_bins + d];
                 }
                 let el_spec = zoom_dft(&[bottom, top], -f_max, f_max, cfg.elevation_bins);
-                let base = (v * dd + d) * aa;
+                let base = d * aa;
                 for (a, s) in az_spec.iter().enumerate() {
-                    out[base + a] = s.abs();
+                    out_v[base + a] = s.abs();
                 }
                 for (a, s) in el_spec.iter().enumerate() {
-                    out[base + cfg.azimuth_bins + a] = s.abs() / el_row.len() as f32;
+                    out_v[base + cfg.azimuth_bins + a] = s.abs() / el_row.len() as f32;
                 }
             }
-        }
+        });
 
         CubeFrame { data: out, shape: cfg.frame_shape() }
     }
@@ -364,7 +376,7 @@ mod tests {
 
     #[test]
     fn hand_range_target_peaks_at_expected_range_bin() {
-        let mut b = builder();
+        let b = builder();
         let range = 0.35_f32;
         let frame = frame_for_targets(
             vec![PointTarget::fixed(Vec3::new(0.0, range, 0.0), 1.0)],
@@ -384,7 +396,7 @@ mod tests {
 
     #[test]
     fn static_target_sits_in_central_doppler_bin() {
-        let mut b = builder();
+        let b = builder();
         let frame = frame_for_targets(
             vec![PointTarget::fixed(Vec3::new(0.0, 0.3, 0.0), 1.0)],
             0.0,
@@ -397,7 +409,7 @@ mod tests {
 
     #[test]
     fn angled_target_moves_azimuth_peak() {
-        let mut b = builder();
+        let b = builder();
         let theta = mmhand_math::deg_to_rad(20.0);
         let frame = frame_for_targets(
             vec![PointTarget::fixed(
@@ -416,7 +428,7 @@ mod tests {
 
     #[test]
     fn distant_clutter_is_suppressed_by_bandpass() {
-        let mut b = builder();
+        let b = builder();
         // Strong target far outside the hand band (2 m).
         let frame = frame_for_targets(
             vec![
@@ -444,7 +456,7 @@ mod tests {
 
     #[test]
     fn segment_tensor_is_standardised() {
-        let mut b = builder();
+        let b = builder();
         let frames: Vec<CubeFrame> = (0..4)
             .map(|i| {
                 let f = frame_for_targets(
@@ -473,7 +485,7 @@ mod tests {
     fn all_zero_frame_yields_finite_zero_cube() {
         // Failure injection: a dead front end (all-zero ADC) must not
         // produce NaNs anywhere downstream.
-        let mut b = builder();
+        let b = builder();
         let frame = RawFrame::zeroed(&b.config().chirp.clone());
         let cube = b.process_frame(&frame);
         assert!(cube.data.iter().all(|v| v.is_finite()));
@@ -489,7 +501,7 @@ mod tests {
     fn saturated_adc_stays_finite() {
         // Clipped/saturated input (every sample at a large constant) is
         // pathological but must stay numerically safe.
-        let mut b = builder();
+        let b = builder();
         let cfg = b.config().chirp;
         let mut frame = RawFrame::zeroed(&cfg);
         for tx in 0..cfg.tx_count {

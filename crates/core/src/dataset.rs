@@ -57,7 +57,7 @@ impl Batch {
 /// `frames_per_segment`; leftover frames/segments are dropped. The label of
 /// a segment is the ground truth at its last frame.
 pub fn session_to_sequences(
-    builder: &mut CubeBuilder,
+    builder: &CubeBuilder,
     session: &CaptureSession,
     seq_len: usize,
     user_id: usize,
@@ -160,9 +160,9 @@ mod tests {
 
     #[test]
     fn session_converts_to_sequences() {
-        let mut builder = CubeBuilder::new(CubeConfig::default());
+        let builder = CubeBuilder::new(CubeConfig::default());
         let session = quick_session(26); // 6 segments of 4, 2 frames dropped
-        let seqs = session_to_sequences(&mut builder, &session, 3, 1);
+        let seqs = session_to_sequences(&builder, &session, 3, 1);
         assert_eq!(seqs.len(), 2);
         for s in &seqs {
             assert_eq!(s.len(), 3);
@@ -177,9 +177,9 @@ mod tests {
 
     #[test]
     fn labels_match_segment_end_frames() {
-        let mut builder = CubeBuilder::new(CubeConfig::default());
+        let builder = CubeBuilder::new(CubeConfig::default());
         let session = quick_session(8);
-        let seqs = session_to_sequences(&mut builder, &session, 2, 1);
+        let seqs = session_to_sequences(&builder, &session, 2, 1);
         assert_eq!(seqs.len(), 1);
         // Segment 0 covers frames 0..4 → label is truth[3].
         let expected: Vec<f32> =
@@ -189,9 +189,9 @@ mod tests {
 
     #[test]
     fn batches_stack_and_shuffle() {
-        let mut builder = CubeBuilder::new(CubeConfig::default());
+        let builder = CubeBuilder::new(CubeConfig::default());
         let session = quick_session(40); // 10 segments → 5 sequences of 2
-        let seqs = session_to_sequences(&mut builder, &session, 2, 1);
+        let seqs = session_to_sequences(&builder, &session, 2, 1);
         assert_eq!(seqs.len(), 5);
         let mut rng = stream_rng(1, "batch");
         let batches = make_batches(&seqs, 2, &mut rng);
@@ -210,9 +210,9 @@ mod tests {
 
     #[test]
     fn too_short_session_yields_nothing() {
-        let mut builder = CubeBuilder::new(CubeConfig::default());
+        let builder = CubeBuilder::new(CubeConfig::default());
         let session = quick_session(3); // under one segment
-        let seqs = session_to_sequences(&mut builder, &session, 1, 1);
+        let seqs = session_to_sequences(&builder, &session, 1, 1);
         assert!(seqs.is_empty());
     }
 }

@@ -72,15 +72,18 @@ pub fn record_user_session(config: &DataConfig, user: &UserProfile, session_tag:
 }
 
 /// Generates the full cohort dataset: sequences tagged per user.
+///
+/// Users are recorded and cube-processed concurrently on the
+/// [`mmhand_parallel`] pool; results are concatenated in user order, so the
+/// output is identical at any thread count.
 pub fn build_cohort(config: &DataConfig) -> Vec<SegmentSequence> {
     let users = UserProfile::cohort(config.users, config.seed);
-    let mut builder = CubeBuilder::new(config.cube.clone());
-    let mut out = Vec::new();
-    for user in &users {
+    let builder = CubeBuilder::new(config.cube.clone());
+    let per_user = mmhand_parallel::par_map(&users, |user| {
         let session = record_user_session(config, user, 0);
-        out.extend(session_to_sequences(&mut builder, &session, config.seq_len, user.id));
-    }
-    out
+        session_to_sequences(&builder, &session, config.seq_len, user.id)
+    });
+    per_user.into_iter().flatten().collect()
 }
 
 /// Result of one cross-validation run.
@@ -111,9 +114,11 @@ pub fn cross_validate(
     assert!(users.len() >= folds, "need at least {folds} users");
     let per_fold = users.len().div_ceil(folds);
 
-    let mut per_user: Vec<(usize, JointErrors)> = Vec::new();
-    let mut overall = JointErrors::new();
-    for fold in 0..folds {
+    // Folds are fully independent (each trains its own model from its own
+    // seed), so run them concurrently and merge in fold order afterwards —
+    // the result is identical at any thread count.
+    let fold_ids: Vec<usize> = (0..folds).collect();
+    let fold_results = mmhand_parallel::par_map(&fold_ids, |&fold| {
         let test_users: Vec<usize> =
             users.iter().copied().skip(fold * per_fold).take(per_fold).collect();
         let train_set: Vec<SegmentSequence> = sequences
@@ -131,7 +136,13 @@ pub fn cross_validate(
             TrainConfig { seed: train_cfg.seed ^ fold as u64, ..train_cfg.clone() },
         );
         let model = trainer.train(&train_set);
-        for (user, errs) in model.evaluate_per_user(&test_set) {
+        model.evaluate_per_user(&test_set)
+    });
+
+    let mut per_user: Vec<(usize, JointErrors)> = Vec::new();
+    let mut overall = JointErrors::new();
+    for fold_users in fold_results {
+        for (user, errs) in fold_users {
             overall.merge(&errs);
             per_user.push((user, errs));
         }

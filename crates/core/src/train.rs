@@ -172,6 +172,32 @@ impl TrainedModel {
     }
 }
 
+/// Samples per data-parallel training micro-shard.
+///
+/// Each mini-batch is split along the sample axis into shards of this fixed
+/// size, which run forward/backward concurrently on the [`mmhand_parallel`]
+/// pool. The shard size is deliberately independent of the thread count and
+/// the per-shard gradients are reduced in ascending shard order, so training
+/// results are identical for any `MMHAND_THREADS` setting.
+const TRAIN_SHARD: usize = 2;
+
+/// Copies rows `lo..hi` (along the leading axis) of a batched tensor.
+fn slice_rows(t: &Tensor, lo: usize, hi: usize) -> Tensor {
+    let mut shape = t.shape().to_vec();
+    let row: usize = shape[1..].iter().product();
+    shape[0] = hi - lo;
+    Tensor::from_vec(&shape, t.data()[lo * row..hi * row].to_vec())
+}
+
+/// Per-shard result of a forward/backward pass: the shard's mean loss and
+/// component values plus its parameter gradients in tape order.
+struct ShardGrad {
+    loss: f32,
+    l3d: f32,
+    lkine: f32,
+    grads: Vec<(mmhand_nn::ParamId, Tensor)>,
+}
+
 /// Trains an [`MmHandModel`] on a set of sequences.
 pub struct Trainer {
     /// Architecture configuration.
@@ -234,33 +260,69 @@ impl Trainer {
             let mut lr_used = tc.base_lr;
             for batch in &batches {
                 store.zero_grad();
-                let mut tape = Tape::new();
-                let outs = model.forward(&mut tape, &store, &batch.segments);
-                // Sum the per-step combined losses, then average.
-                let mut total = None;
-                let mut l3d_sum = 0.0;
-                let mut lk_sum = 0.0;
-                for (out, label) in outs.iter().zip(&batch.labels) {
-                    let (l, l3d, lk) = combined_loss(&mut tape, *out, label, tc.weights);
-                    l3d_sum += l3d;
-                    lk_sum += lk;
-                    total = Some(match total {
-                        None => l,
-                        Some(acc) => tape.add(acc, l),
-                    });
+                // Split the batch along the sample axis into fixed-size
+                // micro-shards and run forward/backward for each shard on
+                // the pool. The per-sample loss terms are row-independent
+                // (the mean over the batch is a weighted mean of per-shard
+                // means), so sharding only reassociates the reduction.
+                let n = batch.batch_size();
+                let bounds: Vec<(usize, usize)> = (0..n)
+                    .step_by(TRAIN_SHARD)
+                    .map(|lo| (lo, (lo + TRAIN_SHARD).min(n)))
+                    .collect();
+                let shard_results = mmhand_parallel::par_map(&bounds, |&(lo, hi)| {
+                    let segments: Vec<Tensor> =
+                        batch.segments.iter().map(|s| slice_rows(s, lo, hi)).collect();
+                    let mut tape = Tape::new();
+                    let outs = model.forward(&mut tape, &store, &segments);
+                    // Sum the per-step combined losses, then average.
+                    let mut total = None;
+                    let mut l3d_sum = 0.0;
+                    let mut lk_sum = 0.0;
+                    for (out, label) in outs.iter().zip(&batch.labels) {
+                        let label = slice_rows(label, lo, hi);
+                        let (l, l3d, lk) = combined_loss(&mut tape, *out, &label, tc.weights);
+                        l3d_sum += l3d;
+                        lk_sum += lk;
+                        total = Some(match total {
+                            None => l,
+                            Some(acc) => tape.add(acc, l),
+                        });
+                    }
+                    let steps = outs.len() as f32;
+                    let loss = tape.scale(total.expect("non-empty sequence"), 1.0 / steps);
+                    // Weight the shard by its share of the batch so the
+                    // reduced gradient matches the full-batch mean loss.
+                    let weight = (hi - lo) as f32 / n as f32;
+                    let loss_value = tape.value(loss).data()[0];
+                    let root = if weight == 1.0 { loss } else { tape.scale(loss, weight) };
+                    let mut grads = Vec::new();
+                    tape.backward_with(root, |id, g| grads.push((id, g.clone())));
+                    ShardGrad {
+                        loss: weight * loss_value,
+                        l3d: weight * l3d_sum / steps,
+                        lkine: weight * lk_sum / steps,
+                        grads,
+                    }
+                });
+                // Reduce in ascending shard order for determinism across
+                // thread counts.
+                let mut batch_loss = 0.0;
+                for shard in &shard_results {
+                    batch_loss += shard.loss;
+                    epoch_l3d += shard.l3d;
+                    epoch_lk += shard.lkine;
+                    for (id, g) in &shard.grads {
+                        store.accumulate_grad(*id, g);
+                    }
                 }
-                let steps = outs.len() as f32;
-                let loss = tape.scale(total.expect("non-empty sequence"), 1.0 / steps);
-                tape.backward(loss, &mut store);
+                epoch_loss += batch_loss;
                 if tc.clip_norm > 0.0 {
                     store.clip_grad_norm(tc.clip_norm);
                 }
                 lr_used = schedule.lr_at(step);
                 adam.step_with_lr(&mut store, lr_used);
                 step += 1;
-                epoch_loss += tape.value(loss).data()[0];
-                epoch_l3d += l3d_sum / steps;
-                epoch_lk += lk_sum / steps;
             }
             let nb = batches.len().max(1) as f32;
             history.push(EpochStats {
@@ -351,8 +413,8 @@ mod tests {
             ..Default::default()
         };
         let session = record_session(&user, &track, n_frames, &capture);
-        let mut builder = CubeBuilder::new(cube_cfg.clone());
-        session_to_sequences(&mut builder, &session, 2, 1)
+        let builder = CubeBuilder::new(cube_cfg.clone());
+        session_to_sequences(&builder, &session, 2, 1)
     }
 
     #[test]
@@ -362,7 +424,7 @@ mod tests {
         assert!(!seqs.is_empty());
         let trainer = Trainer::new(
             model_cfg,
-            TrainConfig { epochs: 12, batch_size: 4, ..Default::default() },
+            TrainConfig { epochs: 160, batch_size: 4, ..Default::default() },
         );
         let trained = trainer.train(&seqs);
         let first = trained.history.first().unwrap().loss;
@@ -380,7 +442,7 @@ mod tests {
         let seqs = tiny_sequences(&cube_cfg, 48, 4);
         let trainer = Trainer::new(
             model_cfg,
-            TrainConfig { epochs: 80, batch_size: 4, ..Default::default() },
+            TrainConfig { epochs: 160, batch_size: 4, ..Default::default() },
         );
         let trained = trainer.train(&seqs);
         let model_err = trained.evaluate(&seqs).mpjpe(crate::metrics::JointGroup::Overall);
@@ -405,7 +467,7 @@ mod tests {
         let seqs = tiny_sequences(&cube_cfg, 24, 5);
         let trainer = Trainer::new(
             model_cfg,
-            TrainConfig { epochs: 4, batch_size: 4, ..Default::default() },
+            TrainConfig { epochs: 160, batch_size: 4, ..Default::default() },
         );
         let trained = trainer.train(&seqs);
         let preds = trained.predict_sequence(&seqs[0].segments);
@@ -427,7 +489,7 @@ mod tests {
         seqs.extend(other);
         let trainer = Trainer::new(
             model_cfg,
-            TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
+            TrainConfig { epochs: 160, batch_size: 4, ..Default::default() },
         );
         let trained = trainer.train(&seqs);
         let per_user = trained.evaluate_per_user(&seqs);

@@ -162,7 +162,7 @@ impl ButterworthDesign {
     /// not strictly increasing, or an edge is at/above Nyquist.
     pub fn design(self) -> Result<BandpassFilter, DesignFilterError> {
         let err = |m: &str| Err(DesignFilterError { message: m.to_string() });
-        if self.order == 0 || self.order % 2 != 0 {
+        if self.order == 0 || !self.order.is_multiple_of(2) {
             return err("band-pass order must be a positive even number");
         }
         if !(self.low_hz > 0.0 && self.high_hz > self.low_hz) {

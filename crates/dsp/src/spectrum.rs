@@ -44,6 +44,33 @@ pub fn doppler_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
     fft_shift(&buf)
 }
 
+/// Computes range spectra for a whole batch of chirps, fanned across the
+/// `mmhand-parallel` pool (one task per chirp).
+///
+/// Accepts any slice of sample rows (`Vec<Complex>`, `&[Complex]`, …);
+/// results are returned in input order, so the output is identical to
+/// mapping [`range_fft`] sequentially at any thread count.
+///
+/// # Panics
+///
+/// Panics if any row's length is not a power of two.
+pub fn range_fft_batch<S: AsRef<[Complex]> + Sync>(batch: &[S], window: Window) -> Vec<Vec<Complex>> {
+    mmhand_parallel::par_map(batch, |row| range_fft(row.as_ref(), window))
+}
+
+/// Computes centred Doppler spectra for a batch of slow-time rows, fanned
+/// across the `mmhand-parallel` pool; see [`range_fft_batch`].
+///
+/// # Panics
+///
+/// Panics if any row's length is not a power of two.
+pub fn doppler_fft_batch<S: AsRef<[Complex]> + Sync>(
+    batch: &[S],
+    window: Window,
+) -> Vec<Vec<Complex>> {
+    mmhand_parallel::par_map(batch, |row| doppler_fft(row.as_ref(), window))
+}
+
 /// Computes the angular spectrum from per-virtual-antenna phasors.
 ///
 /// `elements` holds one complex value per (half-wavelength-spaced) virtual
@@ -272,6 +299,25 @@ mod tests {
         assert!(doppler_bin_to_mps(n / 2, n, lambda, tc).abs() < 1e-12);
         // Max unambiguous velocity λ/(4 Tc) ≈ 4.06 m/s.
         assert!((v_lo + lambda / (4.0 * tc)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_ffts_match_sequential() {
+        let rows: Vec<Vec<Complex>> = (0..12)
+            .map(|r| {
+                (0..32)
+                    .map(|i| Complex::from_angle(TAU * (r as f32 + 1.0) * i as f32 / 32.0))
+                    .collect()
+            })
+            .collect();
+        let batched = range_fft_batch(&rows, Window::Hann);
+        for (row, spec) in rows.iter().zip(&batched) {
+            assert_eq!(spec, &range_fft(row, Window::Hann));
+        }
+        let batched = doppler_fft_batch(&rows, Window::Rectangular);
+        for (row, spec) in rows.iter().zip(&batched) {
+            assert_eq!(spec, &doppler_fft(row, Window::Rectangular));
+        }
     }
 
     proptest! {

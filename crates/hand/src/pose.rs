@@ -78,11 +78,11 @@ impl HandPose {
     pub fn lerp(&self, other: &HandPose, t: f32) -> HandPose {
         let mut curls = [[0.0; 3]; 5];
         let mut spreads = [0.0; 5];
-        for f in 0..5 {
-            for s in 0..3 {
-                curls[f][s] = self.curls[f][s] + (other.curls[f][s] - self.curls[f][s]) * t;
+        for (f, (curl, spread)) in curls.iter_mut().zip(&mut spreads).enumerate() {
+            for (s, c) in curl.iter_mut().enumerate() {
+                *c = self.curls[f][s] + (other.curls[f][s] - self.curls[f][s]) * t;
             }
-            spreads[f] = self.spreads[f] + (other.spreads[f] - self.spreads[f]) * t;
+            *spread = self.spreads[f] + (other.spreads[f] - self.spreads[f]) * t;
         }
         HandPose {
             curls,
@@ -194,8 +194,7 @@ mod tests {
 
     #[test]
     fn wrist_is_at_pose_position() {
-        let mut pose = HandPose::default();
-        pose.position = Vec3::new(0.1, 0.3, -0.05);
+        let pose = HandPose { position: Vec3::new(0.1, 0.3, -0.05), ..Default::default() };
         let j = pose.joints(&HandShape::default());
         assert!((j[0] - pose.position).norm() < 1e-7);
     }
@@ -284,8 +283,10 @@ mod tests {
     #[test]
     fn orientation_rotates_whole_hand() {
         let shape = HandShape::default();
-        let mut pose = HandPose::default();
-        pose.orientation = Quaternion::from_axis_angle(Vec3::X, std::f32::consts::FRAC_PI_2);
+        let pose = HandPose {
+            orientation: Quaternion::from_axis_angle(Vec3::X, std::f32::consts::FRAC_PI_2),
+            ..Default::default()
+        };
         let j = pose.joints(&shape);
         // Rotating +90° about +X maps the local +Z finger axis onto -Y.
         let dir = (j[Finger::Middle.tip()] - j[0]).normalized();

@@ -108,12 +108,12 @@ impl HandShape {
         beta[9] = inv(self.palm_thickness / base.palm_thickness);
         // Joint finger-length factor: geometric mean over all fingers.
         let mut ratios = [0.0_f32; 5];
-        for fi in 0..5 {
+        for (fi, ratio) in ratios.iter_mut().enumerate() {
             let mut r = 0.0;
             for s in 0..3 {
                 r += self.segment_lengths[fi][s] / base.segment_lengths[fi][s];
             }
-            ratios[fi] = r / 3.0;
+            *ratio = r / 3.0;
         }
         let mean: f32 = ratios.iter().product::<f32>().powf(0.2);
         beta[3] = inv(mean);

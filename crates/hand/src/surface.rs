@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn scatterers_stay_near_the_hand() {
-        let mut pose = HandPose::default();
-        pose.position = Vec3::new(0.05, 0.3, -0.02);
+        let pose = HandPose { position: Vec3::new(0.05, 0.3, -0.02), ..Default::default() };
         let shape = HandShape::default();
         let joints = pose.joints(&shape);
         let s = sample_scatterers(&joints, pose.palm_normal(), &shape, &SurfaceConfig::default());
@@ -189,8 +188,7 @@ mod tests {
     #[test]
     fn centroid_tracks_hand_position() {
         let shape = HandShape::default();
-        let mut pose = HandPose::default();
-        pose.position = Vec3::new(0.0, 0.35, 0.0);
+        let pose = HandPose { position: Vec3::new(0.0, 0.35, 0.0), ..Default::default() };
         let s = sample_scatterers(
             &pose.joints(&shape),
             pose.palm_normal(),

@@ -124,11 +124,13 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &ConvSpec
     assert_eq!(weight.shape(), &[o, c, k, k], "weight shape");
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
     let mut out = Tensor::zeros(&[n, o, ho, wo]);
-    let mut cols = vec![0.0_f32; c * k * k * ho * wo];
-    for s in 0..n {
-        let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
+    let x_data = x.data();
+    // One task per batch sample; each owns its output slice and scratch
+    // column buffer, so samples are fully independent.
+    mmhand_parallel::par_chunks_mut(out.data_mut(), o * ho * wo, |s, out_s| {
+        let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+        let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
         im2col(xs, c, h, w, spec, ho, wo, &mut cols);
-        let out_s = &mut out.data_mut()[s * o * ho * wo..(s + 1) * o * ho * wo];
         gemm(weight.data(), &cols, out_s, o, c * k * k, ho * wo);
         if !bias.is_empty() {
             for (oc, &b) in bias.iter().enumerate() {
@@ -137,7 +139,7 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &ConvSpec
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -159,22 +161,41 @@ pub fn conv2d_backward(
     let mut dx = Tensor::zeros(&[n, c, h, w]);
     let mut dw = Tensor::zeros(&[o, c, k, k]);
     let mut db = vec![0.0_f32; o];
-    let mut cols = vec![0.0_f32; c * k * k * ho * wo];
-    let mut dcols = vec![0.0_f32; c * k * k * ho * wo];
 
-    for s in 0..n {
-        let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
-        let dys = &dy.data()[s * o * ho * wo..(s + 1) * o * ho * wo];
-        im2col(xs, c, h, w, spec, ho, wo, &mut cols);
-        // dW += dY · colsᵀ  — (o, hw)·(hw, ckk)
-        gemm_a_bt(dys, &cols, dw.data_mut(), o, ho * wo, c * k * k);
-        // dcols = Wᵀ · dY — (ckk, o)·(o, hw)
-        dcols.iter_mut().for_each(|v| *v = 0.0);
-        gemm_at_b(weight.data(), dys, &mut dcols, c * k * k, o, ho * wo);
-        let dxs = &mut dx.data_mut()[s * c * h * w..(s + 1) * c * h * w];
-        col2im(&dcols, c, h, w, spec, ho, wo, dxs);
-        for oc in 0..o {
-            db[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+    // Each sample task owns its dx slice plus private dW/db partial
+    // buffers; partials are reduced on the caller in ascending sample
+    // order, which reproduces the sequential accumulation order exactly.
+    let mut partials: Vec<(Vec<f32>, Vec<f32>)> =
+        (0..n).map(|_| (vec![0.0_f32; o * c * k * k], vec![0.0_f32; o])).collect();
+    let x_data = x.data();
+    let dy_data = dy.data();
+    mmhand_parallel::scope(|sc| {
+        for (s, (dxs, (dw_part, db_part))) in
+            dx.data_mut().chunks_mut(c * h * w).zip(partials.iter_mut()).enumerate()
+        {
+            sc.spawn(move || {
+                let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
+                let dys = &dy_data[s * o * ho * wo..(s + 1) * o * ho * wo];
+                let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+                im2col(xs, c, h, w, spec, ho, wo, &mut cols);
+                // dW_s = dY_s · colsᵀ  — (o, hw)·(hw, ckk)
+                gemm_a_bt(dys, &cols, dw_part, o, ho * wo, c * k * k);
+                // dcols = Wᵀ · dY_s — (ckk, o)·(o, hw)
+                let mut dcols = vec![0.0_f32; c * k * k * ho * wo];
+                gemm_at_b(weight.data(), dys, &mut dcols, c * k * k, o, ho * wo);
+                col2im(&dcols, c, h, w, spec, ho, wo, dxs);
+                for oc in 0..o {
+                    db_part[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+                }
+            });
+        }
+    });
+    for (dw_part, db_part) in &partials {
+        for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
+            *acc += v;
+        }
+        for (acc, v) in db.iter_mut().zip(db_part) {
+            *acc += v;
         }
     }
     (dx, dw, db)
@@ -208,13 +229,12 @@ pub fn conv_transpose2d_forward(
         pad: spec.pad,
     };
     let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
-    let mut dcols = vec![0.0_f32; c_out * k * k * h * w];
-    for s in 0..n {
-        let xs = &x.data()[s * c_in * h * w..(s + 1) * c_in * h * w];
-        dcols.iter_mut().for_each(|v| *v = 0.0);
+    let x_data = x.data();
+    mmhand_parallel::par_chunks_mut(out.data_mut(), c_out * ho * wo, |s, out_s| {
+        let xs = &x_data[s * c_in * h * w..(s + 1) * c_in * h * w];
         // dcols = Wᵀ·x with W viewed as (c_in, c_out·k·k).
+        let mut dcols = vec![0.0_f32; c_out * k * k * h * w];
         gemm_at_b(weight.data(), xs, &mut dcols, c_out * k * k, c_in, h * w);
-        let out_s = &mut out.data_mut()[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
         col2im(&dcols, c_out, ho, wo, &dual, h, w, out_s);
         if !bias.is_empty() {
             for (oc, &b) in bias.iter().enumerate() {
@@ -223,7 +243,7 @@ pub fn conv_transpose2d_forward(
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -250,19 +270,40 @@ pub fn conv_transpose2d_backward(
     let mut dx = Tensor::zeros(&[n, c_in, h, w]);
     let mut dw = Tensor::zeros(&[c_in, c_out, k, k]);
     let mut db = vec![0.0_f32; c_out];
-    let mut cols = vec![0.0_f32; c_out * k * k * h * w];
 
-    for s in 0..n {
-        let dys = &dy.data()[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
-        let xs = &x.data()[s * c_in * h * w..(s + 1) * c_in * h * w];
-        // dx = conv_forward(dy) with the dual spec and weight (c_in,c_out·k·k).
-        im2col(dys, c_out, ho, wo, &dual, h, w, &mut cols);
-        let dxs = &mut dx.data_mut()[s * c_in * h * w..(s + 1) * c_in * h * w];
-        gemm(weight.data(), &cols, dxs, c_in, c_out * k * k, h * w);
-        // dW += xs · colsᵀ  — (c_in, hw)·(hw, c_out·k·k).
-        gemm_a_bt(xs, &cols, dw.data_mut(), c_in, h * w, c_out * k * k);
-        for oc in 0..c_out {
-            db[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+    // Same shape as conv2d_backward: per-sample tasks with private dW/db
+    // partials, reduced in ascending sample order for determinism.
+    let mut partials: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .map(|_| (vec![0.0_f32; c_in * c_out * k * k], vec![0.0_f32; c_out]))
+        .collect();
+    let x_data = x.data();
+    let dy_data = dy.data();
+    mmhand_parallel::scope(|sc| {
+        for (s, (dxs, (dw_part, db_part))) in
+            dx.data_mut().chunks_mut(c_in * h * w).zip(partials.iter_mut()).enumerate()
+        {
+            sc.spawn(move || {
+                let dys = &dy_data[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+                let xs = &x_data[s * c_in * h * w..(s + 1) * c_in * h * w];
+                // dx = conv_forward(dy) with the dual spec and weight
+                // (c_in, c_out·k·k).
+                let mut cols = vec![0.0_f32; c_out * k * k * h * w];
+                im2col(dys, c_out, ho, wo, &dual, h, w, &mut cols);
+                gemm(weight.data(), &cols, dxs, c_in, c_out * k * k, h * w);
+                // dW_s = xs · colsᵀ  — (c_in, hw)·(hw, c_out·k·k).
+                gemm_a_bt(xs, &cols, dw_part, c_in, h * w, c_out * k * k);
+                for oc in 0..c_out {
+                    db_part[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+                }
+            });
+        }
+    });
+    for (dw_part, db_part) in &partials {
+        for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
+            *acc += v;
+        }
+        for (acc, v) in db.iter_mut().zip(db_part) {
+            *acc += v;
         }
     }
     (dx, dw, db)

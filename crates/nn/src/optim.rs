@@ -48,8 +48,7 @@ impl Adam {
         for id in store.ids() {
             let (value, grad, m, v) = store.adam_buffers(id);
             let gd = grad.data();
-            for i in 0..gd.len() {
-                let g = gd[i];
+            for (i, &g) in gd.iter().enumerate() {
                 let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
                 let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
                 m.data_mut()[i] = mi;

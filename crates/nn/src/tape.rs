@@ -346,8 +346,7 @@ impl Tape {
         let hw = h * wd;
         let mut out = self.nodes[x.0].value.clone();
         let wv = self.nodes[w.0].value.data();
-        for i in 0..n * c {
-            let s = wv[i];
+        for (i, &s) in wv.iter().enumerate().take(n * c) {
             for v in &mut out.data_mut()[i * hw..(i + 1) * hw] {
                 *v *= s;
             }
@@ -364,8 +363,7 @@ impl Tape {
         let per = (c / groups) * h * wd;
         let mut out = self.nodes[x.0].value.clone();
         let wv = self.nodes[w.0].value.data();
-        for i in 0..n * groups {
-            let s = wv[i];
+        for (i, &s) in wv.iter().enumerate().take(n * groups) {
             for v in &mut out.data_mut()[i * per..(i + 1) * per] {
                 *v *= s;
             }
@@ -512,6 +510,14 @@ impl Tape {
     /// The loss is seeded with a gradient of ones (it is normally a `[1]`
     /// scalar from [`Tape::mean_all`] or [`Tape::external_loss`]).
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_with(loss, |id, g| store.accumulate_grad(id, g));
+    }
+
+    /// Like [`Tape::backward`], but routes each parameter gradient through
+    /// `sink` instead of a [`ParamStore`]. This lets data-parallel training
+    /// shards run backward on tapes that only hold a shared `&ParamStore`,
+    /// collecting gradients locally for a deterministic fixed-order reduce.
+    pub fn backward_with(&mut self, loss: Var, mut sink: impl FnMut(ParamId, &Tensor)) {
         let seed = Tensor::full(self.nodes[loss.0].value.shape(), 1.0);
         self.add_grad(loss, seed);
 
@@ -863,10 +869,10 @@ impl Tape {
             }
         }
 
-        // Route parameter gradients into the store.
+        // Route parameter gradients to the sink in node order.
         for node in &self.nodes {
             if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
-                store.accumulate_grad(*id, g);
+                sink(*id, g);
             }
         }
     }

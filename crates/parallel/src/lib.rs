@@ -1,0 +1,466 @@
+//! # mmhand-parallel
+//!
+//! A small, dependency-free scoped fork-join thread pool shared by every
+//! hot path in the workspace: the GEMM/conv kernels in `mmhand-nn`, the
+//! per-antenna FFT fan-out in `mmhand-dsp`/`mmhand-core`, the data-parallel
+//! trainer, and the concurrent experiment runner in `mmhand-bench`.
+//!
+//! Design points:
+//!
+//! * **Persistent workers.** One global pool is spawned lazily; tasks are
+//!   `Box<dyn FnOnce>` pushed onto a shared injector queue. No per-call
+//!   thread spawning, so even kernels called thousands of times per
+//!   training step can use it.
+//! * **Scoped spawning.** [`scope`] lets tasks borrow from the caller's
+//!   stack (like `std::thread::scope`), and does not return until every
+//!   spawned task has finished — including when the scope body panics.
+//! * **Nesting without deadlock.** A thread waiting on its scope *helps*:
+//!   it pops and runs queued tasks instead of blocking, so a worker whose
+//!   task opens a nested scope (e.g. a parallel trainer shard calling a
+//!   parallel GEMM) can never starve the pool.
+//! * **Thread count from `MMHAND_THREADS`.** Unset ⇒
+//!   `std::thread::available_parallelism()`. `MMHAND_THREADS=1` (or a
+//!   1-CPU machine) makes every helper run inline on the caller — the
+//!   sequential fallback adds no queueing or synchronisation.
+//! * **Determinism is structural, not accidental.** [`par_map`] returns
+//!   results in input order and [`par_chunks_mut`] hands out disjoint
+//!   chunks with their index; callers that reduce in chunk order get the
+//!   same floating-point result at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = mmhand_parallel::par_map(&[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let mut data = vec![0u32; 8];
+//! mmhand_parallel::par_chunks_mut(&mut data, 2, |chunk_idx, chunk| {
+//!     for v in chunk.iter_mut() {
+//!         *v = chunk_idx as u32;
+//!     }
+//! });
+//! assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+//! ```
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send>;
+
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+}
+
+impl Injector {
+    fn push(&self, task: Task) {
+        self.queue.lock().expect("injector queue").push_back(task);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().expect("injector queue").pop_front()
+    }
+}
+
+/// A fork-join pool with persistent worker threads.
+///
+/// Most code should use the free functions ([`par_map`], [`par_chunks_mut`],
+/// [`scope`]) which share one process-global pool; constructing private
+/// pools is mainly useful in tests.
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    /// Total execution width including the caller thread (workers + 1).
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` execution lanes. One lane is the calling
+    /// thread itself (it helps while waiting on scopes), so `threads - 1`
+    /// worker threads are spawned; `threads <= 1` spawns none.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        for i in 0..threads - 1 {
+            let inj = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name(format!("mmhand-worker-{i}"))
+                .spawn(move || worker_loop(&inj))
+                .expect("spawn pool worker");
+        }
+        ThreadPool { injector, threads }
+    }
+
+    /// Execution width of the pool (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] for spawning borrowed tasks, returning
+    /// only after every spawned task has completed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from the scope body or any spawned task
+    /// (after all tasks have finished).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Wait for spawned tasks, helping with queued work meanwhile. This
+        // runs even when the body panicked: borrowed tasks must finish
+        // before the borrow expires.
+        while state.pending.load(Ordering::Acquire) > 0 {
+            if let Some(task) = self.injector.try_pop() {
+                task();
+            } else {
+                let guard = state.done.lock().expect("scope done lock");
+                if state.pending.load(Ordering::Acquire) > 0 {
+                    // Timed wait: the task we would wait for may be popped
+                    // and executed by a thread parked in a different scope,
+                    // so a lost-wakeup-free timeout keeps this robust.
+                    let _ = state
+                        .done_cv
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .expect("scope done wait");
+                }
+            }
+        }
+
+        if let Some(payload) = state.panic.lock().expect("scope panic lock").take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let task = {
+            let mut queue = injector.queue.lock().expect("injector queue");
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                queue = injector.ready.wait(queue).expect("injector wait");
+            }
+        };
+        task();
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Spawning handle passed to the closure of [`ThreadPool::scope`] /
+/// [`scope`]. Tasks may borrow anything that outlives the scope call.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawns `task` onto the pool. With a single-lane pool (or inside
+    /// [`sequential_scope`]) the task runs inline on the caller.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.pool.threads <= 1 || in_sequential_scope() {
+            task();
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock().expect("scope panic lock");
+                slot.get_or_insert(payload);
+            }
+            // Hold the lock while decrementing so the waiter's check-then-
+            // wait in `scope` cannot miss the final notification.
+            let _guard = state.done.lock().expect("scope done lock");
+            state.pending.fetch_sub(1, Ordering::AcqRel);
+            state.done_cv.notify_all();
+        });
+        // SAFETY: `scope` does not return before `pending` reaches zero,
+        // i.e. before this job has run to completion, so the `'env`
+        // borrows inside the job never outlive their referents. The
+        // lifetime is erased only to pass through the 'static injector.
+        let job: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.injector.push(job);
+    }
+}
+
+thread_local! {
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_sequential_scope() -> bool {
+    FORCE_SEQUENTIAL.with(Cell::get)
+}
+
+/// Runs `f` with every parallel helper on this thread forced to the inline
+/// sequential path — exactly what `MMHAND_THREADS=1` does process-wide.
+/// Used by the determinism regression tests to compare one- and
+/// many-thread execution inside a single process.
+pub fn sequential_scope<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SEQUENTIAL.with(|flag| {
+        let prev = flag.replace(true);
+        let result = f();
+        flag.set(prev);
+        result
+    })
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+static CONFIGURED: Mutex<Option<usize>> = Mutex::new(None);
+
+/// Requests a specific width for the global pool. Must be called before the
+/// pool is first used; returns `Err` with the existing width if it is
+/// already running. Tests use this to guarantee a multi-thread pool on
+/// single-core CI machines.
+pub fn configure_threads(threads: usize) -> Result<(), usize> {
+    if let Some(pool) = GLOBAL.get() {
+        return if pool.threads() == threads.max(1) { Ok(()) } else { Err(pool.threads()) };
+    }
+    *CONFIGURED.lock().expect("configure lock") = Some(threads.max(1));
+    // Materialise immediately so a racing first use cannot override.
+    let got = global().threads();
+    if got == threads.max(1) {
+        Ok(())
+    } else {
+        Err(got)
+    }
+}
+
+fn env_threads() -> usize {
+    if let Ok(v) = std::env::var("MMHAND_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 256);
+        }
+        eprintln!("[mmhand-parallel] ignoring unparsable MMHAND_THREADS={v:?}");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-global pool, created on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let requested = CONFIGURED.lock().expect("configure lock").take();
+        ThreadPool::new(requested.unwrap_or_else(env_threads))
+    })
+}
+
+/// Execution width of the global pool (1 ⇒ everything runs inline).
+pub fn num_threads() -> usize {
+    global().threads()
+}
+
+/// `true` when parallel helpers on this thread would run inline.
+pub fn is_sequential() -> bool {
+    num_threads() <= 1 || in_sequential_scope()
+}
+
+/// Scoped fork-join on the global pool; see [`ThreadPool::scope`].
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    global().scope(f)
+}
+
+/// Applies `f` to every item, in parallel, returning results in input
+/// order. Each item is one task, so use this for coarse work (a CV fold, a
+/// user session, a sweep point) rather than per-element math.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || is_sequential() {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    scope(|s| {
+        for (item, slot) in items.iter().zip(slots.iter_mut()) {
+            let f = &f;
+            s.spawn(move || {
+                *slot = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("par_map task completed"))
+        .collect()
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` (the last may be
+/// shorter) and runs `f(chunk_index, chunk)` on each in parallel. Chunks
+/// are disjoint, so no synchronisation is needed inside `f`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    if data.len() <= chunk_len || is_sequential() {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    scope(|s| {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(idx, chunk));
+        }
+    });
+}
+
+/// Runs `f(index)` for every index in `0..n` in parallel — the fork-join
+/// equivalent of a `for` loop whose iterations are independent.
+pub fn par_for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n <= 1 || is_sequential() {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    scope(|s| {
+        for i in 0..n {
+            let f = &f;
+            s.spawn(move || f(i));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 10, |idx, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (idx * 10 + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v as usize, i);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let outer: Vec<u64> = (0..8).collect();
+        let sums = par_map(&outer, |&o| {
+            let inner: Vec<u64> = (0..16).collect();
+            par_map(&inner, |&i| o * 100 + i).iter().sum::<u64>()
+        });
+        for (o, s) in sums.iter().enumerate() {
+            assert_eq!(*s, (0..16).map(|i| o as u64 * 100 + i).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn sequential_scope_forces_inline() {
+        sequential_scope(|| {
+            assert!(is_sequential());
+            let tid = std::thread::current().id();
+            let ids = par_map(&[0u8; 8], |_| std::thread::current().id());
+            assert!(ids.iter().all(|id| *id == tid));
+        });
+    }
+
+    #[test]
+    fn spawned_panic_propagates() {
+        let private = ThreadPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            private.scope(|s| {
+                s.spawn(|| panic!("task boom"));
+                s.spawn(|| {});
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn private_pool_runs_borrowed_tasks() {
+        let pool = ThreadPool::new(4);
+        let mut out = [0u32; 16];
+        pool.scope(|s| {
+            for (i, v) in out.iter_mut().enumerate() {
+                s.spawn(move || *v = i as u32 + 1);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+}

@@ -28,7 +28,7 @@ fn strip(values: &[f32]) -> String {
 
 fn main() {
     let cube_cfg = CubeConfig::default();
-    let mut builder = CubeBuilder::new(cube_cfg.clone());
+    let builder = CubeBuilder::new(cube_cfg.clone());
     let user = UserProfile::generate(1, 5);
 
     // A hand swiping left-to-right at 30 cm.

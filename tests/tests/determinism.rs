@@ -1,0 +1,159 @@
+//! Regression tests for thread-count independence: the parallel execution
+//! layer must not change any numeric result. Training, dataset synthesis,
+//! and cross-validation all shard work in thread-count-independent units
+//! and reduce in fixed order, so running with the pool engaged must match
+//! a forced-sequential run exactly (we assert a 1e-4 tolerance as the
+//! contract, though the design delivers bitwise equality).
+//!
+//! This binary configures a 4-thread pool up front — deliberately wider
+//! than the single-CPU CI runner — so the parallel code paths (task
+//! splitting, cross-thread reduction) are genuinely exercised even there.
+
+use mmhand_core::cube::{CubeBuilder, CubeConfig};
+use mmhand_core::dataset::session_to_sequences;
+use mmhand_core::eval::{build_cohort, cross_validate, DataConfig};
+use mmhand_core::metrics::JointGroup;
+use mmhand_core::model::ModelConfig;
+use mmhand_core::train::{TrainConfig, TrainedModel, Trainer};
+use mmhand_hand::gesture::Gesture;
+use mmhand_hand::trajectory::GestureTrack;
+use mmhand_hand::user::UserProfile;
+use mmhand_math::Vec3;
+use mmhand_radar::capture::{record_session, CaptureConfig};
+use mmhand_radar::{ChirpConfig, Environment};
+
+/// Forces the pool to 4 threads for every test in this binary (first call
+/// wins; later calls are no-ops, which is fine — any >1 width does).
+fn ensure_pool() {
+    let _ = mmhand_parallel::configure_threads(4);
+}
+
+fn tiny_data_config() -> DataConfig {
+    let chirp = ChirpConfig { chirps_per_tx: 8, samples_per_chirp: 32, ..Default::default() };
+    let cube = CubeConfig {
+        chirp,
+        range_bins: 8,
+        doppler_bins: 4,
+        azimuth_bins: 4,
+        elevation_bins: 4,
+        frames_per_segment: 2,
+        range_max_m: 0.45,
+        ..Default::default()
+    };
+    DataConfig {
+        users: 2,
+        frames_per_user: 24,
+        gestures_per_track: 3,
+        seq_len: 2,
+        capture: CaptureConfig {
+            chirp,
+            environment: Environment::Playground,
+            noise_sigma: 0.005,
+            ..Default::default()
+        },
+        cube,
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+fn tiny_model(data: &DataConfig) -> ModelConfig {
+    ModelConfig {
+        channels: 6,
+        blocks: 1,
+        feature_dim: 24,
+        lstm_hidden: 24,
+        ..data.model_config()
+    }
+}
+
+fn train_tiny(data: &DataConfig) -> (TrainedModel, Vec<Vec<Vec<f32>>>) {
+    let sequences = build_cohort(data);
+    assert!(!sequences.is_empty());
+    let trained = Trainer::new(
+        tiny_model(data),
+        TrainConfig { epochs: 6, batch_size: 4, ..Default::default() },
+    )
+    .train(&sequences);
+    let preds = sequences
+        .iter()
+        .map(|s| trained.predict_sequence(&s.segments))
+        .collect();
+    (trained, preds)
+}
+
+#[test]
+fn training_is_identical_across_thread_counts() {
+    ensure_pool();
+    let data = tiny_data_config();
+    let (par_model, par_preds) = train_tiny(&data);
+    let (seq_model, seq_preds) =
+        mmhand_parallel::sequential_scope(|| train_tiny(&data));
+
+    // The contract from ISSUE/DESIGN: joint predictions agree within 1e-4.
+    for (p, s) in par_preds.iter().zip(&seq_preds) {
+        for (pf, sf) in p.iter().zip(s) {
+            for (a, b) in pf.iter().zip(sf) {
+                assert!(
+                    (a - b).abs() <= 1e-4,
+                    "prediction diverged across thread counts: {a} vs {b}"
+                );
+            }
+        }
+    }
+    // The implementation actually guarantees bitwise-equal parameters
+    // (fixed shard size + fixed-order reduction); hold it to that.
+    assert_eq!(
+        par_model.store.snapshot(),
+        seq_model.store.snapshot(),
+        "trained parameters are not bitwise identical across thread counts"
+    );
+}
+
+#[test]
+fn cube_processing_is_identical_across_thread_counts() {
+    ensure_pool();
+    let data = tiny_data_config();
+    let user = UserProfile::generate(1, data.seed);
+    let track = GestureTrack::from_gestures(
+        &[Gesture::OpenPalm, Gesture::Pinch],
+        Vec3::new(0.0, 0.3, 0.0),
+        1.0,
+        0.1,
+    );
+    let session = record_session(&user, &track, 8, &data.capture);
+    let builder = CubeBuilder::new(data.cube.clone());
+
+    let par = session_to_sequences(&builder, &session, 2, 1);
+    let seq = mmhand_parallel::sequential_scope(|| {
+        session_to_sequences(&builder, &session, 2, 1)
+    });
+    assert_eq!(par.len(), seq.len());
+    for (a, b) in par.iter().zip(&seq) {
+        for (ta, tb) in a.segments.iter().zip(&b.segments) {
+            assert_eq!(ta.data(), tb.data(), "cube tensors differ across thread counts");
+        }
+    }
+}
+
+#[test]
+fn cross_validation_is_identical_across_thread_counts() {
+    ensure_pool();
+    let data = tiny_data_config();
+    let data = DataConfig { users: 4, ..data };
+    let sequences = build_cohort(&data);
+    let model_cfg = tiny_model(&data);
+    let train_cfg = TrainConfig { epochs: 2, batch_size: 4, ..Default::default() };
+
+    let par = cross_validate(&sequences, &model_cfg, &train_cfg, 2);
+    let seq = mmhand_parallel::sequential_scope(|| {
+        cross_validate(&sequences, &model_cfg, &train_cfg, 2)
+    });
+    assert_eq!(par.per_user.len(), seq.per_user.len());
+    let pm = par.overall.mpjpe(JointGroup::Overall);
+    let sm = seq.overall.mpjpe(JointGroup::Overall);
+    assert!(
+        (pm - sm).abs() <= 1e-4,
+        "cross-validation MPJPE diverged: {pm} vs {sm}"
+    );
+}

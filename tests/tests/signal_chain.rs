@@ -88,7 +88,7 @@ fn cube_azimuth_tracks_swipe() {
 fn gesture_changes_are_visible_in_the_cube() {
     // Different gestures at the same position must produce measurably
     // different cubes — the information the network learns from.
-    let mut builder = CubeBuilder::new(CubeConfig::default());
+    let builder = CubeBuilder::new(CubeConfig::default());
     let pos = Vec3::new(0.0, 0.3, 0.0);
     let mut cubes = Vec::new();
     for g in [Gesture::OpenPalm, Gesture::Fist] {
@@ -118,8 +118,8 @@ fn environment_clutter_barely_leaks_into_the_hand_band() {
     let pos = Vec3::new(0.0, 0.3, 0.0);
     let track = GestureTrack::from_gestures(&[Gesture::OpenPalm], pos, 1.0, 0.1);
     let user = UserProfile::generate(1, 3);
-    let mut builder = CubeBuilder::new(CubeConfig::default());
-    let mut cube_for = |env: Environment| {
+    let builder = CubeBuilder::new(CubeConfig::default());
+    let cube_for = |env: Environment| {
         let cfg = CaptureConfig { environment: env, noise_sigma: 0.0, seed: 3, ..Default::default() };
         let session = record_session(&user, &track, 1, &cfg);
         builder.process_frame(&session.frames[0])

@@ -1,0 +1,176 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Supports the surface the workspace benches use: `Criterion::default()`,
+//! `.sample_size(n)`, `.bench_function(name, |b| b.iter(...))`, plus the
+//! `criterion_group!` / `criterion_main!` macros and `black_box`.
+//!
+//! Measurement model: an exponential warm-up sizes the iteration count so
+//! one sample takes roughly `target_sample_time`, then `sample_size`
+//! samples are timed. Mean, min, and max per-iteration times are printed
+//! in a `name  time: [min mean max]` line, mirroring criterion's output
+//! shape so logs stay grep-compatible.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives timing loops inside `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(25),
+        }
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Warm-up: double the iteration count until a sample is long enough
+        // to time reliably, or the function is clearly slow.
+        let mut iters: u64 = 1;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let sample_iters = if per_iter.is_zero() {
+            iters
+        } else {
+            (self.target_sample_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24)
+                as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            let per = b.elapsed.checked_div(sample_iters as u32).unwrap_or(Duration::ZERO);
+            total += per;
+            min = min.min(per);
+            max = max.max(per);
+        }
+        let mean = total.checked_div(self.sample_size as u32).unwrap_or(Duration::ZERO);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            self.sample_size,
+            sample_iters,
+        );
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(format_time(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_time(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_time(Duration::from_secs(2)).ends_with(" s"));
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}
