@@ -1,0 +1,353 @@
+//! A comment/string-aware line lexer for Rust source.
+//!
+//! The audit rules only need to know, for every source line, (a) what the
+//! *code* on that line looks like with comments and string contents blanked
+//! out, and (b) what comment text the line carries. This module produces
+//! exactly that, handling the token shapes that trip up naive regex
+//! scanners: nested block comments, string escapes, raw strings with
+//! arbitrary `#` fences, byte strings, char literals, and lifetimes
+//! (`'env` is not an unterminated char literal).
+//!
+//! String and comment *contents* are replaced by spaces so that column
+//! positions survive; string delimiters are kept so rules can still see
+//! e.g. an empty `expect("")` argument.
+
+/// One lexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string/char contents blanked.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/*`).
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `/* … */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a normal `"…"` string.
+    Str,
+    /// Inside a raw string `r##"…"##` with this many `#` fences.
+    RawStr(u32),
+}
+
+/// Splits Rust source into [`Line`]s with comments and strings separated
+/// from code. Never fails: pathological input degrades to blanked text,
+/// not a panic.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth <= 1 { State::Code } else { State::Block(depth - 1) };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                    code.push(' ');
+                }
+                State::Str => {
+                    code.push(' ');
+                    if c == '\\' {
+                        i += 2; // skip the escaped character, whatever it is
+                        code.push(' ');
+                    } else if c == '"' {
+                        code.pop();
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(fences) => {
+                    if c == '"' && closes_raw(&chars, i + 1, fences) {
+                        code.push('"');
+                        for _ in 0..fences {
+                            code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + fences as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: the rest of the line is comment text.
+                        let text: String = chars[i + 2..].iter().collect();
+                        comment.push_str(text.trim());
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if let Some(fences) = raw_string_open(&chars, i) {
+                        // r"…", r#"…"#, br"…", b"…" handled here/below.
+                        let prefix_len = raw_prefix_len(&chars, i);
+                        for _ in 0..prefix_len + 1 + fences as usize {
+                            code.push(' ');
+                        }
+                        // Re-emit the opening quote for visibility.
+                        code.pop();
+                        code.push('"');
+                        state = State::RawStr(fences);
+                        i += prefix_len + 1 + fences as usize;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        code.push(' ');
+                        code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if let Some(len) = char_literal_len(&chars, i) {
+                            code.push('\'');
+                            for _ in 1..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(Line { number: idx + 1, code, comment });
+    }
+    lines
+}
+
+/// Returns `Some(fence_count)` when position `i` starts a raw string
+/// (`r"`, `r#"`, `br##"` …).
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') && chars.get(j + 1) == Some(&'r') {
+        j += 2;
+    } else if chars.get(j) == Some(&'r') {
+        // Avoid treating identifiers like `rate` or `r2` as raw strings.
+        if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+            return None;
+        }
+        j += 1;
+    } else {
+        return None;
+    }
+    let mut fences = 0u32;
+    while chars.get(j) == Some(&'#') {
+        fences += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(fences)
+    } else {
+        None
+    }
+}
+
+/// Length of the `r`/`br` prefix plus `#` fences at `i` (excluding the quote).
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j - i
+}
+
+/// `true` when `fences` hash marks follow position `i`.
+fn closes_raw(chars: &[char], i: usize, fences: u32) -> bool {
+    (0..fences as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Returns the total length of a char literal starting at `'`, or `None`
+/// if this apostrophe starts a lifetime (`'env`) or label (`'outer:`).
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            if j < chars.len() {
+                Some(j - i + 1)
+            } else {
+                None
+            }
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime or stray quote
+    }
+}
+
+/// `true` when `needle` occurs in `haystack` delimited by non-identifier
+/// characters on both sides — a cheap word-boundary match for keywords
+/// like `unsafe`.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let lines = lex("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment, "trailing note");
+        assert_eq!(lines[1].code.trim(), "");
+        assert_eq!(lines[1].comment, "full line");
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_kept() {
+        let lines = lex(r#"call("unwrap() panic! // not a comment");"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains("call(\""));
+        assert!(lines[0].code.contains("\");"));
+    }
+
+    #[test]
+    fn empty_string_is_visible_to_rules() {
+        let lines = lex(r#"x.expect("");"#);
+        assert!(lines[0].code.contains(r#"expect("")"#));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate_string() {
+        let lines = lex(r#"let s = "a\"b; unwrap()"; let t = 1;"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"has \"quotes\" and unwrap()\"#; let u = 2;";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let u = 2;"));
+    }
+
+    #[test]
+    fn raw_string_spanning_lines() {
+        let src = "let s = r\"line one\nunwrap() still string\n\"; let done = 1;";
+        let codes = code_of(src);
+        assert!(!codes[1].contains("unwrap"));
+        assert!(codes[2].contains("let done = 1;"));
+    }
+
+    #[test]
+    fn identifier_starting_with_r_is_not_raw_string() {
+        let lines = lex("let rate = r2d2 + r; unwrap()");
+        assert!(lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("rate"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let lines = lex(src);
+        assert!(lines[0].code.contains('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("outer"));
+        assert!(!lines[0].code.contains("still"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_spanning_lines() {
+        let src = "code1 /* comment\nunwrap()\nstill */ code2";
+        let codes = code_of(src);
+        assert!(codes[0].contains("code1"));
+        assert!(!codes[1].contains("unwrap"));
+        assert!(codes[2].contains("code2"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'env>(x: &'env str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(lines[0].code.contains("'env"));
+        // Char literal contents blanked, quote kept.
+        assert!(lines[0].code.contains('\''));
+        assert!(!lines[0].code.contains("\\n"));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lines = lex(r#"let b = b"unwrap()"; let c = 3;"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let c = 3;"));
+    }
+
+    #[test]
+    fn word_boundary_matching() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(contains_word("x = unsafe{f()}", "unsafe"));
+        assert!(!contains_word("AssertUnwindSafe", "unsafe"));
+        assert!(!contains_word("my_unsafe_helper", "unsafe"));
+        assert!(!contains_word("unsafely", "unsafe"));
+    }
+
+    #[test]
+    fn cfg_test_attribute_survives_in_code() {
+        let lines = lex("#[cfg(test)]\nmod tests {");
+        assert!(lines[0].code.contains("#[cfg(test)]"));
+        assert!(lines[1].code.contains("mod tests"));
+    }
+}

@@ -1,0 +1,167 @@
+//! # mmhand-audit
+//!
+//! A dependency-free static-analysis engine enforcing the workspace's
+//! correctness contracts: `unsafe` documentation, panic hygiene,
+//! determinism hygiene, and float-comparison hygiene. PR 1 wired a
+//! hand-rolled fork-join pool through every hot path and promised
+//! bitwise-identical results at any thread count; these lints are the
+//! static half of that contract (the dynamic half is the scheduler audit
+//! in `mmhand-parallel` and the `sanitize-numerics` feature).
+//!
+//! The scanner is a line lexer, not a `syn`/rustc plugin: it tracks
+//! strings, raw strings, char literals, and nested block comments so
+//! rules fire only on real code. See [`rules`] for the rule catalogue and
+//! the `// audit: allow(<rule>)` justification-marker syntax.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p mmhand-audit -- --deny-all
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use rules::Finding;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a workspace scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, ordered by file path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files inspected.
+    pub files_scanned: usize,
+}
+
+/// Directories never scanned (build output, vendored deps, VCS metadata).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Scans every `.rs` file under `root`, returning the combined report.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let rel = relative_path(root, file);
+        findings.extend(rules::check_file(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report { findings, files_scanned: files.len() })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across platforms,
+/// and what [`rules::classify`] expects).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Serialises a report as JSON (machine-readable CI output). Hand-rolled —
+/// the build environment is offline and the audit crate stays
+/// dependency-free by design.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape_json(f.rule),
+            escape_json(&f.file),
+            f.line,
+            escape_json(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"finding_count\": {}\n}}\n",
+        report.files_scanned,
+        report.findings.len()
+    ));
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "no_unwrap",
+                file: "a \"b\"\\c.rs".into(),
+                line: 3,
+                message: "line1\nline2".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = to_json(&report);
+        assert!(json.contains(r#"a \"b\"\\c.rs"#));
+        assert!(json.contains(r"line1\nline2"));
+        assert!(json.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = to_json(&Report { findings: vec![], files_scanned: 7 });
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"files_scanned\": 7"));
+    }
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/ws");
+        let file = Path::new("/ws/crates/x/src/lib.rs");
+        assert_eq!(relative_path(root, file), "crates/x/src/lib.rs");
+    }
+}

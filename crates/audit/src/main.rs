@@ -1,0 +1,101 @@
+//! `mmhand-audit` — CLI front end for the workspace lint engine.
+//!
+//! ```text
+//! mmhand-audit [--root DIR] [--json] [--deny-all] [--list-rules]
+//! ```
+//!
+//! * `--root DIR`    workspace root to scan (default: current directory)
+//! * `--json`        machine-readable output for CI artifacts
+//! * `--deny-all`    exit non-zero when any finding exists (the CI gate)
+//! * `--list-rules`  print the rule catalogue and exit
+//!
+//! Exit codes: `0` clean (or findings without `--deny-all`), `1` findings
+//! under `--deny-all`, `2` usage or I/O error.
+
+use mmhand_audit::{rules, scan_workspace, to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-all" => opts.deny_all = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage, exit 2 is fine for scripts
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!("usage: mmhand-audit [--root DIR] [--json] [--deny-all] [--list-rules]");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("mmhand-audit: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (name, summary) in rules::RULES {
+            println!("{name:16} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match scan_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmhand-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!("{}", to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        println!(
+            "mmhand-audit: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+
+    if opts.deny_all && !report.findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

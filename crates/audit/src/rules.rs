@@ -1,0 +1,471 @@
+//! The audit rule set.
+//!
+//! Each rule inspects the *code* channel of the lexed source (comments and
+//! string contents already blanked by [`crate::lexer`]), so a `panic!`
+//! inside a doc string or an `unwrap()` mentioned in a comment never
+//! triggers. Every rule can be silenced per-site with a justification
+//! marker on the same line or the line directly above:
+//!
+//! ```text
+//! // audit: allow(no_unwrap) — index proven in bounds by the loop above
+//! let v = xs.get(i).unwrap();
+//! ```
+//!
+//! Rule catalogue (see `DESIGN.md` §"Audit invariants & numeric sanitizer"
+//! for the rationale of each):
+//!
+//! | rule | requirement |
+//! |---|---|
+//! | `safety_comment` | every `unsafe` keyword is preceded by a `// SAFETY:` comment |
+//! | `no_unwrap` | no `.unwrap()` in non-test library code |
+//! | `empty_expect` | no `.expect("")` — messages must describe the invariant |
+//! | `no_panic` | no `panic!` in non-test library code |
+//! | `determinism` | no `thread::spawn` / wall-clock reads / ad-hoc RNG seeding outside the sanctioned modules |
+//! | `float_eq` | no `==`/`!=` against floating-point literals |
+
+use crate::lexer::{contains_word, lex, Line};
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// `(name, summary)` for every rule, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    ("safety_comment", "unsafe blocks must carry a `// SAFETY:` comment stating the upheld invariants"),
+    ("no_unwrap", "no `.unwrap()` in non-test library code; use typed errors or a descriptive `expect`"),
+    ("empty_expect", "`expect(\"\")` hides the invariant; the message must say why the value exists"),
+    ("no_panic", "no `panic!` in non-test library code; return errors or document via audit allow"),
+    ("determinism", "no thread spawning, wall-clock reads, or RNG seeding outside mmhand-parallel, mmhand-math::rng, and bench binaries"),
+    ("float_eq", "no `==`/`!=` comparison against float literals; use an epsilon or restructure"),
+];
+
+/// How many lines above an `unsafe` keyword a `// SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 6;
+
+/// Path-derived lint context for one file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileKind {
+    /// Whole file is test code (`tests/`, `benches/` trees).
+    pub test_file: bool,
+    /// Exempt from the panic-hygiene rules (examples are demo code).
+    pub panic_exempt: bool,
+    /// Exempt from the determinism rule (sanctioned nondeterminism).
+    pub determinism_exempt: bool,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(path: &str) -> FileKind {
+    let test_file = path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/");
+    let is_example = path.starts_with("examples/");
+    let is_bench_bin = path.contains("/src/bin/");
+    FileKind {
+        test_file,
+        panic_exempt: is_example || is_bench_bin,
+        determinism_exempt: path.starts_with("crates/parallel/")
+            || path == "crates/math/src/rng.rs"
+            || is_bench_bin
+            || is_example
+            || test_file,
+    }
+}
+
+/// Runs every rule over one file's source, returning its findings.
+pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
+    let kind = classify(path);
+    let lines = lex(source);
+    let test_lines = test_regions(&lines);
+    let mut findings = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let in_test = kind.test_file || test_lines[idx];
+        let code = &line.code;
+
+        // safety_comment — applies everywhere, including tests.
+        if contains_word(code, "unsafe") && !has_safety_comment(&lines, idx) {
+            findings.push(Finding {
+                rule: "safety_comment",
+                file: path.to_string(),
+                line: line.number,
+                message: "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
+            });
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if !kind.panic_exempt {
+            if code.contains(".unwrap()") && !allowed(&lines, idx, "no_unwrap") {
+                findings.push(Finding {
+                    rule: "no_unwrap",
+                    file: path.to_string(),
+                    line: line.number,
+                    message: "`.unwrap()` in non-test library code".into(),
+                });
+            }
+            if code.contains(".expect(\"\")") && !allowed(&lines, idx, "empty_expect") {
+                findings.push(Finding {
+                    rule: "empty_expect",
+                    file: path.to_string(),
+                    line: line.number,
+                    message: "`.expect(\"\")` with an empty justification message".into(),
+                });
+            }
+            if code.contains("panic!") && !allowed(&lines, idx, "no_panic") {
+                findings.push(Finding {
+                    rule: "no_panic",
+                    file: path.to_string(),
+                    line: line.number,
+                    message: "`panic!` in non-test library code".into(),
+                });
+            }
+        }
+
+        if !kind.determinism_exempt {
+            for pat in [
+                "thread::spawn",
+                "SystemTime::now",
+                "Instant::now",
+                "thread_rng",
+                "from_entropy",
+            ] {
+                if code.contains(pat) && !allowed(&lines, idx, "determinism") {
+                    findings.push(Finding {
+                        rule: "determinism",
+                        file: path.to_string(),
+                        line: line.number,
+                        message: format!(
+                            "`{pat}` outside the sanctioned nondeterminism boundary"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if let Some(op) = float_literal_comparison(code) {
+            if !allowed(&lines, idx, "float_eq") {
+                findings.push(Finding {
+                    rule: "float_eq",
+                    file: path.to_string(),
+                    line: line.number,
+                    message: format!("`{op}` comparison against a float literal"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Marks which lines sit inside `#[cfg(test)]` item bodies.
+///
+/// The tracker is brace-depth based: a `#[cfg(test)]` attribute arms a
+/// pending region at the current depth; the next `{` opened at that depth
+/// starts the region, which ends when the matching `}` closes. An
+/// intervening `;` at the same depth (the attribute decorated a braceless
+/// item such as a `use`) disarms it.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut pending: Option<i32> = None;
+    // Depths whose open brace started a test region.
+    let mut regions: Vec<i32> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if is_test_attribute(code) {
+            pending = Some(depth);
+        }
+        let mut in_region_here = !regions.is_empty();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending == Some(depth) {
+                        regions.push(depth);
+                        pending = None;
+                        in_region_here = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                ';' if pending == Some(depth) && regions.is_empty() => {
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+        out[idx] = in_region_here || !regions.is_empty();
+    }
+    out
+}
+
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]`, or a `#[test]`-style attribute.
+fn is_test_attribute(code: &str) -> bool {
+    let trimmed = code.trim_start();
+    if let Some(pos) = trimmed.find("#[") {
+        let attr = &trimmed[pos..];
+        let end = attr.find(']').map(|e| e + 1).unwrap_or(attr.len());
+        let attr = &attr[..end];
+        return (attr.contains("cfg") && contains_word(attr, "test"))
+            || attr == "#[test]"
+            || attr.starts_with("#[test]");
+    }
+    false
+}
+
+/// `// SAFETY:` on the same line, within the previous few lines, or
+/// anywhere in the contiguous comment-only block sitting directly above
+/// the `unsafe` keyword — a thorough justification can push the
+/// `SAFETY:` header well past any fixed window.
+fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
+    let lo = idx.saturating_sub(SAFETY_LOOKBACK);
+    if lines[lo..=idx].iter().any(|l| l.comment.contains("SAFETY:")) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        // Only a code line interrupts the block — bare `//` separators and
+        // blank lines inside the justification keep it contiguous.
+        if !l.code.trim().is_empty() {
+            break;
+        }
+        if l.comment.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `// audit: allow(rule)` on the same line or the line directly above.
+fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let marker = format!("audit: allow({rule})");
+    if lines[idx].comment.contains(&marker) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].comment.contains(&marker)
+}
+
+/// Detects `== LITERAL` / `LITERAL ==` (and `!=`) where the literal is a
+/// floating-point constant. Returns the offending operator.
+fn float_literal_comparison(code: &str) -> Option<&'static str> {
+    for (op, name) in [("==", "=="), ("!=", "!=")] {
+        let bytes = code.as_bytes();
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(op) {
+            let at = start + pos;
+            // Skip `<=`, `>=`, `=>`-adjacent digraphs and `===`-like runs.
+            let prev = if at > 0 { bytes[at - 1] } else { b' ' };
+            let next = bytes.get(at + 2).copied().unwrap_or(b' ');
+            if prev != b'=' && prev != b'<' && prev != b'>' && prev != b'!' && next != b'=' {
+                let left = token_before(code, at);
+                let right = token_after(code, at + 2);
+                if is_float_literal(&left) || is_float_literal(&right) {
+                    return Some(name);
+                }
+            }
+            start = at + 2;
+        }
+    }
+    None
+}
+
+fn token_before(code: &str, end: usize) -> String {
+    code[..end]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+fn token_after(code: &str, start: usize) -> String {
+    code[start..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+        .collect()
+}
+
+/// `1.0`, `0.5f32`, `1e-3`, `2.`, `3f64` — but not `1`, `x.len`, `a.b`.
+fn is_float_literal(tok: &str) -> bool {
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let body = tok
+        .strip_suffix("f32")
+        .or_else(|| tok.strip_suffix("f64"))
+        .map(|b| (b, true))
+        .unwrap_or((tok, false));
+    let (digits, had_suffix) = body;
+    if digits.is_empty() {
+        return false;
+    }
+    let has_dot = digits.contains('.');
+    let has_exp = digits.contains('e') || digits.contains('E');
+    let valid = digits
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == '_' || c == 'e' || c == 'E' || c == '-');
+    valid && (has_dot || has_exp || had_suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    const LIB: &str = "crates/x/src/lib.rs";
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        assert_eq!(rules_hit(LIB, "unsafe { f() }"), vec!["safety_comment"]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src = "// SAFETY: ptr is valid for the scope lifetime\nunsafe { f() }";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_lookback_window() {
+        let mut src = String::from("// SAFETY: invariant\n");
+        for _ in 0..SAFETY_LOOKBACK {
+            src.push_str("let a = 1;\n");
+        }
+        src.push_str("unsafe { f() }\n");
+        assert_eq!(rules_hit(LIB, &src), vec!["safety_comment"]);
+    }
+
+    #[test]
+    fn long_contiguous_safety_block_passes() {
+        // The SAFETY header may sit far above the `unsafe` keyword as long
+        // as the comment block in between is unbroken.
+        let mut src = String::from("// SAFETY: erasing the lifetime is sound because:\n");
+        for i in 0..2 * SAFETY_LOOKBACK {
+            src.push_str(&format!("// * invariant {i} holds\n"));
+        }
+        src.push_str("unsafe { f() }\n");
+        assert!(rules_hit(LIB, &src).is_empty());
+    }
+
+    #[test]
+    fn interrupted_comment_block_does_not_carry_safety() {
+        let mut src = String::from("// SAFETY: stale justification\n");
+        src.push_str("let a = 1;\n");
+        for _ in 0..2 * SAFETY_LOOKBACK {
+            src.push_str("// unrelated commentary\n");
+        }
+        src.push_str("unsafe { f() }\n");
+        assert_eq!(rules_hit(LIB, &src), vec!["safety_comment"]);
+    }
+
+    #[test]
+    fn unwind_safe_is_not_unsafe() {
+        assert!(rules_hit(LIB, "catch_unwind(AssertUnwindSafe(|| 1));").is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_and_allow_marker_accepted() {
+        assert_eq!(rules_hit(LIB, "let x = y.unwrap();"), vec!["no_unwrap"]);
+        let with_marker =
+            "// audit: allow(no_unwrap) — provably non-empty\nlet x = y.unwrap();";
+        assert!(rules_hit(LIB, with_marker).is_empty());
+        let same_line = "let x = y.unwrap(); // audit: allow(no_unwrap) reason";
+        assert!(rules_hit(LIB, same_line).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib() { z.unwrap(); }";
+        let found = check_file(LIB, src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn unwrap_in_tests_tree_is_exempt() {
+        assert!(rules_hit("crates/x/tests/it.rs", "y.unwrap();").is_empty());
+        assert!(rules_hit("tests/tests/e2e.rs", "y.unwrap();").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_literal_is_ignored() {
+        assert!(rules_hit(LIB, r#"let s = "don't .unwrap() me";"#).is_empty());
+    }
+
+    #[test]
+    fn empty_expect_flagged_descriptive_expect_passes() {
+        assert_eq!(rules_hit(LIB, r#"y.expect("");"#), vec!["empty_expect"]);
+        assert!(rules_hit(LIB, r#"y.expect("queue lock poisoned");"#).is_empty());
+    }
+
+    #[test]
+    fn panic_rule() {
+        assert_eq!(rules_hit(LIB, r#"panic!("boom");"#), vec!["no_panic"]);
+        assert!(rules_hit(LIB, r#"// panic! only in a comment"#).is_empty());
+    }
+
+    #[test]
+    fn determinism_rule_and_exemptions() {
+        let src = "let t = Instant::now();";
+        assert_eq!(rules_hit(LIB, src), vec!["determinism"]);
+        assert!(rules_hit("crates/parallel/src/lib.rs", "std::thread::spawn(f);").is_empty());
+        assert!(rules_hit("crates/math/src/rng.rs", "thread_rng()").is_empty());
+        assert!(rules_hit("crates/bench/src/bin/exp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_rule() {
+        assert_eq!(rules_hit(LIB, "if x == 1.0 {"), vec!["float_eq"]);
+        assert_eq!(rules_hit(LIB, "if 0.5f32 != y {"), vec!["float_eq"]);
+        assert_eq!(rules_hit(LIB, "if x == 1e-3 {"), vec!["float_eq"]);
+        assert!(rules_hit(LIB, "if x == 1 {").is_empty());
+        assert!(rules_hit(LIB, "if x <= 1.0 {").is_empty());
+        assert!(rules_hit(LIB, "if x >= 1.0 {").is_empty());
+        assert!(rules_hit(LIB, "if a.len() == b.len() {").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() { y.unwrap(); }";
+        assert_eq!(rules_hit(LIB, src), vec!["no_unwrap"]);
+    }
+
+    #[test]
+    fn cfg_any_test_region_is_exempt() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod support {\n    fn t() { y.unwrap(); }\n}";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn examples_are_panic_exempt_but_safety_checked() {
+        assert!(rules_hit("examples/demo.rs", "y.unwrap();").is_empty());
+        assert_eq!(
+            rules_hit("examples/demo.rs", "unsafe { f() }"),
+            vec!["safety_comment"]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The audit must be clean on the workspace that ships it — including its
+//! own source. Running this under `cargo test` means a rule violation
+//! anywhere in the tree fails the build even when nobody ran the binary.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/audit/ -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("audit crate must live two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_under_every_rule() {
+    let report = mmhand_audit::scan_workspace(workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "audit findings in the workspace:\n{}",
+        mmhand_audit::to_json(&report)
+    );
+}
+
+#[test]
+fn a_clean_report_is_not_vacuous() {
+    // Guard against a degenerate scanner that reports nothing anywhere:
+    // a deliberately bad snippet classified as library code must trip
+    // multiple rules.
+    let bad = "fn f(x: Option<u32>) -> u32 { if 0.1f32 == 0.2 { panic!() } x.unwrap() }\n";
+    let findings = mmhand_audit::rules::check_file("crates/fake/src/lib.rs", bad);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"float_eq"), "rules seen: {rules:?}");
+    assert!(rules.contains(&"no_panic"), "rules seen: {rules:?}");
+    assert!(rules.contains(&"no_unwrap"), "rules seen: {rules:?}");
+}

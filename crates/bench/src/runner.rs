@@ -31,6 +31,7 @@ pub fn reference_model(cfg: &ExperimentConfig) -> TrainedModel {
         eprintln!("[runner] cached model has stale shape; retraining");
     }
     eprintln!("[runner] training reference model ({key})…");
+    // audit: allow(determinism) — wall-clock here only reports training duration to the operator
     let t0 = std::time::Instant::now();
     let sequences = build_training_cohort(cfg);
     let trained = Trainer::new(cfg.model.clone(), cfg.train.clone()).train(&sequences);
@@ -71,6 +72,7 @@ pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
         }
     }
     eprintln!("[runner] running cross-validation ({key})…");
+    // audit: allow(determinism) — wall-clock here only reports training duration to the operator
     let t0 = std::time::Instant::now();
     let sequences = build_training_cohort(cfg);
     let cv = cross_validate(&sequences, &cfg.model, &cfg.train, cfg.folds);

@@ -325,6 +325,33 @@ mod tests {
         assert!(lk < 1e-4);
     }
 
+    #[cfg(feature = "sanitize-numerics")]
+    #[test]
+    #[should_panic(expected = "numeric poison")]
+    fn poisoned_label_is_trapped_inside_combined_loss() {
+        let mut truth = tensor_for(Gesture::OpenPalm);
+        truth.data_mut()[40] = f32::NAN;
+        let pred_t = tensor_for(Gesture::Fist);
+        let mut tape = Tape::new();
+        let pred = tape.leaf(pred_t);
+        // The poisoned label is written to the tape as a leaf inside
+        // `combined_loss`, so the sanitizer fires at that write.
+        combined_loss(&mut tape, pred, &truth, LossWeights::default());
+    }
+
+    #[cfg(not(feature = "sanitize-numerics"))]
+    #[test]
+    fn without_the_sanitizer_a_poisoned_label_yields_a_nan_loss() {
+        let mut truth = tensor_for(Gesture::OpenPalm);
+        truth.data_mut()[40] = f32::NAN;
+        let pred_t = tensor_for(Gesture::Fist);
+        let mut tape = Tape::new();
+        let pred = tape.leaf(pred_t);
+        let (total, l3d, _) = combined_loss(&mut tape, pred, &truth, LossWeights::default());
+        assert!(l3d.is_nan());
+        assert!(tape.value(total).data()[0].is_nan());
+    }
+
     #[test]
     fn batch_loss_averages_samples() {
         let a = tensor_for(Gesture::OpenPalm);

@@ -78,6 +78,8 @@ impl JointErrors {
     pub fn push_flat(&mut self, pred: &[f32], truth: &[f32]) {
         assert_eq!(pred.len(), 63, "pred length");
         assert_eq!(truth.len(), 63, "truth length");
+        mmhand_nn::sanitize::check_finite("metrics prediction input", pred);
+        mmhand_nn::sanitize::check_finite("metrics truth input", truth);
         for j in 0..JOINT_COUNT {
             let p = Vec3::new(pred[3 * j], pred[3 * j + 1], pred[3 * j + 2]);
             let t = Vec3::new(truth[3 * j], truth[3 * j + 1], truth[3 * j + 2]);
@@ -240,6 +242,26 @@ mod tests {
         b.push_frame(&p, &t);
         a.merge(&b);
         assert_eq!(a.len(), 42);
+    }
+
+    #[cfg(feature = "sanitize-numerics")]
+    #[test]
+    #[should_panic(expected = "numeric poison in metrics prediction input")]
+    fn poisoned_prediction_is_trapped_at_the_metrics_gate() {
+        let mut je = JointErrors::new();
+        let mut pred = vec![0.0f32; 63];
+        pred[17] = f32::NAN;
+        je.push_flat(&pred, &[0.0f32; 63]);
+    }
+
+    #[cfg(not(feature = "sanitize-numerics"))]
+    #[test]
+    fn without_the_sanitizer_poisoned_metrics_propagate_silently() {
+        let mut je = JointErrors::new();
+        let mut pred = vec![0.0f32; 63];
+        pred[17] = f32::NAN;
+        je.push_flat(&pred, &[0.0f32; 63]);
+        assert!(je.mpjpe(JointGroup::Overall).is_nan());
     }
 
     #[test]

@@ -76,6 +76,7 @@ impl MmHandPipeline {
 
     /// Regresses skeletons only (no meshes) with timing.
     pub fn estimate_skeletons(&mut self, frames: &[RawFrame]) -> (Vec<Vec<f32>>, StageTiming) {
+        // audit: allow(determinism) — wall-clock here only measures latency, it never feeds results
         let start = Instant::now();
         let segments = self.frames_to_segments(frames);
         let skeletons = if segments.is_empty() {
@@ -96,6 +97,7 @@ impl MmHandPipeline {
     /// otherwise.
     pub fn estimate(&mut self, frames: &[RawFrame]) -> PipelineOutput {
         let (skeletons, mut timing) = self.estimate_skeletons(frames);
+        // audit: allow(determinism) — wall-clock here only measures latency, it never feeds results
         let start = Instant::now();
         let hands: Vec<ReconstructedHand> = skeletons
             .iter()

@@ -295,7 +295,9 @@ impl Trainer {
                     // reduced gradient matches the full-batch mean loss.
                     let weight = (hi - lo) as f32 / n as f32;
                     let loss_value = tape.value(loss).data()[0];
-                    let root = if weight == 1.0 { loss } else { tape.scale(loss, weight) };
+                    // Single-shard batches keep the unscaled loss node
+                    // (weight is exactly 1 when the shard spans the batch).
+                    let root = if hi - lo == n { loss } else { tape.scale(loss, weight) };
                     let mut grads = Vec::new();
                     tape.backward_with(root, |id, g| grads.push((id, g.clone())));
                     ShardGrad {
@@ -317,6 +319,27 @@ impl Trainer {
                     }
                 }
                 epoch_loss += batch_loss;
+                // With sanitize-numerics, verify gradient flow reached every
+                // parameter after the first backward pass: a silent zero-grad
+                // parameter is almost always a detached subgraph. The
+                // inactive temporal head (mlp_head with the LSTM on,
+                // lstm/head without it) is exempt by construction.
+                #[cfg(feature = "sanitize-numerics")]
+                if step == 0 {
+                    let expected_dead: &[&str] = if self.model_config.use_lstm {
+                        &["temporal.mlp_head"]
+                    } else {
+                        &["temporal.lstm", "temporal.head"]
+                    };
+                    let dead: Vec<String> = mmhand_nn::sanitize::dead_params(&store)
+                        .into_iter()
+                        .filter(|n| !expected_dead.iter().any(|e| n.starts_with(e)))
+                        .collect();
+                    assert!(
+                        dead.is_empty(),
+                        "parameters with zero gradient flow after first backward: {dead:?}"
+                    );
+                }
                 if tc.clip_norm > 0.0 {
                     store.clip_grad_norm(tc.clip_norm);
                 }

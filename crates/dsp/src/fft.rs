@@ -23,6 +23,24 @@ pub fn zero_pad_pow2(x: &[Complex]) -> Vec<Complex> {
     out
 }
 
+/// With `sanitize-numerics`, panics if an FFT output bin is non-finite —
+/// which (since the butterflies are finite arithmetic) means the *input*
+/// carried NaN/Inf, caught here at the first transform instead of after it
+/// has smeared across the whole spectrum.
+#[cfg(feature = "sanitize-numerics")]
+fn check_finite(context: &str, x: &[Complex]) {
+    for (i, c) in x.iter().enumerate() {
+        if !c.re.is_finite() || !c.im.is_finite() {
+            // audit: allow(no_panic) — the sanitizer's whole job is to trap numeric poison at the transform
+            panic!("numeric poison in {context}: bin {i} is {}+{}i", c.re, c.im);
+        }
+    }
+}
+
+#[cfg(not(feature = "sanitize-numerics"))]
+#[inline(always)]
+fn check_finite(_context: &str, _x: &[Complex]) {}
+
 /// In-place forward FFT.
 ///
 /// # Panics
@@ -30,6 +48,7 @@ pub fn zero_pad_pow2(x: &[Complex]) -> Vec<Complex> {
 /// Panics if `x.len()` is not a power of two.
 pub fn fft_inplace(x: &mut [Complex]) {
     transform(x, false);
+    check_finite("forward FFT output", x);
 }
 
 /// In-place inverse FFT (including the `1/N` normalisation).
@@ -43,6 +62,7 @@ pub fn ifft_inplace(x: &mut [Complex]) {
     for v in x.iter_mut() {
         *v = *v / n;
     }
+    check_finite("inverse FFT output", x);
 }
 
 /// Forward FFT returning a new vector.
@@ -230,6 +250,15 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "sanitize-numerics"))]
+    #[test]
+    fn without_the_sanitizer_poison_propagates_silently() {
+        let mut sig = tone(16, 3.0, 1.0);
+        sig[5].re = f32::NAN;
+        let spec = fft(&sig);
+        assert!(spec.iter().any(|c| c.re.is_nan() || c.im.is_nan()));
+    }
+
     proptest! {
         #[test]
         fn round_trip_recovers_signal(
@@ -242,6 +271,25 @@ mod tests {
             for (a, b) in sig.iter().zip(&back) {
                 prop_assert!((*a - *b).abs() < 1e-3);
             }
+        }
+
+        #[cfg(feature = "sanitize-numerics")]
+        #[test]
+        fn poisoned_input_is_trapped_at_the_transform(
+            bin in 0usize..16,
+            inf in 0usize..2,
+            imag in 0usize..2,
+        ) {
+            let mut sig = tone(16, 3.0, 1.0);
+            let poison = if inf == 1 { f32::INFINITY } else { f32::NAN };
+            if imag == 1 {
+                sig[bin].im = poison;
+            } else {
+                sig[bin].re = poison;
+            }
+            let trapped =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fft(&sig)));
+            prop_assert!(trapped.is_err(), "poison at bin {bin} was not trapped");
         }
 
         #[test]

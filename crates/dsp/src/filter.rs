@@ -243,8 +243,8 @@ fn pair_into_biquads(z_poles: &[C64]) -> Result<Vec<Biquad>, DesignFilterError> 
     }
     // Real poles pair among themselves (possible for very wide bands).
     while reals.len() >= 2 {
-        let p1 = reals.pop().unwrap();
-        let p2 = reals.pop().unwrap();
+        let p1 = reals.pop().expect("loop condition guarantees len >= 2");
+        let p2 = reals.pop().expect("loop condition guarantees len >= 2");
         sections.push(Biquad::new(
             [1.0, 0.0, -1.0],
             [(-(p1 + p2)) as f32, (p1 * p2) as f32],

@@ -189,6 +189,7 @@ impl ManoModel {
             for k in 0..2 {
                 let j = w.joints[k];
                 let wk = w.weights[k];
+                // audit: allow(float_eq) — skinning weights are constructed as exact 0.0 for unused slots
                 if wk == 0.0 {
                     continue;
                 }

@@ -77,7 +77,8 @@ impl GestureTrack {
 
     /// Total duration in seconds.
     pub fn duration_s(&self) -> f32 {
-        self.keyframes.last().unwrap().time_s - self.keyframes[0].time_s
+        let last = self.keyframes.last().expect("new() rejects empty keyframe lists");
+        last.time_s - self.keyframes[0].time_s
     }
 
     /// The underlying keyframes.
@@ -88,8 +89,8 @@ impl GestureTrack {
     /// Samples the pose at time `t` (clamped to the track's time span),
     /// blending keyframes with [`min_jerk`].
     pub fn sample(&self, t: f32) -> HandPose {
-        let first = self.keyframes.first().unwrap();
-        let last = self.keyframes.last().unwrap();
+        let first = self.keyframes.first().expect("new() rejects empty keyframe lists");
+        let last = self.keyframes.last().expect("new() rejects empty keyframe lists");
         if t <= first.time_s {
             return first.pose;
         }

@@ -87,7 +87,7 @@ pub fn normalized_auc(points: &[(f32, f32)]) -> f32 {
     if points.len() < 2 {
         return 0.0;
     }
-    let span = points.last().unwrap().0 - points[0].0;
+    let span = points[points.len() - 1].0 - points[0].0;
     if span <= 0.0 {
         return 0.0;
     }

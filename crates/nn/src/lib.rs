@@ -48,6 +48,8 @@ pub mod conv;
 pub mod layers;
 pub mod optim;
 pub mod param;
+pub mod sanitize;
+pub mod shape;
 pub mod tape;
 pub mod tensor;
 
@@ -55,5 +57,6 @@ pub use conv::ConvSpec;
 pub use layers::{Conv2d, ConvTranspose2d, LayerNorm, Linear, Lstm};
 pub use optim::{Adam, CosineSchedule};
 pub use param::{ParamId, ParamStore};
+pub use shape::ShapeError;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -85,6 +85,11 @@ impl ParamStore {
     ///
     /// Panics on shape mismatch.
     pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        #[cfg(feature = "sanitize-numerics")]
+        crate::sanitize::check_finite(
+            &format!("gradient of parameter `{}`", self.params[id.0].name),
+            g.data(),
+        );
         self.params[id.0].grad.add_assign(g);
     }
 

@@ -31,7 +31,19 @@ use crate::conv::{
     dims4, ConvSpec,
 };
 use crate::param::{ParamId, ParamStore};
+use crate::shape::{self, ShapeError};
 use crate::tensor::{gemm_a_bt, gemm_at_b, Tensor};
+
+/// Unwraps a shape-checked graph builder. The fallible `try_*` builders
+/// return the typed [`ShapeError`] instead; the infallible builders keep
+/// the ergonomic API and surface the same message at construction time.
+fn ok(r: Result<Var, ShapeError>) -> Var {
+    match r {
+        Ok(v) => v,
+        // audit: allow(no_panic) — the infallible builder API converts the typed ShapeError into an immediate construction-time panic; callers that need the error use `try_*`
+        Err(e) => panic!("{e}"),
+    }
+}
 
 /// Handle to a tape node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +81,44 @@ enum Op {
     External { x: Var, grad: Tensor },
 }
 
+#[cfg(feature = "sanitize-numerics")]
+impl Op {
+    /// The op's name as used in sanitizer diagnostics.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Param(_) => "param",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::MulElem(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::Relu(_) => "relu",
+            Op::Sigmoid(_) => "sigmoid",
+            Op::Tanh(_) => "tanh",
+            Op::Matmul(..) => "matmul",
+            Op::AddRowBias { .. } => "add_row_bias",
+            Op::Conv2d { .. } => "conv2d",
+            Op::ConvT2d { .. } => "conv_transpose2d",
+            Op::ChannelAvgPool(_) => "channel_avg_pool",
+            Op::ChannelMaxPool { .. } => "channel_max_pool",
+            Op::GroupAvgPool { .. } => "group_avg_pool",
+            Op::GroupMaxPool { .. } => "group_max_pool",
+            Op::MeanOverChannels(_) => "mean_over_channels",
+            Op::MaxOverChannels { .. } => "max_over_channels",
+            Op::MulChannel { .. } => "mul_channel",
+            Op::MulGroup { .. } => "mul_group",
+            Op::MulSpatial { .. } => "mul_spatial",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::ConcatChannels(..) => "concat_channels",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::Reshape(_) => "reshape",
+            Op::MeanAll(_) => "mean_all",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::External { .. } => "external_loss",
+        }
+    }
+}
+
 struct Node {
     op: Op,
     value: Tensor,
@@ -88,6 +138,11 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
+        #[cfg(feature = "sanitize-numerics")]
+        crate::sanitize::check_finite(
+            &format!("output of tape op `{}`", op.name()),
+            value.data(),
+        );
         self.nodes.push(Node { op, value, grad: None });
         Var(self.nodes.len() - 1)
     }
@@ -95,6 +150,11 @@ impl Tape {
     /// The current value of a variable.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
+    }
+
+    /// The shape of a variable (shorthand used by the shape checks).
+    fn shape_of(&self, v: Var) -> &[usize] {
+        self.nodes[v.0].value.shape()
     }
 
     /// The accumulated gradient of a variable after [`Tape::backward`]
@@ -116,20 +176,38 @@ impl Tape {
 
     /// Element-wise sum. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_add(a, b))
+    }
+
+    /// Fallible [`Tape::add`].
+    pub fn try_add(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::elementwise("add", self.shape_of(a), self.shape_of(b))?;
         let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        self.push(Op::Add(a, b), v)
+        Ok(self.push(Op::Add(a, b), v))
     }
 
     /// Element-wise difference. Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_sub(a, b))
+    }
+
+    /// Fallible [`Tape::sub`].
+    pub fn try_sub(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::elementwise("sub", self.shape_of(a), self.shape_of(b))?;
         let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        self.push(Op::Sub(a, b), v)
+        Ok(self.push(Op::Sub(a, b), v))
     }
 
     /// Element-wise product. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_mul(a, b))
+    }
+
+    /// Fallible [`Tape::mul`].
+    pub fn try_mul(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::elementwise("mul", self.shape_of(a), self.shape_of(b))?;
         let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
-        self.push(Op::MulElem(a, b), v)
+        Ok(self.push(Op::MulElem(a, b), v))
     }
 
     /// Multiplication by a constant scalar.
@@ -169,16 +247,27 @@ impl Tape {
 
     /// 2-D matrix product `(m, k)·(k, n)`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_matmul(a, b))
+    }
+
+    /// Fallible [`Tape::matmul`].
+    pub fn try_matmul(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::matmul(self.shape_of(a), self.shape_of(b))?;
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(Op::Matmul(a, b), v)
+        Ok(self.push(Op::Matmul(a, b), v))
     }
 
     /// Adds a length-`F` bias row-wise to an `(N, F)` matrix.
     pub fn add_row_bias(&mut self, x: Var, bias: Var) -> Var {
+        ok(self.try_add_row_bias(x, bias))
+    }
+
+    /// Fallible [`Tape::add_row_bias`].
+    pub fn try_add_row_bias(&mut self, x: Var, bias: Var) -> Result<Var, ShapeError> {
+        shape::add_row_bias(self.shape_of(x), self.shape_of(bias))?;
         let xv = &self.nodes[x.0].value;
         let bv = &self.nodes[bias.0].value;
         let (n, f) = (xv.shape()[0], xv.shape()[1]);
-        assert_eq!(bv.len(), f, "bias length");
         let mut out = xv.clone();
         for row in 0..n {
             for (o, b) in out.data_mut()[row * f..(row + 1) * f]
@@ -188,16 +277,29 @@ impl Tape {
                 *o += b;
             }
         }
-        self.push(Op::AddRowBias { x, bias }, out)
+        Ok(self.push(Op::AddRowBias { x, bias }, out))
     }
 
     /// 2-D convolution. `x` is `(N, C, H, W)`, `w` `(O, C, k, k)`.
     pub fn conv2d(&mut self, x: Var, w: Var, bias: Option<Var>, spec: ConvSpec) -> Var {
+        ok(self.try_conv2d(x, w, bias, spec))
+    }
+
+    /// Fallible [`Tape::conv2d`].
+    pub fn try_conv2d(
+        &mut self,
+        x: Var,
+        w: Var,
+        bias: Option<Var>,
+        spec: ConvSpec,
+    ) -> Result<Var, ShapeError> {
+        let bias_len = bias.map(|b| self.nodes[b.0].value.len());
+        shape::conv2d(self.shape_of(x), self.shape_of(w), bias_len, &spec)?;
         let bias_data: Vec<f32> = bias
             .map(|b| self.nodes[b.0].value.data().to_vec())
             .unwrap_or_default();
         let v = conv2d_forward(&self.nodes[x.0].value, &self.nodes[w.0].value, &bias_data, &spec);
-        self.push(Op::Conv2d { x, w, bias, spec }, v)
+        Ok(self.push(Op::Conv2d { x, w, bias, spec }, v))
     }
 
     /// 2-D transposed convolution. `x` is `(N, C_in, H, W)`,
@@ -209,6 +311,19 @@ impl Tape {
         bias: Option<Var>,
         spec: ConvSpec,
     ) -> Var {
+        ok(self.try_conv_transpose2d(x, w, bias, spec))
+    }
+
+    /// Fallible [`Tape::conv_transpose2d`].
+    pub fn try_conv_transpose2d(
+        &mut self,
+        x: Var,
+        w: Var,
+        bias: Option<Var>,
+        spec: ConvSpec,
+    ) -> Result<Var, ShapeError> {
+        let bias_len = bias.map(|b| self.nodes[b.0].value.len());
+        shape::conv_transpose2d(self.shape_of(x), self.shape_of(w), bias_len, &spec)?;
         let bias_data: Vec<f32> = bias
             .map(|b| self.nodes[b.0].value.data().to_vec())
             .unwrap_or_default();
@@ -218,11 +333,17 @@ impl Tape {
             &bias_data,
             &spec,
         );
-        self.push(Op::ConvT2d { x, w, bias, spec }, v)
+        Ok(self.push(Op::ConvT2d { x, w, bias, spec }, v))
     }
 
     /// Global average pool over the spatial dims: `(N, C, H, W) → (N, C)`.
     pub fn channel_avg_pool(&mut self, x: Var) -> Var {
+        ok(self.try_channel_avg_pool(x))
+    }
+
+    /// Fallible [`Tape::channel_avg_pool`].
+    pub fn try_channel_avg_pool(&mut self, x: Var) -> Result<Var, ShapeError> {
+        shape::channel_pool("channel_avg_pool", self.shape_of(x))?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
         let hw = h * w;
         let xd = self.nodes[x.0].value.data();
@@ -230,11 +351,17 @@ impl Tape {
         for i in 0..n * c {
             out.data_mut()[i] = xd[i * hw..(i + 1) * hw].iter().sum::<f32>() / hw as f32;
         }
-        self.push(Op::ChannelAvgPool(x), out)
+        Ok(self.push(Op::ChannelAvgPool(x), out))
     }
 
     /// Global max pool over the spatial dims: `(N, C, H, W) → (N, C)`.
     pub fn channel_max_pool(&mut self, x: Var) -> Var {
+        ok(self.try_channel_max_pool(x))
+    }
+
+    /// Fallible [`Tape::channel_max_pool`].
+    pub fn try_channel_max_pool(&mut self, x: Var) -> Result<Var, ShapeError> {
+        shape::channel_pool("channel_max_pool", self.shape_of(x))?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
         let hw = h * w;
         let xd = self.nodes[x.0].value.data();
@@ -250,7 +377,7 @@ impl Tape {
             out.data_mut()[i] = val;
             argmax[i] = i * hw + best;
         }
-        self.push(Op::ChannelMaxPool { x, argmax }, out)
+        Ok(self.push(Op::ChannelMaxPool { x, argmax }, out))
     }
 
     /// Average pool over channel groups and space:
@@ -258,22 +385,32 @@ impl Tape {
     /// three-dimensional global average pooling over each frame's
     /// `V × D × A` sub-volume when frames are packed into channel groups.
     pub fn group_avg_pool(&mut self, x: Var, groups: usize) -> Var {
+        ok(self.try_group_avg_pool(x, groups))
+    }
+
+    /// Fallible [`Tape::group_avg_pool`].
+    pub fn try_group_avg_pool(&mut self, x: Var, groups: usize) -> Result<Var, ShapeError> {
+        shape::group_pool("group_avg_pool", self.shape_of(x), groups)?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
-        assert_eq!(c % groups, 0, "channels {c} not divisible by groups {groups}");
         let per = (c / groups) * h * w;
         let xd = self.nodes[x.0].value.data();
         let mut out = Tensor::zeros(&[n, groups]);
         for i in 0..n * groups {
             out.data_mut()[i] = xd[i * per..(i + 1) * per].iter().sum::<f32>() / per as f32;
         }
-        self.push(Op::GroupAvgPool { x, groups }, out)
+        Ok(self.push(Op::GroupAvgPool { x, groups }, out))
     }
 
     /// Max pool over channel groups and space (the paper's TGMP):
     /// `(N, G·Cg, H, W) → (N, G)`.
     pub fn group_max_pool(&mut self, x: Var, groups: usize) -> Var {
+        ok(self.try_group_max_pool(x, groups))
+    }
+
+    /// Fallible [`Tape::group_max_pool`].
+    pub fn try_group_max_pool(&mut self, x: Var, groups: usize) -> Result<Var, ShapeError> {
+        shape::group_pool("group_max_pool", self.shape_of(x), groups)?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
-        assert_eq!(c % groups, 0, "channels {c} not divisible by groups {groups}");
         let per = (c / groups) * h * w;
         let xd = self.nodes[x.0].value.data();
         let mut out = Tensor::zeros(&[n, groups]);
@@ -288,12 +425,18 @@ impl Tape {
             out.data_mut()[i] = val;
             argmax[i] = i * per + best;
         }
-        self.push(Op::GroupMaxPool { x, argmax }, out)
+        Ok(self.push(Op::GroupMaxPool { x, argmax }, out))
     }
 
     /// Mean across channels: `(N, C, H, W) → (N, 1, H, W)` (the MEAN of the
     /// paper's spatial attention, Eq. 6).
     pub fn mean_over_channels(&mut self, x: Var) -> Var {
+        ok(self.try_mean_over_channels(x))
+    }
+
+    /// Fallible [`Tape::mean_over_channels`].
+    pub fn try_mean_over_channels(&mut self, x: Var) -> Result<Var, ShapeError> {
+        shape::over_channels("mean_over_channels", self.shape_of(x))?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
         let hw = h * w;
         let xd = self.nodes[x.0].value.data();
@@ -310,12 +453,18 @@ impl Tape {
         for v in out.data_mut() {
             *v *= inv;
         }
-        self.push(Op::MeanOverChannels(x), out)
+        Ok(self.push(Op::MeanOverChannels(x), out))
     }
 
     /// Max across channels: `(N, C, H, W) → (N, 1, H, W)` (the MAX of
     /// Eq. 6).
     pub fn max_over_channels(&mut self, x: Var) -> Var {
+        ok(self.try_max_over_channels(x))
+    }
+
+    /// Fallible [`Tape::max_over_channels`].
+    pub fn try_max_over_channels(&mut self, x: Var) -> Result<Var, ShapeError> {
+        shape::over_channels("max_over_channels", self.shape_of(x))?;
         let [n, c, h, w] = dims4(&self.nodes[x.0].value);
         let hw = h * w;
         let xd = self.nodes[x.0].value.data();
@@ -336,13 +485,18 @@ impl Tape {
                 argmax[s * hw + p] = (s * c + best_c) * hw + p;
             }
         }
-        self.push(Op::MaxOverChannels { x, argmax }, out)
+        Ok(self.push(Op::MaxOverChannels { x, argmax }, out))
     }
 
     /// Broadcast-multiplies `(N, C, H, W)` by per-channel weights `(N, C)`.
     pub fn mul_channel(&mut self, x: Var, w: Var) -> Var {
+        ok(self.try_mul_channel(x, w))
+    }
+
+    /// Fallible [`Tape::mul_channel`].
+    pub fn try_mul_channel(&mut self, x: Var, w: Var) -> Result<Var, ShapeError> {
+        shape::mul_channel(self.shape_of(x), self.shape_of(w))?;
         let [n, c, h, wd] = dims4(&self.nodes[x.0].value);
-        assert_eq!(self.nodes[w.0].value.shape(), &[n, c], "channel weight shape");
         let hw = h * wd;
         let mut out = self.nodes[x.0].value.clone();
         let wv = self.nodes[w.0].value.data();
@@ -351,15 +505,19 @@ impl Tape {
                 *v *= s;
             }
         }
-        self.push(Op::MulChannel { x, w }, out)
+        Ok(self.push(Op::MulChannel { x, w }, out))
     }
 
     /// Broadcast-multiplies channel *groups* by weights `(N, G)` — the
     /// frame-channel weighting of the first attention stage (Eq. 3).
     pub fn mul_group(&mut self, x: Var, w: Var, groups: usize) -> Var {
+        ok(self.try_mul_group(x, w, groups))
+    }
+
+    /// Fallible [`Tape::mul_group`].
+    pub fn try_mul_group(&mut self, x: Var, w: Var, groups: usize) -> Result<Var, ShapeError> {
+        shape::mul_group(self.shape_of(x), self.shape_of(w), groups)?;
         let [n, c, h, wd] = dims4(&self.nodes[x.0].value);
-        assert_eq!(self.nodes[w.0].value.shape(), &[n, groups], "group weight shape");
-        assert_eq!(c % groups, 0);
         let per = (c / groups) * h * wd;
         let mut out = self.nodes[x.0].value.clone();
         let wv = self.nodes[w.0].value.data();
@@ -368,14 +526,19 @@ impl Tape {
                 *v *= s;
             }
         }
-        self.push(Op::MulGroup { x, w, groups }, out)
+        Ok(self.push(Op::MulGroup { x, w, groups }, out))
     }
 
     /// Broadcast-multiplies `(N, C, H, W)` by a spatial map `(N, 1, H, W)`
     /// — the application of the spatial attention mask (Eq. 7).
     pub fn mul_spatial(&mut self, x: Var, w: Var) -> Var {
+        ok(self.try_mul_spatial(x, w))
+    }
+
+    /// Fallible [`Tape::mul_spatial`].
+    pub fn try_mul_spatial(&mut self, x: Var, w: Var) -> Result<Var, ShapeError> {
+        shape::mul_spatial(self.shape_of(x), self.shape_of(w))?;
         let [n, c, h, wd] = dims4(&self.nodes[x.0].value);
-        assert_eq!(self.nodes[w.0].value.shape(), &[n, 1, h, wd], "spatial map shape");
         let hw = h * wd;
         let mut out = self.nodes[x.0].value.clone();
         let wv = self.nodes[w.0].value.data();
@@ -387,16 +550,21 @@ impl Tape {
                 }
             }
         }
-        self.push(Op::MulSpatial { x, w }, out)
+        Ok(self.push(Op::MulSpatial { x, w }, out))
     }
 
     /// Concatenates two `(N, A)` / `(N, B)` matrices into `(N, A+B)`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_concat_cols(a, b))
+    }
+
+    /// Fallible [`Tape::concat_cols`].
+    pub fn try_concat_cols(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::concat_cols(self.shape_of(a), self.shape_of(b))?;
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
         let (n, fa) = (av.shape()[0], av.shape()[1]);
         let fb = bv.shape()[1];
-        assert_eq!(bv.shape()[0], n, "row mismatch");
         let mut out = Tensor::zeros(&[n, fa + fb]);
         for row in 0..n {
             out.data_mut()[row * (fa + fb)..row * (fa + fb) + fa]
@@ -404,14 +572,19 @@ impl Tape {
             out.data_mut()[row * (fa + fb) + fa..(row + 1) * (fa + fb)]
                 .copy_from_slice(&bv.data()[row * fb..(row + 1) * fb]);
         }
-        self.push(Op::ConcatCols(a, b), out)
+        Ok(self.push(Op::ConcatCols(a, b), out))
     }
 
     /// Concatenates two 4-D tensors along the channel axis.
     pub fn concat_channels(&mut self, a: Var, b: Var) -> Var {
+        ok(self.try_concat_channels(a, b))
+    }
+
+    /// Fallible [`Tape::concat_channels`].
+    pub fn try_concat_channels(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
+        shape::concat_channels(self.shape_of(a), self.shape_of(b))?;
         let [n, ca, h, w] = dims4(&self.nodes[a.0].value);
-        let [nb, cb, hb, wb] = dims4(&self.nodes[b.0].value);
-        assert_eq!((n, h, w), (nb, hb, wb), "spatial/batch mismatch");
+        let cb = self.nodes[b.0].value.shape()[1];
         let hw = h * w;
         let mut out = Tensor::zeros(&[n, ca + cb, h, w]);
         for s in 0..n {
@@ -421,26 +594,42 @@ impl Tape {
             dst[ca * hw..]
                 .copy_from_slice(&self.nodes[b.0].value.data()[s * cb * hw..(s + 1) * cb * hw]);
         }
-        self.push(Op::ConcatChannels(a, b), out)
+        Ok(self.push(Op::ConcatChannels(a, b), out))
     }
 
     /// Takes columns `[start, start+len)` of an `(N, F)` matrix.
     pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        ok(self.try_slice_cols(x, start, len))
+    }
+
+    /// Fallible [`Tape::slice_cols`].
+    pub fn try_slice_cols(
+        &mut self,
+        x: Var,
+        start: usize,
+        len: usize,
+    ) -> Result<Var, ShapeError> {
+        shape::slice_cols(self.shape_of(x), start, len)?;
         let xv = &self.nodes[x.0].value;
         let (n, f) = (xv.shape()[0], xv.shape()[1]);
-        assert!(start + len <= f, "slice {start}+{len} exceeds {f}");
         let mut out = Tensor::zeros(&[n, len]);
         for row in 0..n {
             out.data_mut()[row * len..(row + 1) * len]
                 .copy_from_slice(&xv.data()[row * f + start..row * f + start + len]);
         }
-        self.push(Op::SliceCols { x, start, len }, out)
+        Ok(self.push(Op::SliceCols { x, start, len }, out))
     }
 
     /// Reshapes without copying semantics (gradient reshapes back).
     pub fn reshape(&mut self, x: Var, shape: &[usize]) -> Var {
-        let v = self.nodes[x.0].value.reshaped(shape);
-        self.push(Op::Reshape(x), v)
+        ok(self.try_reshape(x, shape))
+    }
+
+    /// Fallible [`Tape::reshape`].
+    pub fn try_reshape(&mut self, x: Var, new_shape: &[usize]) -> Result<Var, ShapeError> {
+        shape::reshape(self.shape_of(x), new_shape)?;
+        let v = self.nodes[x.0].value.reshaped(new_shape);
+        Ok(self.push(Op::Reshape(x), v))
     }
 
     /// Mean of all elements → a `[1]`-shaped scalar (loss reduction).
@@ -452,14 +641,27 @@ impl Tape {
     /// Layer normalisation over the last dimension with affine parameters
     /// `gamma`/`beta` of that dimension's length.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
+        ok(self.try_layer_norm(x, gamma, beta))
+    }
+
+    /// Fallible [`Tape::layer_norm`].
+    pub fn try_layer_norm(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+    ) -> Result<Var, ShapeError> {
+        shape::layer_norm(
+            self.shape_of(x),
+            self.shape_of(gamma),
+            self.shape_of(beta),
+        )?;
         let xv = &self.nodes[x.0].value;
         let shape = xv.shape().to_vec();
-        let f = *shape.last().expect("layer_norm needs >= 1-D");
+        let f = shape[shape.len() - 1];
         let rows = xv.len() / f;
         let gv = self.nodes[gamma.0].value.data().to_vec();
         let bv = self.nodes[beta.0].value.data().to_vec();
-        assert_eq!(gv.len(), f, "gamma length");
-        assert_eq!(bv.len(), f, "beta length");
         let mut out = xv.clone();
         let mut means = vec![0.0_f32; rows];
         let mut rstds = vec![0.0_f32; rows];
@@ -474,10 +676,10 @@ impl Tape {
                 *v = (*v - mean) * rstd * gv[i] + bv[i];
             }
         }
-        self.push(
+        Ok(self.push(
             Op::LayerNorm { x, gamma, beta, mean: means, rstd: rstds },
             out,
-        )
+        ))
     }
 
     /// Injects an externally computed loss: `value` is the loss value and
@@ -487,17 +689,29 @@ impl Tape {
     ///
     /// # Panics
     ///
-    /// Panics if `grad`'s shape differs from `x`'s.
+    /// Panics if `grad`'s shape differs from `x`'s (use
+    /// [`Tape::try_external_loss`] for the typed error).
     pub fn external_loss(&mut self, x: Var, value: f32, grad: Tensor) -> Var {
-        assert_eq!(
-            grad.shape(),
-            self.nodes[x.0].value.shape(),
-            "external gradient shape"
-        );
-        self.push(Op::External { x, grad }, Tensor::from_vec(&[1], vec![value]))
+        ok(self.try_external_loss(x, value, grad))
+    }
+
+    /// Fallible [`Tape::external_loss`].
+    pub fn try_external_loss(
+        &mut self,
+        x: Var,
+        value: f32,
+        grad: Tensor,
+    ) -> Result<Var, ShapeError> {
+        shape::external_loss(self.shape_of(x), grad.shape())?;
+        Ok(self.push(Op::External { x, grad }, Tensor::from_vec(&[1], vec![value])))
     }
 
     fn add_grad(&mut self, v: Var, g: Tensor) {
+        #[cfg(feature = "sanitize-numerics")]
+        crate::sanitize::check_finite(
+            &format!("gradient flowing into tape op `{}`", self.nodes[v.0].op.name()),
+            g.data(),
+        );
         match &mut self.nodes[v.0].grad {
             Some(existing) => existing.add_assign(&g),
             slot @ None => *slot = Some(g),
@@ -1148,10 +1362,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "external gradient shape")]
+    #[should_panic(expected = "external_loss")]
     fn external_loss_shape_checked() {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::zeros(&[3]));
         tape.external_loss(x, 0.0, Tensor::zeros(&[2]));
+    }
+
+    #[test]
+    fn mismatched_graph_rejected_at_construction() {
+        // The fallible builders return a typed error naming the op; the
+        // tape stays usable afterwards (the bad op pushed no node).
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(&[3, 4]));
+        let b = tape.leaf(Tensor::zeros(&[5, 2]));
+        let e = tape.try_matmul(a, b).unwrap_err();
+        assert_eq!(e.op(), "matmul");
+        assert!(e.to_string().contains("inner dimensions"), "{e}");
+
+        let e = tape.try_add(a, b).unwrap_err();
+        assert_eq!(e.op(), "add");
+
+        let x = tape.leaf(Tensor::zeros(&[1, 2, 4, 4]));
+        let w = tape.leaf(Tensor::zeros(&[3, 2, 3, 3]));
+        let bad_spec =
+            ConvSpec { in_channels: 4, out_channels: 3, kernel: 3, stride: 1, pad: 1 };
+        let e = tape.try_conv2d(x, w, None, bad_spec).unwrap_err();
+        assert_eq!(e.op(), "conv2d");
+
+        // A good graph still builds on the same tape after rejections.
+        let ok_spec =
+            ConvSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, pad: 1 };
+        let y = tape.try_conv2d(x, w, None, ok_spec).expect("valid graph");
+        assert_eq!(tape.value(y).shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn infallible_builder_panics_with_op_name() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(&[3, 4]));
+        let b = tape.leaf(Tensor::zeros(&[5, 2]));
+        tape.matmul(a, b);
     }
 }

@@ -196,14 +196,21 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        if self.pool.threads <= 1 || in_sequential_scope() {
+        if self.pool.threads <= 1 || in_sequential_scope() || thread_cap() <= 1 {
             task();
             return;
         }
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
+        // Carry the spawning thread's cap into the worker so nested
+        // helpers (a GEMM inside a trainer shard) observe the same
+        // effective width no matter which thread runs the task.
+        let cap = thread_cap();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(task));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _cap = set_cap(cap);
+                task()
+            }));
             if let Err(payload) = result {
                 let mut slot = state.panic.lock().expect("scope panic lock");
                 slot.get_or_insert(payload);
@@ -214,10 +221,29 @@ impl<'pool, 'env> Scope<'pool, 'env> {
             state.pending.fetch_sub(1, Ordering::AcqRel);
             state.done_cv.notify_all();
         });
-        // SAFETY: `scope` does not return before `pending` reaches zero,
-        // i.e. before this job has run to completion, so the `'env`
-        // borrows inside the job never outlive their referents. The
-        // lifetime is erased only to pass through the 'static injector.
+        // SAFETY: this transmute erases the `'env` lifetime of the boxed
+        // task so it can pass through the `'static` injector queue. It is
+        // sound because the scope API upholds these invariants:
+        //
+        // * Lifetime: `scope` does not return — on the normal path *or*
+        //   when the body panics (the wait loop runs before `resume_unwind`)
+        //   — until `pending` reaches zero, and `pending` is decremented
+        //   only after the job has run to completion. Every `'env` borrow
+        //   captured by the job therefore ends before its referent can be
+        //   dropped or moved.
+        // * Ordering: the decrement uses `AcqRel` and the waiter re-checks
+        //   `pending` with `Acquire` while holding `done`, the same lock the
+        //   job takes before decrementing, so the waiter cannot observe
+        //   zero before the job's writes to borrowed data are visible.
+        // * Aliasing: the transmute changes only the lifetime parameter,
+        //   never the pointee type, and spawning requires `F: Send`, so any
+        //   `&mut` the job captures was exclusive at spawn time and stays
+        //   exclusive — callers hand out disjoint `&mut` chunks (e.g.
+        //   `par_chunks_mut` via `chunks_mut`), and the caller thread does
+        //   not touch the borrowed data until `scope` returns.
+        // * No escape: the queue and worker loop run each `Task` exactly
+        //   once and never clone or leak it, so the erased-lifetime box
+        //   cannot outlive the scope that spawned it.
         let job: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
@@ -227,10 +253,41 @@ impl<'pool, 'env> Scope<'pool, 'env> {
 
 thread_local! {
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 fn in_sequential_scope() -> bool {
     FORCE_SEQUENTIAL.with(Cell::get)
+}
+
+fn thread_cap() -> usize {
+    THREAD_CAP.with(Cell::get)
+}
+
+/// Restores the previous cap when dropped, including during unwinding, so
+/// a panicking task cannot leave a stale cap on a pool worker.
+struct CapGuard(usize);
+
+impl Drop for CapGuard {
+    fn drop(&mut self) {
+        THREAD_CAP.with(|c| c.set(self.0));
+    }
+}
+
+fn set_cap(cap: usize) -> CapGuard {
+    THREAD_CAP.with(|c| CapGuard(c.replace(cap)))
+}
+
+/// Runs `f` with [`num_threads`] capped at `cap` on this thread (and on any
+/// task spawned from it, transitively). A cap of 1 forces the inline
+/// sequential path, like [`sequential_scope`]; nested caps take the
+/// minimum. This lets one process compare execution at several effective
+/// widths — the scheduler audit trains at caps 1/2/4/8 and asserts
+/// bitwise-identical gradients.
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    let cap = cap.max(1);
+    let _guard = set_cap(cap.min(thread_cap()));
+    f()
 }
 
 /// Runs `f` with every parallel helper on this thread forced to the inline
@@ -285,9 +342,11 @@ pub fn global() -> &'static ThreadPool {
     })
 }
 
-/// Execution width of the global pool (1 ⇒ everything runs inline).
+/// Effective execution width on this thread: the global pool's width,
+/// clamped by any enclosing [`with_thread_cap`] (1 ⇒ everything runs
+/// inline).
 pub fn num_threads() -> usize {
-    global().threads()
+    global().threads().min(thread_cap())
 }
 
 /// `true` when parallel helpers on this thread would run inline.
@@ -438,6 +497,50 @@ mod tests {
             let ids = par_map(&[0u8; 8], |_| std::thread::current().id());
             assert!(ids.iter().all(|id| *id == tid));
         });
+    }
+
+    #[test]
+    fn thread_cap_of_one_forces_inline() {
+        let baseline = num_threads();
+        with_thread_cap(1, || {
+            assert_eq!(num_threads(), 1);
+            assert!(is_sequential());
+            let tid = std::thread::current().id();
+            let ids = par_map(&[0u8; 8], |_| std::thread::current().id());
+            assert!(ids.iter().all(|id| *id == tid));
+        });
+        assert_eq!(num_threads(), baseline);
+    }
+
+    #[test]
+    fn nested_caps_take_the_minimum() {
+        with_thread_cap(4, || {
+            assert!(num_threads() <= 4);
+            with_thread_cap(2, || assert!(num_threads() <= 2));
+            // A wider nested cap cannot widen past the enclosing one.
+            with_thread_cap(8, || assert!(num_threads() <= 4));
+            assert!(num_threads() <= 4);
+        });
+    }
+
+    #[test]
+    fn cap_propagates_into_spawned_tasks() {
+        with_thread_cap(2, || {
+            let caps = par_map(&(0..16).collect::<Vec<u32>>(), |_| num_threads());
+            assert!(caps.iter().all(|&c| c <= 2), "observed widths {caps:?}");
+        });
+    }
+
+    #[test]
+    fn cap_restored_after_task_panic() {
+        let baseline = num_threads();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_cap(2, || {
+                scope(|s| s.spawn(|| panic!("cap boom")));
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(num_threads(), baseline);
     }
 
     #[test]
