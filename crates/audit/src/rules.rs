@@ -44,7 +44,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("no_unwrap", "no `.unwrap()` in non-test library code; use typed errors or a descriptive `expect`"),
     ("empty_expect", "`expect(\"\")` hides the invariant; the message must say why the value exists"),
     ("no_panic", "no `panic!` in non-test library code; return errors or document via audit allow"),
-    ("determinism", "no thread spawning, wall-clock reads, or RNG seeding outside mmhand-parallel, mmhand-math::rng, and bench binaries"),
+    ("determinism", "no thread spawning, wall-clock reads, or RNG seeding outside mmhand-parallel, mmhand-math::rng, mmhand-telemetry::clock, and bench binaries"),
     ("float_eq", "no `==`/`!=` comparison against float literals; use an epsilon or restructure"),
 ];
 
@@ -74,6 +74,10 @@ pub fn classify(path: &str) -> FileKind {
         panic_exempt: is_example || is_bench_bin,
         determinism_exempt: path.starts_with("crates/parallel/")
             || path == "crates/math/src/rng.rs"
+            // The telemetry clock module is the one sanctioned wall-clock
+            // boundary: `MonotonicClock` wraps `Instant::now` there so every
+            // other crate can time spans without touching the clock itself.
+            || path == "crates/telemetry/src/clock.rs"
             || is_bench_bin
             || is_example
             || test_file,
@@ -435,6 +439,10 @@ mod tests {
         assert!(rules_hit("crates/parallel/src/lib.rs", "std::thread::spawn(f);").is_empty());
         assert!(rules_hit("crates/math/src/rng.rs", "thread_rng()").is_empty());
         assert!(rules_hit("crates/bench/src/bin/exp.rs", src).is_empty());
+        // Only the clock module of the telemetry crate is exempt; the rest
+        // of the crate must stay clock-free.
+        assert!(rules_hit("crates/telemetry/src/clock.rs", src).is_empty());
+        assert_eq!(rules_hit("crates/telemetry/src/lib.rs", src), vec!["determinism"]);
     }
 
     #[test]

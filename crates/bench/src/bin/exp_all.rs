@@ -25,4 +25,10 @@ fn main() {
     exp::timing::run(&cfg);
     println!();
     println!("suite finished in {:.0}s", t0.elapsed().as_secs_f64());
+    match mmhand_bench::metrics::export_metrics("all") {
+        Ok((json, prom)) => {
+            println!("metrics dump: {} and {}", json.display(), prom.display());
+        }
+        Err(e) => eprintln!("metrics dump failed: {e}"),
+    }
 }

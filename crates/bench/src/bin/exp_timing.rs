@@ -3,4 +3,10 @@
 fn main() {
     let cfg = mmhand_bench::config::ExperimentConfig::from_env();
     mmhand_bench::experiments::timing::run(&cfg);
+    match mmhand_bench::metrics::export_metrics("timing") {
+        Ok((json, prom)) => {
+            println!("metrics dump: {} and {}", json.display(), prom.display());
+        }
+        Err(e) => eprintln!("metrics dump failed: {e}"),
+    }
 }

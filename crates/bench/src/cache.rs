@@ -52,7 +52,12 @@ pub fn save_f32(key: &str, data: &[f32]) -> std::io::Result<()> {
 }
 
 /// Loads a float vector saved with [`save_f32`], or `None` when missing or
-/// malformed.
+/// malformed (truncated, trailing garbage, or a corrupt header).
+///
+/// The header length is corruption-controlled, so the expected-size
+/// arithmetic uses checked operations: a header claiming absurd lengths
+/// (up to `u64::MAX`) must decode to `None`, not overflow-panic in debug
+/// builds.
 pub fn load_f32(key: &str) -> Option<Vec<f32>> {
     let mut f = fs::File::open(path_for(key)).ok()?;
     let mut buf = Vec::new();
@@ -60,8 +65,9 @@ pub fn load_f32(key: &str) -> Option<Vec<f32>> {
     if buf.len() < 8 {
         return None;
     }
-    let n = u64::from_le_bytes(buf[..8].try_into().ok()?) as usize;
-    if buf.len() != 8 + n * 4 {
+    let n = usize::try_from(u64::from_le_bytes(buf[..8].try_into().ok()?)).ok()?;
+    let expected = n.checked_mul(4).and_then(|bytes| bytes.checked_add(8))?;
+    if buf.len() != expected {
         return None;
     }
     let mut out = Vec::with_capacity(n);
@@ -102,5 +108,69 @@ mod tests {
     #[test]
     fn missing_key_is_none() {
         assert_eq!(load_f32("never-written-key"), None);
+    }
+
+    /// Writes raw bytes directly to a cache entry, bypassing [`save_f32`],
+    /// to simulate on-disk corruption.
+    fn write_raw(key: &str, bytes: &[u8]) {
+        fs::create_dir_all(cache_dir()).unwrap();
+        fs::write(path_for(key), bytes).unwrap();
+    }
+
+    fn encode(data: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + data.len() * 4);
+        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn truncated_files_load_as_none(
+            data in proptest::collection::vec(-1e6_f32..1e6, 1..32),
+            cut in 0usize..usize::MAX,
+        ) {
+            let key = "prop-truncated";
+            let full = encode(&data);
+            // Any strict prefix of a valid entry must be rejected.
+            let cut = cut % (full.len() - 1);
+            write_raw(key, &full[..cut]);
+            proptest::prop_assert_eq!(load_f32(key), None);
+            invalidate(key);
+        }
+
+        #[test]
+        fn overflowing_headers_load_as_none(
+            n in 1u64..=u64::MAX,
+            body in proptest::collection::vec(0u8..=255, 0..64),
+        ) {
+            // A header claiming `n` floats over a body that cannot hold them
+            // (including n * 4 + 8 overflowing usize) must return None, not
+            // panic. Skip the one consistent case: n floats with exactly
+            // n * 4 body bytes.
+            if n as u128 * 4 != body.len() as u128 {
+                let key = "prop-overflow-header";
+                let mut buf = n.to_le_bytes().to_vec();
+                buf.extend_from_slice(&body);
+                write_raw(key, &buf);
+                proptest::prop_assert_eq!(load_f32(key), None);
+                invalidate(key);
+            }
+        }
+
+        #[test]
+        fn trailing_garbage_loads_as_none(
+            data in proptest::collection::vec(-1e6_f32..1e6, 0..32),
+            garbage in proptest::collection::vec(0u8..=255, 1..16),
+        ) {
+            let key = "prop-trailing-garbage";
+            let mut buf = encode(&data);
+            buf.extend_from_slice(&garbage);
+            write_raw(key, &buf);
+            proptest::prop_assert_eq!(load_f32(key), None);
+            invalidate(key);
+        }
     }
 }

@@ -47,6 +47,8 @@ pub fn run(cfg: &ExperimentConfig) {
     let capture = CaptureConfig { chirp: cfg.data.cube.chirp, ..cfg.data.capture.clone() };
 
     let n = runs_for(cfg);
+    let mut cube_ms = Vec::with_capacity(n);
+    let mut regress_ms = Vec::with_capacity(n);
     let mut skeleton_ms = Vec::with_capacity(n);
     let mut mesh_ms = Vec::with_capacity(n);
     let mut total_ms = Vec::with_capacity(n);
@@ -58,6 +60,8 @@ pub fn run(cfg: &ExperimentConfig) {
             &CaptureConfig { seed: run_idx as u64, ..capture.clone() },
         );
         let out = pipeline.estimate(&session.frames);
+        cube_ms.push(out.timing.cube_ms as f32);
+        regress_ms.push(out.timing.regress_ms as f32);
         skeleton_ms.push(out.timing.skeleton_ms as f32);
         mesh_ms.push(out.timing.mesh_ms as f32);
         total_ms.push(out.timing.total_ms() as f32);
@@ -67,6 +71,14 @@ pub fn run(cfg: &ExperimentConfig) {
         "mean skeleton stage",
         format!("{:.1}ms", stats::mean(&skeleton_ms)),
         "459.6ms",
+    );
+    report::data_row(
+        "  cube build / regression split",
+        format!(
+            "{:.1}ms / {:.1}ms",
+            stats::mean(&cube_ms),
+            stats::mean(&regress_ms)
+        ),
     );
     report::row("mean mesh stage", format!("{:.1}ms", stats::mean(&mesh_ms)), "353.1ms");
     report::row("mean overall", format!("{:.1}ms", stats::mean(&total_ms)), "812.7ms");

@@ -9,11 +9,14 @@
 //! * [`cache`] — on-disk caching of trained models and error sets so the
 //!   per-figure binaries can share one expensive training run,
 //! * [`runner`] — the reference model and cross-validation entry points,
-//! * [`report`] — uniform printing of measured-vs-paper rows.
+//! * [`report`] — uniform printing of measured-vs-paper rows,
+//! * [`metrics`] — telemetry dumps (JSON + Prometheus text) written next
+//!   to the experiment outputs.
 
 pub mod cache;
 pub mod experiments;
 pub mod config;
 pub mod data;
+pub mod metrics;
 pub mod report;
 pub mod runner;

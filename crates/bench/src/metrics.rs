@@ -1,0 +1,85 @@
+//! Metrics export for the experiment harness.
+//!
+//! Every `exp_*` binary (and `exp_all`) can dump the telemetry registry —
+//! pipeline stage spans, training counters, pool utilization, DSP batch
+//! histograms — next to its printed report: a JSON file for programmatic
+//! consumption and a Prometheus text exposition for scraping tools. Files
+//! land in `target/mmhand-metrics/` as `BENCH_<name>_metrics.json` /
+//! `BENCH_<name>_metrics.prom`.
+
+use mmhand_telemetry as telemetry;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The metrics output directory (created on demand).
+pub fn metrics_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("mmhand-metrics")
+}
+
+/// Paths the dump for `name` will be written to: `(json, prometheus)`.
+pub fn export_paths(name: &str) -> (PathBuf, PathBuf) {
+    let dir = metrics_dir();
+    (
+        dir.join(format!("BENCH_{name}_metrics.json")),
+        dir.join(format!("BENCH_{name}_metrics.prom")),
+    )
+}
+
+/// Snapshots the telemetry registry and writes both exposition formats,
+/// returning the `(json, prometheus)` paths.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the files.
+pub fn export_metrics(name: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+    let snap = telemetry::snapshot();
+    write_snapshot(name, &snap)
+}
+
+/// Writes a specific snapshot (see [`export_metrics`] for the usual entry
+/// point).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the files.
+pub fn write_snapshot(
+    name: &str,
+    snap: &telemetry::MetricsSnapshot,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(metrics_dir())?;
+    let (json_path, prom_path) = export_paths(name);
+    let mut f = fs::File::create(&json_path)?;
+    f.write_all(snap.to_json().as_bytes())?;
+    let mut f = fs::File::create(&prom_path)?;
+    f.write_all(snap.to_prometheus().as_bytes())?;
+    Ok((json_path, prom_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_writes_both_formats() {
+        telemetry::counter("bench.test.export_counter").add(3);
+        let sp = telemetry::span("bench.test.export_span");
+        let _ = sp.finish();
+        let (json_path, prom_path) =
+            export_metrics("selftest").expect("metrics export writes files");
+        let json = fs::read_to_string(&json_path).expect("json dump readable");
+        assert!(json.contains("\"bench.test.export_counter\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        // Cheap well-formedness check: balanced braces/brackets.
+        assert_eq!(
+            json.matches(['{', '[']).count(),
+            json.matches(['}', ']']).count()
+        );
+        let prom = fs::read_to_string(&prom_path).expect("prom dump readable");
+        assert!(prom.contains("# TYPE bench_test_export_counter counter"));
+        assert!(prom.contains("bench_test_export_span_count"));
+        assert!(prom.contains("_bucket{le=\"+Inf\"}"));
+    }
+}

@@ -11,6 +11,7 @@ use mmhand_core::train::{TrainConfig, TrainedModel, Trainer};
 use mmhand_core::eval::cross_validate;
 use mmhand_math::rng::stream_rng;
 use mmhand_nn::ParamStore;
+use mmhand_telemetry as telemetry;
 
 /// Loads the cached reference model or trains it on the full cohort.
 ///
@@ -25,20 +26,21 @@ pub fn reference_model(cfg: &ExperimentConfig) -> TrainedModel {
         let model = MmHandModel::new(&mut store, cfg.model.clone(), &mut rng);
         if snapshot.len() == store.scalar_count() {
             store.restore(&snapshot);
+            telemetry::counter("bench.cache.hits").inc();
             eprintln!("[runner] loaded cached reference model ({key})");
             return TrainedModel { model, store, history: Vec::new() };
         }
         eprintln!("[runner] cached model has stale shape; retraining");
     }
+    telemetry::counter("bench.cache.misses").inc();
     eprintln!("[runner] training reference model ({key})…");
-    // audit: allow(determinism) — wall-clock here only reports training duration to the operator
-    let t0 = std::time::Instant::now();
+    let sp = telemetry::span("bench.train_reference");
     let sequences = build_training_cohort(cfg);
     let trained = Trainer::new(cfg.model.clone(), cfg.train.clone()).train(&sequences);
     eprintln!(
         "[runner] reference model trained on {} sequences in {:.0}s",
         sequences.len(),
-        t0.elapsed().as_secs_f64()
+        sp.finish() as f64 / 1e9
     );
     let _ = cache::save_f32(&key, &trained.store.snapshot());
     trained
@@ -66,19 +68,21 @@ impl CvResults {
 pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
     let key = format!("cv-{}", cfg.cache_key());
     if let Some(flat) = cache::load_f32(&key) {
-        if flat.len() % 3 == 0 {
+        if valid_cv_cache(&flat) {
+            telemetry::counter("bench.cache.hits").inc();
             eprintln!("[runner] loaded cached cross-validation ({key})");
             return decode_cv(&flat);
         }
+        eprintln!("[runner] cached cross-validation is empty or malformed; rerunning");
     }
+    telemetry::counter("bench.cache.misses").inc();
     eprintln!("[runner] running cross-validation ({key})…");
-    // audit: allow(determinism) — wall-clock here only reports training duration to the operator
-    let t0 = std::time::Instant::now();
+    let sp = telemetry::span("bench.cross_validate");
     let sequences = build_training_cohort(cfg);
     let cv = cross_validate(&sequences, &cfg.model, &cfg.train, cfg.folds);
     eprintln!(
         "[runner] cross-validation finished in {:.0}s",
-        t0.elapsed().as_secs_f64()
+        sp.finish() as f64 / 1e9
     );
     let mut flat = Vec::new();
     for (user, errs) in &cv.per_user {
@@ -88,6 +92,19 @@ pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
     }
     let _ = cache::save_f32(&key, &flat);
     CvResults { per_user: cv.per_user }
+}
+
+/// A cached cross-validation payload is usable only when it is non-empty
+/// and holds whole `(user, joint, error)` triples: an empty entry would
+/// silently decode to zero users and report vacuous metrics.
+fn valid_cv_cache(flat: &[f32]) -> bool {
+    !flat.is_empty() && flat.len().is_multiple_of(3)
+}
+
+/// Same non-empty requirement for `(joint, error)` hold-out pairs: an empty
+/// cached entry must not masquerade as a measured error set.
+fn valid_holdout_cache(flat: &[f32]) -> bool {
+    !flat.is_empty() && flat.len().is_multiple_of(2)
 }
 
 fn decode_cv(flat: &[f32]) -> CvResults {
@@ -126,7 +143,7 @@ pub fn holdout_errors(
 ) -> JointErrors {
     let key = format!("holdout-{}-{}", variant_name, cfg.cache_key());
     if let Some(flat) = cache::load_f32(&key) {
-        if flat.len() % 2 == 0 {
+        if valid_holdout_cache(&flat) {
             let mut e = JointErrors::new();
             for c in flat.chunks_exact(2) {
                 e.push_error(c[0] as usize, c[1]);
@@ -182,6 +199,18 @@ mod tests {
         assert_eq!(decoded.per_user[1].0, 7);
         let overall = decoded.overall();
         assert_eq!(overall.len(), 3);
+    }
+
+    #[test]
+    fn empty_cached_payloads_are_rejected() {
+        // The old check (`len % 3 == 0`) accepted an empty vector, which
+        // decoded to zero users and produced vacuous metrics.
+        assert!(!valid_cv_cache(&[]));
+        assert!(!valid_holdout_cache(&[]));
+        assert!(valid_cv_cache(&[1.0, 2.0, 3.0]));
+        assert!(!valid_cv_cache(&[1.0, 2.0]));
+        assert!(valid_holdout_cache(&[1.0, 2.0]));
+        assert!(!valid_holdout_cache(&[1.0]));
     }
 
     #[test]

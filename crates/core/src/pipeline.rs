@@ -7,11 +7,21 @@ use crate::mesh::{MeshReconstructor, ReconstructedHand};
 use crate::train::TrainedModel;
 use mmhand_nn::Tensor;
 use mmhand_radar::RawFrame;
-use std::time::Instant;
+use mmhand_telemetry as telemetry;
 
 /// Wall-clock timing of one pipeline invocation.
+///
+/// This is a thin view derived from the pipeline's telemetry spans
+/// (`pipeline.cube_build`, `pipeline.regression`, `pipeline.mesh`): the
+/// span durations returned by [`mmhand_telemetry::Span::finish`] are the
+/// single source of truth, and the same measurements land in the global
+/// metrics registry for the bench runner's exports.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StageTiming {
+    /// Radar-cube construction time (pre-processing), ms.
+    pub cube_ms: f64,
+    /// Joint-regression (network forward) time, ms.
+    pub regress_ms: f64,
     /// Pre-processing + joint regression time (skeleton stage), ms.
     pub skeleton_ms: f64,
     /// Mesh-reconstruction time, ms.
@@ -19,6 +29,18 @@ pub struct StageTiming {
 }
 
 impl StageTiming {
+    /// Builds the view from span durations in nanoseconds.
+    pub fn from_span_ns(cube_ns: u64, regress_ns: u64, mesh_ns: u64) -> Self {
+        let cube_ms = cube_ns as f64 / 1e6;
+        let regress_ms = regress_ns as f64 / 1e6;
+        StageTiming {
+            cube_ms,
+            regress_ms,
+            skeleton_ms: cube_ms + regress_ms,
+            mesh_ms: mesh_ns as f64 / 1e6,
+        }
+    }
+
     /// Total pipeline time in milliseconds.
     pub fn total_ms(&self) -> f64 {
         self.skeleton_ms + self.mesh_ms
@@ -75,20 +97,24 @@ impl MmHandPipeline {
     }
 
     /// Regresses skeletons only (no meshes) with timing.
+    ///
+    /// Timing comes from telemetry spans (`pipeline.cube_build`,
+    /// `pipeline.regression`); the same durations are recorded into the
+    /// global metrics registry.
     pub fn estimate_skeletons(&mut self, frames: &[RawFrame]) -> (Vec<Vec<f32>>, StageTiming) {
-        // audit: allow(determinism) — wall-clock here only measures latency, it never feeds results
-        let start = Instant::now();
+        telemetry::counter("pipeline.invocations").inc();
+        let sp = telemetry::span("pipeline.cube_build");
         let segments = self.frames_to_segments(frames);
+        let cube_ns = sp.finish();
+        let sp = telemetry::span("pipeline.regression");
         let skeletons = if segments.is_empty() {
             Vec::new()
         } else {
             self.model.predict_sequence(&segments)
         };
-        let timing = StageTiming {
-            skeleton_ms: start.elapsed().as_secs_f64() * 1000.0,
-            mesh_ms: 0.0,
-        };
-        (skeletons, timing)
+        let regress_ns = sp.finish();
+        telemetry::counter("pipeline.segments").add(skeletons.len() as u64);
+        (skeletons, StageTiming::from_span_ns(cube_ns, regress_ns, 0))
     }
 
     /// Full pipeline: skeletons plus reconstructed meshes.
@@ -96,9 +122,8 @@ impl MmHandPipeline {
     /// Uses the fitted mesh networks when available, the analytic IK path
     /// otherwise.
     pub fn estimate(&mut self, frames: &[RawFrame]) -> PipelineOutput {
-        let (skeletons, mut timing) = self.estimate_skeletons(frames);
-        // audit: allow(determinism) — wall-clock here only measures latency, it never feeds results
-        let start = Instant::now();
+        let (skeletons, timing) = self.estimate_skeletons(frames);
+        let sp = telemetry::span("pipeline.mesh");
         let hands: Vec<ReconstructedHand> = skeletons
             .iter()
             .map(|s| {
@@ -109,7 +134,9 @@ impl MmHandPipeline {
                 }
             })
             .collect();
-        timing.mesh_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let mesh_ns = sp.finish();
+        let mut timing = timing;
+        timing.mesh_ms = mesh_ns as f64 / 1e6;
         PipelineOutput { skeletons, hands, timing }
     }
 }
@@ -222,6 +249,38 @@ mod tests {
         let out = pipeline.estimate(&[]);
         assert!(out.skeletons.is_empty());
         assert!(out.hands.is_empty());
+    }
+
+    #[test]
+    fn stage_timing_is_a_view_over_spans() {
+        let (mut pipeline, frames) = tiny_pipeline();
+        let out = pipeline.estimate(&frames);
+        let t = out.timing;
+        // The skeleton stage is exactly the sum of its two spans.
+        assert!((t.cube_ms + t.regress_ms - t.skeleton_ms).abs() < 1e-9);
+        assert!(t.cube_ms > 0.0 && t.regress_ms > 0.0);
+        // The same spans landed in the global registry.
+        let snap = mmhand_telemetry::snapshot();
+        for name in ["pipeline.cube_build", "pipeline.regression", "pipeline.mesh"] {
+            let h = snap
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h)
+                .expect("span histogram registered");
+            assert!(h.count >= 1, "{name} recorded at least one span");
+            assert!(h.sum >= 0.0);
+        }
+    }
+
+    #[test]
+    fn from_span_ns_converts_to_ms() {
+        let t = StageTiming::from_span_ns(1_500_000, 500_000, 3_000_000);
+        assert!((t.cube_ms - 1.5).abs() < 1e-12);
+        assert!((t.regress_ms - 0.5).abs() < 1e-12);
+        assert!((t.skeleton_ms - 2.0).abs() < 1e-12);
+        assert!((t.mesh_ms - 3.0).abs() < 1e-12);
+        assert!((t.total_ms() - 5.0).abs() < 1e-12);
     }
 
     #[test]

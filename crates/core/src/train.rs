@@ -10,6 +10,7 @@ use crate::metrics::JointErrors;
 use crate::model::{MmHandModel, ModelConfig, OUTPUT_DIM};
 use mmhand_math::rng::stream_rng;
 use mmhand_nn::{Adam, CosineSchedule, ParamStore, Tape, Tensor};
+use mmhand_telemetry as telemetry;
 
 /// Training hyper-parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -252,12 +253,27 @@ impl Trainer {
         let mut history = Vec::with_capacity(tc.epochs);
         let mut step: u64 = 0;
 
+        // Telemetry handles resolved once, outside the hot loop. Values only
+        // flow *into* the metrics registry, never back into training, so the
+        // run stays bit-for-bit deterministic.
+        let m_epochs = telemetry::counter("train.epochs");
+        let m_sequences = telemetry::counter("train.sequences");
+        let m_loss = telemetry::gauge("train.loss");
+        let m_l3d = telemetry::gauge("train.loss_3d");
+        let m_lkine = telemetry::gauge("train.loss_kine");
+        let m_grad_norm = telemetry::gauge("train.grad_norm");
+        let m_lr = telemetry::gauge("train.lr");
+        let m_throughput = telemetry::gauge("train.seq_per_s");
+
         for _epoch in 0..tc.epochs {
+            let epoch_span = telemetry::span("train.epoch");
             let batches = make_batches(sequences, tc.batch_size, &mut shuffle_rng);
             let mut epoch_loss = 0.0;
             let mut epoch_l3d = 0.0;
             let mut epoch_lk = 0.0;
             let mut lr_used = tc.base_lr;
+            let mut last_grad_norm = 0.0_f32;
+            let mut epoch_sequences = 0u64;
             for batch in &batches {
                 store.zero_grad();
                 // Split the batch along the sample axis into fixed-size
@@ -340,6 +356,12 @@ impl Trainer {
                         "parameters with zero gradient flow after first backward: {dead:?}"
                     );
                 }
+                epoch_sequences += batch.batch_size() as u64;
+                // Pre-clip gradient norm; computed only when telemetry is
+                // recording since it costs a pass over every parameter.
+                if telemetry::enabled() {
+                    last_grad_norm = store.grad_norm();
+                }
                 if tc.clip_norm > 0.0 {
                     store.clip_grad_norm(tc.clip_norm);
                 }
@@ -348,12 +370,24 @@ impl Trainer {
                 step += 1;
             }
             let nb = batches.len().max(1) as f32;
-            history.push(EpochStats {
+            let stats = EpochStats {
                 loss: epoch_loss / nb,
                 l3d: epoch_l3d / nb,
                 lkine: epoch_lk / nb,
                 lr: lr_used,
-            });
+            };
+            history.push(stats);
+            m_epochs.inc();
+            m_sequences.add(epoch_sequences);
+            m_loss.set(stats.loss as f64);
+            m_l3d.set(stats.l3d as f64);
+            m_lkine.set(stats.lkine as f64);
+            m_grad_norm.set(last_grad_norm as f64);
+            m_lr.set(stats.lr as f64);
+            let epoch_ns = epoch_span.finish();
+            if epoch_ns > 0 {
+                m_throughput.set(epoch_sequences as f64 / (epoch_ns as f64 / 1e9));
+            }
         }
 
         TrainedModel { model, store, history }
@@ -520,6 +554,33 @@ mod tests {
         assert_eq!(per_user[0].0, 1);
         assert_eq!(per_user[1].0, 2);
         assert!(!per_user[0].1.is_empty());
+    }
+
+    #[test]
+    fn training_records_telemetry() {
+        let (cube_cfg, model_cfg) = tiny_stack();
+        let seqs = tiny_sequences(&cube_cfg, 24, 8);
+        let epochs_before = mmhand_telemetry::counter("train.epochs").get();
+        let trainer = Trainer::new(
+            model_cfg,
+            TrainConfig { epochs: 3, batch_size: 4, ..Default::default() },
+        );
+        let _ = trainer.train(&seqs);
+        // Counters are process-global and other tests train concurrently,
+        // so assert growth, not exact values.
+        let epochs_after = mmhand_telemetry::counter("train.epochs").get();
+        assert!(epochs_after >= epochs_before + 3, "per-epoch counter advanced");
+        assert!(mmhand_telemetry::counter("train.sequences").get() > 0);
+        assert!(mmhand_telemetry::gauge("train.loss").get().is_finite());
+        assert!(mmhand_telemetry::gauge("train.grad_norm").get() >= 0.0);
+        let snap = mmhand_telemetry::snapshot();
+        let epoch_hist = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "train.epoch")
+            .map(|(_, h)| h)
+            .expect("epoch span histogram registered");
+        assert!(epoch_hist.count >= 3);
     }
 
     #[test]

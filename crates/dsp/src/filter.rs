@@ -295,6 +295,7 @@ impl BandpassFilter {
 
     /// Filters a whole real signal, starting from cleared state.
     pub fn filter_signal(&mut self, xs: &[f32]) -> Vec<f32> {
+        mmhand_telemetry::size_histogram("dsp.filter.batch_samples").observe(xs.len() as f64);
         self.reset();
         xs.iter().map(|&x| self.process(x)).collect()
     }

@@ -55,6 +55,7 @@ pub fn doppler_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
 ///
 /// Panics if any row's length is not a power of two.
 pub fn range_fft_batch<S: AsRef<[Complex]> + Sync>(batch: &[S], window: Window) -> Vec<Vec<Complex>> {
+    mmhand_telemetry::size_histogram("dsp.fft.range_batch_rows").observe(batch.len() as f64);
     mmhand_parallel::par_map(batch, |row| range_fft(row.as_ref(), window))
 }
 
@@ -68,6 +69,7 @@ pub fn doppler_fft_batch<S: AsRef<[Complex]> + Sync>(
     batch: &[S],
     window: Window,
 ) -> Vec<Vec<Complex>> {
+    mmhand_telemetry::size_histogram("dsp.fft.doppler_batch_rows").observe(batch.len() as f64);
     mmhand_parallel::par_map(batch, |row| doppler_fft(row.as_ref(), window))
 }
 
@@ -318,6 +320,16 @@ mod tests {
         for (row, spec) in rows.iter().zip(&batched) {
             assert_eq!(spec, &doppler_fft(row, Window::Rectangular));
         }
+    }
+
+    #[test]
+    fn batch_sizes_are_recorded_in_telemetry() {
+        let h = mmhand_telemetry::size_histogram("dsp.fft.range_batch_rows");
+        let before = h.count();
+        let rows: Vec<Vec<Complex>> = (0..5).map(|_| vec![Complex::ONE; 16]).collect();
+        let _ = range_fft_batch(&rows, Window::Hann);
+        assert!(h.count() > before, "range batch size observed");
+        assert!(h.sum() >= 5.0);
     }
 
     proptest! {

@@ -19,9 +19,26 @@ pub fn refined_bin_count(n: usize, band_fraction: f32, refinement: usize) -> usi
     ((n as f32 * band_fraction).ceil() as usize * refinement).max(1)
 }
 
+/// `(start, step)` of the evaluation grid shared by [`zoom_dft`] and
+/// [`zoom_frequencies`].
+///
+/// With two or more bins the grid spans `[f_lo, f_hi]` inclusive. A single
+/// bin degenerates to the **band midpoint** `(f_lo + f_hi) / 2` — the most
+/// representative single frequency of the band — rather than `f_lo`; both
+/// public functions use this helper so they can never disagree on where a
+/// bin sits.
+fn grid_params(f_lo: f32, f_hi: f32, bins: usize) -> (f32, f32) {
+    if bins <= 1 {
+        ((f_lo + f_hi) * 0.5, 0.0)
+    } else {
+        (f_lo, (f_hi - f_lo) / (bins - 1) as f32)
+    }
+}
+
 /// Evaluates the DTFT of `x` on `bins` equally spaced normalised frequencies
 /// spanning `[f_lo, f_hi]` (cycles per sample, so the full spectrum is
-/// `[-0.5, 0.5)`).
+/// `[-0.5, 0.5)`). With `bins == 1` the single evaluation point is the band
+/// midpoint (see [`zoom_frequencies`], which reports the same grid).
 ///
 /// This is exact (no decimation approximation); cost is `O(len · bins)`.
 ///
@@ -32,10 +49,10 @@ pub fn zoom_dft(x: &[Complex], f_lo: f32, f_hi: f32, bins: usize) -> Vec<Complex
     assert!(bins > 0, "zoom_dft needs at least one bin");
     assert!(f_lo <= f_hi, "zoom_dft: f_lo {f_lo} > f_hi {f_hi}");
     let tau = 2.0 * std::f32::consts::PI;
-    let step = if bins == 1 { 0.0 } else { (f_hi - f_lo) / (bins - 1) as f32 };
+    let (start, step) = grid_params(f_lo, f_hi, bins);
     (0..bins)
         .map(|b| {
-            let f = f_lo + step * b as f32;
+            let f = start + step * b as f32;
             let mut acc = Complex::ZERO;
             for (i, &s) in x.iter().enumerate() {
                 acc += s * Complex::from_angle(-tau * f * i as f32);
@@ -47,8 +64,8 @@ pub fn zoom_dft(x: &[Complex], f_lo: f32, f_hi: f32, bins: usize) -> Vec<Complex
 
 /// The normalised frequencies corresponding to the bins of [`zoom_dft`].
 pub fn zoom_frequencies(f_lo: f32, f_hi: f32, bins: usize) -> Vec<f32> {
-    let step = if bins <= 1 { 0.0 } else { (f_hi - f_lo) / (bins - 1) as f32 };
-    (0..bins).map(|b| f_lo + step * b as f32).collect()
+    let (start, step) = grid_params(f_lo, f_hi, bins);
+    (0..bins).map(|b| start + step * b as f32).collect()
 }
 
 #[cfg(test)]
@@ -105,11 +122,18 @@ mod tests {
 
     #[test]
     fn single_bin_evaluates_midpoint_start() {
-        let sig = tone(8, 0.125);
+        // The single bin sits at the band midpoint (0.125 + 0.25) / 2 =
+        // 0.1875, so a tone exactly there aligns all terms: |X| == n.
+        // (Previously zoom_dft evaluated one bin at f_lo while
+        // zoom_frequencies reported the same point inconsistently.)
+        let sig = tone(8, 0.1875);
         let one = zoom_dft(&sig, 0.125, 0.25, 1);
         assert_eq!(one.len(), 1);
-        // At the tone frequency all terms align: |X| == n.
         assert!((one[0].abs() - 8.0).abs() < 1e-3);
+        assert_eq!(zoom_frequencies(0.125, 0.25, 1), vec![0.1875]);
+        // A tone at f_lo no longer dominates the single-bin evaluation.
+        let off = zoom_dft(&tone(8, 0.125), 0.125, 0.25, 1);
+        assert!(off[0].abs() < 8.0 - 1e-3);
     }
 
     #[test]

@@ -232,6 +232,29 @@ const GEMM_MR: usize = 4;
 /// dominate and the sequential kernel wins.
 const GEMM_PAR_FLOPS: usize = 1 << 17;
 
+/// Bucket bounds for the GEMM problem-size histogram (flops per call).
+const GEMM_FLOP_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+
+/// GEMM telemetry handles, resolved once: every `gemm*` entry point counts
+/// its calls and observes the problem size, so kernel-dispatch decisions
+/// (like [`GEMM_PAR_FLOPS`]) can be tuned against real workload shapes.
+fn gemm_metrics() -> &'static (mmhand_telemetry::Counter, mmhand_telemetry::Histogram) {
+    static METRICS: std::sync::OnceLock<(mmhand_telemetry::Counter, mmhand_telemetry::Histogram)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            mmhand_telemetry::counter("nn.gemm.calls"),
+            mmhand_telemetry::histogram_with("nn.gemm.flops", GEMM_FLOP_BUCKETS),
+        )
+    })
+}
+
+fn record_gemm(m: usize, k: usize, n: usize) {
+    let (calls, flops) = gemm_metrics();
+    calls.inc();
+    flops.observe(2.0 * (m as f64) * (k as f64) * (n as f64));
+}
+
 /// `C += A·B` GEMM kernel: cache-blocked over k, 4-row register blocking,
 /// and parallel over row bands of `C` on the `mmhand-parallel` pool.
 ///
@@ -245,6 +268,7 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     if n == 0 {
         return;
     }
+    record_gemm(m, k, n);
     let rows_per_task = gemm_rows_per_task(m, k, n);
     mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
         gemm_band(a, b, c_band, band * rows_per_task, k, n);
@@ -313,6 +337,7 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     if n == 0 {
         return;
     }
+    record_gemm(m, k, n);
     let rows_per_task = gemm_rows_per_task(m, k, n);
     mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
         let i0 = band * rows_per_task;
@@ -362,6 +387,7 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     if n == 0 {
         return;
     }
+    record_gemm(m, k, n);
     let rows_per_task = gemm_rows_per_task(m, k, n);
     mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
         let i0 = band * rows_per_task;

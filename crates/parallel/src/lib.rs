@@ -53,6 +53,26 @@ use std::time::Duration;
 
 type Task = Box<dyn FnOnce() + Send>;
 
+/// Pool-wide telemetry handles, resolved once. Queue depth is sampled at
+/// push/pop; task counts and busy time are recorded at the execution sites
+/// (worker loop, scope help-loop, inline path).
+struct PoolMetrics {
+    tasks_spawned: mmhand_telemetry::Counter,
+    tasks_executed: mmhand_telemetry::Counter,
+    inline_tasks: mmhand_telemetry::Counter,
+    queue_depth: mmhand_telemetry::Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        tasks_spawned: mmhand_telemetry::counter("parallel.tasks_spawned"),
+        tasks_executed: mmhand_telemetry::counter("parallel.tasks_executed"),
+        inline_tasks: mmhand_telemetry::counter("parallel.inline_tasks"),
+        queue_depth: mmhand_telemetry::gauge("parallel.queue_depth"),
+    })
+}
+
 struct Injector {
     queue: Mutex<VecDeque<Task>>,
     ready: Condvar,
@@ -60,12 +80,27 @@ struct Injector {
 
 impl Injector {
     fn push(&self, task: Task) {
-        self.queue.lock().expect("injector queue").push_back(task);
+        let depth = {
+            let mut queue = self.queue.lock().expect("injector queue");
+            queue.push_back(task);
+            queue.len()
+        };
         self.ready.notify_one();
+        let m = pool_metrics();
+        m.tasks_spawned.inc();
+        m.queue_depth.set(depth as f64);
     }
 
     fn try_pop(&self) -> Option<Task> {
-        self.queue.lock().expect("injector queue").pop_front()
+        let (task, depth) = {
+            let mut queue = self.queue.lock().expect("injector queue");
+            let task = queue.pop_front();
+            (task, queue.len())
+        };
+        if task.is_some() {
+            pool_metrics().queue_depth.set(depth as f64);
+        }
+        task
     }
 }
 
@@ -94,7 +129,7 @@ impl ThreadPool {
             let inj = Arc::clone(&injector);
             std::thread::Builder::new()
                 .name(format!("mmhand-worker-{i}"))
-                .spawn(move || worker_loop(&inj))
+                .spawn(move || worker_loop(&inj, i))
                 .expect("spawn pool worker");
         }
         ThreadPool { injector, threads }
@@ -135,6 +170,7 @@ impl ThreadPool {
         while state.pending.load(Ordering::Acquire) > 0 {
             if let Some(task) = self.injector.try_pop() {
                 task();
+                pool_metrics().tasks_executed.inc();
             } else {
                 let guard = state.done.lock().expect("scope done lock");
                 if state.pending.load(Ordering::Acquire) > 0 {
@@ -159,18 +195,33 @@ impl ThreadPool {
     }
 }
 
-fn worker_loop(injector: &Injector) {
+fn worker_loop(injector: &Injector, index: usize) {
+    let metrics = pool_metrics();
+    // Per-worker handles: tasks run and cumulative busy time, the inputs to
+    // a per-worker utilization view (busy time over pool uptime).
+    let worker_tasks = mmhand_telemetry::counter(&format!("parallel.worker.{index}.tasks"));
+    let worker_busy_us = mmhand_telemetry::counter(&format!("parallel.worker.{index}.busy_us"));
     loop {
-        let task = {
+        let (task, depth) = {
             let mut queue = injector.queue.lock().expect("injector queue");
             loop {
                 if let Some(t) = queue.pop_front() {
-                    break t;
+                    break (t, queue.len());
                 }
                 queue = injector.ready.wait(queue).expect("injector wait");
             }
         };
-        task();
+        metrics.queue_depth.set(depth as f64);
+        if mmhand_telemetry::enabled() {
+            let start_ns = mmhand_telemetry::now_ns();
+            task();
+            let elapsed_ns = mmhand_telemetry::now_ns().saturating_sub(start_ns);
+            worker_busy_us.add(elapsed_ns / 1_000);
+        } else {
+            task();
+        }
+        metrics.tasks_executed.inc();
+        worker_tasks.inc();
     }
 }
 
@@ -198,6 +249,7 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     {
         if self.pool.threads <= 1 || in_sequential_scope() || thread_cap() <= 1 {
             task();
+            pool_metrics().inline_tasks.inc();
             return;
         }
         self.state.pending.fetch_add(1, Ordering::AcqRel);
@@ -474,6 +526,29 @@ mod tests {
         for (o, s) in sums.iter().enumerate() {
             assert_eq!(*s, (0..16).map(|i| o as u64 * 100 + i).sum::<u64>());
         }
+    }
+
+    #[test]
+    fn pool_records_task_telemetry() {
+        let spawned = mmhand_telemetry::counter("parallel.tasks_spawned");
+        let executed = mmhand_telemetry::counter("parallel.tasks_executed");
+        let before_spawned = spawned.get();
+        let before_executed = executed.get();
+        // A private multi-lane pool guarantees the queued path even on a
+        // single-CPU machine (the global pool would run inline there).
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU32::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        // Other tests run concurrently, so assert growth, not exact counts.
+        assert!(spawned.get() >= before_spawned + 16, "spawn counter advanced");
+        assert!(executed.get() >= before_executed + 16, "execute counter advanced");
     }
 
     #[test]
