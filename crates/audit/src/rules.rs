@@ -22,6 +22,7 @@
 //! | `no_panic` | no `panic!` in non-test library code |
 //! | `determinism` | no `thread::spawn` / wall-clock reads / ad-hoc RNG seeding outside the sanctioned modules |
 //! | `float_eq` | no `==`/`!=` against floating-point literals |
+//! | `serve_hygiene` | the serve ingress surface must return typed errors: no `.expect(…)`/assertion macros in `crates/serve` lib code, no assertion macros in the public core entry points (`cube.rs`, `pipeline.rs`) |
 
 use crate::lexer::{contains_word, lex, Line};
 
@@ -46,6 +47,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("no_panic", "no `panic!` in non-test library code; return errors or document via audit allow"),
     ("determinism", "no thread spawning, wall-clock reads, or RNG seeding outside mmhand-parallel, mmhand-math::rng, mmhand-telemetry::clock, and bench binaries"),
     ("float_eq", "no `==`/`!=` comparison against float literals; use an epsilon or restructure"),
+    ("serve_hygiene", "serve ingress returns typed errors: no `.expect(`/assertion macros in crates/serve lib code, no assertion macros in the core entry points (documented `try_*`-delegating `.expect` wrappers stay legal there)"),
 ];
 
 /// How many lines above an `unsafe` keyword a `// SAFETY:` comment may sit.
@@ -133,6 +135,50 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
                     line: line.number,
                     message: "`panic!` in non-test library code".into(),
                 });
+            }
+        }
+
+        if !kind.panic_exempt {
+            // serve_hygiene — the streaming service guarantees that no
+            // malformed input reaching its ingress can panic, so its lib
+            // code (and the two core entry-point files it is built on) is
+            // held to a stricter standard than the workspace-wide panic
+            // rules. Inside `crates/serve` even a descriptive `.expect` is
+            // out: every fallible step must surface as `ServeError`. In the
+            // core entry points only the assertion macros are banned — the
+            // documented `try_*`-delegating `.expect` wrappers are the
+            // sanctioned panicking API there.
+            if serve_strict(path) {
+                if path.starts_with("crates/serve/src/")
+                    && code.contains(".expect(")
+                    && !allowed(&lines, idx, "serve_hygiene")
+                {
+                    findings.push(Finding {
+                        rule: "serve_hygiene",
+                        file: path.to_string(),
+                        line: line.number,
+                        message: "`.expect(…)` on the serve ingress surface; return a `ServeError` instead".into(),
+                    });
+                }
+                for mac in [
+                    "assert!",
+                    "assert_eq!",
+                    "assert_ne!",
+                    "unreachable!",
+                    "todo!",
+                    "unimplemented!",
+                ] {
+                    if contains_macro(code, mac) && !allowed(&lines, idx, "serve_hygiene") {
+                        findings.push(Finding {
+                            rule: "serve_hygiene",
+                            file: path.to_string(),
+                            line: line.number,
+                            message: format!(
+                                "`{mac}` on the panic-free serving surface; return a typed error instead"
+                            ),
+                        });
+                    }
+                }
             }
         }
 
@@ -253,6 +299,32 @@ fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
         if l.comment.contains("SAFETY:") {
             return true;
         }
+    }
+    false
+}
+
+/// Files on the panic-free serving surface: the whole `mmhand-serve`
+/// library plus the two core entry-point files its ingress path runs
+/// through.
+fn serve_strict(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+        || path == "crates/core/src/cube.rs"
+        || path == "crates/core/src/pipeline.rs"
+}
+
+/// `mac` present as a macro invocation of its own name — an occurrence
+/// whose preceding character is part of an identifier (e.g. the `assert!`
+/// inside `debug_assert!`) does not count.
+fn contains_macro(code: &str, mac: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(mac) {
+        let at = start + pos;
+        let prev = if at > 0 { bytes[at - 1] } else { b' ' };
+        if !prev.is_ascii_alphanumeric() && prev != b'_' {
+            return true;
+        }
+        start = at + mac.len();
     }
     false
 }
@@ -466,6 +538,45 @@ mod tests {
     fn cfg_any_test_region_is_exempt() {
         let src = "#[cfg(any(test, feature = \"x\"))]\nmod support {\n    fn t() { y.unwrap(); }\n}";
         assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn serve_hygiene_bans_expect_and_asserts_in_serve_lib_code() {
+        let serve = "crates/serve/src/engine.rs";
+        assert_eq!(rules_hit(serve, r#"x.expect("queue lock poisoned");"#), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(serve, "assert!(ok);"), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(serve, "assert_eq!(a, b);"), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(serve, "assert_ne!(a, b);"), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(serve, "unreachable!()"), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(serve, "todo!()"), vec!["serve_hygiene"]);
+        // Debug assertions compile out of release builds and stay legal.
+        assert!(rules_hit(serve, "debug_assert!(ok);").is_empty());
+    }
+
+    #[test]
+    fn serve_hygiene_core_entry_points_allow_documented_expect_wrappers() {
+        let cube = "crates/core/src/cube.rs";
+        assert_eq!(rules_hit(cube, "assert_eq!(a, b);"), vec!["serve_hygiene"]);
+        assert_eq!(rules_hit(cube, "unimplemented!()"), vec!["serve_hygiene"]);
+        // The `try_*`-delegating wrapper idiom keeps its descriptive expect.
+        assert!(rules_hit(cube, r#"self.try_new(c).expect("invalid cube configuration")"#)
+            .is_empty());
+        // Other core files are governed by the workspace-wide rules only.
+        assert!(rules_hit("crates/core/src/train.rs", "assert!(ok);").is_empty());
+    }
+
+    #[test]
+    fn serve_hygiene_exemptions_and_markers() {
+        let serve = "crates/serve/src/engine.rs";
+        // Test modules inside serve files stay free to assert.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { assert_eq!(1, 1); }\n}";
+        assert!(rules_hit(serve, src).is_empty());
+        // The driver binary is demo code, like the bench binaries.
+        assert!(rules_hit("crates/serve/src/bin/mmhand-serve.rs", "assert!(ok);").is_empty());
+        // A justified marker silences the rule per-site.
+        let marked =
+            "// audit: allow(serve_hygiene) — cfg(test)-gated helper module\nx.expect(\"m\");";
+        assert!(rules_hit(serve, marked).is_empty());
     }
 
     #[test]

@@ -1,28 +1,45 @@
 //! Runs the complete experiment suite — every table and figure of the
 //! paper's evaluation — sharing one cached reference model and one
 //! cross-validation run. Set `MMHAND_QUICK=1` for a smoke-scale pass.
+//!
+//! A failed experiment is reported as a typed error and the sweep moves on
+//! to the next one; the exit code is non-zero when any experiment failed.
 
 use mmhand_bench::config::ExperimentConfig;
 use mmhand_bench::experiments as exp;
+use mmhand_core::PipelineError;
+use std::process::ExitCode;
 
-fn main() {
+type Experiment = fn(&ExperimentConfig) -> Result<(), PipelineError>;
+
+const SUITE: [(&str, Experiment); 14] = [
+    ("per_user", exp::per_user::run),
+    ("pck_curve", exp::pck_curve::run),
+    ("error_cdf", exp::error_cdf::run),
+    ("table1", exp::table1::run),
+    ("distance", exp::distance::run),
+    ("angle", exp::angle::run),
+    ("body", exp::body::run),
+    ("gloves", exp::gloves::run),
+    ("objects", exp::objects::run),
+    ("environment", exp::environment::run),
+    ("obstacle", exp::obstacle::run),
+    ("ablation", exp::ablation::run),
+    ("qualitative", exp::qualitative::run),
+    ("timing", exp::timing::run),
+];
+
+fn main() -> ExitCode {
     let cfg = ExperimentConfig::from_env();
     println!("mmHand experiment suite (scale: {:?})", cfg.scale);
     let t0 = std::time::Instant::now();
-    exp::per_user::run(&cfg);
-    exp::pck_curve::run(&cfg);
-    exp::error_cdf::run(&cfg);
-    exp::table1::run(&cfg);
-    exp::distance::run(&cfg);
-    exp::angle::run(&cfg);
-    exp::body::run(&cfg);
-    exp::gloves::run(&cfg);
-    exp::objects::run(&cfg);
-    exp::environment::run(&cfg);
-    exp::obstacle::run(&cfg);
-    exp::ablation::run(&cfg);
-    exp::qualitative::run(&cfg);
-    exp::timing::run(&cfg);
+    let mut failures = Vec::new();
+    for (name, run) in SUITE {
+        if let Err(e) = run(&cfg) {
+            eprintln!("[exp_all] experiment {name} failed: {e}");
+            failures.push(name);
+        }
+    }
     println!();
     println!("suite finished in {:.0}s", t0.elapsed().as_secs_f64());
     match mmhand_bench::metrics::export_metrics("all") {
@@ -30,5 +47,11 @@ fn main() {
             println!("metrics dump: {} and {}", json.display(), prom.display());
         }
         Err(e) => eprintln!("metrics dump failed: {e}"),
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[exp_all] {} experiment(s) failed: {}", failures.len(), failures.join(", "));
+        ExitCode::FAILURE
     }
 }

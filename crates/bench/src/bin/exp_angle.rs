@@ -1,6 +1,12 @@
 //! Regenerates one paper artefact; see `mmhand_bench::experiments::angle`.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = mmhand_bench::config::ExperimentConfig::from_env();
-    mmhand_bench::experiments::angle::run(&cfg);
+    if let Err(e) = mmhand_bench::experiments::angle::run(&cfg) {
+        eprintln!("exp_angle: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -1,6 +1,12 @@
 //! Regenerates one paper artefact; see `mmhand_bench::experiments::error_cdf`.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = mmhand_bench::config::ExperimentConfig::from_env();
-    mmhand_bench::experiments::error_cdf::run(&cfg);
+    if let Err(e) = mmhand_bench::experiments::error_cdf::run(&cfg) {
+        eprintln!("exp_error_cdf: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -1,12 +1,18 @@
 //! Regenerates one paper artefact; see `mmhand_bench::experiments::timing`.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = mmhand_bench::config::ExperimentConfig::from_env();
-    mmhand_bench::experiments::timing::run(&cfg);
+    if let Err(e) = mmhand_bench::experiments::timing::run(&cfg) {
+        eprintln!("exp_timing: {e}");
+        return ExitCode::FAILURE;
+    }
     match mmhand_bench::metrics::export_metrics("timing") {
         Ok((json, prom)) => {
             println!("metrics dump: {} and {}", json.display(), prom.display());
         }
         Err(e) => eprintln!("metrics dump failed: {e}"),
     }
+    ExitCode::SUCCESS
 }

@@ -4,8 +4,9 @@
 
 use crate::config::ExperimentConfig;
 use mmhand_core::cube::CubeBuilder;
-use mmhand_core::dataset::{session_to_sequences, SegmentSequence};
+use mmhand_core::dataset::{try_session_to_sequences, SegmentSequence};
 use mmhand_core::eval::DataConfig;
+use mmhand_core::PipelineError;
 use mmhand_hand::user::UserProfile;
 use mmhand_math::rng::stream_rng;
 use mmhand_math::Vec3;
@@ -62,23 +63,37 @@ impl TestCondition {
 /// Memoised per configuration within the process: `exp_all` calls this
 /// from many experiments and the synthesis cost is non-trivial.
 pub fn build_training_cohort(cfg: &ExperimentConfig) -> Vec<SegmentSequence> {
+    try_build_training_cohort(cfg).expect("experiment data configuration must be valid")
+}
+
+/// Fallible variant of [`build_training_cohort`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cube configuration is invalid or the
+/// segmentation window produces no sequences.
+pub fn try_build_training_cohort(
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SegmentSequence>, PipelineError> {
     static COHORTS: OnceLock<Mutex<HashMap<String, Vec<SegmentSequence>>>> = OnceLock::new();
     let cache = COHORTS.get_or_init(|| Mutex::new(HashMap::new()));
     let key = cfg.cache_key();
     if let Some(hit) = cache.lock().expect("cohort cache lock").get(&key) {
-        return hit.clone();
+        return Ok(hit.clone());
     }
-    let built = build_training_cohort_uncached(cfg);
+    let built = build_training_cohort_uncached(cfg)?;
     cache
         .lock()
         .expect("cohort cache lock")
         .insert(key, built.clone());
-    built
+    Ok(built)
 }
 
-fn build_training_cohort_uncached(cfg: &ExperimentConfig) -> Vec<SegmentSequence> {
+fn build_training_cohort_uncached(
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SegmentSequence>, PipelineError> {
     let users = UserProfile::cohort(cfg.data.users, cfg.data.seed);
-    let builder = CubeBuilder::new(cfg.data.cube.clone());
+    let builder = CubeBuilder::try_new(cfg.data.cube.clone())?;
     // Every (user, session) pair derives its RNG streams from stable seeds,
     // so the pairs can be synthesised concurrently; flattening in pair order
     // keeps the cohort identical at any thread count.
@@ -100,16 +115,33 @@ fn build_training_cohort_uncached(cfg: &ExperimentConfig) -> Vec<SegmentSequence
         );
         let data = DataConfig { hand_position: position, ..cfg.data.clone() };
         let rec = mmhand_core::eval::record_user_session(&data, user, session as u64);
-        session_to_sequences(&builder, &rec, cfg.data.seq_len, user.id)
+        try_session_to_sequences(&builder, &rec, cfg.data.seq_len, user.id)
     });
-    per_pair.into_iter().flatten().collect()
+    let mut out = Vec::new();
+    for seqs in per_pair {
+        out.extend(seqs?);
+    }
+    Ok(out)
 }
 
 /// Builds a test set under `condition` using `cfg.test_users` users and
 /// fresh gesture tracks (session tags disjoint from training).
 pub fn build_test_set(cfg: &ExperimentConfig, condition: &TestCondition) -> Vec<SegmentSequence> {
+    try_build_test_set(cfg, condition).expect("experiment data configuration must be valid")
+}
+
+/// Fallible variant of [`build_test_set`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cube configuration is invalid or the
+/// segmentation window produces no sequences.
+pub fn try_build_test_set(
+    cfg: &ExperimentConfig,
+    condition: &TestCondition,
+) -> Result<Vec<SegmentSequence>, PipelineError> {
     let users = UserProfile::cohort(cfg.data.users, cfg.data.seed);
-    let builder = CubeBuilder::new(cfg.data.cube.clone());
+    let builder = CubeBuilder::try_new(cfg.data.cube.clone())?;
     let tag = 1_000 + name_tag(&condition.name);
     let test_users: Vec<&UserProfile> = users.iter().take(cfg.test_users).collect();
     let per_user = mmhand_parallel::par_map(&test_users, |user| {
@@ -126,9 +158,13 @@ pub fn build_test_set(cfg: &ExperimentConfig, condition: &TestCondition) -> Vec<
             ..cfg.data.capture.clone()
         };
         let session = record_session(user, &track, cfg.test_frames, &capture);
-        session_to_sequences(&builder, &session, cfg.data.seq_len, user.id)
+        try_session_to_sequences(&builder, &session, cfg.data.seq_len, user.id)
     });
-    per_user.into_iter().flatten().collect()
+    let mut out = Vec::new();
+    for seqs in per_user {
+        out.extend(seqs?);
+    }
+    Ok(out)
 }
 
 fn name_tag(name: &str) -> u64 {

@@ -11,17 +11,24 @@ use crate::runner;
 use mmhand_baselines::ablations;
 use mmhand_core::metrics::JointGroup;
 use mmhand_core::train::TrainConfig;
+use mmhand_core::PipelineError;
 
 /// Runs the ablation suite and prints a comparison table.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when any variant's cohort or training fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Ablation study (hold-out users)");
     let suite = ablations::suite(&cfg.model);
     // Every variant trains on the same split independently, so the whole
     // suite runs concurrently; rows print in suite order afterwards.
     let results = mmhand_parallel::par_map(&suite, |ablation| {
         let train = TrainConfig { weights: ablation.weights, ..cfg.train.clone() };
-        runner::holdout_errors(cfg, ablation.name, &ablation.model, &train, None)
-    });
+        runner::try_holdout_errors(cfg, ablation.name, &ablation.model, &train, None)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let mut full_mpjpe = None;
     for (ablation, errors) in suite.iter().zip(&results) {
         let m = errors.mpjpe(JointGroup::Overall);
@@ -44,4 +51,5 @@ pub fn run(cfg: &ExperimentConfig) {
             format!("full ({}) should be the lowest or near-lowest row", report::mm(full)),
         );
     }
+    Ok(())
 }

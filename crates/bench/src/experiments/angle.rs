@@ -14,15 +14,20 @@ use crate::experiments::evaluate_conditions_both;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_math::Vec3;
 
 /// Angle-bin centres in degrees for the paper's six 15°-wide scopes.
 pub const ANGLE_BINS_DEG: [f32; 6] = [-37.5, -22.5, -7.5, 7.5, 22.5, 37.5];
 
 /// Runs the experiment and prints the Figs. 18–19 series.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a sweep point fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 18 & 19: MPJPE / PCK vs azimuth angle (range 40cm)");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
     let r = 0.4_f32;
 
     println!("angle_deg abs_mpjpe_mm aligned_mpjpe_mm aligned_pck40");
@@ -36,7 +41,7 @@ pub fn run(cfg: &ExperimentConfig) {
             )
         })
         .collect();
-    let results = evaluate_conditions_both(&model, cfg, &conds);
+    let results = evaluate_conditions_both(&model, cfg, &conds)?;
     let mut inner = Vec::new();
     let mut outer = Vec::new();
     for (&deg, (abs_errors, aligned)) in ANGLE_BINS_DEG.iter().zip(&results) {
@@ -66,4 +71,5 @@ pub fn run(cfg: &ExperimentConfig) {
         format!("{} vs {}", report::mm(mean(&outer, 0)), report::mm(mean(&inner, 0))),
         "rises",
     );
+    Ok(())
 }

@@ -10,12 +10,17 @@ use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_radar::scene::BodyPlacement;
 
 /// Runs the experiment and prints the Figs. 20–21 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a condition fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 20 & 21: impact of body position");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     let rows = [
         (BodyPlacement::Front, "type 1 (body in front)", "19.1mm", "93.6%"),
@@ -30,7 +35,7 @@ pub fn run(cfg: &ExperimentConfig) {
             ..TestCondition::nominal()
         })
         .collect();
-    let all_errors = evaluate_conditions(&model, cfg, &conds);
+    let all_errors = evaluate_conditions(&model, cfg, &conds)?;
     let mut results = Vec::new();
     for ((_, label, paper_m, paper_p), errors) in rows.iter().zip(&all_errors) {
         let m = errors.mpjpe(JointGroup::Overall);
@@ -44,4 +49,5 @@ pub fn run(cfg: &ExperimentConfig) {
         report::mm((results[0] - results[1]).abs()),
         "~1.0mm (insignificant)",
     );
+    Ok(())
 }

@@ -17,6 +17,7 @@ use crate::experiments::evaluate_conditions_both;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_math::Vec3;
 
 /// Distances swept, metres (paper: 20–80 cm in 5 cm steps; we use 10 cm
@@ -24,9 +25,13 @@ use mmhand_math::Vec3;
 pub const DISTANCES_M: [f32; 7] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
 
 /// Runs the experiment and prints the Figs. 16–17 series.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a sweep point fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 16 & 17: MPJPE / PCK vs distance (train band 20-40cm)");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     println!(
         "distance_cm abs_overall_mm aligned_palm_mm aligned_fingers_mm aligned_overall_mm aligned_pck40"
@@ -40,7 +45,7 @@ pub fn run(cfg: &ExperimentConfig) {
             )
         })
         .collect();
-    let results = evaluate_conditions_both(&model, cfg, &conds);
+    let results = evaluate_conditions_both(&model, cfg, &conds)?;
     let mut near = Vec::new();
     let mut far = Vec::new();
     for (&d, (abs_errors, aligned)) in DISTANCES_M.iter().zip(&results) {
@@ -68,4 +73,5 @@ pub fn run(cfg: &ExperimentConfig) {
     );
     println!("note: absolute MPJPE saturates outside the training band because the");
     println!("scaled-down model does not extrapolate absolute range; see DESIGN.md §5.");
+    Ok(())
 }

@@ -10,12 +10,17 @@ use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_radar::scene::Environment;
 
 /// Runs the experiment and prints the Fig. 24 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a condition fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 24: impact of environment");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     // All environments evaluate in one concurrent batch, in input order.
     let conds: Vec<TestCondition> = Environment::ALL
@@ -25,7 +30,7 @@ pub fn run(cfg: &ExperimentConfig) {
             ..TestCondition::nominal()
         })
         .to_vec();
-    let all_errors = evaluate_conditions(&model, cfg, &conds);
+    let all_errors = evaluate_conditions(&model, cfg, &conds)?;
     let mut mpjpes = Vec::new();
     for (env, errors) in Environment::ALL.iter().zip(&all_errors) {
         let m = errors.mpjpe(JointGroup::Overall);
@@ -42,4 +47,5 @@ pub fn run(cfg: &ExperimentConfig) {
     let spread = mpjpes.iter().cloned().fold(f32::MIN, f32::max)
         - mpjpes.iter().cloned().fold(f32::MAX, f32::min);
     report::row("max environment gap", report::mm(spread), "3.2mm");
+    Ok(())
 }

@@ -6,12 +6,17 @@ use crate::config::ExperimentConfig;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_math::stats;
 
 /// Runs the experiment and prints the Fig. 15 series.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when cross-validation fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 15: CDF of joint errors");
-    let overall = runner::cv_results(cfg).overall();
+    let overall = runner::try_cv_results(cfg)?.overall();
 
     let errors: Vec<f32> = overall.iter().map(|(_, e)| e).collect();
     report::row(
@@ -26,4 +31,5 @@ pub fn run(cfg: &ExperimentConfig) {
     for t in (0..=12).map(|k| k as f32 * 5.0) {
         println!("{t:>4.0} {:.3}", stats::fraction_below(&errors, t));
     }
+    Ok(())
 }

@@ -10,12 +10,17 @@ use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::{JointErrors, JointGroup};
+use mmhand_core::PipelineError;
 use mmhand_radar::impairments::GloveMaterial;
 
 /// Runs the experiment and prints the Fig. 22 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a condition fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 22: impact of gloves (test-only condition)");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     // Bare-hand reference and every glove material evaluate in one
     // concurrent batch; results come back in condition order.
@@ -25,7 +30,7 @@ pub fn run(cfg: &ExperimentConfig) {
         glove: Some(material),
         ..TestCondition::nominal()
     }));
-    let results = evaluate_conditions(&model, cfg, &conds);
+    let results = evaluate_conditions(&model, cfg, &conds)?;
     report::data_row("bare hand reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
 
     let mut pooled = JointErrors::new();
@@ -49,4 +54,5 @@ pub fn run(cfg: &ExperimentConfig) {
     // The paper notes palm prediction stays relatively accurate while
     // fingers lean together.
     report::group_breakdown(&pooled);
+    Ok(())
 }

@@ -1,6 +1,8 @@
 //! One module per paper figure/table. Every module exposes
-//! `run(&ExperimentConfig)` so the `exp_*` binaries stay thin and `exp_all`
-//! can execute the whole suite in one process (sharing the cached model).
+//! `run(&ExperimentConfig) -> Result<(), PipelineError>` so the `exp_*`
+//! binaries stay thin and `exp_all` can execute the whole suite in one
+//! process (sharing the cached model) while surfacing a failed experiment
+//! as a typed error instead of aborting the remaining sweep.
 
 pub mod ablation;
 pub mod angle;
@@ -18,51 +20,74 @@ pub mod table1;
 pub mod timing;
 
 use crate::config::ExperimentConfig;
-use crate::data::{build_test_set, TestCondition};
+use crate::data::{try_build_test_set, TestCondition};
 use mmhand_core::metrics::JointErrors;
 use mmhand_core::train::TrainedModel;
+use mmhand_core::PipelineError;
 
 /// Evaluates a trained model on a freshly generated test condition.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the condition's test set cannot be
+/// synthesised (invalid cube configuration, empty segmentation windows).
 pub fn evaluate_condition(
     model: &TrainedModel,
     cfg: &ExperimentConfig,
     condition: &TestCondition,
-) -> JointErrors {
-    let test = build_test_set(cfg, condition);
-    model.evaluate(&test)
+) -> Result<JointErrors, PipelineError> {
+    let test = try_build_test_set(cfg, condition)?;
+    Ok(model.evaluate(&test))
 }
 
 /// Like [`evaluate_condition`] but also returns the root-aligned errors
 /// (articulation only, wrist translated onto the ground truth) — used by
 /// the distance/angle sweeps where absolute localisation saturates outside
 /// the training envelope.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the condition's test set cannot be
+/// synthesised.
 pub fn evaluate_condition_both(
     model: &TrainedModel,
     cfg: &ExperimentConfig,
     condition: &TestCondition,
-) -> (JointErrors, JointErrors) {
-    let test = build_test_set(cfg, condition);
-    (model.evaluate(&test), model.evaluate_root_aligned(&test))
+) -> Result<(JointErrors, JointErrors), PipelineError> {
+    let test = try_build_test_set(cfg, condition)?;
+    Ok((model.evaluate(&test), model.evaluate_root_aligned(&test)))
 }
 
 /// Evaluates a whole condition sweep concurrently on the
 /// [`mmhand_parallel`] pool, returning one [`JointErrors`] per condition in
 /// input order. Sweep points are independent (each synthesises its own test
 /// set), so this parallelises the dominant cost of the `exp_*` binaries.
+///
+/// # Errors
+///
+/// Returns the first sweep point's [`PipelineError`], in input order.
 pub fn evaluate_conditions(
     model: &TrainedModel,
     cfg: &ExperimentConfig,
     conditions: &[TestCondition],
-) -> Vec<JointErrors> {
+) -> Result<Vec<JointErrors>, PipelineError> {
     mmhand_parallel::par_map(conditions, |cond| evaluate_condition(model, cfg, cond))
+        .into_iter()
+        .collect()
 }
 
 /// Batch form of [`evaluate_condition_both`]: evaluates every condition
 /// concurrently, returning `(absolute, root_aligned)` pairs in input order.
+///
+/// # Errors
+///
+/// Returns the first sweep point's [`PipelineError`], in input order.
 pub fn evaluate_conditions_both(
     model: &TrainedModel,
     cfg: &ExperimentConfig,
     conditions: &[TestCondition],
-) -> Vec<(JointErrors, JointErrors)> {
+) -> Result<Vec<(JointErrors, JointErrors)>, PipelineError> {
     mmhand_parallel::par_map(conditions, |cond| evaluate_condition_both(model, cfg, cond))
+        .into_iter()
+        .collect()
 }

@@ -11,12 +11,17 @@ use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_radar::impairments::HeldObject;
 
 /// Runs the experiment and prints the Fig. 23 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a condition fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 23: impact of handheld objects (test-only)");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     // The no-object reference and all held objects evaluate in one
     // concurrent batch; results come back in condition order.
@@ -26,7 +31,7 @@ pub fn run(cfg: &ExperimentConfig) {
         held_object: Some(object),
         ..TestCondition::nominal()
     }));
-    let results = evaluate_conditions(&model, cfg, &conds);
+    let results = evaluate_conditions(&model, cfg, &conds)?;
     report::data_row("no object reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
 
     let mut benign = Vec::new();
@@ -54,4 +59,5 @@ pub fn run(cfg: &ExperimentConfig) {
         format!("{} vs {}", report::mm(mean(&benign)), report::mm(mean(&disruptive))),
         "benign vs degraded",
     );
+    Ok(())
 }

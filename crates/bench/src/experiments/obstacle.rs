@@ -10,15 +10,20 @@ use crate::experiments::evaluate_conditions;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_radar::impairments::ObstacleMaterial;
 
 /// Obstacle range from the radar, metres.
 pub const OBSTACLE_RANGE_M: f32 = 0.15;
 
 /// Runs the experiment and prints the Fig. 25 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or a condition fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 25: impact of obstacles (none-line-of-sight)");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
 
     let rows = [
         (ObstacleMaterial::Paper, "23.4mm"),
@@ -33,7 +38,7 @@ pub fn run(cfg: &ExperimentConfig) {
         obstacle: Some((*material, OBSTACLE_RANGE_M)),
         ..TestCondition::nominal()
     }));
-    let results = evaluate_conditions(&model, cfg, &conds);
+    let results = evaluate_conditions(&model, cfg, &conds)?;
     report::data_row("no obstacle reference", report::mm(results[0].mpjpe(JointGroup::Overall)));
 
     for ((material, paper), errors) in rows.iter().zip(&results[1..]) {
@@ -47,4 +52,5 @@ pub fn run(cfg: &ExperimentConfig) {
             paper,
         );
     }
+    Ok(())
 }

@@ -8,11 +8,16 @@ use crate::config::ExperimentConfig;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 
 /// Runs the experiment and prints the Fig. 14 series.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when cross-validation fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 14: 3D-PCK vs threshold (0-60mm)");
-    let overall = runner::cv_results(cfg).overall();
+    let overall = runner::try_cv_results(cfg)?.overall();
 
     for group in JointGroup::ALL {
         let auc = overall.auc(group, 60.0);
@@ -39,4 +44,5 @@ pub fn run(cfg: &ExperimentConfig) {
             overall.pck(JointGroup::Overall, t),
         );
     }
+    Ok(())
 }

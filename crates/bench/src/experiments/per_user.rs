@@ -8,12 +8,17 @@ use crate::config::ExperimentConfig;
 use crate::report;
 use crate::runner;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 use mmhand_math::stats;
 
 /// Runs the experiment and prints Figs. 12–13 rows.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when cross-validation fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 12 & 13: per-participant MPJPE / 3D-PCK@40mm");
-    let cv = runner::cv_results(cfg);
+    let cv = runner::try_cv_results(cfg)?;
 
     let mut mpjpes = Vec::new();
     let mut pcks = Vec::new();
@@ -46,4 +51,5 @@ pub fn run(cfg: &ExperimentConfig) {
     let overall = cv.overall();
     report::summary("pooled (all folds)", &overall);
     report::group_breakdown(&overall);
+    Ok(())
 }

@@ -11,6 +11,7 @@ use crate::runner;
 use mmhand_core::cube::CubeBuilder;
 use mmhand_core::mesh::{MeshFitConfig, MeshReconstructor};
 use mmhand_core::pipeline::MmHandPipeline;
+use mmhand_core::PipelineError;
 use mmhand_hand::gesture::Gesture;
 use mmhand_hand::trajectory::{grab_track, GestureTrack};
 use mmhand_hand::user::UserProfile;
@@ -25,20 +26,25 @@ pub fn out_dir() -> PathBuf {
 }
 
 /// Runs the experiment, writing artefacts and printing their paths.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model, cube configuration, or an
+/// estimate fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 10 & 11: qualitative skeletons and meshes");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
     let mut mesh = MeshReconstructor::new(cfg.data.seed);
     mesh.fit(&MeshFitConfig {
         steps: if matches!(cfg.scale, crate::config::Scale::Quick) { 60 } else { 600 },
         ..Default::default()
     });
     let mut pipeline =
-        MmHandPipeline::new(CubeBuilder::new(cfg.data.cube.clone()), model, mesh);
+        MmHandPipeline::new(CubeBuilder::try_new(cfg.data.cube.clone())?, model, mesh);
     let dir = out_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("cannot create {dir:?}: {e}");
-        return;
+        return Ok(());
     }
 
     let user = UserProfile::generate(1, cfg.data.seed);
@@ -61,7 +67,7 @@ pub fn run(cfg: &ExperimentConfig) {
             frames_needed,
             &CaptureConfig { chirp: cfg.data.cube.chirp, ..cfg.data.capture.clone() },
         );
-        let out = pipeline.estimate(&session.frames);
+        let out = pipeline.try_estimate(&session.frames)?;
         if let (Some(skel), Some(hand)) = (out.skeletons.last(), out.hands.last()) {
             let name = gesture.name();
             let obj_path = dir.join(format!("{name}.obj"));
@@ -81,7 +87,7 @@ pub fn run(cfg: &ExperimentConfig) {
         n,
         &CaptureConfig { chirp: cfg.data.cube.chirp, ..cfg.data.capture.clone() },
     );
-    let out = pipeline.estimate(&session.frames);
+    let out = pipeline.try_estimate(&session.frames)?;
     for (i, hand) in out.hands.iter().enumerate() {
         let path = dir.join(format!("grab_seq_{i:02}.obj"));
         let _ = fs::write(&path, hand.mesh.to_obj());
@@ -90,6 +96,7 @@ pub fn run(cfg: &ExperimentConfig) {
         "continuous grab sequence",
         format!("{} meshes in {}", out.hands.len(), dir.display()),
     );
+    Ok(())
 }
 
 fn skeleton_csv(pred: &[f32], truth: &[mmhand_math::Vec3; 21]) -> String {

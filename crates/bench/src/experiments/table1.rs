@@ -6,16 +6,22 @@
 //! self-collected (simulated) data, alongside the paper's reported values.
 
 use crate::config::ExperimentConfig;
-use crate::data::build_training_cohort;
+use crate::data::try_build_training_cohort;
 use crate::report;
 use crate::runner;
 use mmhand_baselines::geometric::GeometricEstimator;
 use mmhand_baselines::literature::{vision_mean_mpjpe, TABLE1};
 use mmhand_baselines::surrogates;
 use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
 
 /// Runs the experiment and prints Table I.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cohort, cross-validation, or a
+/// surrogate's training fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Table I: MPJPE vs existing methods");
 
     // Fixed literature rows.
@@ -28,37 +34,37 @@ pub fn run(cfg: &ExperimentConfig) {
     report::data_row("vision-method average", report::mm(vision_mean_mpjpe()));
 
     // Our measured mmHand number (cross-validated).
-    let ours = runner::cv_results(cfg).overall();
+    let ours = runner::try_cv_results(cfg)?.overall();
     report::row("mmHand (this reproduction)", report::mm(ours.mpjpe(JointGroup::Overall)), "18.3mm");
 
     // Runnable wireless surrogates on the shared hold-out split.
     let mm4arm_model = surrogates::mm4arm_like(&cfg.model);
-    let mm4arm = runner::holdout_errors(cfg, "mm4arm_like", &mm4arm_model, &cfg.train, None);
+    let mm4arm = runner::try_holdout_errors(cfg, "mm4arm_like", &mm4arm_model, &cfg.train, None)?;
     report::row(
         "mm4Arm-like surrogate (ours)",
         report::mm(mm4arm.mpjpe(JointGroup::Overall)),
         "4.07mm*",
     );
-    let handfi = runner::holdout_errors(
+    let handfi = runner::try_holdout_errors(
         cfg,
         "handfi_like",
         &cfg.model,
         &cfg.train,
         Some(&|seqs| surrogates::coarsen_sequences(seqs, 4)),
-    );
+    )?;
     report::row(
         "HandFi-like surrogate (ours)",
         report::mm(handfi.mpjpe(JointGroup::Overall)),
         "20.7mm",
     );
-    let full = runner::holdout_errors(cfg, "full", &cfg.model, &cfg.train, None);
+    let full = runner::try_holdout_errors(cfg, "full", &cfg.model, &cfg.train, None)?;
     report::data_row(
         "mmHand on same hold-out split",
         report::mm(full.mpjpe(JointGroup::Overall)),
     );
 
     // Non-learning geometric floor.
-    let sequences = build_training_cohort(cfg);
+    let sequences = try_build_training_cohort(cfg)?;
     let holdout = (cfg.data.users / cfg.folds).max(1);
     let cut = cfg.data.users - holdout;
     let train: Vec<_> = sequences.iter().filter(|s| s.user_id <= cut).cloned().collect();
@@ -72,4 +78,5 @@ pub fn run(cfg: &ExperimentConfig) {
     println!();
     println!("* mm4Arm's 4.07mm is on forearm-facing data with the arm fixed toward");
     println!("  the radar; the paper itself notes this restriction (§VI-C).");
+    Ok(())
 }

@@ -14,6 +14,7 @@ use crate::runner;
 use mmhand_core::cube::CubeBuilder;
 use mmhand_core::mesh::{MeshFitConfig, MeshReconstructor};
 use mmhand_core::pipeline::MmHandPipeline;
+use mmhand_core::PipelineError;
 use mmhand_hand::user::UserProfile;
 use mmhand_math::stats;
 use mmhand_radar::capture::{record_session, CaptureConfig};
@@ -27,9 +28,14 @@ pub fn runs_for(cfg: &ExperimentConfig) -> usize {
 }
 
 /// Runs the experiment and prints the Fig. 26 series.
-pub fn run(cfg: &ExperimentConfig) {
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model, cube configuration, or an
+/// estimate fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
     report::section("Fig. 26: pipeline time consumption");
-    let model = runner::reference_model(cfg);
+    let model = runner::try_reference_model(cfg)?;
     let mut mesh = MeshReconstructor::new(cfg.data.seed);
     let fit_steps = match cfg.scale {
         crate::config::Scale::Full => 600,
@@ -37,7 +43,7 @@ pub fn run(cfg: &ExperimentConfig) {
     };
     mesh.fit(&MeshFitConfig { steps: fit_steps, ..Default::default() });
     let mut pipeline =
-        MmHandPipeline::new(CubeBuilder::new(cfg.data.cube.clone()), model, mesh);
+        MmHandPipeline::new(CubeBuilder::try_new(cfg.data.cube.clone())?, model, mesh);
 
     // One sequence-worth of frames per invocation.
     let frames_per_run = cfg.data.cube.frames_per_segment * cfg.data.seq_len;
@@ -59,7 +65,7 @@ pub fn run(cfg: &ExperimentConfig) {
             frames_per_run,
             &CaptureConfig { seed: run_idx as u64, ..capture.clone() },
         );
-        let out = pipeline.estimate(&session.frames);
+        let out = pipeline.try_estimate(&session.frames)?;
         cube_ms.push(out.timing.cube_ms as f32);
         regress_ms.push(out.timing.regress_ms as f32);
         skeleton_ms.push(out.timing.skeleton_ms as f32);
@@ -102,4 +108,5 @@ pub fn run(cfg: &ExperimentConfig) {
             stats::percentile(&total_ms, p),
         );
     }
+    Ok(())
 }

@@ -4,11 +4,12 @@
 
 use crate::cache;
 use crate::config::ExperimentConfig;
-use crate::data::build_training_cohort;
+use crate::data::try_build_training_cohort;
 use mmhand_core::metrics::JointErrors;
 use mmhand_core::model::MmHandModel;
 use mmhand_core::train::{TrainConfig, TrainedModel, Trainer};
-use mmhand_core::eval::cross_validate;
+use mmhand_core::eval::try_cross_validate;
+use mmhand_core::PipelineError;
 use mmhand_math::rng::stream_rng;
 use mmhand_nn::ParamStore;
 use mmhand_telemetry as telemetry;
@@ -19,6 +20,17 @@ use mmhand_telemetry as telemetry;
 /// (distance, angle, gloves, obstacles, …): the paper likewise trains on
 /// nominal-condition data and evaluates under the perturbed condition.
 pub fn reference_model(cfg: &ExperimentConfig) -> TrainedModel {
+    try_reference_model(cfg).expect("experiment configuration must be valid")
+}
+
+/// Fallible variant of [`reference_model`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cohort cannot be synthesised (invalid
+/// cube configuration, empty segmentation windows) or training is handed an
+/// empty dataset.
+pub fn try_reference_model(cfg: &ExperimentConfig) -> Result<TrainedModel, PipelineError> {
     let key = format!("refmodel-{}", cfg.cache_key());
     if let Some(snapshot) = cache::load_f32(&key) {
         let mut store = ParamStore::new();
@@ -28,22 +40,22 @@ pub fn reference_model(cfg: &ExperimentConfig) -> TrainedModel {
             store.restore(&snapshot);
             telemetry::counter("bench.cache.hits").inc();
             eprintln!("[runner] loaded cached reference model ({key})");
-            return TrainedModel { model, store, history: Vec::new() };
+            return Ok(TrainedModel { model, store, history: Vec::new() });
         }
         eprintln!("[runner] cached model has stale shape; retraining");
     }
     telemetry::counter("bench.cache.misses").inc();
     eprintln!("[runner] training reference model ({key})…");
     let sp = telemetry::span("bench.train_reference");
-    let sequences = build_training_cohort(cfg);
-    let trained = Trainer::new(cfg.model.clone(), cfg.train.clone()).train(&sequences);
+    let sequences = try_build_training_cohort(cfg)?;
+    let trained = Trainer::new(cfg.model.clone(), cfg.train.clone()).try_train(&sequences)?;
     eprintln!(
         "[runner] reference model trained on {} sequences in {:.0}s",
         sequences.len(),
         sp.finish() as f64 / 1e9
     );
     let _ = cache::save_f32(&key, &trained.store.snapshot());
-    trained
+    Ok(trained)
 }
 
 /// Per-user cross-validation results.
@@ -66,20 +78,30 @@ impl CvResults {
 /// Loads cached cross-validation errors or runs the paper's 5-fold
 /// leave-two-users-out protocol (scaled by `cfg.folds`).
 pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
+    try_cv_results(cfg).expect("experiment configuration must be valid")
+}
+
+/// Fallible variant of [`cv_results`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cohort cannot be synthesised or the
+/// fold count exceeds the available users.
+pub fn try_cv_results(cfg: &ExperimentConfig) -> Result<CvResults, PipelineError> {
     let key = format!("cv-{}", cfg.cache_key());
     if let Some(flat) = cache::load_f32(&key) {
         if valid_cv_cache(&flat) {
             telemetry::counter("bench.cache.hits").inc();
             eprintln!("[runner] loaded cached cross-validation ({key})");
-            return decode_cv(&flat);
+            return Ok(decode_cv(&flat));
         }
         eprintln!("[runner] cached cross-validation is empty or malformed; rerunning");
     }
     telemetry::counter("bench.cache.misses").inc();
     eprintln!("[runner] running cross-validation ({key})…");
     let sp = telemetry::span("bench.cross_validate");
-    let sequences = build_training_cohort(cfg);
-    let cv = cross_validate(&sequences, &cfg.model, &cfg.train, cfg.folds);
+    let sequences = try_build_training_cohort(cfg)?;
+    let cv = try_cross_validate(&sequences, &cfg.model, &cfg.train, cfg.folds)?;
     eprintln!(
         "[runner] cross-validation finished in {:.0}s",
         sp.finish() as f64 / 1e9
@@ -91,7 +113,7 @@ pub fn cv_results(cfg: &ExperimentConfig) -> CvResults {
         }
     }
     let _ = cache::save_f32(&key, &flat);
-    CvResults { per_user: cv.per_user }
+    Ok(CvResults { per_user: cv.per_user })
 }
 
 /// A cached cross-validation payload is usable only when it is non-empty
@@ -141,6 +163,23 @@ pub fn holdout_errors(
     train: &TrainConfig,
     transform: Option<SequenceTransform<'_>>,
 ) -> JointErrors {
+    try_holdout_errors(cfg, variant_name, model, train, transform)
+        .expect("experiment configuration must be valid")
+}
+
+/// Fallible variant of [`holdout_errors`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the cohort cannot be synthesised or the
+/// split leaves the variant an empty training set.
+pub fn try_holdout_errors(
+    cfg: &ExperimentConfig,
+    variant_name: &str,
+    model: &mmhand_core::ModelConfig,
+    train: &TrainConfig,
+    transform: Option<SequenceTransform<'_>>,
+) -> Result<JointErrors, PipelineError> {
     let key = format!("holdout-{}-{}", variant_name, cfg.cache_key());
     if let Some(flat) = cache::load_f32(&key) {
         if valid_holdout_cache(&flat) {
@@ -149,11 +188,11 @@ pub fn holdout_errors(
                 e.push_error(c[0] as usize, c[1]);
             }
             eprintln!("[runner] loaded cached {variant_name} hold-out errors");
-            return e;
+            return Ok(e);
         }
     }
     eprintln!("[runner] training variant {variant_name}…");
-    let sequences = build_training_cohort(cfg);
+    let sequences = try_build_training_cohort(cfg)?;
     let sequences = match transform {
         Some(f) => f(&sequences),
         None => sequences,
@@ -162,14 +201,14 @@ pub fn holdout_errors(
     let cut = cfg.data.users - holdout;
     let train_set: Vec<_> = sequences.iter().filter(|s| s.user_id <= cut).cloned().collect();
     let test_set: Vec<_> = sequences.iter().filter(|s| s.user_id > cut).cloned().collect();
-    let trained = Trainer::new(model.clone(), train.clone()).train(&train_set);
+    let trained = Trainer::new(model.clone(), train.clone()).try_train(&train_set)?;
     let errors = trained.evaluate(&test_set);
     let mut flat = Vec::new();
     for (joint, err) in errors.iter() {
         flat.extend_from_slice(&[joint as f32, err]);
     }
     let _ = cache::save_f32(&key, &flat);
-    errors
+    Ok(errors)
 }
 
 #[cfg(test)]

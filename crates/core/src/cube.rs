@@ -17,6 +17,8 @@
 //! angular resolution is inherently coarse — true of the physical device as
 //! well.
 
+use crate::error::PipelineError;
+use mmhand_dsp::error::DspError;
 use mmhand_dsp::fft::{fft_inplace, fft_shift};
 use mmhand_dsp::filter::{BandpassFilter, ButterworthDesign};
 use mmhand_dsp::window::Window;
@@ -93,41 +95,59 @@ impl CubeConfig {
 
     /// Designs the hand-isolation band-pass filter for this band.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configured band cannot produce a stable 8th-order
-    /// design (validated configurations never do).
-    pub fn design_bandpass(&self) -> BandpassFilter {
-        ButterworthDesign {
+    /// Returns [`PipelineError::Dsp`] when the configured band cannot
+    /// produce a stable 8th-order design (validated configurations never
+    /// fail).
+    pub fn try_design_bandpass(&self) -> Result<BandpassFilter, PipelineError> {
+        let filter = ButterworthDesign {
             order: 8,
             low_hz: self.chirp.beat_frequency_hz(self.range_min_m),
             high_hz: self.chirp.beat_frequency_hz(self.range_max_m),
             sample_rate_hz: self.chirp.sample_rate_hz(),
         }
         .design()
-        .expect("hand-band Butterworth design must be valid")
+        .map_err(DspError::from)?;
+        Ok(filter)
+    }
+
+    /// Infallible wrapper over [`CubeConfig::try_design_bandpass`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured band cannot produce a stable 8th-order
+    /// design (validated configurations never do).
+    pub fn design_bandpass(&self) -> BandpassFilter {
+        self.try_design_bandpass()
+            .expect("hand-band Butterworth design must be valid")
     }
 
     /// Validates geometry against the chirp configuration.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed error for the first violated constraint: a wrapped
+    /// [`mmhand_radar::RadarError`] for chirp-level problems, or a
+    /// [`PipelineError::InvalidConfig`] naming the cube field otherwise.
+    pub fn validate(&self) -> Result<(), PipelineError> {
         self.chirp.validate()?;
+        let invalid = |field: &'static str, reason: &str| {
+            Err(PipelineError::InvalidConfig { field, reason: reason.to_string() })
+        };
         if self.doppler_bins > self.chirp.chirps_per_tx {
-            return Err("doppler_bins exceeds chirps per TX".into());
+            return invalid("doppler_bins", "exceeds chirps per TX");
         }
         let max_bin = self.range_bin_offset() + self.range_bins;
         if max_bin > self.chirp.samples_per_chirp / 2 {
-            return Err("range band exceeds unambiguous range".into());
+            return invalid("range_bins", "range band exceeds unambiguous range");
         }
         if self.range_min_m >= self.range_max_m {
-            return Err("range_min must be below range_max".into());
+            return invalid("range_min_m", "range_min must be below range_max");
         }
         let nyquist = self.chirp.sample_rate_hz() / 2.0;
         if self.chirp.beat_frequency_hz(self.range_max_m) >= nyquist {
-            return Err("range_max beat frequency exceeds Nyquist".into());
+            return invalid("range_max_m", "range_max beat frequency exceeds Nyquist");
         }
         Ok(())
     }
@@ -175,14 +195,23 @@ pub struct CubeBuilder {
 impl CubeBuilder {
     /// Creates a builder (designs the band-pass filter once).
     ///
+    /// # Errors
+    ///
+    /// Returns the first configuration or filter-design violation.
+    pub fn try_new(config: CubeConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let array = VirtualArray::new(&config.chirp);
+        let bandpass = config.try_design_bandpass()?;
+        Ok(CubeBuilder { config, array, bandpass })
+    }
+
+    /// Infallible wrapper over [`CubeBuilder::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `config.validate()` fails.
     pub fn new(config: CubeConfig) -> Self {
-        config.validate().expect("invalid cube configuration");
-        let array = VirtualArray::new(&config.chirp);
-        let bandpass = config.design_bandpass();
-        CubeBuilder { config, array, bandpass }
+        Self::try_new(config).expect("invalid cube configuration")
     }
 
     /// The configuration this builder was created with.
@@ -190,7 +219,8 @@ impl CubeBuilder {
         &self.config
     }
 
-    /// Processes one raw frame into a cube slice.
+    /// Processes one raw frame into a cube slice, rejecting frames whose
+    /// geometry does not match the builder's configuration.
     ///
     /// All three stages fan out across the `mmhand-parallel` pool: stage 1
     /// per virtual antenna (each task owns a private band-pass clone —
@@ -198,15 +228,34 @@ impl CubeBuilder {
     /// equivalent), stage 2 per virtual antenna, stage 3 per velocity bin.
     /// Every output cell is written by exactly one task, so the cube is
     /// identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Radar`] when the frame's antenna counts,
+    /// chirp count, or samples per chirp disagree with the configuration.
+    pub fn try_process_frame(&self, frame: &RawFrame) -> Result<CubeFrame, PipelineError> {
+        self.config.chirp.validate_frame(frame)?;
+        Ok(self.process_frame_validated(frame))
+    }
+
+    /// Infallible wrapper over [`CubeBuilder::try_process_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's geometry does not match the configuration.
     pub fn process_frame(&self, frame: &RawFrame) -> CubeFrame {
+        self.try_process_frame(frame)
+            .expect("frame geometry must match the cube configuration")
+    }
+
+    /// The processing body; callers have already validated frame geometry.
+    fn process_frame_validated(&self, frame: &RawFrame) -> CubeFrame {
         let cfg = &self.config;
         let n_va = cfg.chirp.virtual_antenna_count();
         let chirps = cfg.chirp.chirps_per_tx;
-        let samples = cfg.chirp.samples_per_chirp;
         let d_off = cfg.range_bin_offset();
         let d_bins = cfg.range_bins;
         let v_bins = cfg.doppler_bins;
-        debug_assert_eq!(samples, frame.samples_per_chirp());
 
         // Virtual-antenna index → (tx, rx) pair, so stage 1 can partition
         // the output by antenna chunk.
@@ -293,18 +342,46 @@ impl CubeBuilder {
     /// `(st·V, D, A)`, normalised to zero mean / unit variance (plus an
     /// epsilon so an all-zero segment stays zero).
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::SegmentSize`] when `frames.len() != st`
+    /// (including the empty-window case) and [`PipelineError::CubeShape`]
+    /// when any frame's shape disagrees with the configured geometry.
+    pub fn try_segment_tensor(&self, frames: &[CubeFrame]) -> Result<Tensor, PipelineError> {
+        let cfg = &self.config;
+        if frames.len() != cfg.frames_per_segment {
+            return Err(PipelineError::SegmentSize {
+                expected: cfg.frames_per_segment,
+                got: frames.len(),
+            });
+        }
+        let [v, d, a] = cfg.frame_shape();
+        let mut data = Vec::with_capacity(frames.len() * v * d * a);
+        for f in frames {
+            if f.shape != cfg.frame_shape() {
+                return Err(PipelineError::CubeShape {
+                    expected: cfg.frame_shape(),
+                    got: f.shape,
+                });
+            }
+            data.extend_from_slice(&f.data);
+        }
+        Ok(self.standardise_segment(data))
+    }
+
+    /// Infallible wrapper over [`CubeBuilder::try_segment_tensor`].
+    ///
     /// # Panics
     ///
     /// Panics if `frames.len() != st` or shapes disagree.
     pub fn segment_tensor(&self, frames: &[CubeFrame]) -> Tensor {
+        self.try_segment_tensor(frames)
+            .expect("frames per segment and cube shapes must match the configuration")
+    }
+
+    fn standardise_segment(&self, mut data: Vec<f32>) -> Tensor {
         let cfg = &self.config;
-        assert_eq!(frames.len(), cfg.frames_per_segment, "frames per segment");
-        let [v, d, a] = cfg.frame_shape();
-        let mut data = Vec::with_capacity(frames.len() * v * d * a);
-        for f in frames {
-            assert_eq!(f.shape, cfg.frame_shape(), "cube frame shape");
-            data.extend_from_slice(&f.data);
-        }
+        let [_, d, a] = cfg.frame_shape();
         // Standardise: radar magnitudes vary by orders of magnitude with
         // range; the network wants a stable input scale.
         let n = data.len() as f32;
@@ -479,6 +556,65 @@ mod tests {
     fn segment_tensor_checks_count() {
         let b = builder();
         b.segment_tensor(&[]);
+    }
+
+    #[test]
+    fn try_segment_tensor_rejects_empty_window_with_typed_error() {
+        let b = builder();
+        match b.try_segment_tensor(&[]) {
+            Err(PipelineError::SegmentSize { expected, got }) => {
+                assert_eq!(expected, 4);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected SegmentSize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_segment_tensor_rejects_wrong_cube_shape() {
+        let b = builder();
+        let bad = CubeFrame { data: vec![0.0; 8], shape: [2, 2, 2] };
+        let frames = vec![bad.clone(), bad.clone(), bad.clone(), bad];
+        assert!(matches!(
+            b.try_segment_tensor(&frames),
+            Err(PipelineError::CubeShape { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_with_typed_error() {
+        let bad =
+            CubeConfig { range_min_m: 0.3, range_max_m: 0.3, ..CubeConfig::default() };
+        assert!(matches!(
+            CubeBuilder::try_new(bad),
+            Err(PipelineError::InvalidConfig { field: "range_min_m", .. })
+        ));
+        let bad_chirp = CubeConfig {
+            chirp: mmhand_radar::ChirpConfig { tx_count: 0, ..Default::default() },
+            ..CubeConfig::default()
+        };
+        assert!(matches!(
+            CubeBuilder::try_new(bad_chirp),
+            Err(PipelineError::Radar(_))
+        ));
+    }
+
+    #[test]
+    fn try_process_frame_rejects_mismatched_geometry() {
+        let b = builder();
+        let small = ChirpConfig { samples_per_chirp: 32, ..ChirpConfig::default() };
+        let frame = RawFrame::zeroed(&small);
+        match b.try_process_frame(&frame) {
+            Err(PipelineError::Radar(mmhand_radar::RadarError::FrameGeometry {
+                axis,
+                expected,
+                got,
+            })) => {
+                assert_eq!(axis, "samples_per_chirp");
+                assert_eq!((expected, got), (64, 32));
+            }
+            other => panic!("expected FrameGeometry, got {other:?}"),
+        }
     }
 
     #[test]

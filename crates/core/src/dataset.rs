@@ -6,6 +6,7 @@
 //! segment (the joints at the segment's last frame).
 
 use crate::cube::CubeBuilder;
+use crate::error::PipelineError;
 use crate::model::OUTPUT_DIM;
 use mmhand_nn::Tensor;
 use mmhand_radar::CaptureSession;
@@ -62,16 +63,34 @@ pub fn session_to_sequences(
     seq_len: usize,
     user_id: usize,
 ) -> Vec<SegmentSequence> {
-    assert!(seq_len > 0, "sequence length must be positive");
+    try_session_to_sequences(builder, session, seq_len, user_id)
+        .expect("sequence length must be positive and frames must match the cube geometry")
+}
+
+/// Fallible variant of [`session_to_sequences`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::EmptyInput`] for a zero sequence length and
+/// propagates frame-geometry violations from the cube builder.
+pub fn try_session_to_sequences(
+    builder: &CubeBuilder,
+    session: &CaptureSession,
+    seq_len: usize,
+    user_id: usize,
+) -> Result<Vec<SegmentSequence>, PipelineError> {
+    if seq_len == 0 {
+        return Err(PipelineError::EmptyInput { what: "sequence length" });
+    }
     let st = builder.config().frames_per_segment;
     let n_segments = session.len() / st;
     let mut segments = Vec::with_capacity(n_segments);
     let mut labels = Vec::with_capacity(n_segments);
     for s in 0..n_segments {
-        let cube_frames: Vec<_> = (0..st)
-            .map(|k| builder.process_frame(&session.frames[s * st + k]))
-            .collect();
-        segments.push(builder.segment_tensor(&cube_frames));
+        let cube_frames = (0..st)
+            .map(|k| builder.try_process_frame(&session.frames[s * st + k]))
+            .collect::<Result<Vec<_>, _>>()?;
+        segments.push(builder.try_segment_tensor(&cube_frames)?);
         let truth = &session.truth[s * st + st - 1];
         labels.push(truth.iter().flat_map(|v| v.to_array()).collect::<Vec<f32>>());
     }
@@ -86,7 +105,7 @@ pub fn session_to_sequences(
         });
         i += seq_len;
     }
-    out
+    Ok(out)
 }
 
 /// Stacks sequences (all of the same length) into shuffled batches.
@@ -102,14 +121,32 @@ pub fn make_batches<R: Rng + ?Sized>(
     batch_size: usize,
     rng: &mut R,
 ) -> Vec<Batch> {
+    try_make_batches(sequences, batch_size, rng).expect("all sequences must share a length")
+}
+
+/// Fallible variant of [`make_batches`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::MismatchedSequenceLength`] when sequences have
+/// differing lengths.
+pub fn try_make_batches<R: Rng + ?Sized>(
+    sequences: &[SegmentSequence],
+    batch_size: usize,
+    rng: &mut R,
+) -> Result<Vec<Batch>, PipelineError> {
     if sequences.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let seq_len = sequences[0].len();
-    assert!(
-        sequences.iter().all(|s| s.len() == seq_len),
-        "all sequences must share a length"
-    );
+    for s in sequences {
+        if s.len() != seq_len {
+            return Err(PipelineError::MismatchedSequenceLength {
+                expected: seq_len,
+                got: s.len(),
+            });
+        }
+    }
     let mut order: Vec<usize> = (0..sequences.len()).collect();
     order.shuffle(rng);
 
@@ -133,7 +170,7 @@ pub fn make_batches<R: Rng + ?Sized>(
         }
         batches.push(Batch { segments, labels });
     }
-    batches
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -206,6 +243,29 @@ mod tests {
     fn empty_dataset_yields_no_batches() {
         let mut rng = stream_rng(2, "b");
         assert!(make_batches(&[], 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let builder = CubeBuilder::new(CubeConfig::default());
+        let session = quick_session(8);
+        assert!(matches!(
+            try_session_to_sequences(&builder, &session, 0, 1),
+            Err(PipelineError::EmptyInput { what: "sequence length" })
+        ));
+        let mut seqs = try_session_to_sequences(&builder, &session, 2, 1)
+            .expect("valid session converts");
+        assert_eq!(seqs.len(), 1);
+        // A truncated sequence makes the dataset ragged.
+        let mut short = seqs[0].clone();
+        short.segments.pop();
+        short.labels.pop();
+        seqs.push(short);
+        let mut rng = stream_rng(5, "tb");
+        assert!(matches!(
+            try_make_batches(&seqs, 2, &mut rng),
+            Err(PipelineError::MismatchedSequenceLength { expected: 2, got: 1 })
+        ));
     }
 
     #[test]

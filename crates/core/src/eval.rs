@@ -2,7 +2,8 @@
 //! paper's 5-fold leave-two-users-out cross-validation (§VI-A).
 
 use crate::cube::{CubeBuilder, CubeConfig};
-use crate::dataset::{session_to_sequences, SegmentSequence};
+use crate::dataset::SegmentSequence;
+use crate::error::PipelineError;
 use crate::metrics::JointErrors;
 use crate::model::ModelConfig;
 use crate::train::{TrainConfig, TrainedModel, Trainer};
@@ -77,13 +78,26 @@ pub fn record_user_session(config: &DataConfig, user: &UserProfile, session_tag:
 /// [`mmhand_parallel`] pool; results are concatenated in user order, so the
 /// output is identical at any thread count.
 pub fn build_cohort(config: &DataConfig) -> Vec<SegmentSequence> {
+    try_build_cohort(config).expect("cohort configuration must be valid")
+}
+
+/// Fallible variant of [`build_cohort`].
+///
+/// # Errors
+///
+/// Returns the first cube-configuration or sequence-assembly violation.
+pub fn try_build_cohort(config: &DataConfig) -> Result<Vec<SegmentSequence>, PipelineError> {
     let users = UserProfile::cohort(config.users, config.seed);
-    let builder = CubeBuilder::new(config.cube.clone());
+    let builder = CubeBuilder::try_new(config.cube.clone())?;
     let per_user = mmhand_parallel::par_map(&users, |user| {
         let session = record_user_session(config, user, 0);
-        session_to_sequences(&builder, &session, config.seq_len, user.id)
+        crate::dataset::try_session_to_sequences(&builder, &session, config.seq_len, user.id)
     });
-    per_user.into_iter().flatten().collect()
+    let mut out = Vec::new();
+    for seqs in per_user {
+        out.extend(seqs?);
+    }
+    Ok(out)
 }
 
 /// Result of one cross-validation run.
@@ -101,17 +115,40 @@ pub struct CrossValidation {
 ///
 /// # Panics
 ///
-/// Panics if the dataset is empty or has fewer distinct users than folds.
+/// Panics if the dataset is empty or has fewer distinct users than folds
+/// (delegates to [`try_cross_validate`]).
 pub fn cross_validate(
     sequences: &[SegmentSequence],
     model_cfg: &ModelConfig,
     train_cfg: &TrainConfig,
     folds: usize,
 ) -> CrossValidation {
+    try_cross_validate(sequences, model_cfg, train_cfg, folds)
+        .expect("need at least `folds` users and a non-empty dataset")
+}
+
+/// Fallible variant of [`cross_validate`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::EmptyInput`] for an empty dataset and
+/// [`PipelineError::TooFewUsers`] when the cohort has fewer distinct users
+/// than folds.
+pub fn try_cross_validate(
+    sequences: &[SegmentSequence],
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+    folds: usize,
+) -> Result<CrossValidation, PipelineError> {
+    if sequences.is_empty() {
+        return Err(PipelineError::EmptyInput { what: "cross-validation sequences" });
+    }
     let mut users: Vec<usize> = sequences.iter().map(|s| s.user_id).collect();
     users.sort_unstable();
     users.dedup();
-    assert!(users.len() >= folds, "need at least {folds} users");
+    if users.len() < folds {
+        return Err(PipelineError::TooFewUsers { folds, users: users.len() });
+    }
     let per_fold = users.len().div_ceil(folds);
 
     // Folds are fully independent (each trains its own model from its own
@@ -148,7 +185,7 @@ pub fn cross_validate(
         }
     }
     per_user.sort_by_key(|(u, _)| *u);
-    CrossValidation { per_user, overall }
+    Ok(CrossValidation { per_user, overall })
 }
 
 /// Trains one model on the full cohort (used by the condition-sweep

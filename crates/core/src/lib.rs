@@ -46,6 +46,7 @@
 
 pub mod cube;
 pub mod dataset;
+pub mod error;
 pub mod eval;
 pub mod loss;
 pub mod mesh;
@@ -57,11 +58,12 @@ pub mod train;
 
 pub use cube::{CubeBuilder, CubeConfig, CubeFrame};
 pub use dataset::{Batch, SegmentSequence};
+pub use error::{MmHandError, PipelineError};
 pub use eval::{build_cohort, cross_validate, CrossValidation, DataConfig};
 pub use loss::LossWeights;
 pub use mesh::{MeshReconstructor, ReconstructedHand};
 pub use metrics::{JointErrors, JointGroup};
 pub use model::{MmHandModel, ModelConfig};
-pub use pipeline::{MmHandPipeline, PipelineOutput, StageTiming};
+pub use pipeline::{MmHandPipeline, PipelineBuilder, PipelineOutput, StageTiming};
 pub use recognize::{GestureRecognizer, Recognition};
 pub use train::{TrainConfig, TrainedModel, Trainer};

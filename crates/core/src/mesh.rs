@@ -227,12 +227,40 @@ impl MeshReconstructor {
     /// frame, metres) and reconstructs the mesh, translated back to the
     /// skeleton's wrist position.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::SkeletonLength`] for a malformed skeleton
+    /// and [`PipelineError::NotFitted`] when [`MeshReconstructor::fit`] has
+    /// not run.
+    pub fn try_reconstruct(
+        &self,
+        skeleton: &[f32],
+    ) -> Result<ReconstructedHand, crate::error::PipelineError> {
+        if skeleton.len() != 63 {
+            return Err(crate::error::PipelineError::SkeletonLength {
+                expected: 63,
+                got: skeleton.len(),
+            });
+        }
+        if !self.fitted {
+            return Err(crate::error::PipelineError::NotFitted {
+                what: "MeshReconstructor",
+            });
+        }
+        Ok(self.reconstruct_validated(skeleton))
+    }
+
+    /// Infallible wrapper over [`MeshReconstructor::try_reconstruct`].
+    ///
     /// # Panics
     ///
     /// Panics if `skeleton.len() != 63` or the networks are unfitted.
     pub fn reconstruct(&self, skeleton: &[f32]) -> ReconstructedHand {
-        assert_eq!(skeleton.len(), 63, "skeleton length");
-        assert!(self.fitted, "call fit() before reconstruct(); or use reconstruct_analytic()");
+        self.try_reconstruct(skeleton)
+            .expect("skeleton length and fit() state; or use reconstruct_analytic()")
+    }
+
+    fn reconstruct_validated(&self, skeleton: &[f32]) -> ReconstructedHand {
         let wrist = Vec3::new(skeleton[0], skeleton[1], skeleton[2]);
         let mut joints = [Vec3::ZERO; JOINT_COUNT];
         for (j, slot) in joints.iter_mut().enumerate() {
@@ -263,11 +291,19 @@ impl MeshReconstructor {
     /// Deterministic reconstruction through the analytic IK solver (default
     /// shape) — the fallback path and the baseline the networks must match.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `skeleton.len() != 63`.
-    pub fn reconstruct_analytic(&self, skeleton: &[f32]) -> ReconstructedHand {
-        assert_eq!(skeleton.len(), 63, "skeleton length");
+    /// Returns [`PipelineError::SkeletonLength`] for a malformed skeleton.
+    pub fn try_reconstruct_analytic(
+        &self,
+        skeleton: &[f32],
+    ) -> Result<ReconstructedHand, crate::error::PipelineError> {
+        if skeleton.len() != 63 {
+            return Err(crate::error::PipelineError::SkeletonLength {
+                expected: 63,
+                got: skeleton.len(),
+            });
+        }
         let wrist = Vec3::new(skeleton[0], skeleton[1], skeleton[2]);
         let mut joints = [Vec3::ZERO; JOINT_COUNT];
         for (j, slot) in joints.iter_mut().enumerate() {
@@ -278,7 +314,17 @@ impl MeshReconstructor {
             );
         }
         let ik = solve_ik(self.mano.rest_joints(), &joints);
-        self.assemble([0.0; BETA_DIM], ik.theta, wrist)
+        Ok(self.assemble([0.0; BETA_DIM], ik.theta, wrist))
+    }
+
+    /// Infallible wrapper over
+    /// [`MeshReconstructor::try_reconstruct_analytic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skeleton.len() != 63`.
+    pub fn reconstruct_analytic(&self, skeleton: &[f32]) -> ReconstructedHand {
+        self.try_reconstruct_analytic(skeleton).expect("skeleton length")
     }
 
     fn assemble(
@@ -351,6 +397,26 @@ mod tests {
         let r = MeshReconstructor::new(3);
         let skel = skeleton_for(Gesture::OpenPalm, Vec3::ZERO);
         r.reconstruct(&skel);
+    }
+
+    #[test]
+    fn try_reconstruct_returns_typed_errors() {
+        use crate::error::PipelineError;
+        let r = MeshReconstructor::new(3);
+        let skel = skeleton_for(Gesture::OpenPalm, Vec3::ZERO);
+        assert!(matches!(
+            r.try_reconstruct(&skel),
+            Err(PipelineError::NotFitted { .. })
+        ));
+        assert!(matches!(
+            r.try_reconstruct(&skel[..10]),
+            Err(PipelineError::SkeletonLength { expected: 63, got: 10 })
+        ));
+        assert!(matches!(
+            r.try_reconstruct_analytic(&[]),
+            Err(PipelineError::SkeletonLength { expected: 63, got: 0 })
+        ));
+        assert!(r.try_reconstruct_analytic(&skel).is_ok());
     }
 
     #[test]

@@ -295,6 +295,30 @@ impl TemporalModel {
         [self.head.bias_id(), self.mlp_head.bias_id()]
     }
 
+    /// Regresses joints for one feature step from explicit LSTM state,
+    /// returning `(output, h, c)` with the advanced state.
+    ///
+    /// The op sequence matches one iteration of [`forward`], so stepping a
+    /// stream segment-by-segment from zero state reproduces the
+    /// whole-sequence forward bitwise. With the LSTM ablated the state
+    /// passes through untouched and the MLP head runs stateless.
+    pub fn forward_step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        feature: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var, Var) {
+        if self.use_lstm {
+            let (h_new, c_new) = self.lstm.step(tape, store, feature, h, c);
+            let out = self.head.forward(tape, store, h_new);
+            (out, h_new, c_new)
+        } else {
+            (self.mlp_head.forward(tape, store, feature), h, c)
+        }
+    }
+
     /// Regresses joints for each step of a feature sequence.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, features: &[Var]) -> Vec<Var> {
         if self.use_lstm {
@@ -349,6 +373,25 @@ impl MmHandModel {
             })
             .collect();
         self.temporal.forward(tape, store, &feats)
+    }
+
+    /// Forward pass for one streamed segment batch from explicit LSTM
+    /// state, returning `(output, h, c)`.
+    ///
+    /// `segment` is a `(N, st·V, D, A)` tensor; `h`/`c` are `(N, hidden)`
+    /// state leaves (zeros at stream start). Stepping a stream through this
+    /// reproduces [`forward`] over the same segments bitwise.
+    pub fn forward_step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        segment: &Tensor,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var, Var) {
+        let x = tape.leaf(segment.clone());
+        let feat = self.spacenet.forward(tape, store, x);
+        self.temporal.forward_step(tape, store, feat, h, c)
     }
 }
 

@@ -2,7 +2,8 @@
 //! pre-processing → 3-D skeletons → MANO meshes, with the stage timing
 //! instrumentation behind the paper's Fig. 26.
 
-use crate::cube::CubeBuilder;
+use crate::cube::{CubeBuilder, CubeConfig};
+use crate::error::{MmHandError, PipelineError};
 use crate::mesh::{MeshReconstructor, ReconstructedHand};
 use crate::train::TrainedModel;
 use mmhand_nn::Tensor;
@@ -71,9 +72,20 @@ impl MmHandPipeline {
         MmHandPipeline { builder, model, mesh }
     }
 
+    /// Starts a [`PipelineBuilder`] — the fallible, validating way to
+    /// assemble a pipeline.
+    pub fn builder_for(model: TrainedModel) -> PipelineBuilder {
+        PipelineBuilder::new(model)
+    }
+
     /// The cube builder (e.g. to inspect configuration).
     pub fn builder(&self) -> &CubeBuilder {
         &self.builder
+    }
+
+    /// The trained regressor.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
     }
 
     /// The mesh reconstructor.
@@ -83,17 +95,34 @@ impl MmHandPipeline {
 
     /// Converts raw frames into per-segment input tensors. Frames that do
     /// not fill a whole segment are dropped.
-    pub fn frames_to_segments(&mut self, frames: &[RawFrame]) -> Vec<Tensor> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame-geometry violation.
+    pub fn try_frames_to_segments(
+        &mut self,
+        frames: &[RawFrame],
+    ) -> Result<Vec<Tensor>, PipelineError> {
         let st = self.builder.config().frames_per_segment;
         let n_segments = frames.len() / st;
         (0..n_segments)
             .map(|s| {
-                let cubes: Vec<_> = (0..st)
-                    .map(|k| self.builder.process_frame(&frames[s * st + k]))
-                    .collect();
-                self.builder.segment_tensor(&cubes)
+                let cubes = (0..st)
+                    .map(|k| self.builder.try_process_frame(&frames[s * st + k]))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.builder.try_segment_tensor(&cubes)
             })
             .collect()
+    }
+
+    /// Infallible wrapper over [`MmHandPipeline::try_frames_to_segments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched frame geometry.
+    pub fn frames_to_segments(&mut self, frames: &[RawFrame]) -> Vec<Tensor> {
+        self.try_frames_to_segments(frames)
+            .expect("frame geometry must match the pipeline configuration")
     }
 
     /// Regresses skeletons only (no meshes) with timing.
@@ -101,10 +130,17 @@ impl MmHandPipeline {
     /// Timing comes from telemetry spans (`pipeline.cube_build`,
     /// `pipeline.regression`); the same durations are recorded into the
     /// global metrics registry.
-    pub fn estimate_skeletons(&mut self, frames: &[RawFrame]) -> (Vec<Vec<f32>>, StageTiming) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame-geometry violation.
+    pub fn try_estimate_skeletons(
+        &mut self,
+        frames: &[RawFrame],
+    ) -> Result<(Vec<Vec<f32>>, StageTiming), PipelineError> {
         telemetry::counter("pipeline.invocations").inc();
         let sp = telemetry::span("pipeline.cube_build");
-        let segments = self.frames_to_segments(frames);
+        let segments = self.try_frames_to_segments(frames)?;
         let cube_ns = sp.finish();
         let sp = telemetry::span("pipeline.regression");
         let skeletons = if segments.is_empty() {
@@ -114,30 +150,153 @@ impl MmHandPipeline {
         };
         let regress_ns = sp.finish();
         telemetry::counter("pipeline.segments").add(skeletons.len() as u64);
-        (skeletons, StageTiming::from_span_ns(cube_ns, regress_ns, 0))
+        Ok((skeletons, StageTiming::from_span_ns(cube_ns, regress_ns, 0)))
+    }
+
+    /// Infallible wrapper over [`MmHandPipeline::try_estimate_skeletons`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched frame geometry.
+    pub fn estimate_skeletons(&mut self, frames: &[RawFrame]) -> (Vec<Vec<f32>>, StageTiming) {
+        self.try_estimate_skeletons(frames)
+            .expect("frame geometry must match the pipeline configuration")
     }
 
     /// Full pipeline: skeletons plus reconstructed meshes.
     ///
     /// Uses the fitted mesh networks when available, the analytic IK path
     /// otherwise.
-    pub fn estimate(&mut self, frames: &[RawFrame]) -> PipelineOutput {
-        let (skeletons, timing) = self.estimate_skeletons(frames);
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame-geometry or skeleton-shape violation.
+    pub fn try_estimate(&mut self, frames: &[RawFrame]) -> Result<PipelineOutput, PipelineError> {
+        let (skeletons, timing) = self.try_estimate_skeletons(frames)?;
         let sp = telemetry::span("pipeline.mesh");
-        let hands: Vec<ReconstructedHand> = skeletons
+        let hands = skeletons
             .iter()
             .map(|s| {
                 if self.mesh.is_fitted() {
-                    self.mesh.reconstruct(s)
+                    self.mesh.try_reconstruct(s)
                 } else {
-                    self.mesh.reconstruct_analytic(s)
+                    self.mesh.try_reconstruct_analytic(s)
                 }
             })
-            .collect();
+            .collect::<Result<Vec<ReconstructedHand>, _>>()?;
         let mesh_ns = sp.finish();
         let mut timing = timing;
         timing.mesh_ms = mesh_ns as f64 / 1e6;
-        PipelineOutput { skeletons, hands, timing }
+        Ok(PipelineOutput { skeletons, hands, timing })
+    }
+
+    /// Infallible wrapper over [`MmHandPipeline::try_estimate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched frame geometry.
+    pub fn estimate(&mut self, frames: &[RawFrame]) -> PipelineOutput {
+        self.try_estimate(frames)
+            .expect("frame geometry must match the pipeline configuration")
+    }
+}
+
+/// Fallible, validating assembly of an [`MmHandPipeline`], replacing the
+/// positional [`MmHandPipeline::new`] constructor on the serving path.
+///
+/// The builder cross-checks that the cube geometry and the trained model's
+/// architecture agree (segment channels, range bins, angle bins), so a
+/// mismatched pairing is rejected at build time instead of panicking deep
+/// inside the first forward pass.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn doc(model: mmhand_core::TrainedModel) -> Result<(), mmhand_core::MmHandError> {
+/// use mmhand_core::{CubeConfig, MmHandPipeline};
+///
+/// let pipeline = MmHandPipeline::builder_for(model)
+///     .cube_config(CubeConfig::default())
+///     .mesh_seed(0)
+///     .build()?;
+/// # let _ = pipeline; Ok(())
+/// # }
+/// ```
+pub struct PipelineBuilder {
+    model: TrainedModel,
+    cube: Option<CubeConfig>,
+    mesh: Option<MeshReconstructor>,
+    mesh_seed: u64,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder around a trained model.
+    pub fn new(model: TrainedModel) -> Self {
+        PipelineBuilder { model, cube: None, mesh: None, mesh_seed: 0 }
+    }
+
+    /// Sets the cube geometry (defaults to [`CubeConfig::default`]).
+    pub fn cube_config(mut self, cube: CubeConfig) -> Self {
+        self.cube = Some(cube);
+        self
+    }
+
+    /// Supplies an already-constructed (possibly fitted) mesh
+    /// reconstructor.
+    pub fn mesh(mut self, mesh: MeshReconstructor) -> Self {
+        self.mesh = Some(mesh);
+        self
+    }
+
+    /// Seed for the default (unfitted, analytic-path) mesh reconstructor;
+    /// ignored when [`PipelineBuilder::mesh`] was called.
+    pub fn mesh_seed(mut self, seed: u64) -> Self {
+        self.mesh_seed = seed;
+        self
+    }
+
+    /// Validates the configuration and assembles the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cube-configuration violation, or
+    /// [`PipelineError::InvalidConfig`] when the cube geometry and the
+    /// model architecture disagree.
+    pub fn build(self) -> Result<MmHandPipeline, MmHandError> {
+        let cube_cfg = self.cube.unwrap_or_default();
+        let builder = CubeBuilder::try_new(cube_cfg)?;
+        let cfg = builder.config();
+        let model_cfg = &self.model.model.config;
+        let invalid = |field: &'static str, reason: String| {
+            Err(MmHandError::Pipeline(PipelineError::InvalidConfig { field, reason }))
+        };
+        if model_cfg.input_channels() != cfg.segment_channels() {
+            return invalid(
+                "model.input_channels",
+                format!(
+                    "model expects {} segment channels, cube produces {}",
+                    model_cfg.input_channels(),
+                    cfg.segment_channels()
+                ),
+            );
+        }
+        if model_cfg.range_bins != cfg.range_bins {
+            return invalid(
+                "model.range_bins",
+                format!("model expects {}, cube produces {}", model_cfg.range_bins, cfg.range_bins),
+            );
+        }
+        if model_cfg.angle_bins != cfg.angle_bins() {
+            return invalid(
+                "model.angle_bins",
+                format!("model expects {}, cube produces {}", model_cfg.angle_bins, cfg.angle_bins()),
+            );
+        }
+        let mesh = match self.mesh {
+            Some(m) => m,
+            None => MeshReconstructor::new(self.mesh_seed),
+        };
+        Ok(MmHandPipeline { builder, model: self.model, mesh })
     }
 }
 

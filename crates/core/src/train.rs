@@ -5,6 +5,7 @@
 //! reproduction (epoch counts are configurable).
 
 use crate::dataset::{make_batches, SegmentSequence};
+use crate::error::PipelineError;
 use crate::loss::{combined_loss, LossWeights};
 use crate::metrics::JointErrors;
 use crate::model::{MmHandModel, ModelConfig, OUTPUT_DIM};
@@ -115,6 +116,43 @@ impl TrainedModel {
             .collect()
     }
 
+    /// Predicts joints for one streamed segment batch from explicit LSTM
+    /// state. `segment` is `(N, st·V, D, A)`; `h`/`c` are `(N, hidden)`
+    /// state tensors (zeros at stream start). Returns one flat 63-float
+    /// skeleton per batch row plus the advanced state.
+    ///
+    /// Every op in the forward pass treats batch rows independently and
+    /// accumulates in an order that does not depend on `N`, so micro-batching
+    /// concurrent streams through this reproduces each stream's solo
+    /// [`predict_sequence`](Self::predict_sequence) output bitwise.
+    pub fn predict_step(
+        &self,
+        segment: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Vec<Vec<f32>>, Tensor, Tensor) {
+        let mut tape = Tape::new();
+        let hv = tape.leaf(h.clone());
+        let cv = tape.leaf(c.clone());
+        let (out, h_new, c_new) =
+            self.model.forward_step(&mut tape, &self.store, segment, hv, cv);
+        let n = segment.shape()[0];
+        let flat = tape.value(out).data();
+        let skeletons = (0..n)
+            .map(|k| {
+                let mut row = flat[k * OUTPUT_DIM..(k + 1) * OUTPUT_DIM].to_vec();
+                to_absolute(&mut row);
+                row
+            })
+            .collect();
+        (skeletons, tape.value(h_new).clone(), tape.value(c_new).clone())
+    }
+
+    /// LSTM hidden size, for allocating stream state.
+    pub fn lstm_hidden(&self) -> usize {
+        self.model.config.lstm_hidden
+    }
+
     /// Evaluates on sequences, accumulating per-joint errors.
     pub fn evaluate(&self, sequences: &[SegmentSequence]) -> JointErrors {
         let mut errors = JointErrors::new();
@@ -217,9 +255,27 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if `sequences` is empty.
+    /// Panics if `sequences` is empty (delegates to
+    /// [`Trainer::try_train`]).
     pub fn train(&self, sequences: &[SegmentSequence]) -> TrainedModel {
-        assert!(!sequences.is_empty(), "cannot train on an empty dataset");
+        self.try_train(sequences).expect("cannot train on an empty dataset")
+    }
+
+    /// Fallible variant of [`Trainer::train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::EmptyInput`] when the dataset is empty or
+    /// any sequence holds zero segments — the silent-truncation hazard
+    /// where an undersized frame window drops every segment and a sweep
+    /// would otherwise abort mid-run.
+    pub fn try_train(&self, sequences: &[SegmentSequence]) -> Result<TrainedModel, PipelineError> {
+        if sequences.is_empty() {
+            return Err(PipelineError::EmptyInput { what: "training sequences" });
+        }
+        if sequences.iter().any(|s| s.is_empty()) {
+            return Err(PipelineError::EmptyInput { what: "segments in a training sequence" });
+        }
         let tc = &self.train_config;
         // Train in the wrist-relative label encoding (see [`to_relative`]).
         let sequences: Vec<SegmentSequence> = sequences
@@ -390,7 +446,7 @@ impl Trainer {
             }
         }
 
-        TrainedModel { model, store, history }
+        Ok(TrainedModel { model, store, history })
     }
 }
 
@@ -588,5 +644,23 @@ mod tests {
     fn empty_training_set_panics() {
         let (_, model_cfg) = tiny_stack();
         Trainer::new(model_cfg, TrainConfig::default()).train(&[]);
+    }
+
+    #[test]
+    fn try_train_surfaces_empty_windows_as_typed_errors() {
+        use crate::error::PipelineError;
+        let (_, model_cfg) = tiny_stack();
+        let trainer = Trainer::new(model_cfg, TrainConfig::default());
+        assert!(matches!(
+            trainer.try_train(&[]),
+            Err(PipelineError::EmptyInput { what: "training sequences" })
+        ));
+        // A sequence whose frame window truncated to zero segments must be
+        // rejected up front, not explode mid-epoch.
+        let hollow = SegmentSequence { segments: Vec::new(), labels: Vec::new(), user_id: 1 };
+        assert!(matches!(
+            trainer.try_train(&[hollow]),
+            Err(PipelineError::EmptyInput { what: "segments in a training sequence" })
+        ));
     }
 }

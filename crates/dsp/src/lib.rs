@@ -31,12 +31,14 @@
 //! assert_eq!(peak, 5);
 //! ```
 
+pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod spectrum;
 pub mod window;
 pub mod zoom;
 
+pub use error::DspError;
 pub use fft::{fft, fft_inplace, ifft};
 pub use filter::{BandpassFilter, ButterworthDesign};
 pub use window::Window;

@@ -227,27 +227,60 @@ impl Lstm {
         let mut c = c0;
         let mut outputs = Vec::with_capacity(inputs.len());
         for &x in inputs {
-            let zx = tape.matmul(x, wx);
-            let zh = tape.matmul(h, wh);
-            let z0 = tape.add(zx, zh);
-            let z = tape.add_row_bias(z0, b);
-            let hsz = self.hidden;
-            let i_raw = tape.slice_cols(z, 0, hsz);
-            let f_raw = tape.slice_cols(z, hsz, hsz);
-            let g_raw = tape.slice_cols(z, 2 * hsz, hsz);
-            let o_raw = tape.slice_cols(z, 3 * hsz, hsz);
-            let i = tape.sigmoid(i_raw);
-            let f = tape.sigmoid(f_raw);
-            let g = tape.tanh(g_raw);
-            let o = tape.sigmoid(o_raw);
-            let fc = tape.mul(f, c);
-            let ig = tape.mul(i, g);
-            c = tape.add(fc, ig);
-            let ct = tape.tanh(c);
-            h = tape.mul(o, ct);
+            (h, c) = self.step_with(tape, x, h, c, (wx, wh, b));
             outputs.push(h);
         }
         outputs
+    }
+
+    /// Advances the LSTM by one step from explicit `(h, c)` state, returning
+    /// the new `(h, c)`.
+    ///
+    /// The op sequence is identical to one iteration of
+    /// [`forward_sequence`](Self::forward_sequence), so stepping a stream
+    /// frame-by-frame from zero state reproduces the whole-sequence forward
+    /// bitwise.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var) {
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let b = tape.param(store, self.b);
+        self.step_with(tape, x, h, c, (wx, wh, b))
+    }
+
+    fn step_with(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        h: Var,
+        c: Var,
+        (wx, wh, b): (Var, Var, Var),
+    ) -> (Var, Var) {
+        let zx = tape.matmul(x, wx);
+        let zh = tape.matmul(h, wh);
+        let z0 = tape.add(zx, zh);
+        let z = tape.add_row_bias(z0, b);
+        let hsz = self.hidden;
+        let i_raw = tape.slice_cols(z, 0, hsz);
+        let f_raw = tape.slice_cols(z, hsz, hsz);
+        let g_raw = tape.slice_cols(z, 2 * hsz, hsz);
+        let o_raw = tape.slice_cols(z, 3 * hsz, hsz);
+        let i = tape.sigmoid(i_raw);
+        let f = tape.sigmoid(f_raw);
+        let g = tape.tanh(g_raw);
+        let o = tape.sigmoid(o_raw);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+        let ct = tape.tanh(c_new);
+        let h_new = tape.mul(o, ct);
+        (h_new, c_new)
     }
 }
 
@@ -325,6 +358,34 @@ mod tests {
         let h0 = tape.value(hs[0]).clone();
         let h2 = tape.value(hs[2]).clone();
         assert!(h0.sub(&h2).data().iter().any(|&d| d.abs() > 1e-4));
+    }
+
+    #[test]
+    fn lstm_step_reproduces_forward_sequence_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = stream_rng(11, "step");
+        let lstm = Lstm::new(&mut store, "lstm", 6, 5, &mut rng);
+        let seq: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn(&[3, 6], 1.0, &mut rng)).collect();
+
+        let mut tape = Tape::new();
+        let xs: Vec<Var> = seq.iter().map(|t| tape.leaf(t.clone())).collect();
+        let whole: Vec<Tensor> =
+            lstm.forward_sequence(&mut tape, &store, &xs).iter().map(|&h| tape.value(h).clone()).collect();
+
+        // Re-run step-by-step on fresh tapes, carrying state as tensors.
+        let mut h_state = Tensor::zeros(&[3, 5]);
+        let mut c_state = Tensor::zeros(&[3, 5]);
+        for (k, x) in seq.iter().enumerate() {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let hv = t.leaf(h_state.clone());
+            let cv = t.leaf(c_state.clone());
+            let (h_new, c_new) = lstm.step(&mut t, &store, xv, hv, cv);
+            h_state = t.value(h_new).clone();
+            c_state = t.value(c_new).clone();
+            assert_eq!(h_state.data(), whole[k].data(), "step {k} diverged");
+        }
     }
 
     #[test]

@@ -34,15 +34,12 @@ use crate::param::{ParamId, ParamStore};
 use crate::shape::{self, ShapeError};
 use crate::tensor::{gemm_a_bt, gemm_at_b, Tensor};
 
-/// Unwraps a shape-checked graph builder. The fallible `try_*` builders
-/// return the typed [`ShapeError`] instead; the infallible builders keep
-/// the ergonomic API and surface the same message at construction time.
+/// Unwraps a shape-checked graph builder — the standard delegating-wrapper
+/// idiom: the fallible `try_*` builders return the typed [`ShapeError`];
+/// the infallible builders keep the ergonomic API and surface the same
+/// error (op name included) at construction time.
 fn ok(r: Result<Var, ShapeError>) -> Var {
-    match r {
-        Ok(v) => v,
-        // audit: allow(no_panic) — the infallible builder API converts the typed ShapeError into an immediate construction-time panic; callers that need the error use `try_*`
-        Err(e) => panic!("{e}"),
-    }
+    r.expect("graph rejected at construction; the `try_*` builders return this as a typed ShapeError")
 }
 
 /// Handle to a tape node.

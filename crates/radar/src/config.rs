@@ -105,22 +105,53 @@ impl ChirpConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`RadarError::InvalidConfig`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), crate::error::RadarError> {
+        use crate::error::RadarError;
+        let invalid = |field: &'static str, reason: &str| {
+            Err(RadarError::InvalidConfig { field, reason: reason.to_string() })
+        };
         if self.start_freq_hz <= 0.0 || self.bandwidth_hz <= 0.0 {
-            return Err("frequencies must be positive".into());
+            return invalid("start_freq_hz/bandwidth_hz", "frequencies must be positive");
         }
         if self.samples_per_chirp == 0 || !self.samples_per_chirp.is_power_of_two() {
-            return Err("samples_per_chirp must be a power of two".into());
+            return invalid("samples_per_chirp", "must be a power of two");
         }
         if self.chirps_per_tx == 0 || !self.chirps_per_tx.is_power_of_two() {
-            return Err("chirps_per_tx must be a power of two".into());
+            return invalid("chirps_per_tx", "must be a power of two");
         }
         if self.tx_count == 0 || self.rx_count == 0 {
-            return Err("antenna counts must be positive".into());
+            return invalid("tx_count/rx_count", "antenna counts must be positive");
         }
         if self.burst_duration_s() > 1.0 / self.frame_rate_hz {
-            return Err("chirp burst does not fit in the frame period".into());
+            return invalid("frame_rate_hz", "chirp burst does not fit in the frame period");
+        }
+        Ok(())
+    }
+
+    /// Checks that a [`crate::RawFrame`]'s geometry matches this
+    /// configuration on every axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RadarError::FrameGeometry`] for the first mismatched
+    /// axis.
+    pub fn validate_frame(
+        &self,
+        frame: &crate::RawFrame,
+    ) -> Result<(), crate::error::RadarError> {
+        use crate::error::RadarError;
+        let checks = [
+            ("samples_per_chirp", self.samples_per_chirp, frame.samples_per_chirp()),
+            ("chirps_per_tx", self.chirps_per_tx, frame.chirps_per_tx()),
+            ("tx_count", self.tx_count, frame.tx_count()),
+            ("rx_count", self.rx_count, frame.rx_count()),
+        ];
+        for (axis, expected, got) in checks {
+            if expected != got {
+                return Err(RadarError::FrameGeometry { axis, expected, got });
+            }
         }
         Ok(())
     }
@@ -176,6 +207,23 @@ mod tests {
         assert!(ChirpConfig { tx_count: 0, ..ok }.validate().is_err());
         assert!(ChirpConfig { frame_rate_hz: 1e6, ..ok }.validate().is_err());
         assert!(ChirpConfig { bandwidth_hz: -1.0, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn frame_geometry_mismatches_are_typed() {
+        use crate::error::RadarError;
+        let cfg = ChirpConfig::default();
+        let frame = crate::RawFrame::zeroed(&cfg);
+        assert!(cfg.validate_frame(&frame).is_ok());
+        let wrong = ChirpConfig { rx_count: 2, ..cfg };
+        let frame = crate::RawFrame::zeroed(&wrong);
+        match cfg.validate_frame(&frame) {
+            Err(RadarError::FrameGeometry { axis, expected, got }) => {
+                assert_eq!(axis, "rx_count");
+                assert_eq!((expected, got), (4, 2));
+            }
+            other => panic!("expected FrameGeometry error, got {other:?}"),
+        }
     }
 
     #[test]

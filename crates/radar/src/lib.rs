@@ -35,6 +35,7 @@
 pub mod array;
 pub mod capture;
 pub mod config;
+pub mod error;
 pub mod impairments;
 pub mod scene;
 pub mod synth;
@@ -42,5 +43,6 @@ pub mod synth;
 pub use array::VirtualArray;
 pub use capture::{record_session, CaptureConfig, CaptureSession};
 pub use config::ChirpConfig;
+pub use error::RadarError;
 pub use scene::{BodyPlacement, Environment, PointTarget, Scene};
 pub use synth::RawFrame;

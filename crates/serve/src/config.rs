@@ -1,0 +1,178 @@
+//! Serving configuration, assembled builder-style.
+
+use crate::error::ServeError;
+
+/// What to do about mesh reconstruction under load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshPolicy {
+    /// Reconstruct a mesh for every segment.
+    Always,
+    /// Skeletons only; never reconstruct meshes.
+    Never,
+    /// Graceful degradation: skip the mesh for a session whenever its
+    /// ingress queue still holds at least this many un-processed whole
+    /// segments after the current batch was taken — latency is spent on
+    /// catching up instead of on vertices.
+    SkipWhenBacklogged {
+        /// Backlog threshold in whole segments.
+        segments: usize,
+    },
+}
+
+/// Configuration of a [`ServeEngine`](crate::ServeEngine).
+///
+/// Built builder-style from [`ServeConfig::new`]; every bound is explicit
+/// and validated by [`ServeConfig::validate`] (called on engine
+/// construction), so a zero-capacity queue is a typed error instead of a
+/// silent stall.
+///
+/// ```
+/// use mmhand_serve::{MeshPolicy, ServeConfig};
+///
+/// let cfg = ServeConfig::new()
+///     .max_sessions(8)
+///     .queue_capacity(32)
+///     .max_batch(8)
+///     .mesh_policy(MeshPolicy::SkipWhenBacklogged { segments: 2 });
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission limit: concurrent open sessions.
+    pub max_sessions: usize,
+    /// Per-session ingress queue capacity, in raw frames.
+    pub queue_capacity: usize,
+    /// Micro-batch width: sessions folded into one forward pass per step.
+    pub max_batch: usize,
+    /// Per-session bound on buffered, un-taken results, in segments. A
+    /// session at this bound is not scheduled, which backpressures its
+    /// ingress queue.
+    pub result_capacity: usize,
+    /// Evict a session after this many consecutive steps without enough
+    /// queued frames to form a segment. `0` disables eviction.
+    pub evict_after_idle_steps: usize,
+    /// Mesh reconstruction policy.
+    pub mesh: MeshPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 16,
+            queue_capacity: 64,
+            max_batch: 8,
+            result_capacity: 64,
+            evict_after_idle_steps: 0,
+            mesh: MeshPolicy::Always,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Sets the concurrent-session admission limit.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+
+    /// Sets the per-session ingress queue capacity (frames).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the micro-batch width.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the per-session result-buffer bound (segments).
+    pub fn result_capacity(mut self, n: usize) -> Self {
+        self.result_capacity = n;
+        self
+    }
+
+    /// Sets the idle-step eviction budget (`0` disables eviction).
+    pub fn evict_after_idle_steps(mut self, n: usize) -> Self {
+        self.evict_after_idle_steps = n;
+        self
+    }
+
+    /// Sets the mesh reconstruction policy.
+    pub fn mesh_policy(mut self, policy: MeshPolicy) -> Self {
+        self.mesh = policy;
+        self
+    }
+
+    /// Checks every bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the first zero bound.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let invalid = |field: &'static str, reason: &str| {
+            Err(ServeError::InvalidConfig { field, reason: reason.to_string() })
+        };
+        if self.max_sessions == 0 {
+            return invalid("max_sessions", "must admit at least one session");
+        }
+        if self.queue_capacity == 0 {
+            return invalid("queue_capacity", "a zero-capacity queue rejects every frame");
+        }
+        if self.max_batch == 0 {
+            return invalid("max_batch", "must batch at least one session per step");
+        }
+        if self.result_capacity == 0 {
+            return invalid("result_capacity", "a zero-capacity result buffer stalls every session");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_bounds_are_typed_errors() {
+        for (cfg, field) in [
+            (ServeConfig::new().max_sessions(0), "max_sessions"),
+            (ServeConfig::new().queue_capacity(0), "queue_capacity"),
+            (ServeConfig::new().max_batch(0), "max_batch"),
+            (ServeConfig::new().result_capacity(0), "result_capacity"),
+        ] {
+            match cfg.validate() {
+                Err(ServeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = ServeConfig::new()
+            .max_sessions(2)
+            .queue_capacity(4)
+            .max_batch(2)
+            .result_capacity(8)
+            .evict_after_idle_steps(3)
+            .mesh_policy(MeshPolicy::Never);
+        assert_eq!(cfg.max_sessions, 2);
+        assert_eq!(cfg.queue_capacity, 4);
+        assert_eq!(cfg.max_batch, 2);
+        assert_eq!(cfg.result_capacity, 8);
+        assert_eq!(cfg.evict_after_idle_steps, 3);
+        assert_eq!(cfg.mesh, MeshPolicy::Never);
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed errors of the serving layer.
+//!
+//! Every failure on the ingress path — admission, enqueue, geometry — is a
+//! [`ServeError`]; nothing reachable from a client-supplied frame panics.
+//! Processing errors from the underlying pipeline arrive wrapped as
+//! [`ServeError::Pipeline`] via `From`, so engine code propagates them
+//! with `?`.
+
+use mmhand_core::{MmHandError, PipelineError};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the streaming inference service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A pipeline-level failure (frame geometry, cube shapes, model state).
+    Pipeline(PipelineError),
+    /// The session's bounded ingress queue is full — backpressure: the
+    /// client must drain results or slow down before pushing more frames.
+    QueueFull {
+        /// The session whose queue is full.
+        session: u64,
+        /// The configured queue capacity in frames.
+        capacity: usize,
+    },
+    /// Admission control: the engine is at its configured session limit.
+    SessionLimit {
+        /// The configured maximum number of concurrent sessions.
+        max_sessions: usize,
+    },
+    /// The session id was never opened (or has been closed).
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
+    /// The session was evicted after exceeding the idle-step budget.
+    SessionEvicted {
+        /// The evicted session id.
+        session: u64,
+    },
+    /// The serving configuration is invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ServeError::QueueFull { session, capacity } => write!(
+                f,
+                "session {session}: ingress queue full ({capacity} frames); \
+                 drain results or reduce the push rate"
+            ),
+            ServeError::SessionLimit { max_sessions } => {
+                write!(f, "session limit reached ({max_sessions} concurrent sessions)")
+            }
+            ServeError::UnknownSession { session } => {
+                write!(f, "unknown session id {session}")
+            }
+            ServeError::SessionEvicted { session } => {
+                write!(f, "session {session} was evicted after idling past its budget")
+            }
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve configuration `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<MmHandError> for ServeError {
+    fn from(e: MmHandError) -> Self {
+        match e {
+            MmHandError::Pipeline(p) => ServeError::Pipeline(p),
+            MmHandError::Radar(r) => ServeError::Pipeline(PipelineError::from(r)),
+            MmHandError::Dsp(d) => ServeError::Pipeline(PipelineError::from(d)),
+            MmHandError::Shape(s) => ServeError::Pipeline(PipelineError::from(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = ServeError::QueueFull { session: 3, capacity: 8 };
+        assert!(e.to_string().contains("session 3"));
+        assert!(e.to_string().contains("8 frames"));
+        let e = ServeError::SessionLimit { max_sessions: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn pipeline_errors_convert_and_chain() {
+        let p = PipelineError::EmptyInput { what: "frames" };
+        let e = ServeError::from(p);
+        assert!(matches!(e, ServeError::Pipeline(PipelineError::EmptyInput { .. })));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn mmhand_errors_flatten_to_pipeline() {
+        let m = MmHandError::Pipeline(PipelineError::EmptyInput { what: "x" });
+        assert!(matches!(ServeError::from(m), ServeError::Pipeline(_)));
+    }
+}

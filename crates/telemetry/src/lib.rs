@@ -370,6 +370,26 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Approximate quantile from the bucket counts: the upper bound of the
+    /// bucket holding the `q`-th observation (`q` in `[0, 1]`). An
+    /// observation in the overflow bucket reports the last finite bound.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let last = self.bounds.last().copied().unwrap_or(f64::INFINITY);
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(last);
+            }
+        }
+        last
+    }
 }
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -533,6 +553,22 @@ mod tests {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    #[test]
+    fn histogram_quantiles_report_bucket_bounds() {
+        let snap = HistogramSnapshot {
+            bounds: vec![1.0, 5.0, 10.0],
+            counts: vec![5, 4, 0, 1], // 10 observations, one in +Inf
+            count: 10,
+            sum: 40.0,
+        };
+        assert!((snap.quantile(0.5) - 1.0).abs() < 1e-12);
+        assert!((snap.quantile(0.9) - 5.0).abs() < 1e-12);
+        // The overflow observation reports the last finite bound.
+        assert!((snap.quantile(0.99) - 10.0).abs() < 1e-12);
+        let empty = HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0], count: 0, sum: 0.0 };
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     #[test]
