@@ -23,6 +23,7 @@
 //! | `determinism` | no `thread::spawn` / wall-clock reads / ad-hoc RNG seeding outside the sanctioned modules |
 //! | `float_eq` | no `==`/`!=` against floating-point literals |
 //! | `serve_hygiene` | the serve ingress surface must return typed errors: no `.expect(…)`/assertion macros in `crates/serve` lib code, no assertion macros in the public core entry points (`cube.rs`, `pipeline.rs`) |
+//! | `hot_path_alloc` | no fresh allocations (`vec![…]`, `Vec::with_capacity`, `.to_vec()`) in the designated zero-allocation hot paths; use a `ScratchPool` or justify with `// audit: pool-exempt` |
 
 use crate::lexer::{contains_word, lex, Line};
 
@@ -48,6 +49,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("determinism", "no thread spawning, wall-clock reads, or RNG seeding outside mmhand-parallel, mmhand-math::rng, mmhand-telemetry::clock, and bench binaries"),
     ("float_eq", "no `==`/`!=` comparison against float literals; use an epsilon or restructure"),
     ("serve_hygiene", "serve ingress returns typed errors: no `.expect(`/assertion macros in crates/serve lib code, no assertion macros in the core entry points (documented `try_*`-delegating `.expect` wrappers stay legal there)"),
+    ("hot_path_alloc", "no fresh allocations (`vec![`, `Vec::with_capacity`, `.to_vec()`) in the designated zero-allocation hot paths; check buffers out of a ScratchPool or justify with `// audit: pool-exempt`"),
 ];
 
 /// How many lines above an `unsafe` keyword a `// SAFETY:` comment may sit.
@@ -182,6 +184,27 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        // hot_path_alloc — the per-frame kernels were moved onto scratch
+        // pools and cached plans; this rule keeps fresh allocations from
+        // creeping back into them. The exemption marker is deliberately
+        // distinct from `audit: allow(…)`: a pool-exempt site is not a
+        // silenced violation but a documented owned-return or one-time
+        // allocation.
+        if hot_path(path) {
+            for pat in ["vec![", "Vec::with_capacity", ".to_vec()"] {
+                if code.contains(pat) && !pool_exempt(&lines, idx) {
+                    findings.push(Finding {
+                        rule: "hot_path_alloc",
+                        file: path.to_string(),
+                        line: line.number,
+                        message: format!(
+                            "`{pat}` in a designated zero-allocation hot path; check out of a `ScratchPool` or mark `// audit: pool-exempt`"
+                        ),
+                    });
+                }
+            }
+        }
+
         if !kind.determinism_exempt {
             for pat in [
                 "thread::spawn",
@@ -310,6 +333,28 @@ fn serve_strict(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path == "crates/core/src/cube.rs"
         || path == "crates/core/src/pipeline.rs"
+}
+
+/// The designated zero-allocation hot paths: the FFT kernels, the conv
+/// im2col/col2im kernels, the GEMM kernels (moved out of `tensor.rs` into
+/// their own module) and the serve step loop. Steady-state work in these
+/// files draws from `ScratchPool`s / cached plans; every remaining
+/// allocation site carries a `// audit: pool-exempt` justification.
+fn hot_path(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/dsp/src/fft.rs"
+            | "crates/nn/src/conv.rs"
+            | "crates/nn/src/gemm.rs"
+            | "crates/serve/src/engine.rs"
+    )
+}
+
+/// `// audit: pool-exempt` on the same line or the line directly above.
+fn pool_exempt(lines: &[Line], idx: usize) -> bool {
+    const MARKER: &str = "audit: pool-exempt";
+    lines[idx].comment.contains(MARKER)
+        || (idx > 0 && lines[idx - 1].comment.contains(MARKER))
 }
 
 /// `mac` present as a macro invocation of its own name — an occurrence
@@ -577,6 +622,35 @@ mod tests {
         let marked =
             "// audit: allow(serve_hygiene) — cfg(test)-gated helper module\nx.expect(\"m\");";
         assert!(rules_hit(serve, marked).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_allocations_in_designated_files() {
+        let hot = "crates/nn/src/gemm.rs";
+        assert_eq!(rules_hit(hot, "let b = vec![0.0; n];"), vec!["hot_path_alloc"]);
+        assert_eq!(rules_hit(hot, "let b = Vec::with_capacity(n);"), vec!["hot_path_alloc"]);
+        assert_eq!(rules_hit(hot, "let b = x.to_vec();"), vec!["hot_path_alloc"]);
+        // Non-designated files may allocate freely.
+        assert!(rules_hit(LIB, "let b = vec![0.0; n];").is_empty());
+        assert!(rules_hit("crates/nn/src/tensor.rs", "let b = x.to_vec();").is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_exemptions() {
+        let hot = "crates/dsp/src/fft.rs";
+        // The pool-exempt marker justifies a site, above or on the line.
+        let above = "// audit: pool-exempt — owned return value\nlet b = vec![0.0; n];";
+        assert!(rules_hit(hot, above).is_empty());
+        let same_line = "let s = x.to_vec(); // audit: pool-exempt — tiny shape vector";
+        assert!(rules_hit(hot, same_line).is_empty());
+        // A marker two lines up is out of range.
+        let far = "// audit: pool-exempt\nlet a = 1;\nlet b = vec![0.0; n];";
+        assert_eq!(rules_hit(hot, far), vec!["hot_path_alloc"]);
+        // Test modules inside hot-path files stay free to allocate.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}";
+        assert!(rules_hit(hot, test_src).is_empty());
+        // An allocation mentioned in a comment is not a finding.
+        assert!(rules_hit(hot, "// replaces the old vec![0.0; n] buffer").is_empty());
     }
 
     #[test]

@@ -1,6 +1,54 @@
 //! Regenerates one paper artefact; see `mmhand_bench::experiments::timing`.
+//!
+//! With `MMHAND_ALLOC_BUDGET_PER_FRAME` set, the run additionally enforces
+//! the zero-allocation hot-path budget: the sum of all `pool.alloc.*`
+//! counters (true allocations behind the scratch pools) divided by
+//! `core.frames_processed` must not exceed the given per-frame budget. In
+//! steady state the pools re-serve warmed buffers, so the ratio is tiny —
+//! a regression that re-introduces per-frame allocation fails the run.
 
 use std::process::ExitCode;
+
+/// Checks the hot-path allocation budget against the final snapshot.
+/// Returns `false` (with a diagnostic) when the budget is exceeded.
+fn alloc_budget_ok(snap: &mmhand_telemetry::MetricsSnapshot) -> bool {
+    let Ok(raw) = std::env::var("MMHAND_ALLOC_BUDGET_PER_FRAME") else {
+        return true;
+    };
+    let Ok(budget) = raw.parse::<f64>() else {
+        eprintln!("exp_timing: MMHAND_ALLOC_BUDGET_PER_FRAME={raw} is not a number");
+        return false;
+    };
+    let pool_allocs: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("pool.alloc."))
+        .map(|&(_, v)| v)
+        .sum();
+    let frames = snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "core.frames_processed")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    if frames == 0 {
+        eprintln!("exp_timing: no frames processed; skipping allocation budget check");
+        return true;
+    }
+    let per_frame = pool_allocs as f64 / frames as f64;
+    println!(
+        "hot-path allocations: {pool_allocs} across {frames} frames \
+         ({per_frame:.4} per frame, budget {budget})"
+    );
+    if per_frame > budget {
+        eprintln!(
+            "exp_timing: hot-path allocation budget exceeded: \
+             {per_frame:.4} allocations/frame > {budget}"
+        );
+        return false;
+    }
+    true
+}
 
 fn main() -> ExitCode {
     let cfg = mmhand_bench::config::ExperimentConfig::from_env();
@@ -8,11 +56,15 @@ fn main() -> ExitCode {
         eprintln!("exp_timing: {e}");
         return ExitCode::FAILURE;
     }
-    match mmhand_bench::metrics::export_metrics("timing") {
+    let snap = mmhand_telemetry::snapshot();
+    match mmhand_bench::metrics::write_snapshot("timing", &snap) {
         Ok((json, prom)) => {
             println!("metrics dump: {} and {}", json.display(), prom.display());
         }
         Err(e) => eprintln!("metrics dump failed: {e}"),
+    }
+    if !alloc_budget_ok(&snap) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

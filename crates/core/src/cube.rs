@@ -19,13 +19,33 @@
 
 use crate::error::PipelineError;
 use mmhand_dsp::error::DspError;
-use mmhand_dsp::fft::{fft_inplace, fft_shift};
+use mmhand_dsp::fft::{fft_shift_inplace, plan, FftPlan};
 use mmhand_dsp::filter::{BandpassFilter, ButterworthDesign};
 use mmhand_dsp::window::Window;
-use mmhand_dsp::zoom::zoom_dft;
+use mmhand_dsp::zoom::{zoom_plan, ZoomPlan};
 use mmhand_math::Complex;
 use mmhand_nn::Tensor;
 use mmhand_radar::{ChirpConfig, RawFrame, VirtualArray};
+use std::sync::{Arc, OnceLock};
+
+thread_local! {
+    /// Per-worker complex working buffers for cube assembly: the
+    /// range/Doppler FFT buffers, the intermediate `rd`/`vd` planes and the
+    /// angle spectra all check out of this pool, so steady-state frame
+    /// processing allocates nothing.
+    static CUBE_POOL: mmhand_parallel::ScratchPool<Complex> =
+        const { mmhand_parallel::ScratchPool::new("core.cube") };
+    /// Real-valued scratch for the band-pass filter's plane deinterleave.
+    static CUBE_F32_POOL: mmhand_parallel::ScratchPool<f32> =
+        const { mmhand_parallel::ScratchPool::new("core.cube.f32") };
+}
+
+/// Frames fully processed into cube slices, across all builders — the
+/// denominator for the bench harness's per-frame allocation budget.
+fn frames_processed() -> &'static mmhand_telemetry::Counter {
+    static COUNTER: OnceLock<mmhand_telemetry::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| mmhand_telemetry::counter("core.frames_processed"))
+}
 
 /// Cube geometry and band parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -145,6 +165,12 @@ impl CubeConfig {
         if self.range_min_m >= self.range_max_m {
             return invalid("range_min_m", "range_min must be below range_max");
         }
+        if self.azimuth_bins == 0 {
+            return invalid("azimuth_bins", "angle transforms need at least one bin");
+        }
+        if self.elevation_bins == 0 {
+            return invalid("elevation_bins", "angle transforms need at least one bin");
+        }
         let nyquist = self.chirp.sample_rate_hz() / 2.0;
         if self.chirp.beat_frequency_hz(self.range_max_m) >= nyquist {
             return invalid("range_max_m", "range_max beat frequency exceeds Nyquist");
@@ -190,10 +216,23 @@ pub struct CubeBuilder {
     config: CubeConfig,
     array: VirtualArray,
     bandpass: BandpassFilter,
+    /// Range-FFT plan (`samples_per_chirp` points), held so the per-frame
+    /// path never touches the global plan-cache lock.
+    range_plan: Arc<FftPlan>,
+    /// Doppler-FFT plan (`chirps_per_tx` points).
+    doppler_plan: Arc<FftPlan>,
+    /// Azimuth zoom-DFT steering table over the ULA row.
+    az_plan: Arc<ZoomPlan>,
+    /// Elevation zoom-DFT steering table over the 2-element interferometer.
+    el_plan: Arc<ZoomPlan>,
+    /// Virtual-antenna index → `(tx, rx)` pair, so stage 1 can partition
+    /// its output by antenna chunk without rebuilding the map per frame.
+    pairs: Vec<(usize, usize)>,
 }
 
 impl CubeBuilder {
-    /// Creates a builder (designs the band-pass filter once).
+    /// Creates a builder (designs the band-pass filter, FFT plans and
+    /// zoom-DFT steering tables once).
     ///
     /// # Errors
     ///
@@ -202,7 +241,20 @@ impl CubeBuilder {
         config.validate()?;
         let array = VirtualArray::new(&config.chirp);
         let bandpass = config.try_design_bandpass()?;
-        Ok(CubeBuilder { config, array, bandpass })
+        // validate() has checked samples/chirps are powers of two and both
+        // bin counts are positive, so plan construction cannot panic here.
+        let range_plan = plan(config.chirp.samples_per_chirp);
+        let doppler_plan = plan(config.chirp.chirps_per_tx);
+        let f_max = config.max_angle_rad.sin() * 0.5;
+        let az_plan = zoom_plan(array.azimuth_row().len(), -f_max, f_max, config.azimuth_bins);
+        let el_plan = zoom_plan(2, -f_max, f_max, config.elevation_bins);
+        let mut pairs = vec![(0usize, 0usize); config.chirp.virtual_antenna_count()];
+        for tx in 0..config.chirp.tx_count {
+            for rx in 0..config.chirp.rx_count {
+                pairs[array.element_index(tx, rx)] = (tx, rx);
+            }
+        }
+        Ok(CubeBuilder { config, array, bandpass, range_plan, doppler_plan, az_plan, el_plan, pairs })
     }
 
     /// Infallible wrapper over [`CubeBuilder::try_new`].
@@ -249,92 +301,121 @@ impl CubeBuilder {
     }
 
     /// The processing body; callers have already validated frame geometry.
+    ///
+    /// Every intermediate buffer — the `rd`/`vd` planes, the per-chirp FFT
+    /// buffer, the filter scratch and the angle spectra — checks out of the
+    /// per-worker scratch pools, so a steady-state frame allocates only its
+    /// own output. Pooled checkouts come back zero-filled and the FFT plans
+    /// / steering tables replay the reference arithmetic exactly, so the
+    /// cube is bitwise identical to the allocating ancestor of this code at
+    /// any thread count.
     fn process_frame_validated(&self, frame: &RawFrame) -> CubeFrame {
         let cfg = &self.config;
         let n_va = cfg.chirp.virtual_antenna_count();
         let chirps = cfg.chirp.chirps_per_tx;
+        let samples = cfg.chirp.samples_per_chirp;
         let d_off = cfg.range_bin_offset();
         let d_bins = cfg.range_bins;
         let v_bins = cfg.doppler_bins;
-
-        // Virtual-antenna index → (tx, rx) pair, so stage 1 can partition
-        // the output by antenna chunk.
-        let mut pairs = vec![(0usize, 0usize); n_va];
-        for tx in 0..cfg.chirp.tx_count {
-            for rx in 0..cfg.chirp.rx_count {
-                pairs[self.array.element_index(tx, rx)] = (tx, rx);
-            }
-        }
-
-        // Range-FFT per (virtual antenna, chirp), band-pass-filtered.
-        // rd[va][chirp][d]
-        let mut rd = vec![Complex::ZERO; n_va * chirps * d_bins];
-        mmhand_parallel::par_chunks_mut(&mut rd, chirps * d_bins, |va, rd_va| {
-            let (tx, rx) = pairs[va];
-            let mut bandpass = self.bandpass.clone();
-            for chirp in 0..chirps {
-                let mut buf = bandpass.filter_complex(frame.chirp_samples(tx, rx, chirp));
-                Window::Hann.apply_inplace(&mut buf);
-                fft_inplace(&mut buf);
-                rd_va[chirp * d_bins..(chirp + 1) * d_bins]
-                    .copy_from_slice(&buf[d_off..d_off + d_bins]);
-            }
-        });
-
-        // Doppler-FFT per (virtual antenna, range bin), keep central V bins.
-        // vd[va][v][d]
-        let mut vd = vec![Complex::ZERO; n_va * v_bins * d_bins];
         let v_off = (chirps - v_bins) / 2;
-        mmhand_parallel::par_chunks_mut(&mut vd, v_bins * d_bins, |va, vd_va| {
-            let mut slow = vec![Complex::ZERO; chirps];
-            for d in 0..d_bins {
-                for chirp in 0..chirps {
-                    slow[chirp] = rd[(va * chirps + chirp) * d_bins + d];
-                }
-                let mut buf = slow.clone();
-                Window::Hann.apply_inplace(&mut buf);
-                fft_inplace(&mut buf);
-                let shifted = fft_shift(&buf);
-                for v in 0..v_bins {
-                    vd_va[v * d_bins + d] = shifted[v_off + v];
-                }
-            }
-        });
-
-        // Angle spectra per (v, d) cell, one task per velocity bin.
         let az_row = self.array.azimuth_row();
         let el_row = self.array.elevated_row();
         let az_overlap = self.array.azimuth_overlap();
-        let f_max = cfg.max_angle_rad.sin() * 0.5;
         let [_, dd, aa] = cfg.frame_shape();
         let mut out = vec![0.0_f32; v_bins * dd * aa];
-        mmhand_parallel::par_chunks_mut(&mut out, dd * aa, |v, out_v| {
-            let mut az_elements = vec![Complex::ZERO; az_row.len()];
-            for d in 0..d_bins {
-                // Azimuth: zoom-DFT over the 8-element ULA.
-                for (k, &e) in az_row.iter().enumerate() {
-                    az_elements[k] = vd[(e * v_bins + v) * d_bins + d];
-                }
-                let az_spec = zoom_dft(&az_elements, -f_max, f_max, cfg.azimuth_bins);
-                // Elevation: 2-element vertical interferometer formed by the
-                // summed overlapping columns of the z = 0 and z = λ/2 rows.
-                let mut bottom = Complex::ZERO;
-                let mut top = Complex::ZERO;
-                for (&et, &eb) in el_row.iter().zip(az_overlap) {
-                    top += vd[(et * v_bins + v) * d_bins + d];
-                    bottom += vd[(eb * v_bins + v) * d_bins + d];
-                }
-                let el_spec = zoom_dft(&[bottom, top], -f_max, f_max, cfg.elevation_bins);
-                let base = d * aa;
-                for (a, s) in az_spec.iter().enumerate() {
-                    out_v[base + a] = s.abs();
-                }
-                for (a, s) in el_spec.iter().enumerate() {
-                    out_v[base + cfg.azimuth_bins + a] = s.abs() / el_row.len() as f32;
-                }
-            }
+
+        CUBE_POOL.with(|pool| {
+            pool.with(n_va * chirps * d_bins, |rd| {
+                // Range-FFT per (virtual antenna, chirp), band-pass-filtered.
+                // rd[va][chirp][d]
+                mmhand_parallel::par_chunks_mut(rd, chirps * d_bins, |va, rd_va| {
+                    let (tx, rx) = self.pairs[va];
+                    let mut bandpass = self.bandpass.clone();
+                    CUBE_POOL.with(|wp| {
+                        wp.with(samples, |buf| {
+                            CUBE_F32_POOL.with(|fp| {
+                                fp.with(2 * samples, |scratch| {
+                                    for chirp in 0..chirps {
+                                        bandpass.filter_complex_into(
+                                            frame.chirp_samples(tx, rx, chirp),
+                                            scratch,
+                                            buf,
+                                        );
+                                        Window::Hann.apply_inplace(buf);
+                                        self.range_plan.forward(buf);
+                                        rd_va[chirp * d_bins..(chirp + 1) * d_bins]
+                                            .copy_from_slice(&buf[d_off..d_off + d_bins]);
+                                    }
+                                })
+                            })
+                        })
+                    });
+                });
+
+                // Doppler-FFT per (virtual antenna, range bin), keep the
+                // central V bins. vd[va][v][d]
+                pool.with(n_va * v_bins * d_bins, |vd| {
+                    mmhand_parallel::par_chunks_mut(vd, v_bins * d_bins, |va, vd_va| {
+                        CUBE_POOL.with(|wp| {
+                            wp.with(chirps, |buf| {
+                                for d in 0..d_bins {
+                                    for chirp in 0..chirps {
+                                        buf[chirp] = rd[(va * chirps + chirp) * d_bins + d];
+                                    }
+                                    Window::Hann.apply_inplace(buf);
+                                    self.doppler_plan.forward(buf);
+                                    fft_shift_inplace(buf);
+                                    for v in 0..v_bins {
+                                        vd_va[v * d_bins + d] = buf[v_off + v];
+                                    }
+                                }
+                            })
+                        });
+                    });
+
+                    // Angle spectra per (v, d) cell, one task per velocity
+                    // bin.
+                    mmhand_parallel::par_chunks_mut(&mut out, dd * aa, |v, out_v| {
+                        CUBE_POOL.with(|wp| {
+                            wp.with(az_row.len(), |az_elements| {
+                                wp.with(cfg.azimuth_bins.max(cfg.elevation_bins), |spec| {
+                                    for d in 0..d_bins {
+                                        // Azimuth: zoom-DFT over the
+                                        // 8-element ULA.
+                                        for (k, &e) in az_row.iter().enumerate() {
+                                            az_elements[k] =
+                                                vd[(e * v_bins + v) * d_bins + d];
+                                        }
+                                        self.az_plan.evaluate_into(az_elements, spec);
+                                        let base = d * aa;
+                                        for (a, s) in spec.iter().enumerate() {
+                                            out_v[base + a] = s.abs();
+                                        }
+                                        // Elevation: 2-element vertical
+                                        // interferometer formed by the summed
+                                        // overlapping columns of the z = 0
+                                        // and z = λ/2 rows.
+                                        let mut bottom = Complex::ZERO;
+                                        let mut top = Complex::ZERO;
+                                        for (&et, &eb) in el_row.iter().zip(az_overlap) {
+                                            top += vd[(et * v_bins + v) * d_bins + d];
+                                            bottom += vd[(eb * v_bins + v) * d_bins + d];
+                                        }
+                                        self.el_plan.evaluate_into(&[bottom, top], spec);
+                                        for (a, s) in spec.iter().enumerate() {
+                                            out_v[base + cfg.azimuth_bins + a] =
+                                                s.abs() / el_row.len() as f32;
+                                        }
+                                    }
+                                })
+                            })
+                        });
+                    });
+                });
+            });
         });
 
+        frames_processed().inc();
         CubeFrame { data: out, shape: cfg.frame_shape() }
     }
 

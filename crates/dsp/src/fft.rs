@@ -3,8 +3,17 @@
 //! This is the workhorse behind the range-FFT, Doppler-FFT and angle-FFT of
 //! the pre-processing pipeline. Sizes must be powers of two; callers that
 //! have other lengths zero-pad with [`zero_pad_pow2`].
+//!
+//! Transforms execute against an [`FftPlan`]: twiddle factors and the
+//! bit-reverse permutation are computed once per size and cached in a
+//! process-wide table ([`plan`]), so the per-call cost is butterflies only.
+//! The twiddle tables are generated with the exact multiply recurrence the
+//! original on-the-fly loop used, which keeps planned transforms bitwise
+//! identical to the unplanned reference (asserted by proptest below).
 
 use mmhand_math::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Returns the smallest power of two ≥ `n` (and ≥ 1).
 pub fn next_pow2(n: usize) -> usize {
@@ -18,9 +27,19 @@ pub fn is_pow2(n: usize) -> bool {
 
 /// Zero-pads `x` to the next power-of-two length.
 pub fn zero_pad_pow2(x: &[Complex]) -> Vec<Complex> {
-    let mut out = x.to_vec();
-    out.resize(next_pow2(x.len()), Complex::ZERO);
+    // audit: pool-exempt — owned return value; hot callers use zero_pad_pow2_into
+    let mut out = Vec::with_capacity(next_pow2(x.len()));
+    out.extend_from_slice(x);
+    out.resize(out.capacity(), Complex::ZERO);
     out
+}
+
+/// Zero-pads `x` to the next power-of-two length into a caller-provided
+/// (typically pooled) buffer, replacing its contents.
+pub fn zero_pad_pow2_into(x: &[Complex], out: &mut Vec<Complex>) {
+    out.clear();
+    out.extend_from_slice(x);
+    out.resize(next_pow2(x.len()), Complex::ZERO);
 }
 
 /// With `sanitize-numerics`, panics if an FFT output bin is non-finite —
@@ -41,14 +60,169 @@ fn check_finite(context: &str, x: &[Complex]) {
 #[inline(always)]
 fn check_finite(_context: &str, _x: &[Complex]) {}
 
+/// A precomputed radix-2 FFT of one size: bit-reverse swap pairs plus
+/// per-stage twiddle tables for both transform directions.
+///
+/// Forward and inverse twiddles are stored separately (not conjugated from
+/// one table) and each table is filled by the same `w *= wlen` recurrence
+/// the reference transform iterates, so a planned transform applies
+/// bit-for-bit the same factors in the same order.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `(i, j)` index pairs with `j > i`, applied as swaps.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, stages concatenated: `len/2` entries per stage.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two. Prefer [`plan`], which caches.
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n), "FFT length {n} is not a power of two");
+        // audit: pool-exempt — one-time plan construction, cached per size
+        let mut swaps = Vec::new();
+        if n > 1 {
+            let bits = n.trailing_zeros();
+            for i in 0..n {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if j > i {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        FftPlan { n, swaps, fwd: twiddles(n, false), inv: twiddles(n, true) }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the trivial length-1 plan (kept for the
+    /// conventional `len`/`is_empty` pairing; length 0 is not planable).
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    pub fn forward(&self, x: &mut [Complex]) {
+        self.run(x, &self.fwd);
+        check_finite("forward FFT output", x);
+    }
+
+    /// In-place inverse FFT (including the `1/N` normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    pub fn inverse(&self, x: &mut [Complex]) {
+        self.run(x, &self.inv);
+        let n = x.len() as f32;
+        for v in x.iter_mut() {
+            *v = *v / n;
+        }
+        check_finite("inverse FFT output", x);
+    }
+
+    fn run(&self, x: &mut [Complex], table: &[Complex]) {
+        let n = self.n;
+        assert!(x.len() == n, "FFT buffer length {} does not match plan length {n}", x.len());
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            x.swap(i as usize, j as usize);
+        }
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw = &table[offset..offset + half];
+            let mut i = 0;
+            while i < n {
+                for j in 0..half {
+                    let u = x[i + j];
+                    let v = x[i + j + half] * tw[j];
+                    x[i + j] = u + v;
+                    x[i + j + half] = u - v;
+                }
+                i += len;
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Concatenated per-stage twiddle tables for length `n`, filled with the
+/// reference transform's exact recurrence (`w = ONE; w *= wlen; …`).
+fn twiddles(n: usize, inverse: bool) -> Vec<Complex> {
+    // audit: pool-exempt — one-time plan construction, cached per size
+    let mut table = Vec::with_capacity(n.saturating_sub(1));
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::from_angle(ang);
+        let mut w = Complex::ONE;
+        for _ in 0..len / 2 {
+            table.push(w);
+            w *= wlen;
+        }
+        len <<= 1;
+    }
+    table
+}
+
+/// Returns the cached plan for length `n`, building it on first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    static CACHE: OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(p) = cache.read().expect("FFT plan cache lock").get(&n) {
+        plan_cache_metrics().hits.inc();
+        return p.clone();
+    }
+    plan_cache_metrics().misses.inc();
+    let built = Arc::new(FftPlan::new(n));
+    let mut map = cache.write().expect("FFT plan cache lock");
+    map.entry(n).or_insert(built).clone()
+}
+
+struct PlanCacheMetrics {
+    hits: mmhand_telemetry::Counter,
+    misses: mmhand_telemetry::Counter,
+}
+
+fn plan_cache_metrics() -> &'static PlanCacheMetrics {
+    static METRICS: OnceLock<PlanCacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanCacheMetrics {
+        hits: mmhand_telemetry::counter("dsp.fft.plan_cache.hits"),
+        misses: mmhand_telemetry::counter("dsp.fft.plan_cache.misses"),
+    })
+}
+
 /// In-place forward FFT.
 ///
 /// # Panics
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn fft_inplace(x: &mut [Complex]) {
-    transform(x, false);
-    check_finite("forward FFT output", x);
+    plan(x.len()).forward(x);
 }
 
 /// In-place inverse FFT (including the `1/N` normalisation).
@@ -57,12 +231,31 @@ pub fn fft_inplace(x: &mut [Complex]) {
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn ifft_inplace(x: &mut [Complex]) {
-    transform(x, true);
-    let n = x.len() as f32;
-    for v in x.iter_mut() {
-        *v = *v / n;
-    }
-    check_finite("inverse FFT output", x);
+    plan(x.len()).inverse(x);
+}
+
+/// Forward FFT into a caller-provided (typically pooled) buffer, replacing
+/// its contents; the input is left untouched.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn fft_into(x: &[Complex], out: &mut Vec<Complex>) {
+    out.clear();
+    out.extend_from_slice(x);
+    fft_inplace(out);
+}
+
+/// Inverse FFT into a caller-provided (typically pooled) buffer, replacing
+/// its contents; the input is left untouched.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn ifft_into(x: &[Complex], out: &mut Vec<Complex>) {
+    out.clear();
+    out.extend_from_slice(x);
+    ifft_inplace(out);
 }
 
 /// Forward FFT returning a new vector.
@@ -71,8 +264,8 @@ pub fn ifft_inplace(x: &mut [Complex]) {
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
-    let mut out = x.to_vec();
-    fft_inplace(&mut out);
+    let mut out = Vec::new();
+    fft_into(x, &mut out);
     out
 }
 
@@ -82,8 +275,8 @@ pub fn fft(x: &[Complex]) -> Vec<Complex> {
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn ifft(x: &[Complex]) -> Vec<Complex> {
-    let mut out = x.to_vec();
-    ifft_inplace(&mut out);
+    let mut out = Vec::new();
+    ifft_into(x, &mut out);
     out
 }
 
@@ -104,10 +297,18 @@ pub fn fft_real(x: &[f32]) -> Vec<Complex> {
 pub fn fft_shift<T: Copy>(x: &[T]) -> Vec<T> {
     let n = x.len();
     let half = n.div_ceil(2);
+    // audit: pool-exempt — owned return value; hot callers use fft_shift_inplace
     let mut out = Vec::with_capacity(n);
     out.extend_from_slice(&x[half..]);
     out.extend_from_slice(&x[..half]);
     out
+}
+
+/// [`fft_shift`] as a pure in-place permutation (a `rotate_left` by
+/// `⌈n/2⌉`), for hot paths that shift a pooled buffer.
+pub fn fft_shift_inplace<T>(x: &mut [T]) {
+    let half = x.len().div_ceil(2);
+    x.rotate_left(half);
 }
 
 /// Magnitude of each bin.
@@ -120,6 +321,9 @@ pub fn power(x: &[Complex]) -> Vec<f32> {
     x.iter().map(|c| c.norm_sqr()).collect()
 }
 
+/// The original unplanned transform, kept as the bitwise reference the
+/// plan-identity tests compare against.
+#[cfg(test)]
 fn transform(x: &mut [Complex], inverse: bool) {
     let n = x.len();
     assert!(is_pow2(n), "FFT length {n} is not a power of two");
@@ -225,10 +429,36 @@ mod tests {
     }
 
     #[test]
+    fn fft_shift_inplace_matches_copying_shift() {
+        for n in 0..9usize {
+            let src: Vec<usize> = (0..n).collect();
+            let mut inplace = src.clone();
+            fft_shift_inplace(&mut inplace);
+            assert_eq!(inplace, fft_shift(&src), "length {n}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_panics() {
         let mut x = vec![Complex::ZERO; 12];
         fft_inplace(&mut x);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan length")]
+    fn plan_rejects_mismatched_buffer() {
+        let p = FftPlan::new(8);
+        let mut x = vec![Complex::ZERO; 4];
+        p.forward(&mut x);
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plans() {
+        let a = plan(64);
+        let b = plan(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
     }
 
     #[test]
@@ -238,6 +468,10 @@ mod tests {
         assert_eq!(padded.len(), 16);
         assert_eq!(&padded[..12], &x[..]);
         assert!(padded[12..].iter().all(|c| *c == Complex::ZERO));
+
+        let mut reused = vec![Complex::ONE; 3];
+        zero_pad_pow2_into(&x, &mut reused);
+        assert_eq!(reused, padded);
     }
 
     #[test]
@@ -271,6 +505,58 @@ mod tests {
             for (a, b) in sig.iter().zip(&back) {
                 prop_assert!((*a - *b).abs() < 1e-3);
             }
+        }
+
+        /// Planned transforms (twiddle tables + cached permutation) must be
+        /// *bitwise* identical to the unplanned reference loop, both
+        /// directions, all pooled-era sizes — under either
+        /// `sanitize-numerics` state (the suite runs in both CI jobs).
+        #[test]
+        fn planned_fft_is_bitwise_identical_to_reference(
+            log_n in 0u32..9,
+            xs in proptest::collection::vec((-10f32..10.0, -10f32..10.0), 256usize),
+            inverse_flag in 0usize..2,
+        ) {
+            let n = 1usize << log_n;
+            let inverse = inverse_flag == 1;
+            let sig: Vec<Complex> = xs[..n].iter().map(|&(r, i)| Complex::new(r, i)).collect();
+
+            let mut reference = sig.clone();
+            transform(&mut reference, inverse);
+
+            let mut planned = sig;
+            let p = plan(n);
+            if inverse {
+                p.inverse(&mut planned);
+                let scale = n as f32;
+                // The public path normalises; undo with the same op order.
+                for v in reference.iter_mut() {
+                    *v = *v / scale;
+                }
+            } else {
+                p.forward(&mut planned);
+            }
+
+            for (i, (a, b)) in planned.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "bin {i}: planned {a:?} != reference {b:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn fft_into_matches_owned_fft(
+            xs in proptest::collection::vec((-10f32..10.0, -10f32..10.0), 16usize),
+        ) {
+            let sig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let owned = fft(&sig);
+            let mut reused = vec![Complex::ONE; 3];
+            fft_into(&sig, &mut reused);
+            prop_assert_eq!(&owned, &reused);
+            let owned_inv = ifft(&owned);
+            ifft_into(&owned, &mut reused);
+            prop_assert_eq!(owned_inv, reused);
         }
 
         #[cfg(feature = "sanitize-numerics")]

@@ -295,22 +295,61 @@ impl BandpassFilter {
 
     /// Filters a whole real signal, starting from cleared state.
     pub fn filter_signal(&mut self, xs: &[f32]) -> Vec<f32> {
+        let mut out = xs.to_vec();
+        self.filter_signal_inplace(&mut out);
+        out
+    }
+
+    /// Filters a whole real signal in place, starting from cleared state.
+    ///
+    /// Bitwise identical to [`filter_signal`](Self::filter_signal): the
+    /// cascade reads each sample before overwriting it, so filtering a
+    /// pooled buffer in place changes nothing but the allocation.
+    pub fn filter_signal_inplace(&mut self, xs: &mut [f32]) {
         mmhand_telemetry::size_histogram("dsp.filter.batch_samples").observe(xs.len() as f64);
         self.reset();
-        xs.iter().map(|&x| self.process(x)).collect()
+        for x in xs.iter_mut() {
+            *x = self.process(*x);
+        }
     }
 
     /// Filters a complex signal by running the real and imaginary parts
     /// through identical cascades (the IF signal is complex after IQ mixing).
     pub fn filter_complex(&mut self, xs: &[mmhand_math::Complex]) -> Vec<mmhand_math::Complex> {
-        let re: Vec<f32> = xs.iter().map(|c| c.re).collect();
-        let im: Vec<f32> = xs.iter().map(|c| c.im).collect();
-        let fre = self.filter_signal(&re);
-        let fim = self.filter_signal(&im);
-        fre.into_iter()
-            .zip(fim)
-            .map(|(r, i)| mmhand_math::Complex::new(r, i))
-            .collect()
+        let mut out = Vec::with_capacity(xs.len());
+        let mut scratch = Vec::new();
+        self.filter_complex_into(xs, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`filter_complex`](Self::filter_complex) into caller-provided
+    /// (typically pooled) buffers: `scratch` holds the deinterleaved
+    /// real/imaginary planes (`2 · xs.len()` floats), `out` receives the
+    /// filtered signal. Both are replaced, and the processing order — the
+    /// full real plane, then the full imaginary plane — matches the
+    /// allocating path exactly, so results are bitwise identical.
+    pub fn filter_complex_into(
+        &mut self,
+        xs: &[mmhand_math::Complex],
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<mmhand_math::Complex>,
+    ) {
+        let n = xs.len();
+        scratch.clear();
+        scratch.resize(2 * n, 0.0);
+        let (re, im) = scratch.split_at_mut(n);
+        for (k, c) in xs.iter().enumerate() {
+            re[k] = c.re;
+            im[k] = c.im;
+        }
+        self.filter_signal_inplace(re);
+        self.filter_signal_inplace(im);
+        out.clear();
+        out.extend(
+            re.iter()
+                .zip(im.iter())
+                .map(|(&r, &i)| mmhand_math::Complex::new(r, i)),
+        );
     }
 
     /// Magnitude response at `freq_hz` for sampling rate `fs`.
@@ -351,6 +390,27 @@ mod tests {
     #[test]
     fn eighth_order_yields_four_sections() {
         assert_eq!(paper_like_filter().section_count(), 4);
+    }
+
+    #[test]
+    fn pooled_filter_paths_are_bitwise_identical() {
+        let mut f = paper_like_filter();
+        let xs: Vec<f32> = (0..256).map(|i| (i as f32 * 0.21).sin()).collect();
+        let owned = f.filter_signal(&xs);
+        let mut inplace = xs.clone();
+        f.filter_signal_inplace(&mut inplace);
+        assert_eq!(owned, inplace);
+
+        let cxs: Vec<mmhand_math::Complex> = xs
+            .iter()
+            .zip(xs.iter().rev())
+            .map(|(&r, &i)| mmhand_math::Complex::new(r, i))
+            .collect();
+        let owned_c = f.filter_complex(&cxs);
+        let mut scratch = vec![9.0_f32; 3];
+        let mut out = Vec::new();
+        f.filter_complex_into(&cxs, &mut scratch, &mut out);
+        assert_eq!(owned_c, out);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * **Angle spectrum** over the virtual antenna array via [`zoom_dft`]
 //!   restricted to ±30° with refinement factor 2, following the paper.
 
-use crate::fft::{fft_inplace, fft_shift};
+use crate::fft::{fft_inplace, fft_shift_inplace};
 use crate::window::Window;
 use crate::zoom::zoom_dft;
 use mmhand_math::Complex;
@@ -31,8 +31,8 @@ pub fn range_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
 }
 
 /// Computes the Doppler spectrum across slow-time (chirp-to-chirp) samples
-/// at one range bin, centred with [`fft_shift`] so bin `n/2` is zero
-/// velocity.
+/// at one range bin, centred with [`fft_shift_inplace`] so bin `n/2` is
+/// zero velocity.
 ///
 /// # Panics
 ///
@@ -41,7 +41,8 @@ pub fn doppler_fft(samples: &[Complex], window: Window) -> Vec<Complex> {
     let mut buf = samples.to_vec();
     window.apply_inplace(&mut buf);
     fft_inplace(&mut buf);
-    fft_shift(&buf)
+    fft_shift_inplace(&mut buf);
+    buf
 }
 
 /// Computes range spectra for a whole batch of chirps, fanned across the

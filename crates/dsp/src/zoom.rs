@@ -8,6 +8,8 @@
 //! [`refined_bin_count`] encodes the refinement-factor convention.
 
 use mmhand_math::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of output bins for a zoom transform over `band_fraction` of the
 /// full spectrum with the given `refinement` factor, relative to a plain
@@ -35,31 +37,142 @@ fn grid_params(f_lo: f32, f_hi: f32, bins: usize) -> (f32, f32) {
     }
 }
 
+/// A precomputed zoom-DFT: the `bins × len` steering table
+/// `e^{-j·2π·f_b·i}` for one `(len, band, bins)` configuration.
+///
+/// Each table entry is built with the exact expression the direct
+/// evaluation used (`Complex::from_angle(-tau * f * i)`), and
+/// [`evaluate_into`](Self::evaluate_into) accumulates the bins in the same
+/// ascending-sample order, so a planned transform is bitwise identical to
+/// [`zoom_dft`] — only the per-call sin/cos work disappears.
+#[derive(Debug)]
+pub struct ZoomPlan {
+    len: usize,
+    bins: usize,
+    /// Row-major `bins × len` steering vectors.
+    twiddles: Vec<Complex>,
+}
+
+impl ZoomPlan {
+    /// Builds a plan for `len`-sample inputs over `[f_lo, f_hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `f_lo > f_hi`.
+    pub fn new(len: usize, f_lo: f32, f_hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "zoom_dft needs at least one bin");
+        assert!(f_lo <= f_hi, "zoom_dft: f_lo {f_lo} > f_hi {f_hi}");
+        let tau = 2.0 * std::f32::consts::PI;
+        let (start, step) = grid_params(f_lo, f_hi, bins);
+        // audit: pool-exempt — one-time plan construction, cached per configuration
+        let mut twiddles = Vec::with_capacity(bins * len);
+        for b in 0..bins {
+            let f = start + step * b as f32;
+            for i in 0..len {
+                twiddles.push(Complex::from_angle(-tau * f * i as f32));
+            }
+        }
+        ZoomPlan { len, bins, twiddles }
+    }
+
+    /// The input length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for a zero-length input plan.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of output bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Evaluates the zoom transform of `x` into `out` (replacing its
+    /// contents), typically a pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    pub fn evaluate_into(&self, x: &[Complex], out: &mut Vec<Complex>) {
+        assert!(
+            x.len() == self.len,
+            "zoom input length {} does not match plan length {}",
+            x.len(),
+            self.len
+        );
+        out.clear();
+        for b in 0..self.bins {
+            let tw = &self.twiddles[b * self.len..(b + 1) * self.len];
+            let mut acc = Complex::ZERO;
+            for (i, &s) in x.iter().enumerate() {
+                acc += s * tw[i];
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Evaluates the zoom transform returning a new vector.
+    pub fn evaluate(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(self.bins);
+        self.evaluate_into(x, &mut out);
+        out
+    }
+}
+
+/// Cached zoom plans, keyed by the full configuration. The cache holds at
+/// most [`ZOOM_CACHE_CAP`] entries; past that an arbitrary entry is evicted
+/// before inserting, so pathological callers (e.g. randomised tests) cannot
+/// grow it unboundedly while steady-state configurations stay cached.
+/// (Latency-critical callers such as the cube builder hold their `Arc`s
+/// directly and never touch the cache per frame.)
+const ZOOM_CACHE_CAP: usize = 64;
+
+type ZoomKey = (usize, usize, u32, u32);
+
+/// Returns the cached plan for this configuration, building it on first
+/// use (frequencies are compared by bit pattern).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `f_lo > f_hi`.
+pub fn zoom_plan(len: usize, f_lo: f32, f_hi: f32, bins: usize) -> Arc<ZoomPlan> {
+    // Validate before taking the lock so an invalid request's panic cannot
+    // poison the cache for later callers.
+    assert!(bins > 0, "zoom_dft needs at least one bin");
+    assert!(f_lo <= f_hi, "zoom_dft: f_lo {f_lo} > f_hi {f_hi}");
+    static CACHE: OnceLock<Mutex<HashMap<ZoomKey, Arc<ZoomPlan>>>> = OnceLock::new();
+    let key = (len, bins, f_lo.to_bits(), f_hi.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("zoom plan cache lock");
+    if let Some(p) = map.get(&key) {
+        return p.clone();
+    }
+    let built = Arc::new(ZoomPlan::new(len, f_lo, f_hi, bins));
+    if map.len() >= ZOOM_CACHE_CAP {
+        if let Some(&evict) = map.keys().next() {
+            map.remove(&evict);
+        }
+    }
+    map.insert(key, built.clone());
+    built
+}
+
 /// Evaluates the DTFT of `x` on `bins` equally spaced normalised frequencies
 /// spanning `[f_lo, f_hi]` (cycles per sample, so the full spectrum is
 /// `[-0.5, 0.5)`). With `bins == 1` the single evaluation point is the band
 /// midpoint (see [`zoom_frequencies`], which reports the same grid).
 ///
-/// This is exact (no decimation approximation); cost is `O(len · bins)`.
+/// This is exact (no decimation approximation); cost is `O(len · bins)`
+/// multiply-adds against a cached steering table (see [`ZoomPlan`]).
 ///
 /// # Panics
 ///
 /// Panics if `bins == 0` or `f_lo > f_hi`.
 pub fn zoom_dft(x: &[Complex], f_lo: f32, f_hi: f32, bins: usize) -> Vec<Complex> {
-    assert!(bins > 0, "zoom_dft needs at least one bin");
-    assert!(f_lo <= f_hi, "zoom_dft: f_lo {f_lo} > f_hi {f_hi}");
-    let tau = 2.0 * std::f32::consts::PI;
-    let (start, step) = grid_params(f_lo, f_hi, bins);
-    (0..bins)
-        .map(|b| {
-            let f = start + step * b as f32;
-            let mut acc = Complex::ZERO;
-            for (i, &s) in x.iter().enumerate() {
-                acc += s * Complex::from_angle(-tau * f * i as f32);
-            }
-            acc
-        })
-        .collect()
+    zoom_plan(x.len(), f_lo, f_hi, bins).evaluate(x)
 }
 
 /// The normalised frequencies corresponding to the bins of [`zoom_dft`].
@@ -149,7 +262,53 @@ mod tests {
         zoom_dft(&[Complex::ONE], 0.0, 0.5, 0);
     }
 
+    /// The pre-plan direct evaluation, kept as the bitwise reference.
+    fn zoom_dft_reference(x: &[Complex], f_lo: f32, f_hi: f32, bins: usize) -> Vec<Complex> {
+        let tau = 2.0 * std::f32::consts::PI;
+        let (start, step) = grid_params(f_lo, f_hi, bins);
+        (0..bins)
+            .map(|b| {
+                let f = start + step * b as f32;
+                let mut acc = Complex::ZERO;
+                for (i, &s) in x.iter().enumerate() {
+                    acc += s * Complex::from_angle(-tau * f * i as f32);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zoom_plan_cache_returns_shared_plans() {
+        let a = zoom_plan(8, -0.2, 0.2, 4);
+        let b = zoom_plan(8, -0.2, 0.2, 4);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((a.len(), a.bins()), (8, 4));
+    }
+
     proptest! {
+        /// Planned evaluation (cached steering table) must be *bitwise*
+        /// identical to the direct per-call evaluation, under either
+        /// `sanitize-numerics` state (the suite runs in both CI jobs).
+        #[test]
+        fn planned_zoom_is_bitwise_identical_to_reference(
+            xs in proptest::collection::vec((-5f32..5.0, -5f32..5.0), 1..24usize),
+            f_lo in -0.5f32..0.3,
+            width in 0.0f32..0.2,
+            bins in 1usize..24,
+        ) {
+            let sig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let reference = zoom_dft_reference(&sig, f_lo, f_lo + width, bins);
+            let planned = zoom_dft(&sig, f_lo, f_lo + width, bins);
+            prop_assert_eq!(reference.len(), planned.len());
+            for (k, (a, b)) in planned.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "bin {}: planned {:?} != reference {:?}", k, a, b
+                );
+            }
+        }
+
         #[test]
         fn peak_frequency_recovered(f_true in 0.05f32..0.45, n_pow in 4u32..7) {
             let n = 1usize << n_pow;

@@ -6,6 +6,16 @@
 //! is the data-gradient of a convolution and vice versa.
 
 use crate::tensor::{gemm, gemm_a_bt, gemm_at_b, Tensor};
+use mmhand_parallel::ScratchPool;
+
+thread_local! {
+    /// Per-thread scratch for im2col/col2im column matrices and gradient
+    /// partials. Every worker (or the caller, when tasks run inline) reuses
+    /// one steady-state buffer per shape across the per-sample loops, and
+    /// pooled buffers come back zero-filled — exactly the state the old
+    /// `vec![0.0; …]` allocations provided — so results are unchanged.
+    static CONV_SCRATCH: ScratchPool<f32> = const { ScratchPool::new("nn.conv") };
+}
 
 /// Geometry of a 2-D convolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,10 +138,13 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &ConvSpec
     // One task per batch sample; each owns its output slice and scratch
     // column buffer, so samples are fully independent.
     mmhand_parallel::par_chunks_mut(out.data_mut(), o * ho * wo, |s, out_s| {
-        let mut cols = vec![0.0_f32; c * k * k * ho * wo];
-        let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
-        im2col(xs, c, h, w, spec, ho, wo, &mut cols);
-        gemm(weight.data(), &cols, out_s, o, c * k * k, ho * wo);
+        CONV_SCRATCH.with(|pool| {
+            pool.with(c * k * k * ho * wo, |cols| {
+                let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
+                im2col(xs, c, h, w, spec, ho, wo, cols);
+                gemm(weight.data(), cols, out_s, o, c * k * k, ho * wo);
+            });
+        });
         if !bias.is_empty() {
             for (oc, &b) in bias.iter().enumerate() {
                 for v in &mut out_s[oc * ho * wo..(oc + 1) * ho * wo] {
@@ -160,44 +173,61 @@ pub fn conv2d_backward(
 
     let mut dx = Tensor::zeros(&[n, c, h, w]);
     let mut dw = Tensor::zeros(&[o, c, k, k]);
+    // audit: pool-exempt — owned return value
     let mut db = vec![0.0_f32; o];
 
-    // Each sample task owns its dx slice plus private dW/db partial
-    // buffers; partials are reduced on the caller in ascending sample
-    // order, which reproduces the sequential accumulation order exactly.
-    let mut partials: Vec<(Vec<f32>, Vec<f32>)> =
-        (0..n).map(|_| (vec![0.0_f32; o * c * k * k], vec![0.0_f32; o])).collect();
+    // Each sample task owns its dx slice plus a private dW/db partial
+    // stripe of one pooled buffer; partials are reduced on the caller in
+    // ascending sample order, which reproduces the sequential accumulation
+    // order exactly. Column scratch comes from the per-thread pool, so the
+    // per-sample loop reuses one steady-state im2col buffer per worker
+    // instead of allocating inside every task.
+    let stripe = o * c * k * k + o;
     let x_data = x.data();
     let dy_data = dy.data();
-    mmhand_parallel::scope(|sc| {
-        for (s, (dxs, (dw_part, db_part))) in
-            dx.data_mut().chunks_mut(c * h * w).zip(partials.iter_mut()).enumerate()
-        {
-            sc.spawn(move || {
-                let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
-                let dys = &dy_data[s * o * ho * wo..(s + 1) * o * ho * wo];
-                let mut cols = vec![0.0_f32; c * k * k * ho * wo];
-                im2col(xs, c, h, w, spec, ho, wo, &mut cols);
-                // dW_s = dY_s · colsᵀ  — (o, hw)·(hw, ckk)
-                gemm_a_bt(dys, &cols, dw_part, o, ho * wo, c * k * k);
-                // dcols = Wᵀ · dY_s — (ckk, o)·(o, hw)
-                let mut dcols = vec![0.0_f32; c * k * k * ho * wo];
-                gemm_at_b(weight.data(), dys, &mut dcols, c * k * k, o, ho * wo);
-                col2im(&dcols, c, h, w, spec, ho, wo, dxs);
-                for oc in 0..o {
-                    db_part[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+    CONV_SCRATCH.with(|pool| {
+        pool.with(n * stripe, |partials| {
+            mmhand_parallel::scope(|sc| {
+                for (s, (dxs, part)) in dx
+                    .data_mut()
+                    .chunks_mut(c * h * w)
+                    .zip(partials.chunks_mut(stripe))
+                    .enumerate()
+                {
+                    sc.spawn(move || {
+                        let (dw_part, db_part) = part.split_at_mut(o * c * k * k);
+                        let xs = &x_data[s * c * h * w..(s + 1) * c * h * w];
+                        let dys = &dy_data[s * o * ho * wo..(s + 1) * o * ho * wo];
+                        CONV_SCRATCH.with(|pool| {
+                            pool.with(c * k * k * ho * wo, |cols| {
+                                im2col(xs, c, h, w, spec, ho, wo, cols);
+                                // dW_s = dY_s · colsᵀ  — (o, hw)·(hw, ckk)
+                                gemm_a_bt(dys, cols, dw_part, o, ho * wo, c * k * k);
+                            });
+                            // dcols = Wᵀ · dY_s — (ckk, o)·(o, hw)
+                            pool.with(c * k * k * ho * wo, |dcols| {
+                                gemm_at_b(weight.data(), dys, dcols, c * k * k, o, ho * wo);
+                                col2im(dcols, c, h, w, spec, ho, wo, dxs);
+                            });
+                        });
+                        for oc in 0..o {
+                            db_part[oc] +=
+                                dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+                        }
+                    });
                 }
             });
-        }
+            for part in partials.chunks(stripe) {
+                let (dw_part, db_part) = part.split_at(o * c * k * k);
+                for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
+                    *acc += v;
+                }
+                for (acc, v) in db.iter_mut().zip(db_part) {
+                    *acc += v;
+                }
+            }
+        });
     });
-    for (dw_part, db_part) in &partials {
-        for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
-            *acc += v;
-        }
-        for (acc, v) in db.iter_mut().zip(db_part) {
-            *acc += v;
-        }
-    }
     (dx, dw, db)
 }
 
@@ -233,9 +263,12 @@ pub fn conv_transpose2d_forward(
     mmhand_parallel::par_chunks_mut(out.data_mut(), c_out * ho * wo, |s, out_s| {
         let xs = &x_data[s * c_in * h * w..(s + 1) * c_in * h * w];
         // dcols = Wᵀ·x with W viewed as (c_in, c_out·k·k).
-        let mut dcols = vec![0.0_f32; c_out * k * k * h * w];
-        gemm_at_b(weight.data(), xs, &mut dcols, c_out * k * k, c_in, h * w);
-        col2im(&dcols, c_out, ho, wo, &dual, h, w, out_s);
+        CONV_SCRATCH.with(|pool| {
+            pool.with(c_out * k * k * h * w, |dcols| {
+                gemm_at_b(weight.data(), xs, dcols, c_out * k * k, c_in, h * w);
+                col2im(dcols, c_out, ho, wo, &dual, h, w, out_s);
+            });
+        });
         if !bias.is_empty() {
             for (oc, &b) in bias.iter().enumerate() {
                 for v in &mut out_s[oc * ho * wo..(oc + 1) * ho * wo] {
@@ -269,43 +302,56 @@ pub fn conv_transpose2d_backward(
 
     let mut dx = Tensor::zeros(&[n, c_in, h, w]);
     let mut dw = Tensor::zeros(&[c_in, c_out, k, k]);
+    // audit: pool-exempt — owned return value
     let mut db = vec![0.0_f32; c_out];
 
     // Same shape as conv2d_backward: per-sample tasks with private dW/db
-    // partials, reduced in ascending sample order for determinism.
-    let mut partials: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
-        .map(|_| (vec![0.0_f32; c_in * c_out * k * k], vec![0.0_f32; c_out]))
-        .collect();
+    // partial stripes of one pooled buffer, reduced in ascending sample
+    // order for determinism; column scratch from the per-thread pool.
+    let stripe = c_in * c_out * k * k + c_out;
     let x_data = x.data();
     let dy_data = dy.data();
-    mmhand_parallel::scope(|sc| {
-        for (s, (dxs, (dw_part, db_part))) in
-            dx.data_mut().chunks_mut(c_in * h * w).zip(partials.iter_mut()).enumerate()
-        {
-            sc.spawn(move || {
-                let dys = &dy_data[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
-                let xs = &x_data[s * c_in * h * w..(s + 1) * c_in * h * w];
-                // dx = conv_forward(dy) with the dual spec and weight
-                // (c_in, c_out·k·k).
-                let mut cols = vec![0.0_f32; c_out * k * k * h * w];
-                im2col(dys, c_out, ho, wo, &dual, h, w, &mut cols);
-                gemm(weight.data(), &cols, dxs, c_in, c_out * k * k, h * w);
-                // dW_s = xs · colsᵀ  — (c_in, hw)·(hw, c_out·k·k).
-                gemm_a_bt(xs, &cols, dw_part, c_in, h * w, c_out * k * k);
-                for oc in 0..c_out {
-                    db_part[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+    CONV_SCRATCH.with(|pool| {
+        pool.with(n * stripe, |partials| {
+            mmhand_parallel::scope(|sc| {
+                for (s, (dxs, part)) in dx
+                    .data_mut()
+                    .chunks_mut(c_in * h * w)
+                    .zip(partials.chunks_mut(stripe))
+                    .enumerate()
+                {
+                    sc.spawn(move || {
+                        let (dw_part, db_part) = part.split_at_mut(c_in * c_out * k * k);
+                        let dys = &dy_data[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+                        let xs = &x_data[s * c_in * h * w..(s + 1) * c_in * h * w];
+                        // dx = conv_forward(dy) with the dual spec and weight
+                        // (c_in, c_out·k·k).
+                        CONV_SCRATCH.with(|pool| {
+                            pool.with(c_out * k * k * h * w, |cols| {
+                                im2col(dys, c_out, ho, wo, &dual, h, w, cols);
+                                gemm(weight.data(), cols, dxs, c_in, c_out * k * k, h * w);
+                                // dW_s = xs · colsᵀ  — (c_in, hw)·(hw, c_out·k·k).
+                                gemm_a_bt(xs, cols, dw_part, c_in, h * w, c_out * k * k);
+                            });
+                        });
+                        for oc in 0..c_out {
+                            db_part[oc] +=
+                                dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+                        }
+                    });
                 }
             });
-        }
+            for part in partials.chunks(stripe) {
+                let (dw_part, db_part) = part.split_at(c_in * c_out * k * k);
+                for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
+                    *acc += v;
+                }
+                for (acc, v) in db.iter_mut().zip(db_part) {
+                    *acc += v;
+                }
+            }
+        });
     });
-    for (dw_part, db_part) in &partials {
-        for (acc, v) in dw.data_mut().iter_mut().zip(dw_part) {
-            *acc += v;
-        }
-        for (acc, v) in db.iter_mut().zip(db_part) {
-            *acc += v;
-        }
-    }
     (dx, dw, db)
 }
 
@@ -323,7 +369,9 @@ pub fn dims4(x: &Tensor) -> [usize; 4] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tensor::{gemm_a_bt_naive, gemm_at_b_naive, gemm_naive};
     use mmhand_math::rng::stream_rng;
+    use proptest::prelude::*;
 
     fn finite_diff_conv(
         x: &Tensor,
@@ -505,5 +553,105 @@ mod tests {
         let t = ConvSpec { in_channels: 1, out_channels: 1, kernel: 4, stride: 2, pad: 1 };
         assert_eq!(t.transpose_out_size(8), 16);
         // Round trip: down then up restores 16.
+    }
+
+    /// The pre-pool forward pass: sequential per-sample loop with fresh
+    /// `vec!` scratch and naive GEMM — the allocating reference the pooled
+    /// path must match bit for bit.
+    fn conv2d_forward_alloc(x: &Tensor, weight: &Tensor, bias: &[f32], spec: &ConvSpec) -> Tensor {
+        let [n, c, h, w] = dims4(x);
+        let (o, k) = (spec.out_channels, spec.kernel);
+        let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+        let mut out = Tensor::zeros(&[n, o, ho, wo]);
+        for (s, out_s) in out.data_mut().chunks_mut(o * ho * wo).enumerate() {
+            let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+            let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
+            im2col(xs, c, h, w, spec, ho, wo, &mut cols);
+            gemm_naive(weight.data(), &cols, out_s, o, c * k * k, ho * wo);
+            if !bias.is_empty() {
+                for (oc, &b) in bias.iter().enumerate() {
+                    for v in &mut out_s[oc * ho * wo..(oc + 1) * ho * wo] {
+                        *v += b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-pool backward pass (fresh allocations, naive GEMMs,
+    /// sequential ascending-sample reduction).
+    fn conv2d_backward_alloc(
+        x: &Tensor,
+        weight: &Tensor,
+        dy: &Tensor,
+        spec: &ConvSpec,
+    ) -> (Tensor, Tensor, Vec<f32>) {
+        let [n, c, h, w] = dims4(x);
+        let (o, k) = (spec.out_channels, spec.kernel);
+        let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let mut dw = Tensor::zeros(&[o, c, k, k]);
+        let mut db = vec![0.0_f32; o];
+        for (s, dxs) in dx.data_mut().chunks_mut(c * h * w).enumerate() {
+            let xs = &x.data()[s * c * h * w..(s + 1) * c * h * w];
+            let dys = &dy.data()[s * o * ho * wo..(s + 1) * o * ho * wo];
+            let mut cols = vec![0.0_f32; c * k * k * ho * wo];
+            im2col(xs, c, h, w, spec, ho, wo, &mut cols);
+            gemm_a_bt_naive(dys, &cols, dw.data_mut(), o, ho * wo, c * k * k);
+            let mut dcols = vec![0.0_f32; c * k * k * ho * wo];
+            gemm_at_b_naive(weight.data(), dys, &mut dcols, c * k * k, o, ho * wo);
+            col2im(&dcols, c, h, w, spec, ho, wo, dxs);
+            for oc in 0..o {
+                db[oc] += dys[oc * ho * wo..(oc + 1) * ho * wo].iter().sum::<f32>();
+            }
+        }
+        (dx, dw, db)
+    }
+
+    proptest! {
+        // Pooled-scratch conv vs the allocating reference, bitwise, over
+        // random shapes — run twice so the second pass exercises buffer
+        // *reuse*, not just first-checkout allocation. The same suite runs
+        // under both `sanitize-numerics` feature states in CI.
+        #[test]
+        fn pooled_conv_forward_is_bitwise_identical_to_allocating_path(
+            n in 1usize..3, c in 1usize..4, o in 1usize..6,
+            hw in 3usize..9, k in 1usize..4, stride in 1usize..3,
+            seed in 0u64..200,
+        ) {
+            let pad = k / 2;
+            let spec = ConvSpec { in_channels: c, out_channels: o, kernel: k, stride, pad };
+            let mut rng = stream_rng(seed, "pconv");
+            let x = Tensor::randn(&[n, c, hw, hw], 1.0, &mut rng);
+            let w = Tensor::randn(&[o, c, k, k], 0.5, &mut rng);
+            let bias: Vec<f32> = (0..o).map(|i| i as f32 * 0.1 - 0.2).collect();
+            let reference = conv2d_forward_alloc(&x, &w, &bias, &spec);
+            for pass in 0..2 {
+                let pooled = conv2d_forward(&x, &w, &bias, &spec);
+                prop_assert_eq!(pooled.data(), reference.data(), "pass {}", pass);
+            }
+        }
+
+        #[test]
+        fn pooled_conv_backward_is_bitwise_identical_to_allocating_path(
+            n in 1usize..3, c in 1usize..4, o in 1usize..5,
+            hw in 3usize..8, k in 1usize..4,
+            seed in 0u64..200,
+        ) {
+            let pad = k / 2;
+            let spec = ConvSpec { in_channels: c, out_channels: o, kernel: k, stride: 1, pad };
+            let mut rng = stream_rng(seed, "pconvb");
+            let x = Tensor::randn(&[n, c, hw, hw], 1.0, &mut rng);
+            let w = Tensor::randn(&[o, c, k, k], 0.5, &mut rng);
+            let y = conv2d_forward(&x, &w, &[], &spec);
+            let (dx_ref, dw_ref, db_ref) = conv2d_backward_alloc(&x, &w, &y, &spec);
+            for pass in 0..2 {
+                let (dx, dw, db) = conv2d_backward(&x, &w, &y, &spec);
+                prop_assert_eq!(dx.data(), dx_ref.data(), "dx pass {}", pass);
+                prop_assert_eq!(dw.data(), dw_ref.data(), "dw pass {}", pass);
+                prop_assert_eq!(&db, &db_ref, "db pass {}", pass);
+            }
+        }
     }
 }

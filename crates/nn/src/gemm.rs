@@ -1,0 +1,584 @@
+//! GEMM kernels: packed, cache-blocked, register-blocked, pool-parallel.
+//!
+//! Three entry points back every matrix product in the workspace:
+//! [`gemm`] (`C += A·B`), [`gemm_at_b`] (`C += Aᵀ·B`) and [`gemm_a_bt`]
+//! (`C += A·Bᵀ`). All three share the same structure: parallel over row
+//! bands of `C` on the `mmhand-parallel` pool, k-tiled, with a 4×MR
+//! register-blocked inner loop.
+//!
+//! For big-enough problems the kernels first *pack* the operand that the
+//! inner loop would otherwise read strided — `A` row groups interleaved
+//! per k-tile for [`gemm`]/[`gemm_at_b`], `B` column panels for
+//! [`gemm_a_bt`] — into scratch checked out of a thread-local
+//! [`ScratchPool`], then run the same inner loop over the contiguous
+//! panel. Packing copies values, never reassociates: every element of `C`
+//! still accumulates its k-products in ascending-k order, so packed,
+//! unpacked, sequential and pool-parallel paths are all **bitwise
+//! identical** (asserted by exact-equality proptests below) at any
+//! `MMHAND_THREADS` setting.
+
+use mmhand_parallel::ScratchPool;
+
+thread_local! {
+    /// Per-thread pack-panel scratch. Each pool worker (or the caller, when
+    /// running inline) owns its own free list, so packing allocates only on
+    /// the first large call a thread sees.
+    static GEMM_PACK: ScratchPool<f32> = const { ScratchPool::new("nn.gemm.pack") };
+}
+
+/// k-dimension tile: one tile of `B` (`KC·n` floats) stays hot in L1/L2
+/// while a block of `C` rows accumulates against it.
+const GEMM_KC: usize = 256;
+/// Register rows: the main kernel computes 4 rows of `C` per pass over a
+/// `B` row, so every `B` load is reused four times.
+const GEMM_MR: usize = 4;
+/// Below this many flops (`2·m·k·n`) the pool is not engaged; fixed costs
+/// dominate and the sequential kernel wins.
+const GEMM_PAR_FLOPS: usize = 1 << 17;
+/// Minimum `n` before [`gemm`]/[`gemm_at_b`] pack `A` panels: each packed
+/// value is reused once per column, so narrow outputs don't amortise the
+/// packing pass.
+const GEMM_PACK_MIN_N: usize = 8;
+
+/// Bucket bounds for the GEMM problem-size histogram (flops per call).
+const GEMM_FLOP_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+
+/// GEMM telemetry handles, resolved once: every `gemm*` entry point counts
+/// its calls and observes the problem size, so kernel-dispatch decisions
+/// (like [`GEMM_PAR_FLOPS`]) can be tuned against real workload shapes.
+fn gemm_metrics() -> &'static (mmhand_telemetry::Counter, mmhand_telemetry::Histogram) {
+    static METRICS: std::sync::OnceLock<(mmhand_telemetry::Counter, mmhand_telemetry::Histogram)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            mmhand_telemetry::counter("nn.gemm.calls"),
+            mmhand_telemetry::histogram_with("nn.gemm.flops", GEMM_FLOP_BUCKETS),
+        )
+    })
+}
+
+fn record_gemm(m: usize, k: usize, n: usize) {
+    let (calls, flops) = gemm_metrics();
+    calls.inc();
+    flops.observe(2.0 * (m as f64) * (k as f64) * (n as f64));
+}
+
+/// `C += A·B` GEMM kernel: cache-blocked over k, 4-row register blocking
+/// with packed `A` panels, and parallel over row bands of `C` on the
+/// `mmhand-parallel` pool.
+///
+/// Every element of `C` accumulates its k-products in ascending-k order
+/// regardless of thread count, so results are bitwise identical at any
+/// `MMHAND_THREADS` setting.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    record_gemm(m, k, n);
+    let rows_per_task = gemm_rows_per_task(m, k, n);
+    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
+        gemm_band(a, b, c_band, band * rows_per_task, k, n);
+    });
+}
+
+/// Picks the row-band height: the whole matrix when the problem is too
+/// small to parallelise, otherwise an even split across the pool.
+fn gemm_rows_per_task(m: usize, k: usize, n: usize) -> usize {
+    let threads = mmhand_parallel::num_threads();
+    if threads <= 1 || 2 * m * k * n < GEMM_PAR_FLOPS {
+        m.max(1)
+    } else {
+        m.div_ceil(threads).max(1)
+    }
+}
+
+/// Packs the k-tile `[kb, kend)` of a 4-row group of `A` (row-major,
+/// leading dimension `lda`, rows starting at `row`) into `apack`,
+/// interleaved so the microkernel reads one contiguous quad per k-step.
+#[inline]
+fn pack_a_rows(a: &[f32], apack: &mut [f32], row: usize, lda: usize, kb: usize, kend: usize) {
+    for kk in kb..kend {
+        let dst = &mut apack[(kk - kb) * GEMM_MR..(kk - kb) * GEMM_MR + GEMM_MR];
+        dst[0] = a[row * lda + kk];
+        dst[1] = a[(row + 1) * lda + kk];
+        dst[2] = a[(row + 2) * lda + kk];
+        dst[3] = a[(row + 3) * lda + kk];
+    }
+}
+
+/// As [`pack_a_rows`] but for a column-major-by-k `A` (`(k, m)` layout, as
+/// in [`gemm_at_b`]): the quad at k-step `kk` is `a[kk*m + row ..+4]`.
+#[inline]
+fn pack_a_cols(a: &[f32], apack: &mut [f32], row: usize, m: usize, kb: usize, kend: usize) {
+    for kk in kb..kend {
+        let src = &a[kk * m + row..kk * m + row + GEMM_MR];
+        apack[(kk - kb) * GEMM_MR..(kk - kb) * GEMM_MR + GEMM_MR].copy_from_slice(src);
+    }
+}
+
+/// The shared 4-row microkernel: accumulates the packed k-tile panel
+/// `apack` against `B` rows `[kb, kend)` into four `C` rows.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn microkernel_4xn(
+    apack: &[f32],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+    kb: usize,
+    kend: usize,
+    n: usize,
+) {
+    for kk in kb..kend {
+        let aq = &apack[(kk - kb) * GEMM_MR..(kk - kb) * GEMM_MR + GEMM_MR];
+        let (x0, x1, x2, x3) = (aq[0], aq[1], aq[2], aq[3]);
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (j, &bv) in b_row.iter().enumerate() {
+            c0[j] += x0 * bv;
+            c1[j] += x1 * bv;
+            c2[j] += x2 * bv;
+            c3[j] += x3 * bv;
+        }
+    }
+}
+
+/// Computes rows `[i0, i0 + c_band.len()/n)` of `C += A·B`.
+fn gemm_band(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
+    if n >= GEMM_PACK_MIN_N && c_band.len() >= GEMM_MR * n {
+        GEMM_PACK.with(|pool| {
+            pool.with(GEMM_KC * GEMM_MR, |apack| {
+                gemm_band_inner(a, b, c_band, i0, k, n, Some(apack));
+            });
+        });
+    } else {
+        gemm_band_inner(a, b, c_band, i0, k, n, None);
+    }
+}
+
+fn gemm_band_inner(
+    a: &[f32],
+    b: &[f32],
+    c_band: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    mut apack: Option<&mut Vec<f32>>,
+) {
+    for kb in (0..k).step_by(GEMM_KC) {
+        let kend = (kb + GEMM_KC).min(k);
+        for (group, c_group) in c_band.chunks_mut(GEMM_MR * n).enumerate() {
+            let row = i0 + group * GEMM_MR;
+            if c_group.len() == GEMM_MR * n {
+                let (c0, rest) = c_group.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                if let Some(apack) = apack.as_deref_mut() {
+                    pack_a_rows(a, apack, row, k, kb, kend);
+                    microkernel_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
+                } else {
+                    for kk in kb..kend {
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        let x0 = a[row * k + kk];
+                        let x1 = a[(row + 1) * k + kk];
+                        let x2 = a[(row + 2) * k + kk];
+                        let x3 = a[(row + 3) * k + kk];
+                        for (j, &bv) in b_row.iter().enumerate() {
+                            c0[j] += x0 * bv;
+                            c1[j] += x1 * bv;
+                            c2[j] += x2 * bv;
+                            c3[j] += x3 * bv;
+                        }
+                    }
+                }
+            } else {
+                for (r, c_row) in c_group.chunks_mut(n).enumerate() {
+                    let a_row = &a[(row + r) * k..(row + r + 1) * k];
+                    for kk in kb..kend {
+                        let x = a_row[kk];
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (cj, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cj += x * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += Aᵀ·B` without materialising the transpose: `A` is `(k, m)`.
+///
+/// Parallel over row bands of `C`; the microkernel runs over packed `A`
+/// column quads (one contiguous panel per k-tile instead of reads strided
+/// by `m`), with the same 4-row register blocking as [`gemm`].
+pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    record_gemm(m, k, n);
+    let rows_per_task = gemm_rows_per_task(m, k, n);
+    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
+        let i0 = band * rows_per_task;
+        if n >= GEMM_PACK_MIN_N && c_band.len() >= GEMM_MR * n {
+            GEMM_PACK.with(|pool| {
+                pool.with(GEMM_KC * GEMM_MR, |apack| {
+                    gemm_at_b_band(a, b, c_band, i0, m, k, n, Some(apack));
+                });
+            });
+        } else {
+            gemm_at_b_band(a, b, c_band, i0, m, k, n, None);
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_at_b_band(
+    a: &[f32],
+    b: &[f32],
+    c_band: &mut [f32],
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    mut apack: Option<&mut Vec<f32>>,
+) {
+    for kb in (0..k).step_by(GEMM_KC) {
+        let kend = (kb + GEMM_KC).min(k);
+        for (group, c_group) in c_band.chunks_mut(GEMM_MR * n).enumerate() {
+            let row = i0 + group * GEMM_MR;
+            if c_group.len() == GEMM_MR * n {
+                let (c0, rest) = c_group.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                if let Some(apack) = apack.as_deref_mut() {
+                    pack_a_cols(a, apack, row, m, kb, kend);
+                    microkernel_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
+                } else {
+                    for kk in kb..kend {
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        let a_col = &a[kk * m + row..kk * m + row + GEMM_MR];
+                        let (x0, x1, x2, x3) = (a_col[0], a_col[1], a_col[2], a_col[3]);
+                        for (j, &bv) in b_row.iter().enumerate() {
+                            c0[j] += x0 * bv;
+                            c1[j] += x1 * bv;
+                            c2[j] += x2 * bv;
+                            c3[j] += x3 * bv;
+                        }
+                    }
+                }
+            } else {
+                for (r, c_row) in c_group.chunks_mut(n).enumerate() {
+                    for kk in kb..kend {
+                        let x = a[kk * m + row + r];
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (cj, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cj += x * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += A·Bᵀ` without materialising the transpose: `B` is `(n, k)`.
+///
+/// Dot-product form, parallel over row bands of `C`. For multi-row bands
+/// each 4-column panel of `B` is packed (interleaved) once and reused by
+/// every row of the band — the packed panel is read contiguously where the
+/// unpacked loop streamed four separate `B` rows. Each `C` element is
+/// still one independent dot product accumulated in ascending-k order, so
+/// results are bitwise identical to the unpacked and naive forms.
+pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    record_gemm(m, k, n);
+    let rows_per_task = gemm_rows_per_task(m, k, n);
+    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
+        let i0 = band * rows_per_task;
+        let rows = c_band.len() / n;
+        if rows >= 2 && n >= 4 {
+            gemm_a_bt_band_packed(a, b, c_band, i0, k, n);
+        } else {
+            gemm_a_bt_band(a, b, c_band, i0, k, n);
+        }
+    });
+}
+
+/// Unpacked dot-product band kernel (single-row bands / narrow `C`).
+fn gemm_a_bt_band(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (r, c_row) in c_band.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            c_row[j] += s0;
+            c_row[j + 1] += s1;
+            c_row[j + 2] += s2;
+            c_row[j + 3] += s3;
+            j += 4;
+        }
+        for (jj, cij) in c_row.iter_mut().enumerate().skip(j) {
+            let b_row = &b[jj * k..(jj + 1) * k];
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *cij += acc;
+        }
+    }
+}
+
+/// Panel-packed band kernel: column panels outer, band rows inner.
+fn gemm_a_bt_band_packed(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
+    GEMM_PACK.with(|pool| {
+        pool.with(4 * k, |bpack| {
+            let mut j = 0;
+            while j + 4 <= n {
+                for kk in 0..k {
+                    let quad = &mut bpack[kk * 4..kk * 4 + 4];
+                    quad[0] = b[j * k + kk];
+                    quad[1] = b[(j + 1) * k + kk];
+                    quad[2] = b[(j + 2) * k + kk];
+                    quad[3] = b[(j + 3) * k + kk];
+                }
+                for (r, c_row) in c_band.chunks_mut(n).enumerate() {
+                    let i = i0 + r;
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        let quad = &bpack[kk * 4..kk * 4 + 4];
+                        s0 += av * quad[0];
+                        s1 += av * quad[1];
+                        s2 += av * quad[2];
+                        s3 += av * quad[3];
+                    }
+                    c_row[j] += s0;
+                    c_row[j + 1] += s1;
+                    c_row[j + 2] += s2;
+                    c_row[j + 3] += s3;
+                }
+                j += 4;
+            }
+            for (r, c_row) in c_band.chunks_mut(n).enumerate() {
+                let i = i0 + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (jj, cij) in c_row.iter_mut().enumerate().skip(j) {
+                    let b_row = &b[jj * k..(jj + 1) * k];
+                    let mut acc = 0.0;
+                    for (x, y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *cij += acc;
+                }
+            }
+        });
+    });
+}
+
+/// Straightforward triple-loop `C += A·B` — the pre-optimisation kernel,
+/// kept as the correctness reference for property tests and as the
+/// before/after baseline in `cargo bench`.
+pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// Reference `C += Aᵀ·B` (`A` is `(k, m)`); see [`gemm_naive`].
+pub fn gemm_at_b_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aki * bj;
+            }
+        }
+    }
+}
+
+/// Reference `C += A·Bᵀ` (`B` is `(n, k)`); see [`gemm_naive`].
+pub fn gemm_a_bt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cij) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *cij += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use mmhand_math::rng::stream_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gemm_variants_agree() {
+        let mut rng = stream_rng(3, "g");
+        let (m, k, n) = (5, 7, 4);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let reference = a.matmul(&b);
+
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(a.transposed().data(), b.data(), &mut c1, m, k, n);
+        for (x, y) in c1.iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let mut c2 = vec![0.0; m * n];
+        gemm_a_bt(a.data(), b.transposed().data(), &mut c2, m, k, n);
+        for (x, y) in c2.iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    proptest! {
+        // Packed/blocked/parallel kernels vs the straightforward reference,
+        // over random shapes including k = 0, single rows/columns,
+        // non-square, and sizes that are not multiples of the register
+        // blocking. Since packing only copies operands and never reorders
+        // any element's ascending-k accumulation, the comparison is exact
+        // (bitwise), under either `sanitize-numerics` feature state — the
+        // suite runs in both CI jobs.
+        #[test]
+        fn blocked_gemm_matches_reference(
+            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
+        ) {
+            let mut rng = stream_rng(seed, "gemm-ref");
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let init = Tensor::randn(&[m.max(1), n.max(1)], 1.0, &mut rng);
+            let mut c_blocked = vec![0.0f32; m * n];
+            let mut c_naive = vec![0.0f32; m * n];
+            for (dst, &v) in c_blocked.iter_mut().zip(init.data()) {
+                *dst = v;
+            }
+            c_naive.copy_from_slice(&c_blocked);
+            gemm(a.data(), b.data(), &mut c_blocked, m, k, n);
+            gemm_naive(a.data(), b.data(), &mut c_naive, m, k, n);
+            prop_assert_eq!(&c_blocked, &c_naive);
+        }
+
+        #[test]
+        fn blocked_gemm_at_b_matches_reference(
+            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
+        ) {
+            let mut rng = stream_rng(seed, "gemm-atb-ref");
+            let a = Tensor::randn(&[k, m], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut c_blocked = vec![0.0f32; m * n];
+            let mut c_naive = vec![0.0f32; m * n];
+            gemm_at_b(a.data(), b.data(), &mut c_blocked, m, k, n);
+            gemm_at_b_naive(a.data(), b.data(), &mut c_naive, m, k, n);
+            prop_assert_eq!(&c_blocked, &c_naive);
+        }
+
+        #[test]
+        fn blocked_gemm_a_bt_matches_reference(
+            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
+        ) {
+            let mut rng = stream_rng(seed, "gemm-abt-ref");
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[n, k], 1.0, &mut rng);
+            let mut c_blocked = vec![0.0f32; m * n];
+            let mut c_naive = vec![0.0f32; m * n];
+            gemm_a_bt(a.data(), b.data(), &mut c_blocked, m, k, n);
+            gemm_a_bt_naive(a.data(), b.data(), &mut c_naive, m, k, n);
+            prop_assert_eq!(&c_blocked, &c_naive);
+        }
+
+        // Shapes big enough to engage both the packed path and (given
+        // threads) the pool, exercised against the naive reference.
+        #[test]
+        fn packed_gemm_matches_reference_on_large_shapes(seed in 0u64..20) {
+            let (m, k, n) = (37, 300, 41);
+            let mut rng = stream_rng(seed, "gemm-packed");
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let bt = b.transposed();
+            let at = a.transposed();
+
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_naive(a.data(), b.data(), &mut c_ref, m, k, n);
+
+            let mut c_packed = vec![0.0f32; m * n];
+            gemm(a.data(), b.data(), &mut c_packed, m, k, n);
+            prop_assert_eq!(&c_packed, &c_ref);
+
+            let mut c_atb = vec![0.0f32; m * n];
+            gemm_at_b(at.data(), b.data(), &mut c_atb, m, k, n);
+            prop_assert_eq!(&c_atb, &c_ref);
+
+            let mut c_abt = vec![0.0f32; m * n];
+            gemm_a_bt(a.data(), bt.data(), &mut c_abt, m, k, n);
+            prop_assert_eq!(&c_abt, &c_ref);
+        }
+
+        // Large-enough shapes to cross the parallel threshold, so the
+        // pool path itself is exercised (and must stay deterministic).
+        #[test]
+        fn parallel_gemm_is_deterministic(seed in 0u64..20) {
+            let (m, k, n) = (32, 64, 48);
+            let mut rng = stream_rng(seed, "gemm-par");
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut c_par = vec![0.0f32; m * n];
+            gemm(a.data(), b.data(), &mut c_par, m, k, n);
+            let mut c_seq = vec![0.0f32; m * n];
+            mmhand_parallel::sequential_scope(|| {
+                gemm(a.data(), b.data(), &mut c_seq, m, k, n);
+            });
+            prop_assert_eq!(&c_par, &c_seq);
+        }
+    }
+}

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod conv;
+pub mod gemm;
 pub mod layers;
 pub mod optim;
 pub mod param;

@@ -9,6 +9,10 @@ use mmhand_math::rng::standard_normal;
 use rand::Rng;
 use std::fmt;
 
+// The GEMM kernels grew into their own module; the re-export keeps the
+// long-standing `tensor::gemm*` import paths working.
+pub use crate::gemm::{gemm, gemm_a_bt, gemm_a_bt_naive, gemm_at_b, gemm_at_b_naive, gemm_naive};
+
 /// A dense row-major tensor of `f32`.
 ///
 /// # Examples
@@ -222,264 +226,6 @@ impl Tensor {
     }
 }
 
-/// k-dimension tile: one tile of `B` (`KC·n` floats) stays hot in L1/L2
-/// while a block of `C` rows accumulates against it.
-const GEMM_KC: usize = 256;
-/// Register rows: the main kernel computes 4 rows of `C` per pass over a
-/// `B` row, so every `B` load is reused four times.
-const GEMM_MR: usize = 4;
-/// Below this many flops (`2·m·k·n`) the pool is not engaged; fixed costs
-/// dominate and the sequential kernel wins.
-const GEMM_PAR_FLOPS: usize = 1 << 17;
-
-/// Bucket bounds for the GEMM problem-size histogram (flops per call).
-const GEMM_FLOP_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
-
-/// GEMM telemetry handles, resolved once: every `gemm*` entry point counts
-/// its calls and observes the problem size, so kernel-dispatch decisions
-/// (like [`GEMM_PAR_FLOPS`]) can be tuned against real workload shapes.
-fn gemm_metrics() -> &'static (mmhand_telemetry::Counter, mmhand_telemetry::Histogram) {
-    static METRICS: std::sync::OnceLock<(mmhand_telemetry::Counter, mmhand_telemetry::Histogram)> =
-        std::sync::OnceLock::new();
-    METRICS.get_or_init(|| {
-        (
-            mmhand_telemetry::counter("nn.gemm.calls"),
-            mmhand_telemetry::histogram_with("nn.gemm.flops", GEMM_FLOP_BUCKETS),
-        )
-    })
-}
-
-fn record_gemm(m: usize, k: usize, n: usize) {
-    let (calls, flops) = gemm_metrics();
-    calls.inc();
-    flops.observe(2.0 * (m as f64) * (k as f64) * (n as f64));
-}
-
-/// `C += A·B` GEMM kernel: cache-blocked over k, 4-row register blocking,
-/// and parallel over row bands of `C` on the `mmhand-parallel` pool.
-///
-/// Every element of `C` accumulates its k-products in ascending-k order
-/// regardless of thread count, so results are bitwise identical at any
-/// `MMHAND_THREADS` setting.
-pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if n == 0 {
-        return;
-    }
-    record_gemm(m, k, n);
-    let rows_per_task = gemm_rows_per_task(m, k, n);
-    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
-        gemm_band(a, b, c_band, band * rows_per_task, k, n);
-    });
-}
-
-/// Picks the row-band height: the whole matrix when the problem is too
-/// small to parallelise, otherwise an even split across the pool.
-fn gemm_rows_per_task(m: usize, k: usize, n: usize) -> usize {
-    let threads = mmhand_parallel::num_threads();
-    if threads <= 1 || 2 * m * k * n < GEMM_PAR_FLOPS {
-        m.max(1)
-    } else {
-        m.div_ceil(threads).max(1)
-    }
-}
-
-/// Computes rows `[i0, i0 + c_band.len()/n)` of `C += A·B`.
-fn gemm_band(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
-    for kb in (0..k).step_by(GEMM_KC) {
-        let kend = (kb + GEMM_KC).min(k);
-        for (group, c_group) in c_band.chunks_mut(GEMM_MR * n).enumerate() {
-            let row = i0 + group * GEMM_MR;
-            if c_group.len() == GEMM_MR * n {
-                let (c0, rest) = c_group.split_at_mut(n);
-                let (c1, rest) = rest.split_at_mut(n);
-                let (c2, c3) = rest.split_at_mut(n);
-                for kk in kb..kend {
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    let x0 = a[row * k + kk];
-                    let x1 = a[(row + 1) * k + kk];
-                    let x2 = a[(row + 2) * k + kk];
-                    let x3 = a[(row + 3) * k + kk];
-                    for (j, &bv) in b_row.iter().enumerate() {
-                        c0[j] += x0 * bv;
-                        c1[j] += x1 * bv;
-                        c2[j] += x2 * bv;
-                        c3[j] += x3 * bv;
-                    }
-                }
-            } else {
-                for (r, c_row) in c_group.chunks_mut(n).enumerate() {
-                    let a_row = &a[(row + r) * k..(row + r + 1) * k];
-                    for kk in kb..kend {
-                        let x = a_row[kk];
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for (cj, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cj += x * bv;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// `C += Aᵀ·B` without materialising the transpose: `A` is `(k, m)`.
-///
-/// Parallel over row bands of `C`; the strided column reads of `A` touch
-/// one cache line per k-step per row, amortised by the same 4-row
-/// register blocking as [`gemm`].
-pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if n == 0 {
-        return;
-    }
-    record_gemm(m, k, n);
-    let rows_per_task = gemm_rows_per_task(m, k, n);
-    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
-        let i0 = band * rows_per_task;
-        for kb in (0..k).step_by(GEMM_KC) {
-            let kend = (kb + GEMM_KC).min(k);
-            for (group, c_group) in c_band.chunks_mut(GEMM_MR * n).enumerate() {
-                let row = i0 + group * GEMM_MR;
-                if c_group.len() == GEMM_MR * n {
-                    let (c0, rest) = c_group.split_at_mut(n);
-                    let (c1, rest) = rest.split_at_mut(n);
-                    let (c2, c3) = rest.split_at_mut(n);
-                    for kk in kb..kend {
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        let a_col = &a[kk * m + row..kk * m + row + GEMM_MR];
-                        let (x0, x1, x2, x3) = (a_col[0], a_col[1], a_col[2], a_col[3]);
-                        for (j, &bv) in b_row.iter().enumerate() {
-                            c0[j] += x0 * bv;
-                            c1[j] += x1 * bv;
-                            c2[j] += x2 * bv;
-                            c3[j] += x3 * bv;
-                        }
-                    }
-                } else {
-                    for (r, c_row) in c_group.chunks_mut(n).enumerate() {
-                        for kk in kb..kend {
-                            let x = a[kk * m + row + r];
-                            let b_row = &b[kk * n..(kk + 1) * n];
-                            for (cj, &bv) in c_row.iter_mut().zip(b_row) {
-                                *cj += x * bv;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    });
-}
-
-/// `C += A·Bᵀ` without materialising the transpose: `B` is `(n, k)`.
-///
-/// Dot-product form, parallel over row bands of `C`, with a 4-wide unroll
-/// over `B` rows so each `A` element is reused across four dot products.
-pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    if n == 0 {
-        return;
-    }
-    record_gemm(m, k, n);
-    let rows_per_task = gemm_rows_per_task(m, k, n);
-    mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
-        let i0 = band * rows_per_task;
-        for (r, c_row) in c_band.chunks_mut(n).enumerate() {
-            let i = i0 + r;
-            let a_row = &a[i * k..(i + 1) * k];
-            let mut j = 0;
-            while j + 4 <= n {
-                let b0 = &b[j * k..(j + 1) * k];
-                let b1 = &b[(j + 1) * k..(j + 2) * k];
-                let b2 = &b[(j + 2) * k..(j + 3) * k];
-                let b3 = &b[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for (kk, &av) in a_row.iter().enumerate() {
-                    s0 += av * b0[kk];
-                    s1 += av * b1[kk];
-                    s2 += av * b2[kk];
-                    s3 += av * b3[kk];
-                }
-                c_row[j] += s0;
-                c_row[j + 1] += s1;
-                c_row[j + 2] += s2;
-                c_row[j + 3] += s3;
-                j += 4;
-            }
-            for (jj, cij) in c_row.iter_mut().enumerate().skip(j) {
-                let b_row = &b[jj * k..(jj + 1) * k];
-                let mut acc = 0.0;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *cij += acc;
-            }
-        }
-    });
-}
-
-/// Straightforward triple-loop `C += A·B` — the pre-optimisation kernel,
-/// kept as the correctness reference for property tests and as the
-/// before/after baseline in `cargo bench`.
-pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aik * bj;
-            }
-        }
-    }
-}
-
-/// Reference `C += Aᵀ·B` (`A` is `(k, m)`); see [`gemm_naive`].
-pub fn gemm_at_b_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (i, &aki) in a_row.iter().enumerate() {
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aki * bj;
-            }
-        }
-    }
-}
-
-/// Reference `C += A·Bᵀ` (`B` is `(n, k)`); see [`gemm_naive`].
-pub fn gemm_a_bt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cij) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *cij += acc;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,27 +289,6 @@ mod tests {
     }
 
     #[test]
-    fn gemm_variants_agree() {
-        let mut rng = stream_rng(3, "g");
-        let (m, k, n) = (5, 7, 4);
-        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
-        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-        let reference = a.matmul(&b);
-
-        let mut c1 = vec![0.0; m * n];
-        gemm_at_b(a.transposed().data(), b.data(), &mut c1, m, k, n);
-        for (x, y) in c1.iter().zip(reference.data()) {
-            assert!((x - y).abs() < 1e-4);
-        }
-
-        let mut c2 = vec![0.0; m * n];
-        gemm_a_bt(a.data(), b.transposed().data(), &mut c2, m, k, n);
-        for (x, y) in c2.iter().zip(reference.data()) {
-            assert!((x - y).abs() < 1e-4);
-        }
-    }
-
-    #[test]
     fn randn_respects_std() {
         let mut rng = stream_rng(4, "r");
         let t = Tensor::randn(&[100, 100], 0.5, &mut rng);
@@ -603,79 +328,6 @@ mod tests {
             let b = a.reshaped(&[3, 4]);
             prop_assert_eq!(a.data(), b.data());
             prop_assert_eq!(b.shape(), &[3usize, 4]);
-        }
-
-        // Blocked/parallel kernels vs the straightforward reference, over
-        // random shapes including k = 0, single rows/columns, non-square,
-        // and sizes that are not multiples of the register blocking.
-        #[test]
-        fn blocked_gemm_matches_reference(
-            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
-        ) {
-            let mut rng = stream_rng(seed, "gemm-ref");
-            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
-            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-            let init = Tensor::randn(&[m.max(1), n.max(1)], 1.0, &mut rng);
-            let mut c_blocked = vec![0.0f32; m * n];
-            let mut c_naive = vec![0.0f32; m * n];
-            for (dst, &v) in c_blocked.iter_mut().zip(init.data()) {
-                *dst = v;
-            }
-            c_naive.copy_from_slice(&c_blocked);
-            gemm(a.data(), b.data(), &mut c_blocked, m, k, n);
-            gemm_naive(a.data(), b.data(), &mut c_naive, m, k, n);
-            for (x, y) in c_blocked.iter().zip(&c_naive) {
-                prop_assert!((x - y).abs() < 1e-4, "gemm {x} vs {y}");
-            }
-        }
-
-        #[test]
-        fn blocked_gemm_at_b_matches_reference(
-            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
-        ) {
-            let mut rng = stream_rng(seed, "gemm-atb-ref");
-            let a = Tensor::randn(&[k, m], 1.0, &mut rng);
-            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-            let mut c_blocked = vec![0.0f32; m * n];
-            let mut c_naive = vec![0.0f32; m * n];
-            gemm_at_b(a.data(), b.data(), &mut c_blocked, m, k, n);
-            gemm_at_b_naive(a.data(), b.data(), &mut c_naive, m, k, n);
-            for (x, y) in c_blocked.iter().zip(&c_naive) {
-                prop_assert!((x - y).abs() < 1e-4, "gemm_at_b {x} vs {y}");
-            }
-        }
-
-        #[test]
-        fn blocked_gemm_a_bt_matches_reference(
-            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..1000,
-        ) {
-            let mut rng = stream_rng(seed, "gemm-abt-ref");
-            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
-            let b = Tensor::randn(&[n, k], 1.0, &mut rng);
-            let mut c_blocked = vec![0.0f32; m * n];
-            let mut c_naive = vec![0.0f32; m * n];
-            gemm_a_bt(a.data(), b.data(), &mut c_blocked, m, k, n);
-            gemm_a_bt_naive(a.data(), b.data(), &mut c_naive, m, k, n);
-            for (x, y) in c_blocked.iter().zip(&c_naive) {
-                prop_assert!((x - y).abs() < 1e-4, "gemm_a_bt {x} vs {y}");
-            }
-        }
-
-        // Large-enough shapes to cross the parallel threshold, so the
-        // pool path itself is exercised (and must stay deterministic).
-        #[test]
-        fn parallel_gemm_is_deterministic(seed in 0u64..20) {
-            let (m, k, n) = (32, 64, 48);
-            let mut rng = stream_rng(seed, "gemm-par");
-            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
-            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-            let mut c_par = vec![0.0f32; m * n];
-            gemm(a.data(), b.data(), &mut c_par, m, k, n);
-            let mut c_seq = vec![0.0f32; m * n];
-            mmhand_parallel::sequential_scope(|| {
-                gemm(a.data(), b.data(), &mut c_seq, m, k, n);
-            });
-            prop_assert_eq!(&c_par, &c_seq);
         }
     }
 }

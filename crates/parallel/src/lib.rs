@@ -42,6 +42,10 @@
 //! assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
 //! ```
 
+pub mod scratch;
+
+pub use scratch::ScratchPool;
+
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;

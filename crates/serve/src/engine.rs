@@ -180,6 +180,7 @@ impl ServeEngine {
             .take(self.config.max_batch)
             .collect();
 
+        // audit: pool-exempt — per-step job staging, bounded by max_batch
         let mut jobs = Vec::with_capacity(ready.len());
         for &id in &ready {
             if let Some(s) = self.sessions.get_mut(&id) {
@@ -272,6 +273,7 @@ impl ServeEngine {
                 .collect::<Result<Vec<_>, _>>()?;
             builder.try_segment_tensor(&cubes)
         });
+        // audit: pool-exempt — collects fallible per-job tensors
         let mut tensors = Vec::with_capacity(built.len());
         for t in built {
             tensors.push(t?);
@@ -279,9 +281,10 @@ impl ServeEngine {
 
         // Stack segments along the batch axis: (N, st·V, D, A).
         let n = tensors.len();
-        let seg_shape = tensors[0].shape().to_vec();
-        let mut shape = vec![n];
+        let seg_shape = tensors[0].shape().to_vec(); // audit: pool-exempt — tiny shape vector
+        let mut shape = vec![n]; // audit: pool-exempt — tiny shape vector
         shape.extend_from_slice(&seg_shape);
+        // audit: pool-exempt — becomes the owned batch tensor via from_vec
         let mut data = Vec::with_capacity(n * tensors[0].len());
         for t in &tensors {
             data.extend_from_slice(t.data());
@@ -290,8 +293,9 @@ impl ServeEngine {
 
         // Stack LSTM state the same way: (N, hidden).
         let hidden = self.pipeline.model().lstm_hidden();
+        // audit: pool-exempt — become the owned state tensors via from_vec
         let mut h_data = Vec::with_capacity(n * hidden);
-        let mut c_data = Vec::with_capacity(n * hidden);
+        let mut c_data = Vec::with_capacity(n * hidden); // audit: pool-exempt — as above
         for job in jobs {
             if let Some(s) = self.sessions.get(&job.session) {
                 h_data.extend_from_slice(s.h.data());
@@ -333,8 +337,10 @@ impl ServeEngine {
         {
             let hand = hand?;
             if let Some(s) = self.sessions.get_mut(&job.session) {
-                s.h = Tensor::from_vec(&[1, hidden], h_new.data()[k * hidden..(k + 1) * hidden].to_vec());
-                s.c = Tensor::from_vec(&[1, hidden], c_new.data()[k * hidden..(k + 1) * hidden].to_vec());
+                // The session state tensors are already (1, hidden): copy the
+                // batch row in place instead of allocating fresh tensors.
+                s.h.data_mut().copy_from_slice(&h_new.data()[k * hidden..(k + 1) * hidden]);
+                s.c.data_mut().copy_from_slice(&c_new.data()[k * hidden..(k + 1) * hidden]);
                 if job.skip_mesh {
                     s.stats.meshes_skipped += 1;
                     telemetry::counter("serve.mesh_skipped").inc();

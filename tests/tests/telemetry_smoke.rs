@@ -89,8 +89,17 @@ fn noop_telemetry_overhead_is_under_two_percent_of_pipeline() {
     // increment contributes at least 1 to its value and every histogram /
     // span observation exactly 1 to its count, so value+count sums
     // overcount the true op count (counters may add more than 1 per op).
+    // Byte-valued counters (`pool.bytes_reused`) are excluded: they add
+    // buffer *sizes*, overcounting their one op per update by orders of
+    // magnitude, and that op is already covered by the paired `pool.hits`
+    // increment plus the 2× replay margin below.
     let snap = telemetry::snapshot();
-    let counter_ops: u64 = snap.counters.iter().map(|(_, v)| *v).sum();
+    let counter_ops: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| !n.contains("bytes"))
+        .map(|(_, v)| *v)
+        .sum();
     let observe_ops: u64 = snap.histograms.iter().map(|(_, h)| h.count).sum();
     let ops = (counter_ops + observe_ops).max(1_000);
 
