@@ -1,0 +1,74 @@
+//! Per-backend criterion microbenches of the dispatched compute kernels.
+//!
+//! Each hot primitive (the convolution GEMM at its real shapes, the planned
+//! range/Doppler FFT) is timed once per available kernel backend through the
+//! `*_with` entry points, so a single run reports the scalar/SIMD ratio on
+//! this host. `exp_kernels` is the scripted (JSON-emitting) counterpart used
+//! by the perf-smoke CI job.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmhand_dsp::fft;
+use mmhand_kernels::Kernels;
+use mmhand_math::rng::{standard_normal, stream_rng};
+use mmhand_math::Complex;
+use mmhand_nn::Tensor;
+
+/// Every backend available on this host, always including scalar.
+fn backends() -> Vec<&'static dyn Kernels> {
+    let mut all = vec![mmhand_kernels::scalar_kernels()];
+    if let Some(simd) = mmhand_kernels::simd_kernels() {
+        all.push(simd);
+    }
+    all
+}
+
+fn bench_gemm_backends(c: &mut Criterion) {
+    let mut rng = stream_rng(7, "kernels-bench-gemm");
+    // The default model's two convolution GEMM shapes (per sample).
+    for (label, m, k, n) in [
+        ("conv_stem_12x288x256", 12usize, 288usize, 256usize),
+        ("conv_block_12x108x256", 12, 108, 256),
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut out = vec![0.0_f32; m * n];
+        for kern in backends() {
+            c.bench_function(&format!("gemm_{label}_{}", kern.name()), |bch| {
+                bch.iter(|| {
+                    out.fill(0.0);
+                    mmhand_nn::tensor::gemm_with(kern, a.data(), b.data(), &mut out, m, k, n);
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+}
+
+fn bench_fft_backends(c: &mut Criterion) {
+    // Pipeline transform sizes: range FFT (64), a Doppler-sized 256, and a
+    // larger 1024 where the SIMD stages dominate bit-reversal overhead.
+    for n in [64usize, 256, 1024] {
+        let plan = fft::plan(n);
+        let mut rng = stream_rng(9, "kernels-bench-fft");
+        let sig: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(standard_normal(&mut rng), standard_normal(&mut rng)))
+            .collect();
+        let mut buf = sig.clone();
+        for kern in backends() {
+            c.bench_function(&format!("fft_{n}_{}", kern.name()), |b| {
+                b.iter(|| {
+                    buf.copy_from_slice(&sig);
+                    plan.forward_with(kern, &mut buf);
+                    black_box(buf[0].re)
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gemm_backends, bench_fft_backends
+}
+criterion_main!(benches);

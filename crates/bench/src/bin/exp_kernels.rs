@@ -1,0 +1,189 @@
+//! Scalar-vs-SIMD kernel microbenchmark with a machine-readable verdict.
+//!
+//! Times the dispatched GEMM and FFT kernels once per available backend via
+//! the `*_with` entry points and writes `BENCH_kernels.json` (into
+//! `MMHAND_BENCH_DIR`, default `benchmarks/`) with per-kernel nanoseconds
+//! and the SIMD-over-scalar speedup ratios. The perf-smoke CI job runs it
+//! with gating flags:
+//!
+//! * `--require-simd` — fail unless the auto-selected backend is SIMD
+//!   (i.e. the host supports AVX2 and no override forced scalar);
+//! * `--min-ratio <f>` — fail if any kernel's SIMD speedup is below `f`.
+//!
+//! Single-threaded and allocation-irrelevant by construction: every timed
+//! region calls straight into the kernel trait with pre-built inputs.
+
+use mmhand_dsp::fft;
+use mmhand_kernels::Kernels;
+use mmhand_math::rng::{standard_normal, stream_rng};
+use mmhand_math::Complex;
+use mmhand_nn::Tensor;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Repetitions per timed sample (amortises clock resolution).
+const REPS: usize = 200;
+/// Timed samples per kernel; the minimum is reported.
+const SAMPLES: usize = 15;
+
+/// Times `f` as `min over SAMPLES of (REPS calls) / REPS`, in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm-up: fault in inputs and settle the frequency governor a little.
+    for _ in 0..REPS / 4 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / REPS as f64);
+    }
+    best
+}
+
+struct KernelRow {
+    name: &'static str,
+    scalar_ns: f64,
+    simd_ns: Option<f64>,
+}
+
+impl KernelRow {
+    fn ratio(&self) -> Option<f64> {
+        self.simd_ns.map(|s| self.scalar_ns / s)
+    }
+}
+
+fn bench_gemm(kern: &'static dyn Kernels, m: usize, k: usize, n: usize) -> f64 {
+    let mut rng = stream_rng(7, "exp-kernels-gemm");
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let mut out = vec![0.0_f32; m * n];
+    time_ns(|| {
+        out.fill(0.0);
+        mmhand_nn::tensor::gemm_with(kern, a.data(), b.data(), &mut out, m, k, n);
+        std::hint::black_box(out[0]);
+    })
+}
+
+fn bench_fft(kern: &'static dyn Kernels, n: usize) -> f64 {
+    let plan = fft::plan(n);
+    let mut rng = stream_rng(9, "exp-kernels-fft");
+    let sig: Vec<Complex> = (0..n)
+        .map(|_| Complex::new(standard_normal(&mut rng), standard_normal(&mut rng)))
+        .collect();
+    let mut buf = sig.clone();
+    time_ns(|| {
+        buf.copy_from_slice(&sig);
+        plan.forward_with(kern, &mut buf);
+        std::hint::black_box(buf[0].re);
+    })
+}
+
+fn measure(simd: Option<&'static dyn Kernels>) -> Vec<KernelRow> {
+    let scalar = mmhand_kernels::scalar_kernels();
+    let gemm_shapes: [(&'static str, usize, usize, usize); 2] = [
+        ("gemm_conv_stem_12x288x256", 12, 288, 256),
+        ("gemm_conv_block_12x108x256", 12, 108, 256),
+    ];
+    let fft_sizes: [(&'static str, usize); 2] = [("fft_64", 64), ("fft_256", 256)];
+
+    let mut rows = Vec::new();
+    for (name, m, k, n) in gemm_shapes {
+        rows.push(KernelRow {
+            name,
+            scalar_ns: bench_gemm(scalar, m, k, n),
+            simd_ns: simd.map(|s| bench_gemm(s, m, k, n)),
+        });
+    }
+    for (name, n) in fft_sizes {
+        rows.push(KernelRow {
+            name,
+            scalar_ns: bench_fft(scalar, n),
+            simd_ns: simd.map(|s| bench_fft(s, n)),
+        });
+    }
+    rows
+}
+
+fn write_json(rows: &[KernelRow], selected: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("MMHAND_BENCH_DIR").unwrap_or_else(|_| "benchmarks".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_kernels.json");
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"selected_backend\": \"{selected}\",\n"));
+    s.push_str("  \"kernels\": {");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\": {{\"scalar_ns\": {:.1}", r.name, r.scalar_ns));
+        if let (Some(simd_ns), Some(ratio)) = (r.simd_ns, r.ratio()) {
+            s.push_str(&format!(", \"simd_ns\": {simd_ns:.1}, \"simd_speedup\": {ratio:.2}"));
+        }
+        s.push('}');
+    }
+    s.push_str("\n  }\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_simd = args.iter().any(|a| a == "--require-simd");
+    let min_ratio: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-ratio")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    let selected = mmhand_kernels::backend_name();
+    let simd = mmhand_kernels::simd_kernels();
+    println!("selected backend: {selected}; simd available: {}", simd.is_some());
+    if require_simd && selected != "simd" {
+        eprintln!("exp_kernels: --require-simd but the selected backend is {selected}");
+        return ExitCode::FAILURE;
+    }
+
+    let rows = measure(simd);
+    println!("{:<28} {:>12} {:>12} {:>8}", "kernel", "scalar_ns", "simd_ns", "speedup");
+    for r in &rows {
+        match (r.simd_ns, r.ratio()) {
+            (Some(simd_ns), Some(ratio)) => println!(
+                "{:<28} {:>12.1} {:>12.1} {:>7.2}x",
+                r.name, r.scalar_ns, simd_ns, ratio
+            ),
+            _ => println!("{:<28} {:>12.1} {:>12} {:>8}", r.name, r.scalar_ns, "-", "-"),
+        }
+    }
+
+    match write_json(&rows, selected) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("exp_kernels: writing BENCH_kernels.json failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(min) = min_ratio {
+        if simd.is_none() {
+            eprintln!("exp_kernels: --min-ratio given but no SIMD backend is available");
+            return ExitCode::FAILURE;
+        }
+        for r in &rows {
+            if let Some(ratio) = r.ratio() {
+                if ratio < min {
+                    eprintln!(
+                        "exp_kernels: {} SIMD speedup {ratio:.2}x is below the {min:.2}x floor",
+                        r.name
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("all kernels at or above the {min:.2}x SIMD speedup floor");
+    }
+    ExitCode::SUCCESS
+}

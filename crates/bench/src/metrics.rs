@@ -50,8 +50,16 @@ pub fn write_snapshot(
 ) -> std::io::Result<(PathBuf, PathBuf)> {
     fs::create_dir_all(metrics_dir())?;
     let (json_path, prom_path) = export_paths(name);
+    // Prepend run metadata (which kernel backend served this process) to
+    // the registry dump, so every BENCH_*_metrics.json is self-describing.
+    let body = snap.to_json();
+    let body = body.strip_prefix('{').unwrap_or(&body);
+    let json = format!(
+        "{{\n  \"meta\": {{\"kernel_backend\": \"{}\"}},{body}",
+        mmhand_kernels::backend_name()
+    );
     let mut f = fs::File::create(&json_path)?;
-    f.write_all(snap.to_json().as_bytes())?;
+    f.write_all(json.as_bytes())?;
     let mut f = fs::File::create(&prom_path)?;
     f.write_all(snap.to_prometheus().as_bytes())?;
     Ok((json_path, prom_path))

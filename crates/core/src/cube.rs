@@ -228,6 +228,10 @@ pub struct CubeBuilder {
     /// Virtual-antenna index → `(tx, rx)` pair, so stage 1 can partition
     /// its output by antenna chunk without rebuilding the map per frame.
     pairs: Vec<(usize, usize)>,
+    /// Name of the kernel backend selected at construction (`"scalar"` /
+    /// `"simd"`): forcing selection here keeps the backend log line and
+    /// gauge out of the per-frame path.
+    kernel_backend: &'static str,
 }
 
 impl CubeBuilder {
@@ -254,7 +258,18 @@ impl CubeBuilder {
                 pairs[array.element_index(tx, rx)] = (tx, rx);
             }
         }
-        Ok(CubeBuilder { config, array, bandpass, range_plan, doppler_plan, az_plan, el_plan, pairs })
+        let kernel_backend = mmhand_kernels::backend_name();
+        Ok(CubeBuilder {
+            config,
+            array,
+            bandpass,
+            range_plan,
+            doppler_plan,
+            az_plan,
+            el_plan,
+            pairs,
+            kernel_backend,
+        })
     }
 
     /// Infallible wrapper over [`CubeBuilder::try_new`].
@@ -269,6 +284,12 @@ impl CubeBuilder {
     /// The configuration this builder was created with.
     pub fn config(&self) -> &CubeConfig {
         &self.config
+    }
+
+    /// Name of the process-wide kernel backend (`"scalar"` / `"simd"`)
+    /// driving this builder's FFT and filter inner loops.
+    pub fn kernel_backend(&self) -> &'static str {
+        self.kernel_backend
     }
 
     /// Processes one raw frame into a cube slice, rejecting frames whose

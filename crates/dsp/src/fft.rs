@@ -10,7 +10,15 @@
 //! The twiddle tables are generated with the exact multiply recurrence the
 //! original on-the-fly loop used, which keeps planned transforms bitwise
 //! identical to the unplanned reference (asserted by proptest below).
+//!
+//! The butterfly stages themselves execute through the process-wide
+//! [`mmhand_kernels`] backend (scalar or SIMD). Both backends are bitwise
+//! identical — the SIMD stage evaluates the same per-butterfly op sequence
+//! in parallel lanes — so backend choice never changes a single output bit
+//! (asserted by proptest below). Tests and benches can pin a backend with
+//! [`FftPlan::forward_with`] / [`FftPlan::inverse_with`].
 
+use mmhand_kernels::Kernels;
 use mmhand_math::Complex;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -111,23 +119,38 @@ impl FftPlan {
         self.n <= 1
     }
 
-    /// In-place forward FFT.
+    /// In-place forward FFT via the process-selected kernel backend.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the plan length.
     pub fn forward(&self, x: &mut [Complex]) {
-        self.run(x, &self.fwd);
-        check_finite("forward FFT output", x);
+        fft_points_histogram().observe(self.n as f64);
+        self.forward_with(mmhand_kernels::kernels(), x);
     }
 
-    /// In-place inverse FFT (including the `1/N` normalisation).
+    /// In-place inverse FFT (including the `1/N` normalisation) via the
+    /// process-selected kernel backend.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the plan length.
     pub fn inverse(&self, x: &mut [Complex]) {
-        self.run(x, &self.inv);
+        fft_points_histogram().observe(self.n as f64);
+        self.inverse_with(mmhand_kernels::kernels(), x);
+    }
+
+    /// [`forward`](Self::forward) pinned to an explicit kernel backend —
+    /// bitwise identical for every backend; used by cross-backend tests and
+    /// per-backend microbenches.
+    pub fn forward_with(&self, kern: &dyn Kernels, x: &mut [Complex]) {
+        self.run(kern, x, &self.fwd);
+        check_finite("forward FFT output", x);
+    }
+
+    /// [`inverse`](Self::inverse) pinned to an explicit kernel backend.
+    pub fn inverse_with(&self, kern: &dyn Kernels, x: &mut [Complex]) {
+        self.run(kern, x, &self.inv);
         let n = x.len() as f32;
         for v in x.iter_mut() {
             *v = *v / n;
@@ -135,7 +158,7 @@ impl FftPlan {
         check_finite("inverse FFT output", x);
     }
 
-    fn run(&self, x: &mut [Complex], table: &[Complex]) {
+    fn run(&self, kern: &dyn Kernels, x: &mut [Complex], table: &[Complex]) {
         let n = self.n;
         assert!(x.len() == n, "FFT buffer length {} does not match plan length {n}", x.len());
         if n <= 1 {
@@ -148,21 +171,24 @@ impl FftPlan {
         let mut offset = 0;
         while len <= n {
             let half = len / 2;
-            let tw = &table[offset..offset + half];
-            let mut i = 0;
-            while i < n {
-                for j in 0..half {
-                    let u = x[i + j];
-                    let v = x[i + j + half] * tw[j];
-                    x[i + j] = u + v;
-                    x[i + j + half] = u - v;
-                }
-                i += len;
-            }
+            kern.fft_stage(x, &table[offset..offset + half], len);
             offset += half;
             len <<= 1;
         }
     }
+}
+
+/// Transform-size histogram suffixed with the active kernel backend
+/// (`dsp.fft.points.scalar` / `dsp.fft.points.simd`), cached so the hot
+/// path never formats a metric name.
+fn fft_points_histogram() -> &'static mmhand_telemetry::Histogram {
+    static H: OnceLock<mmhand_telemetry::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        mmhand_telemetry::size_histogram(&format!(
+            "dsp.fft.points.{}",
+            mmhand_kernels::backend_name()
+        ))
+    })
 }
 
 /// Concatenated per-stage twiddle tables for length `n`, filled with the
@@ -541,6 +567,38 @@ mod tests {
                 prop_assert!(
                     a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
                     "bin {i}: planned {a:?} != reference {b:?}"
+                );
+            }
+        }
+
+        /// Scalar and SIMD butterfly stages must agree *bitwise* (a ULP
+        /// distance of exactly zero) on whole transforms, both directions,
+        /// under either `sanitize-numerics` state. Passes trivially on CPUs
+        /// without a SIMD backend.
+        #[test]
+        fn fft_backends_are_bitwise_identical(
+            log_n in 0u32..10,
+            xs in proptest::collection::vec((-10f32..10.0, -10f32..10.0), 512usize),
+            inverse_flag in 0usize..2,
+        ) {
+            let Some(simd) = mmhand_kernels::simd_kernels() else { return Ok(()); };
+            let scalar = mmhand_kernels::scalar_kernels();
+            let n = 1usize << log_n;
+            let sig: Vec<Complex> = xs[..n].iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let p = plan(n);
+            let mut a = sig.clone();
+            let mut b = sig;
+            if inverse_flag == 1 {
+                p.inverse_with(scalar, &mut a);
+                p.inverse_with(simd, &mut b);
+            } else {
+                p.forward_with(scalar, &mut a);
+                p.forward_with(simd, &mut b);
+            }
+            for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+                prop_assert!(
+                    u.re.to_bits() == v.re.to_bits() && u.im.to_bits() == v.im.to_bits(),
+                    "bin {i}: scalar {u:?} != simd {v:?}"
                 );
             }
         }

@@ -9,7 +9,14 @@
 //!
 //! Design math runs in `f64` for numerical robustness; filtering runs in
 //! `f32` to match the rest of the pipeline.
+//!
+//! Complex (two-plane) batch filtering executes through the process-wide
+//! [`mmhand_kernels`] backend: the SIMD backend runs the real and imaginary
+//! cascades in parallel lanes with the exact scalar op sequence per sample,
+//! so backend choice never changes a single output bit (asserted by
+//! proptest below).
 
+use mmhand_kernels::{BiquadCoeffs, Kernels};
 use std::fmt;
 
 /// Error returned by [`ButterworthDesign::design`] for invalid parameters.
@@ -211,7 +218,11 @@ impl ButterworthDesign {
         // from the n at z = -1, coming from the s-plane zeros at 0 and ∞).
         let sections = pair_into_biquads(&z_poles)?;
 
-        let mut filter = BandpassFilter { sections, gain: 1.0 };
+        let coeffs = sections
+            .iter()
+            .map(|s| BiquadCoeffs { b: s.b, a: s.a })
+            .collect();
+        let mut filter = BandpassFilter { sections, coeffs, gain: 1.0 };
         // Normalise |H| = 1 at the geometric-centre frequency.
         let f_center = (self.low_hz * self.high_hz).sqrt();
         let resp = filter.frequency_response(f_center, fs);
@@ -262,6 +273,9 @@ fn pair_into_biquads(z_poles: &[C64]) -> Result<Vec<Biquad>, DesignFilterError> 
 #[derive(Clone, Debug)]
 pub struct BandpassFilter {
     sections: Vec<Biquad>,
+    /// The sections' coefficients in kernel-backend form, mirrored at
+    /// design time so batch filtering can dispatch without re-packing.
+    coeffs: Vec<BiquadCoeffs>,
     gain: f32,
 }
 
@@ -325,11 +339,25 @@ impl BandpassFilter {
     /// [`filter_complex`](Self::filter_complex) into caller-provided
     /// (typically pooled) buffers: `scratch` holds the deinterleaved
     /// real/imaginary planes (`2 · xs.len()` floats), `out` receives the
-    /// filtered signal. Both are replaced, and the processing order — the
-    /// full real plane, then the full imaginary plane — matches the
-    /// allocating path exactly, so results are bitwise identical.
+    /// filtered signal. Both are replaced, and the processing — dispatched
+    /// to the kernel backend — is bitwise identical to running the real
+    /// plane then the imaginary plane through [`filter_signal_inplace`]
+    /// (Self::filter_signal_inplace), whichever backend is active.
     pub fn filter_complex_into(
         &mut self,
+        xs: &[mmhand_math::Complex],
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<mmhand_math::Complex>,
+    ) {
+        self.filter_complex_into_with(mmhand_kernels::kernels(), xs, scratch, out);
+    }
+
+    /// [`filter_complex_into`](Self::filter_complex_into) pinned to an
+    /// explicit kernel backend — bitwise identical for every backend; used
+    /// by cross-backend tests and per-backend microbenches.
+    pub fn filter_complex_into_with(
+        &mut self,
+        kern: &dyn Kernels,
         xs: &[mmhand_math::Complex],
         scratch: &mut Vec<f32>,
         out: &mut Vec<mmhand_math::Complex>,
@@ -342,8 +370,21 @@ impl BandpassFilter {
             re[k] = c.re;
             im[k] = c.im;
         }
-        self.filter_signal_inplace(re);
-        self.filter_signal_inplace(im);
+        if self.coeffs.len() <= mmhand_kernels::MAX_BIQUADS {
+            // One batch-size observation per plane, matching the two
+            // filter_signal_inplace calls of the fallback path.
+            let hist = mmhand_telemetry::size_histogram("dsp.filter.batch_samples");
+            hist.observe(n as f64);
+            hist.observe(n as f64);
+            self.reset();
+            kern.iir_cascade_dual(&self.coeffs, self.gain, re, im);
+        } else {
+            // Cascades deeper than the kernel contract's MAX_BIQUADS (a
+            // >32nd-order band-pass; never produced by the paper pipeline)
+            // fall back to the per-sample scalar path.
+            self.filter_signal_inplace(re);
+            self.filter_signal_inplace(im);
+        }
         out.clear();
         out.extend(
             re.iter()
@@ -505,7 +546,69 @@ mod tests {
         }
     }
 
+    #[test]
+    fn kernel_batch_path_matches_per_plane_filtering() {
+        use mmhand_math::Complex;
+        let mut f = paper_like_filter();
+        let xs: Vec<Complex> = (0..300)
+            .map(|i| Complex::new((i as f32 * 0.13).sin(), (i as f32 * 0.41).cos()))
+            .collect();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        f.filter_complex_into(&xs, &mut scratch, &mut out);
+
+        // Reference: the pre-dispatch path — each plane through the
+        // per-sample scalar cascade, real plane first.
+        let mut re: Vec<f32> = xs.iter().map(|c| c.re).collect();
+        let mut im: Vec<f32> = xs.iter().map(|c| c.im).collect();
+        f.filter_signal_inplace(&mut re);
+        f.filter_signal_inplace(&mut im);
+        for (k, c) in out.iter().enumerate() {
+            assert!(
+                c.re.to_bits() == re[k].to_bits() && c.im.to_bits() == im[k].to_bits(),
+                "sample {k}: batch {c:?} != per-plane ({}, {})",
+                re[k],
+                im[k]
+            );
+        }
+    }
+
     proptest! {
+        /// Scalar and SIMD cascades must agree *bitwise* (a ULP distance of
+        /// exactly zero) on complex batch filtering, under either
+        /// `sanitize-numerics` state. Passes trivially on CPUs without a
+        /// SIMD backend.
+        #[test]
+        fn filter_backends_are_bitwise_identical(
+            order in 1usize..5,
+            xs in proptest::collection::vec((-3f32..3.0, -3f32..3.0), 0..200usize),
+        ) {
+            let Some(simd) = mmhand_kernels::simd_kernels() else { return Ok(()); };
+            let scalar = mmhand_kernels::scalar_kernels();
+            let mut f = ButterworthDesign {
+                order: order * 2,
+                low_hz: 1_000.0,
+                high_hz: 4_000.0,
+                sample_rate_hz: 20_000.0,
+            }
+            .design()
+            .unwrap();
+            let sig: Vec<mmhand_math::Complex> = xs
+                .iter()
+                .map(|&(r, i)| mmhand_math::Complex::new(r, i))
+                .collect();
+            let mut scratch = Vec::new();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            f.filter_complex_into_with(scalar, &sig, &mut scratch, &mut a);
+            f.filter_complex_into_with(simd, &sig, &mut scratch, &mut b);
+            for (k, (u, v)) in a.iter().zip(&b).enumerate() {
+                prop_assert!(
+                    u.re.to_bits() == v.re.to_bits() && u.im.to_bits() == v.im.to_bits(),
+                    "sample {k}: scalar {u:?} != simd {v:?}"
+                );
+            }
+        }
+
         // Any valid even-order design in a sane band must be stable with
         // bounded passband gain.
         #[test]

@@ -21,6 +21,7 @@
 use crate::pose::HandPose;
 use crate::shape::HandShape;
 use crate::skeleton::{self, Finger, JOINT_COUNT, PARENTS};
+use mmhand_kernels::SkinAttachment;
 use mmhand_math::{Quaternion, Vec3};
 
 /// Ring vertices per finger cross-section.
@@ -68,13 +69,6 @@ impl Mesh {
     }
 }
 
-/// Per-vertex skinning attachment: up to two joints with weights.
-#[derive(Clone, Copy, Debug, Default)]
-struct VertexWeights {
-    joints: [usize; 2],
-    weights: [f32; 2],
-}
-
 /// The MANO-style hand model.
 ///
 /// # Examples
@@ -93,7 +87,9 @@ pub struct ManoModel {
     /// Template vertices in the rest (open-hand, local-frame) pose.
     template: Vec<Vec3>,
     faces: Vec<[u32; 3]>,
-    weights: Vec<VertexWeights>,
+    /// Per-vertex skinning attachments in kernel-backend form (up to two
+    /// joints with blend weights; unused slots carry an exact `0.0`).
+    weights: Vec<SkinAttachment>,
     /// Rest-pose joint locations for the default shape.
     rest_joints: [Vec3; JOINT_COUNT],
     /// Pose-blend-shape gain (0 disables `B_p`).
@@ -144,7 +140,7 @@ impl ManoModel {
             for (v, w) in verts.iter_mut().zip(&self.weights) {
                 let mut bend = 0.0;
                 for k in 0..2 {
-                    bend += w.weights[k] * theta[w.joints[k]].norm();
+                    bend += w.weights[k] * theta[w.joints[k] as usize].norm();
                 }
                 let bulge = self.pose_blend_gain * 0.004 * bend.min(2.0);
                 v.y -= bulge;
@@ -182,22 +178,17 @@ impl ManoModel {
             }
         }
 
-        // Linear blend skinning relative to the rest pose.
-        let mut out = Vec::with_capacity(verts.len());
-        for (v, w) in verts.iter().zip(&self.weights) {
-            let mut acc = Vec3::ZERO;
-            for k in 0..2 {
-                let j = w.joints[k];
-                let wk = w.weights[k];
-                // audit: allow(float_eq) — skinning weights are constructed as exact 0.0 for unused slots
-                if wk == 0.0 {
-                    continue;
-                }
-                let local = *v - rest_joints[j];
-                acc += (posed_joints[j] + global_rot[j].rotate(local)) * wk;
-            }
-            out.push(acc);
-        }
+        // Linear blend skinning relative to the rest pose, dispatched to the
+        // kernel backend (bitwise identical whichever backend is active).
+        let mut out = Vec::new();
+        mmhand_kernels::kernels().lbs_skin(
+            &verts,
+            &self.weights,
+            &rest_joints,
+            &posed_joints,
+            &global_rot,
+            &mut out,
+        );
         Mesh { vertices: out, faces: self.faces.clone() }
     }
 
@@ -351,7 +342,7 @@ fn build_template(shape: &HandShape, joints: &[Vec3; JOINT_COUNT]) -> (Vec<Vec3>
 /// Distance-based skinning weights: each vertex binds to its two nearest
 /// bones (weighted by inverse squared distance), attributed to the bone's
 /// parent joint — the joint whose rotation moves that bone.
-fn compute_weights(vertices: &[Vec3], joints: &[Vec3; JOINT_COUNT]) -> Vec<VertexWeights> {
+fn compute_weights(vertices: &[Vec3], joints: &[Vec3; JOINT_COUNT]) -> Vec<SkinAttachment> {
     let bones: Vec<(usize, usize)> = skeleton::bones().collect();
     vertices
         .iter()
@@ -373,8 +364,8 @@ fn compute_weights(vertices: &[Vec3], joints: &[Vec3; JOINT_COUNT]) -> Vec<Verte
             // should follow it almost rigidly.
             let (w0, w1) = if best[0].1 * 2.0 < best[1].1 { (1.0, 0.0) } else { (w0, w1) };
             let sum = w0 + w1;
-            VertexWeights {
-                joints: [best[0].0, best[1].0],
+            SkinAttachment {
+                joints: [best[0].0 as u32, best[1].0 as u32],
                 weights: [w0 / sum, w1 / sum],
             }
         })
@@ -512,6 +503,44 @@ mod tests {
         let tip_posed = posed[Finger::Middle.tip()];
         assert!((tip_posed.norm() - tip_rest.norm()).abs() < 1e-5);
         assert!(tip_posed.distance(tip_rest) > 0.01);
+    }
+
+    /// Scalar and SIMD skinning must agree *bitwise* (a ULP distance of
+    /// exactly zero) on the real model's attachments and a bent pose.
+    /// Passes trivially on CPUs without a SIMD backend.
+    #[test]
+    fn lbs_backends_are_bitwise_identical_on_model_data() {
+        let Some(simd) = mmhand_kernels::simd_kernels() else { return };
+        let scalar = mmhand_kernels::scalar_kernels();
+        let m = ManoModel::new();
+        let mut theta = zero_theta();
+        theta[5] = Vec3::new(0.9, 0.1, -0.2);
+        theta[6] = Vec3::new(0.7, 0.0, 0.0);
+        theta[9] = Vec3::new(0.5, -0.1, 0.0);
+        let beta = [0.3, -0.2, 0.1, 0.0, 0.0, 0.4, 0.0, 0.0, -0.3, 0.0];
+        let verts = m.deformed_template(&beta, &theta);
+        let rest = *m.rest_joints();
+        let posed = m.posed_joints(&beta, &theta);
+        let mut rot = [Quaternion::IDENTITY; JOINT_COUNT];
+        for j in 0..JOINT_COUNT {
+            let local = Quaternion::from_rotation_vector(theta[j]);
+            rot[j] = match PARENTS[j] {
+                None => local,
+                Some(p) => rot[p] * local,
+            };
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar.lbs_skin(&verts, &m.weights, &rest, &posed, &rot, &mut a);
+        simd.lbs_skin(&verts, &m.weights, &rest, &posed, &rot, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                u.x.to_bits() == v.x.to_bits()
+                    && u.y.to_bits() == v.y.to_bits()
+                    && u.z.to_bits() == v.z.to_bits(),
+                "vertex {i}: scalar {u:?} != simd {v:?}"
+            );
+        }
     }
 
     proptest! {

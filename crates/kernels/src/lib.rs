@@ -1,0 +1,480 @@
+//! Runtime-dispatched compute-kernel backends.
+//!
+//! Every hot inner loop in the workspace — the packed GEMM microkernel
+//! (`mmhand-nn`), the radix-2 FFT butterfly stages and the cascaded
+//! Butterworth biquads (`mmhand-dsp`), and linear blend skinning
+//! (`mmhand-hand`) — runs through the [`Kernels`] trait defined here. Two
+//! implementations exist:
+//!
+//! * [`scalar_kernels`] — the pre-dispatch scalar code, moved here verbatim.
+//!   Always available, and the reference every other backend is tested
+//!   against.
+//! * [`simd_kernels`] — explicit AVX2/SSE2 intrinsics (x86_64 only, selected
+//!   when the CPU reports AVX2 at runtime).
+//!
+//! One backend is chosen once per process by [`kernels`], in this order:
+//!
+//! 1. `MMHAND_KERNEL_BACKEND=scalar|simd|auto` env override (`simd` falls
+//!    back to scalar, with a warning, when the CPU lacks AVX2);
+//! 2. runtime CPU-feature detection: AVX2 on x86_64 → SIMD;
+//! 3. otherwise scalar (aarch64/NEON is a future backend; today non-x86_64
+//!    always runs the scalar reference).
+//!
+//! The selection is recorded as the `kernel.backend` telemetry gauge
+//! (0 = scalar, 1 = simd) and one startup log line on stderr.
+//!
+//! # Determinism contract
+//!
+//! The SIMD backend is **bitwise identical** to the scalar reference, not
+//! merely close: it uses no FMA and never reassociates a reduction. Each
+//! output element accumulates the same products in the same order as the
+//! scalar loop; SIMD only evaluates independent output elements (GEMM
+//! columns, FFT butterflies, the two filter planes, vector components) in
+//! parallel lanes. The cross-backend property tests in this crate and in
+//! `nn`/`dsp` therefore assert a ULP distance of exactly zero, and the
+//! pinned-scalar mode (`MMHAND_KERNEL_BACKEND=scalar`) is an oracle, not a
+//! different answer.
+
+use mmhand_math::{Complex, Quaternion, Vec3};
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod simd;
+
+/// Register rows of the GEMM microkernel: every backend computes 4 rows of
+/// `C` per pass over a `B` row. Callers pack `A` quads at this stride.
+pub const GEMM_MR: usize = 4;
+
+/// Upper bound on [`Kernels::abt_panel_width`] across backends, so callers
+/// can use a fixed-size stack buffer for panel dot results.
+pub const ABT_PANEL_MAX: usize = 8;
+
+/// Upper bound on the biquad cascade length [`Kernels::iir_cascade_dual`]
+/// accepts (the SIMD backend keeps section state in stack arrays). A
+/// 32nd-order Butterworth band-pass fits; the paper's filter is 8th order
+/// (4 sections).
+pub const MAX_BIQUADS: usize = 16;
+
+/// Coefficients of one normalised direct-form-II-transposed biquad, with
+/// the same convention as `mmhand-dsp`'s `Biquad`:
+/// `y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BiquadCoeffs {
+    /// Feed-forward coefficients `[b0, b1, b2]`.
+    pub b: [f32; 3],
+    /// Feedback coefficients `[a1, a2]` (a0 normalised to 1).
+    pub a: [f32; 2],
+}
+
+/// Per-vertex skinning attachment: up to two joints with blend weights.
+/// Unused slots carry an exact `0.0` weight.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SkinAttachment {
+    /// Joint indices into the rest/posed joint arrays.
+    pub joints: [u32; 2],
+    /// Blend weights; weights of used slots sum to 1.
+    pub weights: [f32; 2],
+}
+
+/// The dispatched kernel surface. One `&'static dyn Kernels` is selected
+/// per process by [`kernels`]; tests and benches can also drive a specific
+/// backend directly via [`scalar_kernels`] / [`simd_kernels`].
+///
+/// All methods are allocation-free: callers pass scratch (pack panels,
+/// deinterleaved planes) checked out of their own pools.
+pub trait Kernels: Send + Sync {
+    /// Backend name for logs and metric suffixes (`"scalar"`, `"simd"`).
+    fn name(&self) -> &'static str;
+
+    /// 4-row GEMM microkernel: accumulates the packed k-tile panel `apack`
+    /// (quads interleaved per k-step, [`GEMM_MR`] stride) against `B` rows
+    /// `[kb, kend)` into four `C` rows of length `n`.
+    ///
+    /// Each `C` element accumulates its products in ascending-k order.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_4xn(
+        &self,
+        apack: &[f32],
+        b: &[f32],
+        c0: &mut [f32],
+        c1: &mut [f32],
+        c2: &mut [f32],
+        c3: &mut [f32],
+        kb: usize,
+        kend: usize,
+        n: usize,
+    );
+
+    /// Column-panel width of the `A·Bᵀ` packed kernel (≤ [`ABT_PANEL_MAX`]).
+    fn abt_panel_width(&self) -> usize;
+
+    /// Packs `abt_panel_width()` columns of `B` (`(n, k)` row-major layout)
+    /// starting at column `j` into `bpack`, interleaved by k-step:
+    /// `bpack[kk·w + l] = b[(j + l)·k + kk]`.
+    fn abt_pack_panel(&self, b: &[f32], j: usize, k: usize, bpack: &mut [f32]);
+
+    /// Dots one `A` row against a packed column panel:
+    /// `out[l] = Σ_kk a_row[kk] · bpack[kk·w + l]`, each lane accumulated
+    /// independently in ascending-k order from `0.0`.
+    fn abt_dot_panel(&self, a_row: &[f32], bpack: &[f32], out: &mut [f32]);
+
+    /// One radix-2 Danielson–Lanczos stage of span `len` over the whole
+    /// (bit-reversed) buffer: for every block of `len` elements, butterfly
+    /// pairs `(x[i+j], x[i+j+len/2])` with twiddles `tw[j]`.
+    fn fft_stage(&self, x: &mut [Complex], tw: &[Complex], len: usize);
+
+    /// Cascaded-biquad filtering of the two planes of a complex signal,
+    /// each plane starting from cleared state: `y = gain·x` then through
+    /// every section in order. `coeffs.len()` must be ≤ [`MAX_BIQUADS`]
+    /// and the planes must have equal length.
+    fn iir_cascade_dual(&self, coeffs: &[BiquadCoeffs], gain: f32, re: &mut [f32], im: &mut [f32]);
+
+    /// Linear blend skinning: for each vertex `v` with attachment `w`,
+    /// `out[v] = Σ_k w_k · (posed[j_k] + R[j_k]·(v − rest[j_k]))`, skipping
+    /// exact-zero weights. `out` is cleared and refilled.
+    fn lbs_skin(
+        &self,
+        verts: &[Vec3],
+        attachments: &[SkinAttachment],
+        rest_joints: &[Vec3],
+        posed_joints: &[Vec3],
+        global_rot: &[Quaternion],
+        out: &mut Vec<Vec3>,
+    );
+}
+
+/// Which backend [`kernels`] selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar reference.
+    Scalar,
+    /// Explicit SIMD (AVX2/SSE2 on x86_64).
+    Simd,
+}
+
+impl Backend {
+    /// Stable lowercase name, matching [`Kernels::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+/// The always-available scalar reference backend.
+pub fn scalar_kernels() -> &'static dyn Kernels {
+    static SCALAR: scalar::ScalarKernels = scalar::ScalarKernels;
+    &SCALAR
+}
+
+/// The SIMD backend, when this CPU supports it (`None` otherwise — on
+/// x86_64 without AVX2 and on every other architecture today).
+pub fn simd_kernels() -> Option<&'static dyn Kernels> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            static SIMD: simd::SimdKernels = simd::SimdKernels;
+            return Some(&SIMD);
+        }
+        None
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    None
+}
+
+struct Selected {
+    kern: &'static dyn Kernels,
+    backend: Backend,
+}
+
+fn selected() -> &'static Selected {
+    static ACTIVE: OnceLock<Selected> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let (kern, backend, why) = choose();
+        mmhand_telemetry::gauge("kernel.backend").set(match backend {
+            Backend::Scalar => 0.0,
+            Backend::Simd => 1.0,
+        });
+        eprintln!("mmhand-kernels: backend={} ({why})", kern.name());
+        Selected { kern, backend }
+    })
+}
+
+/// Resolves the backend: env override first, then CPU detection.
+fn choose() -> (&'static dyn Kernels, Backend, String) {
+    let request = std::env::var("MMHAND_KERNEL_BACKEND").unwrap_or_default();
+    match request.as_str() {
+        "scalar" => {
+            return (scalar_kernels(), Backend::Scalar, "pinned by MMHAND_KERNEL_BACKEND".into());
+        }
+        "simd" => match simd_kernels() {
+            Some(k) => {
+                return (k, Backend::Simd, "pinned by MMHAND_KERNEL_BACKEND".into());
+            }
+            None => {
+                eprintln!(
+                    "mmhand-kernels: MMHAND_KERNEL_BACKEND=simd but this CPU has no supported \
+                     SIMD backend; falling back to scalar"
+                );
+                return (
+                    scalar_kernels(),
+                    Backend::Scalar,
+                    "simd requested but unavailable".into(),
+                );
+            }
+        },
+        "" | "auto" => {}
+        other => {
+            eprintln!(
+                "mmhand-kernels: unknown MMHAND_KERNEL_BACKEND={other:?} (expected \
+                 scalar|simd|auto); auto-detecting"
+            );
+        }
+    }
+    match simd_kernels() {
+        Some(k) => (k, Backend::Simd, "auto-detected avx2".into()),
+        None => (scalar_kernels(), Backend::Scalar, "no SIMD support detected".into()),
+    }
+}
+
+/// The process-wide kernel backend, selected on first call (env override,
+/// then CPU detection — see the module docs) and fixed thereafter.
+pub fn kernels() -> &'static dyn Kernels {
+    selected().kern
+}
+
+/// Which [`Backend`] the process-wide selection resolved to.
+pub fn active_backend() -> Backend {
+    selected().backend
+}
+
+/// Name of the process-wide backend (`"scalar"` or `"simd"`), for logs and
+/// per-backend metric names.
+pub fn backend_name() -> &'static str {
+    selected().kern.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhand_math::rng::{standard_normal, stream_rng};
+    use proptest::prelude::*;
+
+    /// Drives a cross-backend comparison when SIMD exists on this machine;
+    /// silently passes (scalar-only CPU) otherwise.
+    fn both() -> Option<(&'static dyn Kernels, &'static dyn Kernels)> {
+        simd_kernels().map(|s| (scalar_kernels(), s))
+    }
+
+    fn randn(rng: &mut rand::rngs::StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| standard_normal(rng)).collect()
+    }
+
+    #[test]
+    fn selection_is_stable_and_named() {
+        let a = kernels().name();
+        let b = kernels().name();
+        assert_eq!(a, b);
+        assert!(a == "scalar" || a == "simd");
+        assert_eq!(backend_name(), a);
+        assert_eq!(active_backend().name(), a);
+    }
+
+    #[test]
+    fn scalar_backend_is_always_available() {
+        assert_eq!(scalar_kernels().name(), "scalar");
+        assert!(scalar_kernels().abt_panel_width() <= ABT_PANEL_MAX);
+        if let Some(s) = simd_kernels() {
+            assert_eq!(s.name(), "simd");
+            assert!(s.abt_panel_width() <= ABT_PANEL_MAX);
+        }
+    }
+
+    proptest! {
+        /// SIMD microkernel output must be bitwise identical (0 ULP) to the
+        /// scalar reference, including ragged tails — under either
+        /// `sanitize-numerics` feature state (the suite runs in both CI jobs).
+        #[test]
+        fn gemm_4xn_backends_bitwise_identical(
+            kt in 1usize..40, n in 1usize..35, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-gemm");
+            let apack = randn(&mut rng, kt * GEMM_MR);
+            let b = randn(&mut rng, kt * n);
+            let init = randn(&mut rng, 4 * n);
+            let mut c_sc = init.clone();
+            let mut c_sd = init;
+            {
+                let (c0, rest) = c_sc.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                sc.gemm_4xn(&apack, &b, c0, c1, c2, c3, 0, kt, n);
+            }
+            {
+                let (c0, rest) = c_sd.split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                sd.gemm_4xn(&apack, &b, c0, c1, c2, c3, 0, kt, n);
+            }
+            for (i, (x, y)) in c_sc.iter().zip(&c_sd).enumerate() {
+                prop_assert!(x.to_bits() == y.to_bits(), "element {i}: {x} != {y}");
+            }
+        }
+
+        /// Panel pack+dot must agree bitwise across backends and panel
+        /// widths: each output is an independent ascending-k dot product.
+        #[test]
+        fn abt_panel_backends_bitwise_identical(
+            k in 1usize..50, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-abt");
+            let wmax = sc.abt_panel_width().max(sd.abt_panel_width());
+            let b = randn(&mut rng, wmax * k);
+            let a_row = randn(&mut rng, k);
+            let mut outs: Vec<Vec<f32>> = Vec::new();
+            for kern in [sc, sd] {
+                let w = kern.abt_panel_width();
+                let mut bpack = vec![0.0f32; w * k];
+                // Feed a (wmax, k) B so column j=0..w exists for both widths.
+                kern.abt_pack_panel(&b, 0, k, &mut bpack);
+                for (kk, chunk) in bpack.chunks(w).enumerate() {
+                    for (l, &v) in chunk.iter().enumerate() {
+                        prop_assert!(v.to_bits() == b[l * k + kk].to_bits(), "pack {kk},{l}");
+                    }
+                }
+                let mut out = vec![0.0f32; w];
+                kern.abt_dot_panel(&a_row, &bpack, &mut out);
+                outs.push(out);
+            }
+            let common = outs[0].len().min(outs[1].len());
+            for (l, &v) in outs[0].iter().take(common).enumerate() {
+                prop_assert!(
+                    v.to_bits() == outs[1][l].to_bits(),
+                    "lane {l}: {} != {}", v, outs[1][l]
+                );
+            }
+        }
+
+        /// A full FFT stage sweep (all stages of a transform) must be
+        /// bitwise identical across backends.
+        #[test]
+        fn fft_stage_backends_bitwise_identical(
+            log_n in 1u32..10, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let n = 1usize << log_n;
+            let mut rng = stream_rng(seed, "kern-fft");
+            let sig: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(standard_normal(&mut rng), standard_normal(&mut rng)))
+                .collect();
+            // Twiddles with the same recurrence the dsp plan uses.
+            let mut x_sc = sig.clone();
+            let mut x_sd = sig;
+            let mut len = 2;
+            while len <= n {
+                let half = len / 2;
+                let ang = -2.0 * std::f32::consts::PI / len as f32;
+                let wlen = Complex::from_angle(ang);
+                let mut tw = Vec::with_capacity(half);
+                let mut w = Complex::ONE;
+                for _ in 0..half {
+                    tw.push(w);
+                    w *= wlen;
+                }
+                sc.fft_stage(&mut x_sc, &tw, len);
+                sd.fft_stage(&mut x_sd, &tw, len);
+                len <<= 1;
+            }
+            for (i, (a, b)) in x_sc.iter().zip(&x_sd).enumerate() {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "bin {i}: {a:?} != {b:?}"
+                );
+            }
+        }
+
+        /// Dual-plane IIR cascades must be bitwise identical across
+        /// backends for any section count up to the cap.
+        #[test]
+        fn iir_cascade_backends_bitwise_identical(
+            n in 1usize..300, sections in 1usize..9, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-iir");
+            // Random but stable-ish sections: poles well inside the circle.
+            let coeffs: Vec<BiquadCoeffs> = (0..sections)
+                .map(|_| {
+                    let r = 0.9 * (0.5 + 0.5 * standard_normal(&mut rng).tanh());
+                    let th = standard_normal(&mut rng);
+                    BiquadCoeffs {
+                        b: [1.0, 0.0, -1.0],
+                        a: [-2.0 * r * th.cos(), r * r],
+                    }
+                })
+                .collect();
+            let gain = 0.25;
+            let re = randn(&mut rng, n);
+            let im = randn(&mut rng, n);
+            let (mut re_sc, mut im_sc) = (re.clone(), im.clone());
+            let (mut re_sd, mut im_sd) = (re, im);
+            sc.iir_cascade_dual(&coeffs, gain, &mut re_sc, &mut im_sc);
+            sd.iir_cascade_dual(&coeffs, gain, &mut re_sd, &mut im_sd);
+            for t in 0..n {
+                prop_assert!(re_sc[t].to_bits() == re_sd[t].to_bits(), "re[{t}]");
+                prop_assert!(im_sc[t].to_bits() == im_sd[t].to_bits(), "im[{t}]");
+            }
+        }
+
+        /// LBS skinning must be bitwise identical across backends: the SIMD
+        /// path evaluates the same quaternion-rotation formula lanewise.
+        #[test]
+        fn lbs_backends_bitwise_identical(
+            nverts in 1usize..60, njoints in 2usize..21, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-lbs");
+            let v3 = |rng: &mut rand::rngs::StdRng| {
+                Vec3::new(
+                    0.1 * standard_normal(rng),
+                    0.1 * standard_normal(rng),
+                    0.1 * standard_normal(rng),
+                )
+            };
+            let verts: Vec<Vec3> = (0..nverts).map(|_| v3(&mut rng)).collect();
+            let rest: Vec<Vec3> = (0..njoints).map(|_| v3(&mut rng)).collect();
+            let posed: Vec<Vec3> = (0..njoints).map(|_| v3(&mut rng)).collect();
+            let rot: Vec<Quaternion> = (0..njoints)
+                .map(|_| Quaternion::from_rotation_vector(v3(&mut rng) * 10.0))
+                .collect();
+            let attach: Vec<SkinAttachment> = (0..nverts)
+                .map(|i| {
+                    let j0 = (i * 7) % njoints;
+                    let j1 = (i * 13 + 1) % njoints;
+                    let lone = i % 3 == 0;
+                    SkinAttachment {
+                        joints: [j0 as u32, j1 as u32],
+                        weights: if lone { [1.0, 0.0] } else { [0.7, 0.3] },
+                    }
+                })
+                .collect();
+            let mut out_sc = Vec::new();
+            let mut out_sd = vec![Vec3::ZERO; 3]; // must be replaced
+            sc.lbs_skin(&verts, &attach, &rest, &posed, &rot, &mut out_sc);
+            sd.lbs_skin(&verts, &attach, &rest, &posed, &rot, &mut out_sd);
+            prop_assert_eq!(out_sc.len(), nverts);
+            prop_assert_eq!(out_sd.len(), nverts);
+            for (i, (a, b)) in out_sc.iter().zip(&out_sd).enumerate() {
+                prop_assert!(
+                    a.x.to_bits() == b.x.to_bits()
+                        && a.y.to_bits() == b.y.to_bits()
+                        && a.z.to_bits() == b.z.to_bits(),
+                    "vertex {i}: {a} != {b}"
+                );
+            }
+        }
+    }
+}

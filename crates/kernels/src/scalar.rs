@@ -1,0 +1,132 @@
+//! The scalar reference backend: the workspace's pre-dispatch inner loops,
+//! moved here verbatim. Always available on every architecture, and the
+//! bitwise oracle the SIMD backend is property-tested against.
+
+use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS};
+use mmhand_math::{Complex, Quaternion, Vec3};
+
+/// Portable scalar implementation of every dispatched kernel.
+pub(crate) struct ScalarKernels;
+
+impl Kernels for ScalarKernels {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn gemm_4xn(
+        &self,
+        apack: &[f32],
+        b: &[f32],
+        c0: &mut [f32],
+        c1: &mut [f32],
+        c2: &mut [f32],
+        c3: &mut [f32],
+        kb: usize,
+        kend: usize,
+        n: usize,
+    ) {
+        for kk in kb..kend {
+            let aq = &apack[(kk - kb) * GEMM_MR..(kk - kb) * GEMM_MR + GEMM_MR];
+            let (x0, x1, x2, x3) = (aq[0], aq[1], aq[2], aq[3]);
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (j, &bv) in b_row.iter().enumerate() {
+                c0[j] += x0 * bv;
+                c1[j] += x1 * bv;
+                c2[j] += x2 * bv;
+                c3[j] += x3 * bv;
+            }
+        }
+    }
+
+    fn abt_panel_width(&self) -> usize {
+        4
+    }
+
+    fn abt_pack_panel(&self, b: &[f32], j: usize, k: usize, bpack: &mut [f32]) {
+        for kk in 0..k {
+            let quad = &mut bpack[kk * 4..kk * 4 + 4];
+            quad[0] = b[j * k + kk];
+            quad[1] = b[(j + 1) * k + kk];
+            quad[2] = b[(j + 2) * k + kk];
+            quad[3] = b[(j + 3) * k + kk];
+        }
+    }
+
+    fn abt_dot_panel(&self, a_row: &[f32], bpack: &[f32], out: &mut [f32]) {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let quad = &bpack[kk * 4..kk * 4 + 4];
+            s0 += av * quad[0];
+            s1 += av * quad[1];
+            s2 += av * quad[2];
+            s3 += av * quad[3];
+        }
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+    }
+
+    fn fft_stage(&self, x: &mut [Complex], tw: &[Complex], len: usize) {
+        let n = x.len();
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            for j in 0..half {
+                let u = x[i + j];
+                let v = x[i + j + half] * tw[j];
+                x[i + j] = u + v;
+                x[i + j + half] = u - v;
+            }
+            i += len;
+        }
+    }
+
+    fn iir_cascade_dual(&self, coeffs: &[BiquadCoeffs], gain: f32, re: &mut [f32], im: &mut [f32]) {
+        debug_assert!(coeffs.len() <= MAX_BIQUADS);
+        debug_assert_eq!(re.len(), im.len());
+        // Whole real plane first, then the whole imaginary plane — the same
+        // order as running two independent cascades back to back.
+        for plane in [re, im] {
+            let mut s1 = [0.0f32; MAX_BIQUADS];
+            let mut s2 = [0.0f32; MAX_BIQUADS];
+            for x in plane.iter_mut() {
+                let mut y = *x * gain;
+                for (s, c) in coeffs.iter().enumerate() {
+                    let out = c.b[0] * y + s1[s];
+                    s1[s] = c.b[1] * y - c.a[0] * out + s2[s];
+                    s2[s] = c.b[2] * y - c.a[1] * out;
+                    y = out;
+                }
+                *x = y;
+            }
+        }
+    }
+
+    fn lbs_skin(
+        &self,
+        verts: &[Vec3],
+        attachments: &[SkinAttachment],
+        rest_joints: &[Vec3],
+        posed_joints: &[Vec3],
+        global_rot: &[Quaternion],
+        out: &mut Vec<Vec3>,
+    ) {
+        out.clear();
+        out.reserve(verts.len());
+        for (v, w) in verts.iter().zip(attachments) {
+            let mut acc = Vec3::ZERO;
+            for k in 0..2 {
+                let j = w.joints[k] as usize;
+                let wk = w.weights[k];
+                // audit: allow(float_eq) — skinning weights are constructed as exact 0.0 for unused slots
+                if wk == 0.0 {
+                    continue;
+                }
+                let local = *v - rest_joints[j];
+                acc += (posed_joints[j] + global_rot[j].rotate(local)) * wk;
+            }
+            out.push(acc);
+        }
+    }
+}

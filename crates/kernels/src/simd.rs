@@ -1,0 +1,380 @@
+//! Explicit SIMD backend for x86_64: AVX2 for the throughput kernels
+//! (GEMM, FFT), SSE2 for the lane-parallel ones (dual-plane IIR, LBS).
+//!
+//! **Bitwise contract with the scalar reference:** no FMA, no reduction
+//! reassociation. Vector lanes only evaluate *independent* output elements
+//! (GEMM columns, FFT butterflies, the real/imaginary filter planes, the
+//! x/y/z vertex components) in parallel; each element sees exactly the
+//! scalar operation sequence. The one tolerated difference — the FFT
+//! butterfly's imaginary part sums its two products in swapped order — is
+//! still bitwise identical because IEEE-754 addition of finite values is
+//! commutative. The cross-backend proptests in `lib.rs` pin all of this at
+//! a ULP distance of zero.
+
+use crate::scalar::ScalarKernels;
+use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS};
+use mmhand_math::{Complex, Quaternion, Vec3};
+use std::arch::x86_64::*;
+
+/// AVX2/SSE2 implementation of every dispatched kernel. Only constructed
+/// (in `lib.rs`) after `is_x86_feature_detected!("avx2")` returns true.
+pub(crate) struct SimdKernels;
+
+/// Width of the AVX2 `A·Bᵀ` column panel: one `f32x8` register.
+const ABT_W: usize = 8;
+
+impl Kernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn gemm_4xn(
+        &self,
+        apack: &[f32],
+        b: &[f32],
+        c0: &mut [f32],
+        c1: &mut [f32],
+        c2: &mut [f32],
+        c3: &mut [f32],
+        kb: usize,
+        kend: usize,
+        n: usize,
+    ) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { gemm_4xn_avx2(apack, b, c0, c1, c2, c3, kb, kend, n) }
+    }
+
+    fn abt_panel_width(&self) -> usize {
+        ABT_W
+    }
+
+    fn abt_pack_panel(&self, b: &[f32], j: usize, k: usize, bpack: &mut [f32]) {
+        // Strided gather — no SIMD win; plain scalar copy at width 8.
+        for kk in 0..k {
+            let oct = &mut bpack[kk * ABT_W..kk * ABT_W + ABT_W];
+            for (l, dst) in oct.iter_mut().enumerate() {
+                *dst = b[(j + l) * k + kk];
+            }
+        }
+    }
+
+    fn abt_dot_panel(&self, a_row: &[f32], bpack: &[f32], out: &mut [f32]) {
+        debug_assert!(out.len() >= ABT_W);
+        debug_assert!(bpack.len() >= a_row.len() * ABT_W);
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { abt_dot_panel_avx2(a_row, bpack, out) }
+    }
+
+    fn fft_stage(&self, x: &mut [Complex], tw: &[Complex], len: usize) {
+        // SAFETY: (all arms) `SimdKernels` exists only on CPUs where AVX2
+        // detection succeeded (see `simd_kernels` in lib.rs), and AVX2
+        // implies every SSE level the narrow-stage paths use.
+        match len / 2 {
+            half if half >= 4 => unsafe { fft_stage_avx2(x, tw, len) },
+            2 => unsafe { fft_stage2_sse3(x, tw) },
+            1 => unsafe { fft_stage1_sse3(x, tw) },
+            _ => ScalarKernels.fft_stage(x, tw, len),
+        }
+    }
+
+    fn iir_cascade_dual(&self, coeffs: &[BiquadCoeffs], gain: f32, re: &mut [f32], im: &mut [f32]) {
+        // SAFETY: SSE2 is part of the x86_64 baseline, unconditionally
+        // present on any CPU this module compiles for.
+        unsafe { iir_cascade_dual_sse2(coeffs, gain, re, im) }
+    }
+
+    fn lbs_skin(
+        &self,
+        verts: &[Vec3],
+        attachments: &[SkinAttachment],
+        rest_joints: &[Vec3],
+        posed_joints: &[Vec3],
+        global_rot: &[Quaternion],
+        out: &mut Vec<Vec3>,
+    ) {
+        // SAFETY: SSE2 is part of the x86_64 baseline, unconditionally
+        // present on any CPU this module compiles for.
+        unsafe { lbs_skin_sse2(verts, attachments, rest_joints, posed_joints, global_rot, out) }
+    }
+}
+
+/// Register-tiled 4×8 GEMM microkernel: four `C`-row accumulators live in
+/// ymm registers across the whole k-tile, so each `C` element is loaded and
+/// stored once per tile instead of once per k-step. Per element the
+/// accumulation is still `acc += a·b` in ascending-k order (separate
+/// multiply and add — never fused), bitwise matching the scalar kernel.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2; slice lengths must
+/// satisfy the packed-GEMM layout (`apack` ≥ `(kend-kb)·GEMM_MR`, `b` ≥
+/// `kend·n`, each `C` row ≥ `n`), which the debug asserts spot-check.
+#[allow(clippy::too_many_arguments)] // mirrors the trait method's signature
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_4xn_avx2(
+    apack: &[f32],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+    kb: usize,
+    kend: usize,
+    n: usize,
+) {
+    let kt = kend - kb;
+    debug_assert!(apack.len() >= kt * GEMM_MR);
+    debug_assert!(b.len() >= kend * n);
+    debug_assert!(c0.len() >= n && c1.len() >= n && c2.len() >= n && c3.len() >= n);
+    let ap = apack.as_ptr();
+    let bp = b.as_ptr();
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut acc0 = _mm256_loadu_ps(c0.as_ptr().add(j));
+        let mut acc1 = _mm256_loadu_ps(c1.as_ptr().add(j));
+        let mut acc2 = _mm256_loadu_ps(c2.as_ptr().add(j));
+        let mut acc3 = _mm256_loadu_ps(c3.as_ptr().add(j));
+        for t in 0..kt {
+            let aq = ap.add(t * GEMM_MR);
+            let bv = _mm256_loadu_ps(bp.add((kb + t) * n + j));
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*aq), bv));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*aq.add(1)), bv));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*aq.add(2)), bv));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*aq.add(3)), bv));
+        }
+        _mm256_storeu_ps(c0.as_mut_ptr().add(j), acc0);
+        _mm256_storeu_ps(c1.as_mut_ptr().add(j), acc1);
+        _mm256_storeu_ps(c2.as_mut_ptr().add(j), acc2);
+        _mm256_storeu_ps(c3.as_mut_ptr().add(j), acc3);
+        j += 8;
+    }
+    // Ragged tail columns: scalar, per-element ascending-k.
+    for jj in j..n {
+        let (mut s0, mut s1, mut s2, mut s3) = (c0[jj], c1[jj], c2[jj], c3[jj]);
+        for t in 0..kt {
+            let aq = &apack[t * GEMM_MR..t * GEMM_MR + GEMM_MR];
+            let bv = b[(kb + t) * n + jj];
+            s0 += aq[0] * bv;
+            s1 += aq[1] * bv;
+            s2 += aq[2] * bv;
+            s3 += aq[3] * bv;
+        }
+        c0[jj] = s0;
+        c1[jj] = s1;
+        c2[jj] = s2;
+        c3[jj] = s3;
+    }
+}
+
+/// Eight independent dot products, one per lane of a single accumulator:
+/// lane `l` sums `a[kk]·panel[kk][l]` in ascending-k order from zero.
+///
+/// SAFETY: caller must ensure AVX2 plus `bpack.len() ≥ a_row.len()·8` and
+/// `out.len() ≥ 8` (debug-asserted at the call site).
+#[target_feature(enable = "avx2")]
+unsafe fn abt_dot_panel_avx2(a_row: &[f32], bpack: &[f32], out: &mut [f32]) {
+    let pp = bpack.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    for (kk, &av) in a_row.iter().enumerate() {
+        let pv = _mm256_loadu_ps(pp.add(kk * ABT_W));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), pv));
+    }
+    _mm256_storeu_ps(out.as_mut_ptr(), acc);
+}
+
+/// Radix-2 butterfly stage, four butterflies per iteration on interleaved
+/// complex data (`Complex` is `repr(C)`, so a `[Complex]` is `[re, im]`
+/// pairs). The twiddle product uses the dup/swap/addsub idiom:
+/// even lanes compute `v.re·t.re − v.im·t.im`, odd lanes
+/// `v.im·t.re + v.re·t.im` — the same two products as `Complex::mul`,
+/// summed with IEEE-commutative addition, hence bitwise identical.
+///
+/// SAFETY: caller must ensure AVX2, `x.len()` a multiple of `len`,
+/// `tw.len() ≥ len/2`, and `len/2 ≥ 4`.
+#[target_feature(enable = "avx2")]
+unsafe fn fft_stage_avx2(x: &mut [Complex], tw: &[Complex], len: usize) {
+    let n = x.len();
+    let half = len / 2;
+    debug_assert!(half >= 4 && tw.len() >= half && n.is_multiple_of(len));
+    let xf = x.as_mut_ptr() as *mut f32;
+    let twf = tw.as_ptr() as *const f32;
+    let mut i = 0;
+    while i < n {
+        let mut j = 0;
+        while j < half {
+            let u = _mm256_loadu_ps(xf.add(2 * (i + j)));
+            let v = _mm256_loadu_ps(xf.add(2 * (i + j + half)));
+            let t = _mm256_loadu_ps(twf.add(2 * j));
+            let tre = _mm256_moveldup_ps(t);
+            let tim = _mm256_movehdup_ps(t);
+            let vswap = _mm256_permute_ps::<0b1011_0001>(v);
+            let prod = _mm256_addsub_ps(_mm256_mul_ps(v, tre), _mm256_mul_ps(vswap, tim));
+            _mm256_storeu_ps(xf.add(2 * (i + j)), _mm256_add_ps(u, prod));
+            _mm256_storeu_ps(xf.add(2 * (i + j + half)), _mm256_sub_ps(u, prod));
+            j += 4;
+        }
+        i += len;
+    }
+}
+
+/// The `len == 4` stage (two butterflies per block): one 128-bit lane pair
+/// per block, same dup/swap/addsub twiddle product as the AVX2 stage.
+///
+/// SAFETY: caller must ensure SSE3 (implied by the AVX2 detection gating
+/// this backend), `x.len()` a multiple of 4 and `tw.len() ≥ 2`.
+#[target_feature(enable = "sse3")]
+unsafe fn fft_stage2_sse3(x: &mut [Complex], tw: &[Complex]) {
+    let n = x.len();
+    debug_assert!(tw.len() >= 2 && n.is_multiple_of(4));
+    let xf = x.as_mut_ptr() as *mut f32;
+    let twf = tw.as_ptr() as *const f32;
+    let t = _mm_loadu_ps(twf);
+    let tre = _mm_moveldup_ps(t);
+    let tim = _mm_movehdup_ps(t);
+    let mut i = 0;
+    while i < n {
+        let u = _mm_loadu_ps(xf.add(2 * i));
+        let v = _mm_loadu_ps(xf.add(2 * (i + 2)));
+        let vswap = _mm_shuffle_ps::<0b10_11_00_01>(v, v);
+        let prod = _mm_addsub_ps(_mm_mul_ps(v, tre), _mm_mul_ps(vswap, tim));
+        _mm_storeu_ps(xf.add(2 * i), _mm_add_ps(u, prod));
+        _mm_storeu_ps(xf.add(2 * (i + 2)), _mm_sub_ps(u, prod));
+        i += 4;
+    }
+}
+
+/// The `len == 2` stage (one butterfly per block): a whole block — `u` and
+/// `v` interleaved — fits one 128-bit load. The twiddle product runs over
+/// both halves (the `u` half is discarded), then `u ± v·t` is assembled
+/// with a single cross-half shuffle.
+///
+/// SAFETY: caller must ensure SSE3 (implied by the AVX2 detection gating
+/// this backend), `x.len()` a multiple of 2 and `tw.len() ≥ 1`.
+#[target_feature(enable = "sse3")]
+unsafe fn fft_stage1_sse3(x: &mut [Complex], tw: &[Complex]) {
+    let n = x.len();
+    debug_assert!(!tw.is_empty() && n.is_multiple_of(2));
+    let xf = x.as_mut_ptr() as *mut f32;
+    let t = _mm_setr_ps(tw[0].re, tw[0].im, tw[0].re, tw[0].im);
+    let tre = _mm_moveldup_ps(t);
+    let tim = _mm_movehdup_ps(t);
+    let mut i = 0;
+    while i < n {
+        let a = _mm_loadu_ps(xf.add(2 * i));
+        let aswap = _mm_shuffle_ps::<0b10_11_00_01>(a, a);
+        let prod = _mm_addsub_ps(_mm_mul_ps(a, tre), _mm_mul_ps(aswap, tim));
+        let u = _mm_movelh_ps(a, a);
+        let p = _mm_movehl_ps(prod, prod);
+        let res = _mm_shuffle_ps::<0b11_10_01_00>(_mm_add_ps(u, p), _mm_sub_ps(u, p));
+        _mm_storeu_ps(xf.add(2 * i), res);
+        i += 2;
+    }
+}
+
+/// Both cascades of a complex filtering pass at once: lane 0 carries the
+/// real plane, lane 1 the imaginary plane, each applying the exact scalar
+/// per-sample/per-section operation sequence.
+///
+/// SAFETY: caller must ensure SSE2 (x86_64 baseline), equal plane lengths
+/// and `coeffs.len() ≤ MAX_BIQUADS` (debug-asserted).
+#[target_feature(enable = "sse2")]
+unsafe fn iir_cascade_dual_sse2(coeffs: &[BiquadCoeffs], gain: f32, re: &mut [f32], im: &mut [f32]) {
+    debug_assert!(coeffs.len() <= MAX_BIQUADS);
+    debug_assert_eq!(re.len(), im.len());
+    let mut s1 = [_mm_setzero_ps(); MAX_BIQUADS];
+    let mut s2 = [_mm_setzero_ps(); MAX_BIQUADS];
+    let g = _mm_set1_ps(gain);
+    for t in 0..re.len() {
+        let x = _mm_set_ps(0.0, 0.0, im[t], re[t]);
+        let mut y = _mm_mul_ps(x, g);
+        for (s, c) in coeffs.iter().enumerate() {
+            let out = _mm_add_ps(_mm_mul_ps(_mm_set1_ps(c.b[0]), y), s1[s]);
+            s1[s] = _mm_add_ps(
+                _mm_sub_ps(
+                    _mm_mul_ps(_mm_set1_ps(c.b[1]), y),
+                    _mm_mul_ps(_mm_set1_ps(c.a[0]), out),
+                ),
+                s2[s],
+            );
+            s2[s] = _mm_sub_ps(
+                _mm_mul_ps(_mm_set1_ps(c.b[2]), y),
+                _mm_mul_ps(_mm_set1_ps(c.a[1]), out),
+            );
+            y = out;
+        }
+        re[t] = _mm_cvtss_f32(y);
+        im[t] = _mm_cvtss_f32(_mm_shuffle_ps::<0b01>(y, y));
+    }
+}
+
+/// Loads a `Vec3` into lanes 0–2 of an `__m128` (lane 3 zero).
+///
+/// SAFETY: caller must ensure SSE2 (x86_64 baseline).
+#[target_feature(enable = "sse2")]
+unsafe fn load3(v: Vec3) -> __m128 {
+    _mm_set_ps(0.0, v.z, v.y, v.x)
+}
+
+/// Lanewise right-handed cross product for x/y/z in lanes 0–2: each lane
+/// computes exactly the two products and one subtraction of `Vec3::cross`.
+///
+/// SAFETY: caller must ensure SSE2 (x86_64 baseline).
+#[target_feature(enable = "sse2")]
+unsafe fn cross3(a: __m128, b: __m128) -> __m128 {
+    // `_MM_SHUFFLE(3, 0, 2, 1)` / `(3, 1, 0, 2)`, spelled out because the
+    // helper is not yet a stable const fn: dst[i] = src[imm >> 2i & 3].
+    const YZX: i32 = 0b11_00_10_01;
+    const ZXY: i32 = 0b11_01_00_10;
+    let a_yzx = _mm_shuffle_ps::<YZX>(a, a);
+    let b_yzx = _mm_shuffle_ps::<YZX>(b, b);
+    let a_zxy = _mm_shuffle_ps::<ZXY>(a, a);
+    let b_zxy = _mm_shuffle_ps::<ZXY>(b, b);
+    _mm_sub_ps(_mm_mul_ps(a_yzx, b_zxy), _mm_mul_ps(a_zxy, b_yzx))
+}
+
+/// Linear blend skinning with x/y/z in SSE lanes: the quaternion rotation
+/// `v' = v + 2w·(u×v) + u×(2(u×v))` is evaluated with the scalar formula's
+/// exact operation order, componentwise per lane.
+///
+/// SAFETY: caller must ensure SSE2 (x86_64 baseline); every attachment's
+/// joint indices must be in range for the joint arrays.
+#[target_feature(enable = "sse2")]
+unsafe fn lbs_skin_sse2(
+    verts: &[Vec3],
+    attachments: &[SkinAttachment],
+    rest_joints: &[Vec3],
+    posed_joints: &[Vec3],
+    global_rot: &[Quaternion],
+    out: &mut Vec<Vec3>,
+) {
+    out.clear();
+    out.reserve(verts.len());
+    let two = _mm_set1_ps(2.0);
+    for (v, w) in verts.iter().zip(attachments) {
+        let vv = load3(*v);
+        let mut acc = _mm_setzero_ps();
+        for k in 0..2 {
+            let j = w.joints[k] as usize;
+            let wk = w.weights[k];
+            // audit: allow(float_eq) — skinning weights are constructed as exact 0.0 for unused slots
+            if wk == 0.0 {
+                continue;
+            }
+            let local = _mm_sub_ps(vv, load3(rest_joints[j]));
+            let q = global_rot[j];
+            let u = _mm_set_ps(0.0, q.z, q.y, q.x);
+            let t = _mm_mul_ps(cross3(u, local), two);
+            let rotated = _mm_add_ps(
+                _mm_add_ps(local, _mm_mul_ps(t, _mm_set1_ps(q.w))),
+                cross3(u, t),
+            );
+            let contrib = _mm_mul_ps(_mm_add_ps(load3(posed_joints[j]), rotated), _mm_set1_ps(wk));
+            acc = _mm_add_ps(acc, contrib);
+        }
+        out.push(Vec3::new(
+            _mm_cvtss_f32(acc),
+            _mm_cvtss_f32(_mm_shuffle_ps::<0b01>(acc, acc)),
+            _mm_cvtss_f32(_mm_shuffle_ps::<0b10>(acc, acc)),
+        ));
+    }
+}

@@ -18,7 +18,11 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// let i = Complex::I;
 /// assert_eq!(i * i, Complex::new(-1.0, 0.0));
 /// ```
+// `repr(C)` guarantees the `[re, im]` field order and no padding, so a
+// `&[Complex]` can be reinterpreted as interleaved `f32` pairs by the SIMD
+// kernel backend.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex {
     /// Real component.
     pub re: f32,

@@ -16,7 +16,15 @@
 //! unpacked, sequential and pool-parallel paths are all **bitwise
 //! identical** (asserted by exact-equality proptests below) at any
 //! `MMHAND_THREADS` setting.
+//!
+//! The inner loops themselves — the 4-row microkernel and the `A·Bᵀ`
+//! column-panel pack/dot — live in `mmhand-kernels` and are dispatched
+//! through its process-wide backend ([`mmhand_kernels::kernels`]): scalar
+//! reference or explicit SIMD, both bitwise identical by contract. The
+//! `*_with` variants accept an explicit backend for cross-backend tests
+//! and benches.
 
+use mmhand_kernels::Kernels;
 use mmhand_parallel::ScratchPool;
 
 thread_local! {
@@ -46,13 +54,17 @@ const GEMM_FLOP_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
 /// GEMM telemetry handles, resolved once: every `gemm*` entry point counts
 /// its calls and observes the problem size, so kernel-dispatch decisions
 /// (like [`GEMM_PAR_FLOPS`]) can be tuned against real workload shapes.
+/// The flops histogram carries the active kernel backend as a name suffix
+/// (`nn.gemm.flops.scalar` / `nn.gemm.flops.simd`) so perf artefacts are
+/// attributable to a backend.
 fn gemm_metrics() -> &'static (mmhand_telemetry::Counter, mmhand_telemetry::Histogram) {
     static METRICS: std::sync::OnceLock<(mmhand_telemetry::Counter, mmhand_telemetry::Histogram)> =
         std::sync::OnceLock::new();
     METRICS.get_or_init(|| {
+        let backend = mmhand_kernels::backend_name();
         (
             mmhand_telemetry::counter("nn.gemm.calls"),
-            mmhand_telemetry::histogram_with("nn.gemm.flops", GEMM_FLOP_BUCKETS),
+            mmhand_telemetry::histogram_with(&format!("nn.gemm.flops.{backend}"), GEMM_FLOP_BUCKETS),
         )
     })
 }
@@ -71,6 +83,21 @@ fn record_gemm(m: usize, k: usize, n: usize) {
 /// regardless of thread count, so results are bitwise identical at any
 /// `MMHAND_THREADS` setting.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_with(mmhand_kernels::kernels(), a, b, c, m, k, n);
+}
+
+/// [`gemm`] against an explicit kernel backend (tests/benches comparing
+/// backends; production code uses [`gemm`], which dispatches globally).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with(
+    kern: &dyn Kernels,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -80,7 +107,7 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     record_gemm(m, k, n);
     let rows_per_task = gemm_rows_per_task(m, k, n);
     mmhand_parallel::par_chunks_mut(c, rows_per_task * n, |band, c_band| {
-        gemm_band(a, b, c_band, band * rows_per_task, k, n);
+        gemm_band(kern, a, b, c_band, band * rows_per_task, k, n);
     });
 }
 
@@ -119,48 +146,22 @@ fn pack_a_cols(a: &[f32], apack: &mut [f32], row: usize, m: usize, kb: usize, ke
     }
 }
 
-/// The shared 4-row microkernel: accumulates the packed k-tile panel
-/// `apack` against `B` rows `[kb, kend)` into four `C` rows.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn microkernel_4xn(
-    apack: &[f32],
-    b: &[f32],
-    c0: &mut [f32],
-    c1: &mut [f32],
-    c2: &mut [f32],
-    c3: &mut [f32],
-    kb: usize,
-    kend: usize,
-    n: usize,
-) {
-    for kk in kb..kend {
-        let aq = &apack[(kk - kb) * GEMM_MR..(kk - kb) * GEMM_MR + GEMM_MR];
-        let (x0, x1, x2, x3) = (aq[0], aq[1], aq[2], aq[3]);
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (j, &bv) in b_row.iter().enumerate() {
-            c0[j] += x0 * bv;
-            c1[j] += x1 * bv;
-            c2[j] += x2 * bv;
-            c3[j] += x3 * bv;
-        }
-    }
-}
-
 /// Computes rows `[i0, i0 + c_band.len()/n)` of `C += A·B`.
-fn gemm_band(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
+fn gemm_band(kern: &dyn Kernels, a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
     if n >= GEMM_PACK_MIN_N && c_band.len() >= GEMM_MR * n {
         GEMM_PACK.with(|pool| {
             pool.with(GEMM_KC * GEMM_MR, |apack| {
-                gemm_band_inner(a, b, c_band, i0, k, n, Some(apack));
+                gemm_band_inner(kern, a, b, c_band, i0, k, n, Some(apack));
             });
         });
     } else {
-        gemm_band_inner(a, b, c_band, i0, k, n, None);
+        gemm_band_inner(kern, a, b, c_band, i0, k, n, None);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_band_inner(
+    kern: &dyn Kernels,
     a: &[f32],
     b: &[f32],
     c_band: &mut [f32],
@@ -179,7 +180,7 @@ fn gemm_band_inner(
                 let (c2, c3) = rest.split_at_mut(n);
                 if let Some(apack) = apack.as_deref_mut() {
                     pack_a_rows(a, apack, row, k, kb, kend);
-                    microkernel_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
+                    kern.gemm_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
                 } else {
                     for kk in kb..kend {
                         let b_row = &b[kk * n..(kk + 1) * n];
@@ -217,6 +218,20 @@ fn gemm_band_inner(
 /// column quads (one contiguous panel per k-tile instead of reads strided
 /// by `m`), with the same 4-row register blocking as [`gemm`].
 pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_at_b_with(mmhand_kernels::kernels(), a, b, c, m, k, n);
+}
+
+/// [`gemm_at_b`] against an explicit kernel backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_b_with(
+    kern: &dyn Kernels,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -230,17 +245,18 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         if n >= GEMM_PACK_MIN_N && c_band.len() >= GEMM_MR * n {
             GEMM_PACK.with(|pool| {
                 pool.with(GEMM_KC * GEMM_MR, |apack| {
-                    gemm_at_b_band(a, b, c_band, i0, m, k, n, Some(apack));
+                    gemm_at_b_band(kern, a, b, c_band, i0, m, k, n, Some(apack));
                 });
             });
         } else {
-            gemm_at_b_band(a, b, c_band, i0, m, k, n, None);
+            gemm_at_b_band(kern, a, b, c_band, i0, m, k, n, None);
         }
     });
 }
 
 #[allow(clippy::too_many_arguments)]
 fn gemm_at_b_band(
+    kern: &dyn Kernels,
     a: &[f32],
     b: &[f32],
     c_band: &mut [f32],
@@ -260,7 +276,7 @@ fn gemm_at_b_band(
                 let (c2, c3) = rest.split_at_mut(n);
                 if let Some(apack) = apack.as_deref_mut() {
                     pack_a_cols(a, apack, row, m, kb, kend);
-                    microkernel_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
+                    kern.gemm_4xn(apack, b, c0, c1, c2, c3, kb, kend, n);
                 } else {
                     for kk in kb..kend {
                         let b_row = &b[kk * n..(kk + 1) * n];
@@ -298,6 +314,20 @@ fn gemm_at_b_band(
 /// still one independent dot product accumulated in ascending-k order, so
 /// results are bitwise identical to the unpacked and naive forms.
 pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_a_bt_with(mmhand_kernels::kernels(), a, b, c, m, k, n);
+}
+
+/// [`gemm_a_bt`] against an explicit kernel backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_a_bt_with(
+    kern: &dyn Kernels,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -310,7 +340,7 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         let i0 = band * rows_per_task;
         let rows = c_band.len() / n;
         if rows >= 2 && n >= 4 {
-            gemm_a_bt_band_packed(a, b, c_band, i0, k, n);
+            gemm_a_bt_band_packed(kern, a, b, c_band, i0, k, n);
         } else {
             gemm_a_bt_band(a, b, c_band, i0, k, n);
         }
@@ -352,36 +382,36 @@ fn gemm_a_bt_band(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize,
     }
 }
 
-/// Panel-packed band kernel: column panels outer, band rows inner.
-fn gemm_a_bt_band_packed(a: &[f32], b: &[f32], c_band: &mut [f32], i0: usize, k: usize, n: usize) {
+/// Panel-packed band kernel: column panels outer, band rows inner. The
+/// panel width is backend-defined (4 scalar, 8 SIMD); since every `C`
+/// element is one independent dot product accumulated in ascending-k
+/// order, the width does not change any result bit.
+fn gemm_a_bt_band_packed(
+    kern: &dyn Kernels,
+    a: &[f32],
+    b: &[f32],
+    c_band: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    let w = kern.abt_panel_width();
+    debug_assert!(w <= mmhand_kernels::ABT_PANEL_MAX);
     GEMM_PACK.with(|pool| {
-        pool.with(4 * k, |bpack| {
+        pool.with(w * k, |bpack| {
+            let mut sums = [0.0f32; mmhand_kernels::ABT_PANEL_MAX];
             let mut j = 0;
-            while j + 4 <= n {
-                for kk in 0..k {
-                    let quad = &mut bpack[kk * 4..kk * 4 + 4];
-                    quad[0] = b[j * k + kk];
-                    quad[1] = b[(j + 1) * k + kk];
-                    quad[2] = b[(j + 2) * k + kk];
-                    quad[3] = b[(j + 3) * k + kk];
-                }
+            while j + w <= n {
+                kern.abt_pack_panel(b, j, k, bpack);
                 for (r, c_row) in c_band.chunks_mut(n).enumerate() {
                     let i = i0 + r;
                     let a_row = &a[i * k..(i + 1) * k];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                    for (kk, &av) in a_row.iter().enumerate() {
-                        let quad = &bpack[kk * 4..kk * 4 + 4];
-                        s0 += av * quad[0];
-                        s1 += av * quad[1];
-                        s2 += av * quad[2];
-                        s3 += av * quad[3];
+                    kern.abt_dot_panel(a_row, bpack, &mut sums);
+                    for (cij, &s) in c_row[j..j + w].iter_mut().zip(&sums) {
+                        *cij += s;
                     }
-                    c_row[j] += s0;
-                    c_row[j + 1] += s1;
-                    c_row[j + 2] += s2;
-                    c_row[j + 3] += s3;
                 }
-                j += 4;
+                j += w;
             }
             for (r, c_row) in c_band.chunks_mut(n).enumerate() {
                 let i = i0 + r;
@@ -562,6 +592,45 @@ mod tests {
             let mut c_abt = vec![0.0f32; m * n];
             gemm_a_bt(a.data(), bt.data(), &mut c_abt, m, k, n);
             prop_assert_eq!(&c_abt, &c_ref);
+        }
+
+        // Scalar and SIMD backends must agree bitwise (a ULP distance of
+        // exactly zero) on every gemm variant — the SIMD kernels never
+        // fuse or reassociate, they only evaluate independent `C` elements
+        // in parallel lanes. Runs under either `sanitize-numerics` state;
+        // passes trivially on CPUs without a SIMD backend.
+        #[test]
+        fn gemm_backends_are_bitwise_identical(
+            m in 0usize..26, k in 0usize..40, n in 0usize..34, seed in 0u64..500,
+        ) {
+            let Some(simd) = mmhand_kernels::simd_kernels() else { return Ok(()); };
+            let scalar = mmhand_kernels::scalar_kernels();
+            let mut rng = stream_rng(seed, "gemm-backends");
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let at = a.transposed();
+            let bt = b.transposed();
+            for (label, f) in [
+                ("gemm", gemm_with as fn(&dyn Kernels, &[f32], &[f32], &mut [f32], usize, usize, usize)),
+                ("gemm_at_b", gemm_at_b_with),
+                ("gemm_a_bt", gemm_a_bt_with),
+            ] {
+                let (lhs, rhs) = match label {
+                    "gemm_at_b" => (at.data(), b.data()),
+                    "gemm_a_bt" => (a.data(), bt.data()),
+                    _ => (a.data(), b.data()),
+                };
+                let mut c_sc = vec![0.0f32; m * n];
+                let mut c_sd = vec![0.0f32; m * n];
+                f(scalar, lhs, rhs, &mut c_sc, m, k, n);
+                f(simd, lhs, rhs, &mut c_sd, m, k, n);
+                for (i, (x, y)) in c_sc.iter().zip(&c_sd).enumerate() {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{label} element {i}: scalar {x} != simd {y}"
+                    );
+                }
+            }
         }
 
         // Large-enough shapes to cross the parallel threshold, so the

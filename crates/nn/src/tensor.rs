@@ -11,7 +11,10 @@ use std::fmt;
 
 // The GEMM kernels grew into their own module; the re-export keeps the
 // long-standing `tensor::gemm*` import paths working.
-pub use crate::gemm::{gemm, gemm_a_bt, gemm_a_bt_naive, gemm_at_b, gemm_at_b_naive, gemm_naive};
+pub use crate::gemm::{
+    gemm, gemm_a_bt, gemm_a_bt_naive, gemm_a_bt_with, gemm_at_b, gemm_at_b_naive, gemm_at_b_with,
+    gemm_naive, gemm_with,
+};
 
 /// A dense row-major tensor of `f32`.
 ///

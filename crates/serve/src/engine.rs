@@ -61,6 +61,10 @@ pub struct ServeEngine {
     /// Tombstones so a pushed-to evicted session gets a distinct error.
     evicted: BTreeSet<u64>,
     next_id: u64,
+    /// Kernel backend selected when the engine was built (`"scalar"` /
+    /// `"simd"`), recorded so operators can see which inner loops served
+    /// a given process.
+    kernel_backend: &'static str,
 }
 
 impl ServeEngine {
@@ -77,6 +81,7 @@ impl ServeEngine {
             sessions: BTreeMap::new(),
             evicted: BTreeSet::new(),
             next_id: 1,
+            kernel_backend: mmhand_kernels::backend_name(),
         })
     }
 
@@ -88,6 +93,12 @@ impl ServeEngine {
     /// The underlying pipeline.
     pub fn pipeline(&self) -> &MmHandPipeline {
         &self.pipeline
+    }
+
+    /// Name of the process-wide kernel backend (`"scalar"` / `"simd"`)
+    /// this engine's inner loops run on.
+    pub fn kernel_backend(&self) -> &'static str {
+        self.kernel_backend
     }
 
     /// Number of currently open sessions.
@@ -279,11 +290,11 @@ impl ServeEngine {
             tensors.push(t?);
         }
 
-        // Stack segments along the batch axis: (N, st·V, D, A).
+        // Stack segments along the batch axis: (N, st·V, D, A). Segment
+        // tensors are always rank 3, so the batch shape fits a fixed array.
         let n = tensors.len();
-        let seg_shape = tensors[0].shape().to_vec(); // audit: pool-exempt — tiny shape vector
-        let mut shape = vec![n]; // audit: pool-exempt — tiny shape vector
-        shape.extend_from_slice(&seg_shape);
+        let seg = tensors[0].shape();
+        let shape = [n, seg[0], seg[1], seg[2]];
         // audit: pool-exempt — becomes the owned batch tensor via from_vec
         let mut data = Vec::with_capacity(n * tensors[0].len());
         for t in &tensors {
