@@ -1,0 +1,402 @@
+//! The findings baseline ratchet.
+//!
+//! `mmhand-audit --baseline audit/baseline.json` compares the current scan
+//! against a committed snapshot of per-`(rule, file)` counts. A count that
+//! *rises* fails the run; counts that *fall* produce a suggested shrunken
+//! baseline (`--write-baseline` rewrites the file). Waivers count the same
+//! as findings — a marker-suppressed violation is still debt — so
+//! allow-marker debt can only go down over time.
+//!
+//! The format is deliberately tiny (hand-rolled like the rest of the
+//! crate's JSON, since the build is offline and dependency-free):
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "counts": {
+//!     "<rule>": { "<file>": <n>, … },
+//!     …
+//!   }
+//! }
+//! ```
+
+use crate::rules::{Finding, Waiver};
+use std::collections::BTreeMap;
+
+/// Per-rule, per-file counts.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// A parsed baseline snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: Counts,
+}
+
+/// One `(rule, file)` whose count changed against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub rule: String,
+    pub file: String,
+    pub was: usize,
+    pub now: usize,
+}
+
+/// The result of comparing a scan to a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Counts that rose (fail the run).
+    pub regressions: Vec<Delta>,
+    /// Counts that fell (the baseline should shrink).
+    pub improvements: Vec<Delta>,
+}
+
+impl Comparison {
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Tallies findings and waivers into per-`(rule, file)` counts.
+pub fn tally(findings: &[Finding], waivers: &[Waiver]) -> Counts {
+    let mut counts: Counts = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry(f.rule.to_string())
+            .or_default()
+            .entry(f.file.clone())
+            .or_insert(0) += 1;
+    }
+    for w in waivers {
+        *counts
+            .entry(w.rule.to_string())
+            .or_default()
+            .entry(w.file.clone())
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Compares current counts against a baseline.
+pub fn compare(baseline: &Baseline, current: &Counts) -> Comparison {
+    let mut cmp = Comparison::default();
+    // Everything current: regressions where it exceeds the baseline.
+    for (rule, files) in current {
+        for (file, &now) in files {
+            let was = baseline
+                .counts
+                .get(rule)
+                .and_then(|m| m.get(file))
+                .copied()
+                .unwrap_or(0);
+            if now > was {
+                cmp.regressions.push(Delta {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    was,
+                    now,
+                });
+            } else if now < was {
+                cmp.improvements.push(Delta {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    was,
+                    now,
+                });
+            }
+        }
+    }
+    // Baseline entries that vanished entirely are improvements too.
+    for (rule, files) in &baseline.counts {
+        for (file, &was) in files {
+            let gone = current.get(rule).is_none_or(|m| !m.contains_key(file));
+            if gone && was > 0 {
+                cmp.improvements.push(Delta {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    was,
+                    now: 0,
+                });
+            }
+        }
+    }
+    cmp
+}
+
+/// Renders the comparison as the CLI diff block (golden-tested).
+pub fn render_diff(cmp: &Comparison) -> String {
+    let mut s = String::new();
+    for d in &cmp.regressions {
+        s.push_str(&format!(
+            "REGRESSION {rule} {file}: {was} -> {now}\n",
+            rule = d.rule,
+            file = d.file,
+            was = d.was,
+            now = d.now
+        ));
+    }
+    for d in &cmp.improvements {
+        s.push_str(&format!(
+            "improved   {rule} {file}: {was} -> {now}\n",
+            rule = d.rule,
+            file = d.file,
+            was = d.was,
+            now = d.now
+        ));
+    }
+    if cmp.regressions.is_empty() && cmp.improvements.is_empty() {
+        s.push_str("baseline: no drift\n");
+    } else if cmp.regressions.is_empty() {
+        s.push_str(
+            "baseline: counts fell — rewrite the snapshot with --write-baseline\n",
+        );
+    }
+    s
+}
+
+/// Serializes counts as the baseline JSON (stable order).
+pub fn to_json(counts: &Counts) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"counts\": {");
+    for (i, (rule, files)) in counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\": {{", crate::escape_json(rule)));
+        for (j, (file, n)) in files.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n      \"{}\": {}", crate::escape_json(file), n));
+        }
+        if !files.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push('}');
+    }
+    if !counts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+/// Parses the baseline JSON. The parser accepts exactly the shape
+/// [`to_json`] writes (plus whitespace variations); anything else is an
+/// error. No escapes beyond `\\` and `\"` occur in rule/file names.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser { chars: text.chars().collect(), pos: 0 };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut counts: Counts = BTreeMap::new();
+    loop {
+        p.skip_ws();
+        if p.peek() == Some('}') {
+            p.pos += 1;
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+            }
+            "counts" => {
+                p.expect('{')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some('}') {
+                        p.pos += 1;
+                        break;
+                    }
+                    let rule = p.string()?;
+                    p.skip_ws();
+                    p.expect(':')?;
+                    p.skip_ws();
+                    p.expect('{')?;
+                    let files = counts.entry(rule).or_default();
+                    loop {
+                        p.skip_ws();
+                        if p.peek() == Some('}') {
+                            p.pos += 1;
+                            break;
+                        }
+                        let file = p.string()?;
+                        p.skip_ws();
+                        p.expect(':')?;
+                        p.skip_ws();
+                        let n = p.number()?;
+                        files.insert(file, n);
+                        p.skip_ws();
+                        if p.peek() == Some(',') {
+                            p.pos += 1;
+                        }
+                    }
+                    p.skip_ws();
+                    if p.peek() == Some(',') {
+                        p.pos += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown baseline key `{other}`")),
+        }
+        p.skip_ws();
+        if p.peek() == Some(',') {
+            p.pos += 1;
+        }
+    }
+    Ok(Baseline { counts })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at offset {}: expected `{c}`, found {:?}",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ ('"' | '\\' | '/')) => s.push(c),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        other => return Err(format!("bad escape {other:?} in baseline string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string in baseline".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at offset {start}"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            file: file.into(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn tally_merges_findings_and_waivers() {
+        let findings = vec![finding("no_unwrap", "a.rs"), finding("no_unwrap", "a.rs")];
+        let waivers = vec![Waiver { rule: "no_unwrap", file: "a.rs".into(), line: 9 }];
+        let counts = tally(&findings, &waivers);
+        assert_eq!(counts["no_unwrap"]["a.rs"], 3);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let findings = vec![finding("no_panic", "b.rs"), finding("float_eq", "a.rs")];
+        let counts = tally(&findings, &[]);
+        let json = to_json(&counts);
+        let parsed = parse(&json).expect("round-trip parse");
+        assert_eq!(parsed.counts, counts);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let counts = Counts::new();
+        let parsed = parse(&to_json(&counts)).expect("empty parse");
+        assert!(parsed.counts.is_empty());
+    }
+
+    #[test]
+    fn regressions_and_improvements_are_split() {
+        let baseline = parse(
+            r#"{"version": 1, "counts": {"no_unwrap": {"a.rs": 2, "b.rs": 1}}}"#,
+        )
+        .expect("parse");
+        let findings = vec![
+            finding("no_unwrap", "a.rs"),
+            finding("no_unwrap", "a.rs"),
+            finding("no_unwrap", "a.rs"),
+        ];
+        let cmp = compare(&baseline, &tally(&findings, &[]));
+        assert_eq!(
+            cmp.regressions,
+            vec![Delta { rule: "no_unwrap".into(), file: "a.rs".into(), was: 2, now: 3 }]
+        );
+        assert_eq!(
+            cmp.improvements,
+            vec![Delta { rule: "no_unwrap".into(), file: "b.rs".into(), was: 1, now: 0 }]
+        );
+        assert!(!cmp.is_clean());
+    }
+
+    #[test]
+    fn new_rule_file_pair_is_a_regression_from_zero() {
+        let baseline = Baseline::default();
+        let cmp = compare(&baseline, &tally(&[finding("no_panic", "c.rs")], &[]));
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].was, 0);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_panic() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"version": 2, "counts": {}}"#).is_err());
+        assert!(parse(r#"{"bogus": 1}"#).is_err());
+        assert!(parse(r#"{"version": 1, "counts": {"r": {"f": "x"}}}"#).is_err());
+    }
+}

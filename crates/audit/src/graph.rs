@@ -1,0 +1,281 @@
+//! `simd_dispatch` — the call-graph pass proving that `#[target_feature]`
+//! code is unreachable except through the cpuid-guarded dispatcher.
+//!
+//! Calling a `#[target_feature(enable = "avx2")]` function on a CPU without
+//! AVX2 is immediate undefined behaviour, so the workspace contract is:
+//! such functions live only in `mmhand-kernels`, and every call edge into
+//! one must come from
+//!
+//! 1. another `#[target_feature]` function (the caller already carries the
+//!    same obligation),
+//! 2. a **guard function** — one whose body runs
+//!    `is_x86_feature_detected!` before touching SIMD, or
+//! 3. a method of a **guarded type**: a type whose values are constructed
+//!    only inside guard functions (the workspace's `SimdKernels`, handed
+//!    out as `&'static dyn Kernels` solely by the `OnceLock` dispatch).
+//!
+//! Rule 3 is what makes the check compositional: once a type can only be
+//! *obtained* behind the guard, its safe methods may wrap the intrinsics
+//! without re-detecting, and arbitrary safe code may call those methods.
+//! The pass therefore also verifies the construction side: a guarded
+//! type's name must not appear in any non-guard function body in the
+//! crate (test items excepted — they run under the same dispatch).
+
+use crate::parser::{call_sites, ItemKind};
+use crate::rules::Outcome;
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The crate allowed to define `#[target_feature]` functions.
+const KERNELS_PREFIX: &str = "crates/kernels/src/";
+
+/// Runs the dispatch audit over the whole workspace.
+pub fn simd_dispatch(files: &[SourceFile], out: &mut Outcome) {
+    // target_feature is confined to the kernels crate.
+    for file in files {
+        if file.path.starts_with(KERNELS_PREFIX) {
+            continue;
+        }
+        for item in &file.parsed.items {
+            if item.has_target_feature() {
+                let number = file.lines.get(item.start).map_or(item.start + 1, |l| l.number);
+                out.deny(
+                    &file.markers,
+                    "simd_dispatch",
+                    &file.path,
+                    item.start,
+                    number,
+                    format!(
+                        "`#[target_feature]` fn `{}` outside mmhand-kernels: SIMD \
+                         entry points belong behind the kernels dispatch",
+                        item.name
+                    ),
+                );
+            }
+        }
+    }
+
+    let kernels: Vec<&SourceFile> =
+        files.iter().filter(|f| f.path.starts_with(KERNELS_PREFIX)).collect();
+    if kernels.is_empty() {
+        return;
+    }
+
+    // --- crate inventory ---------------------------------------------------
+    // Simple fn names carrying #[target_feature].
+    let mut tf_fns: BTreeSet<String> = BTreeSet::new();
+    // Fns whose body performs cpuid detection.
+    let mut guard_fns: BTreeSet<String> = BTreeSet::new();
+    for file in &kernels {
+        for (idx, item) in file.parsed.items.iter().enumerate() {
+            if item.kind != ItemKind::Fn {
+                continue;
+            }
+            if item.has_target_feature() {
+                tf_fns.insert(item.name.clone());
+            }
+            if fn_body_lines(file, idx)
+                .any(|l| file.lines[l].code.contains("is_x86_feature_detected"))
+            {
+                guard_fns.insert(item.name.clone());
+            }
+        }
+    }
+    if tf_fns.is_empty() {
+        return;
+    }
+
+    // --- call edges into target_feature fns --------------------------------
+    // Types whose methods call TF fns; they must prove guarded construction.
+    let mut guarded_types: BTreeMap<String, (String, usize)> = BTreeMap::new();
+
+    for file in &kernels {
+        for (idx, item) in file.parsed.items.iter().enumerate() {
+            if item.kind != ItemKind::Fn
+                || item.body_start.is_none()
+                || file.parsed.in_test_item(idx)
+            {
+                continue;
+            }
+            if item.has_target_feature() || guard_fns.contains(&item.name) {
+                continue; // legal caller categories 1 and 2
+            }
+            let impl_name = file.parsed.enclosing_impl(idx).map(|i| i.name.clone());
+            for (callee, line_idx) in call_sites(&file.lines, item.start, item.end) {
+                if !tf_fns.contains(&callee)
+                    || file.parsed.enclosing_fn(line_idx) != Some(idx)
+                {
+                    continue;
+                }
+                match &impl_name {
+                    Some(ty) => {
+                        // Category 3: defer to the construction check below.
+                        guarded_types
+                            .entry(ty.clone())
+                            .or_insert_with(|| (file.path.clone(), item.start));
+                    }
+                    None => {
+                        let number = file.lines[line_idx].number;
+                        out.deny(
+                            &file.markers,
+                            "simd_dispatch",
+                            &file.path,
+                            line_idx,
+                            number,
+                            format!(
+                                "safe fn `{}` calls `#[target_feature]` fn `{callee}` \
+                                 outside the cpuid-guarded dispatch",
+                                item.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- guarded-construction check -----------------------------------------
+    // A guarded type's name must appear only in guard-fn bodies (and test
+    // items). Any other mention is a potential unguarded construction or
+    // hand-out of the type, which would let safe code reach the intrinsics.
+    for (ty, (decl_file, decl_line)) in &guarded_types {
+        for file in &kernels {
+            for (idx, item) in file.parsed.items.iter().enumerate() {
+                if item.kind != ItemKind::Fn
+                    || item.body_start.is_none()
+                    || file.parsed.in_test_item(idx)
+                    || guard_fns.contains(&item.name)
+                {
+                    continue;
+                }
+                // Methods of the type itself use `self`, never the name.
+                for l in fn_body_lines(file, idx) {
+                    if file.parsed.enclosing_fn(l) == Some(idx)
+                        && crate::lexer::contains_word(&file.lines[l].code, ty)
+                    {
+                        out.deny(
+                            &file.markers,
+                            "simd_dispatch",
+                            &file.path,
+                            l,
+                            file.lines[l].number,
+                            format!(
+                                "guarded type `{ty}` (methods wrap #[target_feature] \
+                                 fns, declared via {decl_file}:{}) is referenced in \
+                                 non-guard fn `{}`: construction must stay behind \
+                                 `is_x86_feature_detected!`",
+                                decl_line + 1,
+                                item.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 0-based line indices of a fn item's span.
+fn fn_body_lines<'a>(
+    file: &'a SourceFile,
+    idx: usize,
+) -> impl Iterator<Item = usize> + 'a {
+    let item = &file.parsed.items[idx];
+    let end = item.end.min(file.lines.len().saturating_sub(1));
+    item.start..=end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn files(specs: &[(&str, &str)]) -> Vec<SourceFile> {
+        specs.iter().map(|(p, s)| SourceFile::from_source(p, s)).collect()
+    }
+
+    fn hits(specs: &[(&str, &str)]) -> Vec<String> {
+        let fs = files(specs);
+        let mut out = Outcome::default();
+        simd_dispatch(&fs, &mut out);
+        out.findings.into_iter().map(|f| format!("{}:{}", f.file, f.line)).collect()
+    }
+
+    const SIMD: &str = "#[target_feature(enable = \"avx2\")]\nunsafe fn kern_avx2(x: &mut [f32]) {}\n";
+
+    #[test]
+    fn tf_outside_kernels_is_flagged() {
+        let found = hits(&[("crates/dsp/src/fft.rs", SIMD)]);
+        assert_eq!(found, vec!["crates/dsp/src/fft.rs:2"]);
+    }
+
+    #[test]
+    fn direct_call_from_safe_code_is_flagged() {
+        let src = format!(
+            "{SIMD}pub fn fast(x: &mut [f32]) {{\n    unsafe {{ kern_avx2(x) }}\n}}\n"
+        );
+        let found = hits(&[("crates/kernels/src/simd.rs", &src)]);
+        assert_eq!(found, vec!["crates/kernels/src/simd.rs:4"]);
+    }
+
+    #[test]
+    fn guard_fn_may_call_directly() {
+        let src = format!(
+            "{SIMD}pub fn dispatch(x: &mut [f32]) {{\n    \
+             if std::arch::is_x86_feature_detected!(\"avx2\") {{\n        \
+             unsafe {{ kern_avx2(x) }}\n    }}\n}}\n"
+        );
+        assert!(hits(&[("crates/kernels/src/simd.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn tf_to_tf_call_is_legal() {
+        let src = "#[target_feature(enable = \"sse2\")]\nunsafe fn helper_sse2() {}\n\
+                   #[target_feature(enable = \"sse2\")]\nunsafe fn outer_sse2() {\n    \
+                   helper_sse2();\n}\n";
+        assert!(hits(&[("crates/kernels/src/simd.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn guarded_type_methods_are_legal_when_construction_is_guarded() {
+        let simd = format!(
+            "pub(crate) struct Fast;\nimpl Fast {{\n    pub fn run(&self, x: &mut [f32]) {{\n        \
+             unsafe {{ kern_avx2(x) }}\n    }}\n}}\n{SIMD}"
+        );
+        let lib = "fn pick() -> Option<&'static Fast> {\n    \
+                   if std::arch::is_x86_feature_detected!(\"avx2\") {\n        \
+                   static F: Fast = Fast;\n        return Some(&F);\n    }\n    None\n}\n";
+        assert!(hits(&[
+            ("crates/kernels/src/simd.rs", simd.as_str()),
+            ("crates/kernels/src/lib.rs", lib),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn unguarded_construction_of_guarded_type_is_flagged() {
+        let simd = format!(
+            "pub(crate) struct Fast;\nimpl Fast {{\n    pub fn run(&self, x: &mut [f32]) {{\n        \
+             unsafe {{ kern_avx2(x) }}\n    }}\n}}\n{SIMD}"
+        );
+        let lib = "pub fn sneaky() -> Fast {\n    Fast\n}\n";
+        let found = hits(&[
+            ("crates/kernels/src/simd.rs", simd.as_str()),
+            ("crates/kernels/src/lib.rs", lib),
+        ]);
+        assert!(!found.is_empty());
+        assert!(found.iter().all(|f| f.starts_with("crates/kernels/src/lib.rs")));
+    }
+
+    #[test]
+    fn test_items_may_reference_the_guarded_type() {
+        let simd = format!(
+            "pub(crate) struct Fast;\nimpl Fast {{\n    pub fn run(&self, x: &mut [f32]) {{\n        \
+             unsafe {{ kern_avx2(x) }}\n    }}\n}}\n{SIMD}\
+             pub fn dispatch() {{\n    if std::arch::is_x86_feature_detected!(\"avx2\") {{\n        \
+             let f = Fast;\n    }}\n}}\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{\n        let f = Fast;\n    }}\n}}\n"
+        );
+        assert!(hits(&[("crates/kernels/src/simd.rs", simd.as_str())]).is_empty());
+    }
+}

@@ -21,6 +21,12 @@ pub struct Line {
     pub code: String,
     /// Concatenated comment text on this line (without `//` / `/*`).
     pub comment: String,
+    /// Contents of every string literal that *closes* on this line, in
+    /// source order (a multi-line literal is attributed to its final line).
+    /// Escape sequences are kept verbatim. Rules that care about literal
+    /// values — e.g. the metric-name registry — read this channel instead
+    /// of re-parsing the blanked `code`.
+    pub strings: Vec<String>,
 }
 
 /// Lexer state carried across lines.
@@ -41,9 +47,14 @@ enum State {
 pub fn lex(source: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut state = State::Code;
+    // Accumulates the contents of the string literal currently being
+    // lexed; survives line breaks so multi-line literals are captured
+    // whole on their closing line.
+    let mut pending_str = String::new();
     for (idx, raw) in source.lines().enumerate() {
         let mut code = String::with_capacity(raw.len());
         let mut comment = String::new();
+        let mut strings = Vec::new();
         let chars: Vec<char> = raw.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -65,14 +76,20 @@ pub fn lex(source: &str) -> Vec<Line> {
                 State::Str => {
                     code.push(' ');
                     if c == '\\' {
+                        pending_str.push(c);
+                        if let Some(&esc) = chars.get(i + 1) {
+                            pending_str.push(esc);
+                        }
                         i += 2; // skip the escaped character, whatever it is
                         code.push(' ');
                     } else if c == '"' {
                         code.pop();
                         code.push('"');
+                        strings.push(std::mem::take(&mut pending_str));
                         state = State::Code;
                         i += 1;
                     } else {
+                        pending_str.push(c);
                         i += 1;
                     }
                 }
@@ -82,9 +99,11 @@ pub fn lex(source: &str) -> Vec<Line> {
                         for _ in 0..fences {
                             code.push('#');
                         }
+                        strings.push(std::mem::take(&mut pending_str));
                         state = State::Code;
                         i += 1 + fences as usize;
                     } else {
+                        pending_str.push(c);
                         code.push(' ');
                         i += 1;
                     }
@@ -102,22 +121,30 @@ pub fn lex(source: &str) -> Vec<Line> {
                         i += 2;
                     } else if c == '"' {
                         code.push('"');
+                        pending_str.clear();
                         state = State::Str;
                         i += 1;
                     } else if let Some(fences) = raw_string_open(&chars, i) {
                         // r"…", r#"…"#, br"…", b"…" handled here/below.
+                        // `raw_prefix_len` already counts the `#` fences.
                         let prefix_len = raw_prefix_len(&chars, i);
-                        for _ in 0..prefix_len + 1 + fences as usize {
+                        for _ in 0..prefix_len {
                             code.push(' ');
                         }
                         // Re-emit the opening quote for visibility.
-                        code.pop();
                         code.push('"');
+                        pending_str.clear();
                         state = State::RawStr(fences);
-                        i += prefix_len + 1 + fences as usize;
-                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        i += prefix_len + 1;
+                    } else if c == 'b'
+                        && chars.get(i + 1) == Some(&'"')
+                        && (i == 0 || (!chars[i - 1].is_alphanumeric() && chars[i - 1] != '_'))
+                    {
+                        // Byte string — but not an identifier that happens to
+                        // end in `b` (same guard the raw-string opener uses).
                         code.push(' ');
                         code.push('"');
+                        pending_str.clear();
                         state = State::Str;
                         i += 2;
                     } else if c == '\'' {
@@ -139,7 +166,12 @@ pub fn lex(source: &str) -> Vec<Line> {
                 }
             }
         }
-        lines.push(Line { number: idx + 1, code, comment });
+        lines.push(Line { number: idx + 1, code, comment, strings });
+        // A string still open at end-of-line continues on the next line;
+        // record the line break in its content.
+        if matches!(state, State::Str | State::RawStr(_)) {
+            pending_str.push('\n');
+        }
     }
     lines
 }
@@ -196,8 +228,10 @@ fn closes_raw(chars: &[char], i: usize, fences: u32) -> bool {
 fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
-            // Escaped char literal: scan to the closing quote.
-            let mut j = i + 2;
+            // Escaped char literal: the character after the backslash is
+            // always part of the escape (so `'\''` scans past its quoted
+            // apostrophe), then scan to the closing quote.
+            let mut j = i + 3;
             while j < chars.len() && chars[j] != '\'' {
                 j += 1;
             }
@@ -349,5 +383,65 @@ mod tests {
         let lines = lex("#[cfg(test)]\nmod tests {");
         assert!(lines[0].code.contains("#[cfg(test)]"));
         assert!(lines[1].code.contains("mod tests"));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let lines = lex(r#"counter("pool.hits"); gauge("pool.hit_rate");"#);
+        assert_eq!(lines[0].strings, vec!["pool.hits", "pool.hit_rate"]);
+    }
+
+    #[test]
+    fn raw_string_contents_are_captured() {
+        let lines = lex("let s = r#\"a \"quoted\" name\"#;");
+        assert_eq!(lines[0].strings, vec!["a \"quoted\" name"]);
+    }
+
+    #[test]
+    fn multi_line_string_attributed_to_closing_line() {
+        let lines = lex("let s = \"first\nsecond\";\nlet t = \"x\";");
+        assert!(lines[0].strings.is_empty());
+        assert_eq!(lines[1].strings, vec!["first\nsecond"]);
+        assert_eq!(lines[2].strings, vec!["x"]);
+    }
+
+    #[test]
+    fn escapes_are_kept_verbatim_in_captured_strings() {
+        let lines = lex(r#"let s = "a\"b\n";"#);
+        assert_eq!(lines[0].strings, vec![r#"a\"b\n"#]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail_lexing() {
+        // `'\''` once left a stray apostrophe behind, which could swallow
+        // the rest of the line as a bogus char literal.
+        let lines = lex(r"let c = '\''; let next = 1; // note");
+        assert!(lines[0].code.contains("let next = 1;"));
+        assert_eq!(lines[0].comment, "note");
+    }
+
+    #[test]
+    fn char_literal_with_quote_and_slashes() {
+        let lines = lex("let q = '\"'; let s = '/'; y.unwrap(); // c");
+        assert!(lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].comment, "c");
+        // The quote inside the char literal must not open a string.
+        assert!(lines[0].strings.is_empty());
+    }
+
+    #[test]
+    fn identifier_ending_in_b_is_not_byte_string() {
+        let lines = lex(r#"grab"text"; y.unwrap();"#);
+        assert!(lines[0].code.contains("grab"));
+        assert!(lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].strings, vec!["text"]);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_stay_strings() {
+        let lines = lex(r#"let s = "// not a comment /* nor this */"; f();"#);
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains("f();"));
+        assert_eq!(lines[0].strings, vec!["// not a comment /* nor this */"]);
     }
 }

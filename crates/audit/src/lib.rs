@@ -1,43 +1,130 @@
 //! # mmhand-audit
 //!
-//! A dependency-free static-analysis engine enforcing the workspace's
-//! correctness contracts: `unsafe` documentation, panic hygiene,
-//! determinism hygiene, and float-comparison hygiene. PR 1 wired a
-//! hand-rolled fork-join pool through every hot path and promised
-//! bitwise-identical results at any thread count; these lints are the
-//! static half of that contract (the dynamic half is the scheduler audit
-//! in `mmhand-parallel` and the `sanitize-numerics` feature).
+//! A dependency-free multi-pass static analyzer enforcing the workspace's
+//! correctness contracts: `unsafe` documentation and contract structure,
+//! SIMD dispatch confinement, `ScratchPool` checkout/return discipline,
+//! telemetry-name hygiene, panic hygiene, determinism hygiene, and
+//! float-comparison hygiene.
 //!
-//! The scanner is a line lexer, not a `syn`/rustc plugin: it tracks
-//! strings, raw strings, char literals, and nested block comments so
-//! rules fire only on real code. See [`rules`] for the rule catalogue and
-//! the `// audit: allow(<rule>)` justification-marker syntax.
+//! The engine is layered (see `DESIGN.md` §14):
+//!
+//! 1. **lexer** — splits each line into code / comment / string channels,
+//!    tracking raw strings, char literals, and nested block comments;
+//! 2. **parser** — recovers item structure (fn/impl/mod boundaries,
+//!    attributes, call sites) from the code channel;
+//! 3. **passes** — per-line rules ([`rules`]), contract and pool dataflow
+//!    passes ([`passes`]), the workspace-wide SIMD call-graph pass
+//!    ([`graph`]), the metric registry ([`metrics`]), and stale-marker
+//!    detection;
+//! 4. **ratchet** — per-`(rule, file)` baseline comparison ([`baseline`]).
+//!
+//! It is a purpose-built recognizer, not a `syn`/rustc plugin: the build
+//! environment is offline and the crate stays dependency-free by design.
 //!
 //! Run it with:
 //!
 //! ```text
-//! cargo run -p mmhand-audit -- --deny-all
+//! cargo run -p mmhand-audit -- --deny-all --baseline audit/baseline.json
 //! ```
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod marker;
+pub mod metrics;
+pub mod parser;
+pub mod passes;
 pub mod rules;
 
-use rules::Finding;
+use marker::MarkerSet;
+use parser::ParsedFile;
+use rules::{Finding, Outcome, Severity, Waiver};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// One lexed + parsed source file, shared by every pass.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Lexed lines (code / comment / string channels).
+    pub lines: Vec<lexer::Line>,
+    /// Item structure.
+    pub parsed: ParsedFile,
+    /// Audit markers with usage tracking.
+    pub markers: MarkerSet,
+}
+
+impl SourceFile {
+    /// Lexes and parses one file's source.
+    pub fn from_source(path: &str, source: &str) -> SourceFile {
+        let lines = lexer::lex(source);
+        let parsed = ParsedFile::parse(&lines);
+        let markers = MarkerSet::collect(&lines);
+        SourceFile { path: path.to_string(), lines, parsed, markers }
+    }
+}
+
 /// Result of a workspace scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
-    /// All findings, ordered by file path then line.
+    /// All findings, ordered by file path, line, then rule.
     pub findings: Vec<Finding>,
+    /// Marker-suppressed findings (counted by the baseline ratchet).
+    pub waivers: Vec<Waiver>,
     /// Number of `.rs` files inspected.
     pub files_scanned: usize,
+    /// The collected telemetry-name registry.
+    pub metrics: metrics::Registry,
+}
+
+impl Report {
+    /// Findings at [`Severity::Deny`].
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
 }
 
 /// Directories never scanned (build output, vendored deps, VCS metadata).
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Runs every pass over an in-memory file set. `metrics_docs` is the
+/// content of `docs/METRICS.md` when present. This is the engine behind
+/// [`scan_workspace`]; tests drive it directly with synthetic files.
+pub fn analyze(files: &[SourceFile], metrics_docs: Option<&str>) -> Report {
+    let mut out = Outcome::default();
+
+    for file in files {
+        rules::line_rules(&file.path, &file.lines, &file.markers, &mut out);
+        passes::unsafe_contract(&file.path, &file.lines, &file.markers, &mut out);
+        passes::pool_lifecycle(&file.path, &file.lines, &file.parsed, &file.markers, &mut out);
+    }
+
+    graph::simd_dispatch(files, &mut out);
+
+    let registry = metrics::collect(files);
+    metrics::metric_registry(files, &registry, metrics_docs, &mut out);
+
+    // Stale markers last: every suppression opportunity has now run, so a
+    // marker that is still unused suppresses nothing.
+    for file in files {
+        for m in file.markers.stale() {
+            let number = file.lines.get(m.line_idx).map_or(m.line_idx + 1, |l| l.number);
+            out.warn(
+                "stale_marker",
+                &file.path,
+                number,
+                format!("marker `// audit: {}` suppresses no finding; remove it", m.kind),
+            );
+        }
+    }
+
+    let Outcome { mut findings, mut waivers } = out;
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    waivers.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Report { findings, waivers, files_scanned: files.len(), metrics: registry }
+}
 
 /// Scans every `.rs` file under `root`, returning the combined report.
 ///
@@ -45,17 +132,17 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
 ///
 /// Returns the first I/O error encountered while walking or reading.
 pub fn scan_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for file in &files {
-        let source = fs::read_to_string(file)?;
-        let rel = relative_path(root, file);
-        findings.extend(rules::check_file(&rel, &source));
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let source = fs::read_to_string(path)?;
+        let rel = relative_path(root, path);
+        files.push(SourceFile::from_source(&rel, &source));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(Report { findings, files_scanned: files.len() })
+    let docs = fs::read_to_string(root.join("docs/METRICS.md")).ok();
+    Ok(analyze(&files, docs.as_deref()))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -96,8 +183,9 @@ pub fn to_json(report: &Report) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
             escape_json(f.rule),
+            f.severity.label(),
             escape_json(&f.file),
             f.line,
             escape_json(&f.message)
@@ -106,15 +194,31 @@ pub fn to_json(report: &Report) -> String {
     if !report.findings.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"waivers\": [");
+    for (i, w) in report.waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            escape_json(w.rule),
+            escape_json(&w.file),
+            w.line
+        ));
+    }
+    if !report.waivers.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str(&format!(
-        "],\n  \"files_scanned\": {},\n  \"finding_count\": {}\n}}\n",
+        "],\n  \"files_scanned\": {},\n  \"finding_count\": {},\n  \"waiver_count\": {}\n}}\n",
         report.files_scanned,
-        report.findings.len()
+        report.findings.len(),
+        report.waivers.len()
     ));
     out
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -134,28 +238,46 @@ fn escape_json(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn report_with(findings: Vec<Finding>, waivers: Vec<Waiver>) -> Report {
+        Report { findings, waivers, files_scanned: 1, metrics: metrics::Registry::new() }
+    }
+
     #[test]
     fn json_escapes_special_characters() {
-        let report = Report {
-            findings: vec![Finding {
+        let report = report_with(
+            vec![Finding {
                 rule: "no_unwrap",
+                severity: Severity::Deny,
                 file: "a \"b\"\\c.rs".into(),
                 line: 3,
                 message: "line1\nline2".into(),
             }],
-            files_scanned: 1,
-        };
+            vec![],
+        );
         let json = to_json(&report);
         assert!(json.contains(r#"a \"b\"\\c.rs"#));
         assert!(json.contains(r"line1\nline2"));
+        assert!(json.contains("\"severity\": \"deny\""));
         assert!(json.contains("\"finding_count\": 1"));
     }
 
     #[test]
+    fn json_includes_waivers() {
+        let report = report_with(
+            vec![],
+            vec![Waiver { rule: "no_panic", file: "x.rs".into(), line: 12 }],
+        );
+        let json = to_json(&report);
+        assert!(json.contains("\"waiver_count\": 1"));
+        assert!(json.contains(r#"{"rule": "no_panic", "file": "x.rs", "line": 12}"#));
+    }
+
+    #[test]
     fn empty_report_is_valid_json_shape() {
-        let json = to_json(&Report { findings: vec![], files_scanned: 7 });
+        let json = to_json(&report_with(vec![], vec![]));
         assert!(json.contains("\"findings\": []"));
-        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"waivers\": []"));
+        assert!(json.contains("\"files_scanned\": 1"));
     }
 
     #[test]
@@ -163,5 +285,41 @@ mod tests {
         let root = Path::new("/ws");
         let file = Path::new("/ws/crates/x/src/lib.rs");
         assert_eq!(relative_path(root, file), "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn analyze_runs_all_passes_and_sorts_output() {
+        let files = vec![
+            SourceFile::from_source(
+                "crates/x/src/lib.rs",
+                "fn f() { y.unwrap(); }\n// audit: allow(no_panic)\nfn g() {}\n",
+            ),
+            SourceFile::from_source("crates/a/src/lib.rs", "fn h() { z.unwrap(); }\n"),
+        ];
+        let report = analyze(&files, None);
+        let rules: Vec<(&str, &str)> =
+            report.findings.iter().map(|f| (f.file.as_str(), f.rule)).collect();
+        // Sorted by file: crates/a before crates/x; stale marker warned.
+        assert_eq!(
+            rules,
+            vec![
+                ("crates/a/src/lib.rs", "no_unwrap"),
+                ("crates/x/src/lib.rs", "no_unwrap"),
+                ("crates/x/src/lib.rs", "stale_marker"),
+            ]
+        );
+        assert_eq!(report.deny_count(), 2);
+        assert_eq!(report.files_scanned, 2);
+    }
+
+    #[test]
+    fn used_markers_are_not_stale() {
+        let files = vec![SourceFile::from_source(
+            "crates/x/src/lib.rs",
+            "// audit: allow(no_unwrap) — justified\nfn f() { y.unwrap(); }\n",
+        )];
+        let report = analyze(&files, None);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.waivers.len(), 1);
     }
 }

@@ -1,18 +1,26 @@
-//! `mmhand-audit` — CLI front end for the workspace lint engine.
+//! `mmhand-audit` — CLI front end for the workspace analysis engine.
 //!
 //! ```text
-//! mmhand-audit [--root DIR] [--json] [--deny-all] [--list-rules]
+//! mmhand-audit [--root DIR] [--json] [--deny-all] [--rule NAME]
+//!              [--baseline FILE] [--write-baseline]
+//!              [--emit-metrics FILE] [--list-rules]
 //! ```
 //!
-//! * `--root DIR`    workspace root to scan (default: current directory)
-//! * `--json`        machine-readable output for CI artifacts
-//! * `--deny-all`    exit non-zero when any finding exists (the CI gate)
-//! * `--list-rules`  print the rule catalogue and exit
+//! * `--root DIR`          workspace root to scan (default: current directory)
+//! * `--json`              machine-readable output for CI artifacts
+//! * `--deny-all`          exit non-zero on any deny-level finding (the CI gate)
+//! * `--rule NAME`         report only findings of one rule (repeatable)
+//! * `--baseline FILE`     ratchet mode: fail if any (rule, file) count rises
+//!   above the committed snapshot; suggest shrinking it when counts fall
+//! * `--write-baseline`    rewrite the `--baseline` file with current counts
+//! * `--emit-metrics FILE` write the collected telemetry-name registry as JSON
+//! * `--list-rules`        print the rule catalogue and exit
 //!
-//! Exit codes: `0` clean (or findings without `--deny-all`), `1` findings
-//! under `--deny-all`, `2` usage or I/O error.
+//! Exit codes: `0` clean (or findings without `--deny-all`), `1` deny-level
+//! findings under `--deny-all` or a baseline regression, `2` usage or I/O
+//! error.
 
-use mmhand_audit::{rules, scan_workspace, to_json};
+use mmhand_audit::{baseline, metrics, rules, scan_workspace, to_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +29,10 @@ struct Options {
     json: bool,
     deny_all: bool,
     list_rules: bool,
+    rule_filter: Vec<String>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    emit_metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +41,10 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         deny_all: false,
         list_rules: false,
+        rule_filter: Vec::new(),
+        baseline: None,
+        write_baseline: false,
+        emit_metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,9 +52,25 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny-all" => opts.deny_all = true,
             "--list-rules" => opts.list_rules = true,
+            "--write-baseline" => opts.write_baseline = true,
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 opts.root = PathBuf::from(dir);
+            }
+            "--rule" => {
+                let name = args.next().ok_or("--rule requires a rule name argument")?;
+                if !rules::RULES.iter().any(|(n, _)| *n == name) {
+                    return Err(format!("unknown rule `{name}` (see --list-rules)"));
+                }
+                opts.rule_filter.push(name);
+            }
+            "--baseline" => {
+                let file = args.next().ok_or("--baseline requires a file argument")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--emit-metrics" => {
+                let file = args.next().ok_or("--emit-metrics requires a file argument")?;
+                opts.emit_metrics = Some(PathBuf::from(file));
             }
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage, exit 2 is fine for scripts
@@ -46,11 +78,18 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if opts.write_baseline && opts.baseline.is_none() {
+        return Err("--write-baseline requires --baseline FILE".into());
+    }
     Ok(opts)
 }
 
 fn usage() {
-    eprintln!("usage: mmhand-audit [--root DIR] [--json] [--deny-all] [--list-rules]");
+    eprintln!(
+        "usage: mmhand-audit [--root DIR] [--json] [--deny-all] [--rule NAME]\n\
+         \x20                  [--baseline FILE] [--write-baseline]\n\
+         \x20                  [--emit-metrics FILE] [--list-rules]"
+    );
 }
 
 fn main() -> ExitCode {
@@ -72,7 +111,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match scan_workspace(&opts.root) {
+    let mut report = match scan_workspace(&opts.root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mmhand-audit: scan failed: {e}");
@@ -80,20 +119,68 @@ fn main() -> ExitCode {
         }
     };
 
+    // The baseline ratchets the *full* picture; filtering applies to the
+    // displayed findings only.
+    let counts = baseline::tally(&report.findings, &report.waivers);
+
+    if !opts.rule_filter.is_empty() {
+        report.findings.retain(|f| opts.rule_filter.iter().any(|r| r == f.rule));
+    }
+
+    if let Some(path) = &opts.emit_metrics {
+        if let Err(e) = std::fs::write(path, metrics::registry_json(&report.metrics)) {
+            eprintln!("mmhand-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     if opts.json {
         print!("{}", to_json(&report));
     } else {
         for f in &report.findings {
-            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            println!("{}:{}: {} [{}] {}", f.file, f.line, f.severity.label(), f.rule, f.message);
         }
         println!(
-            "mmhand-audit: {} finding(s) across {} file(s)",
+            "mmhand-audit: {} finding(s) ({} deny), {} waiver(s) across {} file(s)",
             report.findings.len(),
+            report.deny_count(),
+            report.waivers.len(),
             report.files_scanned
         );
     }
 
-    if opts.deny_all && !report.findings.is_empty() {
+    let mut failed = opts.deny_all && report.deny_count() > 0;
+
+    if let Some(path) = &opts.baseline {
+        if opts.write_baseline {
+            if let Err(e) = std::fs::write(path, baseline::to_json(&counts)) {
+                eprintln!("mmhand-audit: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("mmhand-audit: baseline written to {}", path.display());
+        } else {
+            let snapshot = match std::fs::read_to_string(path) {
+                Ok(text) => match baseline::parse(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("mmhand-audit: {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("mmhand-audit: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let cmp = baseline::compare(&snapshot, &counts);
+            eprint!("{}", baseline::render_diff(&cmp));
+            if !cmp.is_clean() {
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

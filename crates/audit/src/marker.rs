@@ -1,0 +1,192 @@
+//! Structured audit markers with usage tracking.
+//!
+//! Markers are the justification channel of the analyzer: a finding can be
+//! suppressed per-site, but only by a comment whose text *is* a marker —
+//! `// audit: allow(<rule>) — reason`, `// audit: pool-exempt — reason`,
+//! or `// audit: pool-escape(<reason>)` — on the offending line or the
+//! line directly above. Requiring the comment to *start* with `audit:`
+//! keeps doc-comment examples (`//! // audit: allow(no_unwrap) …` lexes to
+//! text beginning `// audit:`) from being read as live markers.
+//!
+//! Every marker records whether it suppressed at least one finding during
+//! the scan. One that suppressed nothing is dead weight — the `stale_marker`
+//! pass reports it so allow-debt cannot silently outlive the code it
+//! justified.
+
+use crate::lexer::Line;
+use std::cell::Cell;
+
+/// What a marker grants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `audit: allow(<rule>)` — silences one named rule at this site.
+    Allow(String),
+    /// `audit: pool-exempt` — a documented allocation in a hot path.
+    PoolExempt,
+    /// `audit: pool-escape(<reason>)` — a pool checkout intentionally
+    /// leaves the function that made it.
+    PoolEscape(String),
+}
+
+/// One marker occurrence.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// 0-based index of the line the marker comment sits on.
+    pub line_idx: usize,
+    /// The grant.
+    pub kind: MarkerKind,
+    /// Set when the marker suppressed at least one finding.
+    pub used: Cell<bool>,
+}
+
+/// All markers of one file.
+#[derive(Debug, Default)]
+pub struct MarkerSet {
+    markers: Vec<Marker>,
+}
+
+impl MarkerSet {
+    /// Collects the markers from a file's comment channel.
+    pub fn collect(lines: &[Line]) -> MarkerSet {
+        let mut markers = Vec::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let text = line.comment.trim();
+            let Some(rest) = text.strip_prefix("audit:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let kind = if let Some(arg) = argument(rest, "allow") {
+                MarkerKind::Allow(arg)
+            } else if let Some(reason) = argument(rest, "pool-escape") {
+                MarkerKind::PoolEscape(reason)
+            } else if rest.starts_with("pool-exempt") {
+                MarkerKind::PoolExempt
+            } else {
+                continue; // unrecognised marker text — not a grant
+            };
+            markers.push(Marker { line_idx: idx, kind, used: Cell::new(false) });
+        }
+        MarkerSet { markers }
+    }
+
+    /// Is rule `rule` allowed at line `idx` (same line or directly above)?
+    /// A hit marks the granting marker as used.
+    pub fn allow(&self, idx: usize, rule: &str) -> bool {
+        self.grant(idx, |k| matches!(k, MarkerKind::Allow(r) if r == rule))
+    }
+
+    /// Is line `idx` pool-exempt? A hit marks the marker as used.
+    pub fn pool_exempt(&self, idx: usize) -> bool {
+        self.grant(idx, |k| *k == MarkerKind::PoolExempt)
+    }
+
+    /// Is a pool escape justified at line `idx`? A hit marks the marker.
+    pub fn pool_escape(&self, idx: usize) -> bool {
+        self.grant(idx, |k| matches!(k, MarkerKind::PoolEscape(_)))
+    }
+
+    fn grant(&self, idx: usize, pred: impl Fn(&MarkerKind) -> bool) -> bool {
+        let mut hit = false;
+        for m in &self.markers {
+            if (m.line_idx == idx || m.line_idx + 1 == idx) && pred(&m.kind) {
+                m.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Markers that suppressed nothing during the scan.
+    pub fn stale(&self) -> impl Iterator<Item = &Marker> {
+        self.markers.iter().filter(|m| !m.used.get())
+    }
+
+    /// All markers (for tests and diagnostics).
+    pub fn all(&self) -> &[Marker] {
+        &self.markers
+    }
+}
+
+impl std::fmt::Display for MarkerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkerKind::Allow(rule) => write!(f, "allow({rule})"),
+            MarkerKind::PoolExempt => write!(f, "pool-exempt"),
+            MarkerKind::PoolEscape(reason) => write!(f, "pool-escape({reason})"),
+        }
+    }
+}
+
+/// Parses `head(<arg>)` from the start of `rest`, returning the argument.
+fn argument(rest: &str, head: &str) -> Option<String> {
+    let after = rest.strip_prefix(head)?;
+    let after = after.strip_prefix('(')?;
+    let close = after.find(')')?;
+    Some(after[..close].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn collect(src: &str) -> MarkerSet {
+        MarkerSet::collect(&lex(src))
+    }
+
+    #[test]
+    fn allow_marker_is_parsed_with_rule_name() {
+        let set = collect("// audit: allow(no_unwrap) — provably non-empty\nx.unwrap();");
+        assert_eq!(set.all().len(), 1);
+        assert_eq!(set.all()[0].kind, MarkerKind::Allow("no_unwrap".into()));
+        assert!(set.allow(1, "no_unwrap"));
+        assert!(!set.allow(1, "no_panic"));
+    }
+
+    #[test]
+    fn pool_markers_are_parsed() {
+        let set = collect(
+            "// audit: pool-exempt — owned return\nlet a = vec![];\n\
+             // audit: pool-escape(buffer handed to caller)\nlet b = p.take(4);",
+        );
+        assert_eq!(set.all().len(), 2);
+        assert!(set.pool_exempt(1));
+        assert!(set.pool_escape(3));
+        assert!(!set.pool_exempt(3));
+    }
+
+    #[test]
+    fn same_line_and_line_above_both_grant() {
+        let set = collect("x.unwrap(); // audit: allow(no_unwrap) reason");
+        assert!(set.allow(0, "no_unwrap"));
+        let set = collect("// audit: allow(no_unwrap)\nx.unwrap();");
+        assert!(set.allow(1, "no_unwrap"));
+        assert!(!set.allow(2, "no_unwrap"));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_markers() {
+        // `//! // audit: allow(…)` lexes to text starting `// audit:` —
+        // a quoted example, not a grant.
+        let set = collect("//! // audit: allow(no_unwrap) — index proven in bounds\n");
+        assert!(set.all().is_empty());
+        let set = collect("/// use `// audit: pool-exempt` to justify the site\n");
+        assert!(set.all().is_empty());
+    }
+
+    #[test]
+    fn usage_tracking_feeds_stale_detection() {
+        let set = collect("// audit: allow(no_unwrap)\nx.unwrap();\n// audit: pool-exempt\n");
+        assert!(set.allow(1, "no_unwrap"));
+        let stale: Vec<&Marker> = set.stale().collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].kind, MarkerKind::PoolExempt);
+        assert_eq!(stale[0].line_idx, 2);
+    }
+
+    #[test]
+    fn unrecognised_audit_text_is_ignored() {
+        let set = collect("// audit: todo revisit this\n");
+        assert!(set.all().is_empty());
+    }
+}

@@ -1,0 +1,479 @@
+//! `metric_registry` — the workspace-wide telemetry name audit.
+//!
+//! Metric handles in this workspace are resolved *by string name*
+//! (`telemetry::counter("pool.hits")`), so nothing in the type system stops
+//! two subsystems from colliding on a name, a typo from silently forking a
+//! counter into two, or a dashboard from referencing a metric that no code
+//! records. This pass closes that gap:
+//!
+//! * every `counter(` / `gauge(` / `histogram_with(` / `size_histogram(` /
+//!   `span(` call site outside test code has its name string extracted
+//!   (through `&format!` templates too — `{…}` segments normalize to `*`);
+//! * a name registered under two different kinds is a deny finding;
+//! * two distinct names at Levenshtein distance 1 are a deny finding on
+//!   the lexicographically later one (almost always a typo);
+//! * a name absent from `docs/METRICS.md` is a deny finding, and a
+//!   documented name no code records is a warn finding on the doc line;
+//! * the full registry can be emitted as JSON (`--emit-metrics`) for
+//!   dashboards to consume.
+
+use crate::lexer::Line;
+use crate::rules::Outcome;
+use crate::SourceFile;
+use std::collections::BTreeMap;
+
+/// Metric kind, keyed by the resolving function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    /// `histogram_with`, `size_histogram`, and `span` (a span records into
+    /// a histogram of the same name, so they share the namespace).
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One extracted metric registration site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSite {
+    pub name: String,
+    pub kind: MetricKind,
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// The collected registry: name → (kind of first sighting, all sites).
+pub type Registry = BTreeMap<String, Vec<MetricSite>>;
+
+/// `(pattern, kind)` for the resolving functions.
+const RESOLVERS: &[(&str, MetricKind)] = &[
+    ("counter(", MetricKind::Counter),
+    ("gauge(", MetricKind::Gauge),
+    ("histogram_with(", MetricKind::Histogram),
+    ("size_histogram(", MetricKind::Histogram),
+    ("span(", MetricKind::Gauge), // placeholder, fixed below
+];
+
+/// How many lines below a resolver call the name string may sit (multi-line
+/// `&format!(…)` calls).
+const NAME_LOOKAHEAD: usize = 4;
+
+/// Files whose metric calls are not registrations: the telemetry crate
+/// itself (its functions *are* the resolvers) and the audit crate (its
+/// fixtures quote resolver calls).
+fn exempt(path: &str) -> bool {
+    path.starts_with("crates/telemetry/src/") || path.starts_with("crates/audit/src/")
+}
+
+/// Extracts every metric registration site from one file.
+pub fn extract(file: &SourceFile) -> Vec<MetricSite> {
+    let mut out = Vec::new();
+    if exempt(&file.path) || crate::rules::classify(&file.path).test_file {
+        return out;
+    }
+    let test_lines = crate::rules::test_regions(&file.lines);
+    for (idx, line) in file.lines.iter().enumerate() {
+        if test_lines[idx] {
+            continue;
+        }
+        for &(pat, kind) in RESOLVERS {
+            let kind = if pat == "span(" { MetricKind::Histogram } else { kind };
+            let mut start = 0;
+            while let Some(pos) = line.code[start..].find(pat) {
+                let at = start + pos;
+                start = at + pat.len();
+                // Word boundary: `size_histogram(` must not also match as
+                // `histogram_with(`; `drop_span(` is not `span(`.
+                let prev = line.code[..at].chars().next_back().unwrap_or(' ');
+                if prev.is_alphanumeric() || prev == '_' {
+                    continue;
+                }
+                if let Some(name) = name_after(&file.lines, idx, at + pat.len()) {
+                    out.push(MetricSite {
+                        name,
+                        kind,
+                        file: file.path.clone(),
+                        line: line.number,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the metric-name string for a resolver call whose `(` ends at
+/// byte `after` of line `idx`: a direct literal on the same line, or the
+/// first string of a `&format!(…)` argument within the lookahead window.
+/// Format placeholders `{…}` normalize to `*`.
+fn name_after(lines: &[Line], idx: usize, after: usize) -> Option<String> {
+    let lo = idx;
+    let hi = (idx + NAME_LOOKAHEAD).min(lines.len() - 1);
+    for (k, line) in lines.iter().enumerate().take(hi + 1).skip(lo) {
+        let code: &str = if k == lo { &line.code[after..] } else { &line.code };
+        let Some(q) = code.find('"') else {
+            // Keep scanning only while the argument is still opening
+            // (`&format!(` spilling to the next line); a `)` or `;` means
+            // the call closed without a literal name — a pass-through
+            // variable we cannot resolve statically.
+            if code.contains(')') || code.contains(';') {
+                return None;
+            }
+            continue;
+        };
+        // Map the quote to its string: each literal contributes exactly two
+        // quotes to the code channel of the line it opens and closes on
+        // (metric names never span lines), so quote-pair counting indexes
+        // the strings channel directly.
+        let quotes_before = line.code[..line.code.len() - code.len() + q].matches('"').count();
+        let nth = quotes_before / 2;
+        let raw = line.strings.get(nth)?;
+        return normalize(raw);
+    }
+    None
+}
+
+/// Validates and normalizes a metric name: `{…}` → `*`, then the result
+/// must be dotted lowercase segments. Returns `None` for non-metric
+/// strings (e.g. the histogram-bounds argument of an unrelated call).
+fn normalize(raw: &str) -> Option<String> {
+    let mut name = String::new();
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+            }
+            name.push('*');
+        } else {
+            name.push(c);
+        }
+    }
+    let valid = !name.is_empty()
+        && name.contains('.')
+        && name
+            .split('.')
+            .all(|seg| {
+                !seg.is_empty()
+                    && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '*')
+            });
+    if valid {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Builds the registry from all files.
+pub fn collect(files: &[SourceFile]) -> Registry {
+    let mut reg: Registry = BTreeMap::new();
+    for file in files {
+        for site in extract(file) {
+            reg.entry(site.name.clone()).or_default().push(site);
+        }
+    }
+    reg
+}
+
+/// Runs the registry checks against `docs/METRICS.md`.
+pub fn metric_registry(
+    files: &[SourceFile],
+    registry: &Registry,
+    docs: Option<&str>,
+    out: &mut Outcome,
+) {
+    // Kind conflicts.
+    for sites in registry.values() {
+        let first = &sites[0];
+        for site in &sites[1..] {
+            if site.kind != first.kind {
+                emit(files, out, site, format!(
+                    "metric `{}` registered as {} here but as {} at {}:{}",
+                    site.name,
+                    site.kind.label(),
+                    first.kind.label(),
+                    first.file,
+                    first.line
+                ));
+            }
+        }
+    }
+
+    // Near-miss typos: Levenshtein distance 1 between distinct names.
+    let names: Vec<&String> = registry.keys().collect();
+    for (i, a) in names.iter().enumerate() {
+        for b in &names[i + 1..] {
+            if levenshtein1(a, b) {
+                // Blame the later name: the earlier one is established.
+                let site = &registry[b.as_str()][0];
+                emit(files, out, site, format!(
+                    "metric `{b}` is a distance-1 near-miss of `{a}`: almost \
+                     certainly a typo forking one metric into two"
+                ));
+            }
+        }
+    }
+
+    // Documentation cross-check.
+    let Some(docs) = docs else {
+        if !registry.is_empty() {
+            out.warn(
+                "metric_registry",
+                "docs/METRICS.md",
+                1,
+                "docs/METRICS.md is missing: the metric registry cannot be \
+                 cross-checked against documentation"
+                    .into(),
+            );
+        }
+        return;
+    };
+    let documented = documented_names(docs);
+    for (name, sites) in registry {
+        if !documented.contains_key(name) {
+            emit(files, out, &sites[0], format!(
+                "metric `{name}` is not documented in docs/METRICS.md"
+            ));
+        }
+    }
+    for (name, doc_line) in &documented {
+        if !registry.contains_key(name) {
+            out.warn(
+                "metric_registry",
+                "docs/METRICS.md",
+                *doc_line,
+                format!("documented metric `{name}` is recorded by no code (stale doc entry)"),
+            );
+        }
+    }
+}
+
+/// Emits a deny finding at a metric site, honoring the file's markers.
+fn emit(files: &[SourceFile], out: &mut Outcome, site: &MetricSite, message: String) {
+    let file = files.iter().find(|f| f.path == site.file);
+    match file {
+        Some(f) => out.deny(&f.markers, "metric_registry", &site.file, site.line - 1, site.line, message),
+        None => out.warn("metric_registry", &site.file, site.line, message),
+    }
+}
+
+/// Backticked metric names in the docs, with their 1-based line numbers.
+fn documented_names(docs: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in docs.lines().enumerate() {
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let Some(close) = rest[open + 1..].find('`') else { break };
+            let candidate = &rest[open + 1..open + 1 + close];
+            if let Some(name) = normalize(candidate) {
+                out.entry(name).or_insert(idx + 1);
+            }
+            rest = &rest[open + 1 + close + 1..];
+        }
+    }
+    out
+}
+
+/// Serializes the registry as stable JSON for `--emit-metrics`.
+pub fn registry_json(registry: &Registry) -> String {
+    let mut s = String::from("{\n  \"metrics\": {");
+    for (i, (name, sites)) in registry.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"kind\": \"{}\", \"sites\": {}}}",
+            crate::escape_json(name),
+            sites[0].kind.label(),
+            sites.len()
+        ));
+    }
+    if !registry.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!("}},\n  \"metric_count\": {}\n}}\n", registry.len()));
+    s
+}
+
+/// `true` when `a` and `b` are at Levenshtein distance exactly 1.
+fn levenshtein1(a: &str, b: &str) -> bool {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > 1 || a == b {
+        return false;
+    }
+    if n == m {
+        // Exactly one substitution.
+        return a.iter().zip(&b).filter(|(x, y)| x != y).count() == 1;
+    }
+    // One insertion: let `s` be the shorter.
+    let (s, l) = if n < m { (&a, &b) } else { (&b, &a) };
+    let mut i = 0;
+    let mut skipped = false;
+    for &c in l.iter() {
+        if i < s.len() && s[i] == c {
+            i += 1;
+        } else if skipped {
+            return false;
+        } else {
+            skipped = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, src)
+    }
+
+    fn check(specs: &[(&str, &str)], docs: Option<&str>) -> Outcome {
+        let files: Vec<SourceFile> = specs.iter().map(|(p, s)| file(p, s)).collect();
+        let registry = collect(&files);
+        let mut out = Outcome::default();
+        metric_registry(&files, &registry, docs, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_names_are_extracted_with_kinds() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    telemetry::counter(\"pool.hits\").inc();\n    \
+             telemetry::gauge(\"pool.hit_rate\").set(0.5);\n    \
+             telemetry::span(\"serve.step\");\n}",
+        );
+        let sites = extract(&f);
+        let got: Vec<(&str, MetricKind)> =
+            sites.iter().map(|s| (s.name.as_str(), s.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("pool.hits", MetricKind::Counter),
+                ("pool.hit_rate", MetricKind::Gauge),
+                ("serve.step", MetricKind::Histogram),
+            ]
+        );
+    }
+
+    #[test]
+    fn format_templates_normalize_to_star() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn f(i: usize) {\n    t::counter(&format!(\"parallel.worker.{i}.tasks\"));\n}",
+        );
+        assert_eq!(extract(&f)[0].name, "parallel.worker.*.tasks");
+    }
+
+    #[test]
+    fn multi_line_format_call_is_resolved() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    t::size_histogram(&format!(\n        \"dsp.fft.points.{}\",\n        \
+             backend()\n    ));\n}",
+        );
+        let sites = extract(&f);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].name, "dsp.fft.points.*");
+        assert_eq!(sites[0].kind, MetricKind::Histogram);
+    }
+
+    #[test]
+    fn test_regions_and_non_metric_strings_are_skipped() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { t::counter(\"test.only\"); }\n}\n\
+             fn f() { other(\"not a metric\"); }",
+        );
+        assert!(extract(&f).is_empty());
+    }
+
+    #[test]
+    fn pass_through_variables_are_unresolvable_not_wrong() {
+        let f = file("crates/x/src/lib.rs", "fn f(name: &str) {\n    t::counter(name);\n}");
+        assert!(extract(&f).is_empty());
+    }
+
+    #[test]
+    fn kind_conflict_is_flagged() {
+        let out = check(
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    t::counter(\"a.b\");\n    t::gauge(\"a.b\");\n}",
+            )],
+            Some("- `a.b`"),
+        );
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("registered as gauge here but as counter"));
+    }
+
+    #[test]
+    fn near_miss_typo_is_flagged() {
+        let out = check(
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    t::counter(\"pool.hits\");\n    t::counter(\"pool.hitz\");\n}",
+            )],
+            Some("- `pool.hits`\n- `pool.hitz`"),
+        );
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("near-miss"));
+        assert!(out.findings[0].message.contains("pool.hitz"));
+    }
+
+    #[test]
+    fn undocumented_and_stale_doc_entries() {
+        let out = check(
+            &[("crates/x/src/lib.rs", "fn f() {\n    t::counter(\"a.fresh\");\n}")],
+            Some("Metrics:\n- `a.stale` — a gauge nobody records\n"),
+        );
+        assert_eq!(out.findings.len(), 2);
+        let rules: Vec<&str> = out.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["metric_registry", "metric_registry"]);
+        assert!(out.findings.iter().any(|f| f.message.contains("not documented")));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.message.contains("stale doc entry") && f.file == "docs/METRICS.md"));
+    }
+
+    #[test]
+    fn registry_json_is_stable() {
+        let files = vec![file(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    t::gauge(\"z.g\");\n    t::counter(\"a.c\");\n}",
+        )];
+        let reg = collect(&files);
+        let json = registry_json(&reg);
+        let a = json.find("a.c").expect("a.c present");
+        let z = json.find("z.g").expect("z.g present");
+        assert!(a < z, "keys sorted");
+        assert!(json.contains("\"metric_count\": 2"));
+    }
+
+    #[test]
+    fn levenshtein_distance_one() {
+        assert!(levenshtein1("pool.hits", "pool.hitz"));
+        assert!(levenshtein1("pool.hits", "pool.hit"));
+        assert!(levenshtein1("pool.hit", "pool.hits"));
+        assert!(!levenshtein1("pool.hits", "pool.hits"));
+        assert!(!levenshtein1("pool.hits", "pool.misses"));
+        assert!(!levenshtein1("a.b", "a.bcd"));
+    }
+}

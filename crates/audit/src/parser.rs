@@ -1,0 +1,650 @@
+//! An item-level parser for audited Rust source.
+//!
+//! Built on the [`crate::lexer`] code channel (comments and string contents
+//! already blanked), this module recovers the *item structure* of a file —
+//! `fn` / `impl` / `mod` / `struct` / `enum` / `trait` boundaries with their
+//! attributes, spans, and nesting — plus the call sites inside each
+//! function body. That is exactly what the deep analysis passes need:
+//!
+//! * `unsafe_contract` anchors SAFETY contracts to `unsafe fn` items and
+//!   `unsafe {}` blocks;
+//! * `simd_dispatch` walks the intra-crate call graph from every
+//!   `#[target_feature]` function back to the cpuid-guarded dispatcher;
+//! * `pool_lifecycle` runs its checkout/return dataflow per function body.
+//!
+//! Like the lexer, the parser is deliberately *not* `syn`: it is a
+//! dependency-free recogniser tuned to the shapes that occur in this
+//! workspace, and it degrades gracefully — pathological input produces
+//! imprecise spans, never a panic. Items that fail to close by end of file
+//! are clamped to the last line.
+
+use crate::lexer::Line;
+
+/// What kind of item a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method (including `unsafe fn`).
+    Fn,
+    /// An `impl` block (`impl T` or `impl Trait for T`).
+    Impl,
+    /// A `mod` with a body (`mod m;` declarations are recorded too).
+    Mod,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// A `trait` definition.
+    Trait,
+    /// A `macro_rules!` definition.
+    MacroDef,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Item name. For `impl` blocks this is the *self type* name (the last
+    /// path segment), e.g. `SimdKernels` for `impl Kernels for SimdKernels`.
+    pub name: String,
+    /// For `impl Trait for T`: the trait's last path segment.
+    pub impl_trait: Option<String>,
+    /// Outer attributes (`#[...]`) attached to the item, as flattened text
+    /// with string contents blanked (e.g. `target_feature(enable="")`).
+    pub attrs: Vec<String>,
+    /// `unsafe fn` (only meaningful for [`ItemKind::Fn`]).
+    pub is_unsafe_fn: bool,
+    /// 0-based index of the line the item keyword sits on.
+    pub start: usize,
+    /// 0-based index of the line whose `{` opens the body (`None` for
+    /// braceless items such as `mod m;` or trait method declarations).
+    pub body_start: Option<usize>,
+    /// 0-based index of the line the item ends on (closing `}` or `;`).
+    pub end: usize,
+    /// Index of the enclosing item in [`ParsedFile::items`], if any.
+    pub parent: Option<usize>,
+}
+
+impl Item {
+    /// `true` when any attribute mentions `target_feature`.
+    pub fn has_target_feature(&self) -> bool {
+        self.attrs.iter().any(|a| a.contains("target_feature"))
+    }
+
+    /// `true` when any attribute is `#[cfg(test)]`-shaped or `#[test]`.
+    pub fn is_test_gated(&self) -> bool {
+        self.attrs.iter().any(|a| {
+            (a.contains("cfg") && crate::lexer::contains_word(a, "test")) || a == "test"
+        })
+    }
+}
+
+/// The parsed item tree of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All items, in source order (parents precede children).
+    pub items: Vec<Item>,
+}
+
+impl ParsedFile {
+    /// Parses the lexed lines of one file.
+    pub fn parse(lines: &[Line]) -> ParsedFile {
+        Parser::new(lines).run()
+    }
+
+    /// Index of the innermost `fn` item whose span contains `line_idx`.
+    pub fn enclosing_fn(&self, line_idx: usize) -> Option<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| {
+                it.kind == ItemKind::Fn && it.start <= line_idx && line_idx <= it.end
+            })
+            .max_by_key(|(_, it)| it.start)
+            .map(|(i, _)| i)
+    }
+
+    /// The chain of ancestors of `idx` (nearest first).
+    pub fn ancestors(&self, idx: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.items[idx].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.items[p].parent;
+        }
+        out
+    }
+
+    /// The `impl` item the function `idx` is defined in, if any.
+    pub fn enclosing_impl(&self, idx: usize) -> Option<&Item> {
+        self.ancestors(idx)
+            .into_iter()
+            .map(|i| &self.items[i])
+            .find(|it| it.kind == ItemKind::Impl)
+    }
+
+    /// `true` when the item or any ancestor is `#[cfg(test)]`-gated.
+    pub fn in_test_item(&self, idx: usize) -> bool {
+        if self.items[idx].is_test_gated() {
+            return true;
+        }
+        self.ancestors(idx).iter().any(|&a| self.items[a].is_test_gated())
+    }
+}
+
+/// Keywords that open an item we track.
+const ITEM_KEYWORDS: &[(&str, ItemKind)] = &[
+    ("fn", ItemKind::Fn),
+    ("impl", ItemKind::Impl),
+    ("mod", ItemKind::Mod),
+    ("struct", ItemKind::Struct),
+    ("enum", ItemKind::Enum),
+    ("trait", ItemKind::Trait),
+];
+
+/// One token of the code channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+/// Flattens the code channel into `(token, line_idx)` pairs.
+fn tokenize(lines: &[Line]) -> Vec<(Tok, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(chars[start..i].iter().collect()), idx));
+            } else {
+                out.push((Tok::Punct(c), idx));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parser state: a single forward pass over the token stream.
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    lines: &'a [Line],
+    items: Vec<Item>,
+    /// Stack of `(item index, brace depth at which its body opened)`.
+    open: Vec<(usize, i64)>,
+    depth: i64,
+    /// Attributes collected since the last statement boundary.
+    pending_attrs: Vec<String>,
+    /// Modifier idents (`pub`, `unsafe`, `const`, …) since the last boundary.
+    pending_mods: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(lines: &'a [Line]) -> Self {
+        Parser {
+            toks: tokenize(lines),
+            lines,
+            items: Vec::new(),
+            open: Vec::new(),
+            depth: 0,
+            pending_attrs: Vec::new(),
+            pending_mods: Vec::new(),
+        }
+    }
+
+    fn innermost_is_fn(&self) -> bool {
+        self.open.last().is_some_and(|&(i, _)| self.items[i].kind == ItemKind::Fn)
+    }
+
+    fn run(mut self) -> ParsedFile {
+        let mut p = 0;
+        while p < self.toks.len() {
+            match &self.toks[p].0 {
+                Tok::Punct('#') => {
+                    p = self.eat_attribute(p);
+                }
+                Tok::Punct('{') => {
+                    self.depth += 1;
+                    self.pending_attrs.clear();
+                    self.pending_mods.clear();
+                    p += 1;
+                }
+                Tok::Punct('}') => {
+                    self.depth -= 1;
+                    if let Some(&(idx, d)) = self.open.last() {
+                        if d == self.depth {
+                            self.items[idx].end = self.toks[p].1;
+                            self.open.pop();
+                        }
+                    }
+                    self.pending_attrs.clear();
+                    self.pending_mods.clear();
+                    p += 1;
+                }
+                Tok::Punct(';') => {
+                    self.pending_attrs.clear();
+                    self.pending_mods.clear();
+                    p += 1;
+                }
+                Tok::Punct(_) => {
+                    // Any other punctuation breaks a modifier run (so the
+                    // `unsafe` in `unsafe { … }` or a closure's `|` cannot
+                    // leak into a later signature) but keeps attributes
+                    // (they may sit above the modifiers).
+                    self.pending_mods.clear();
+                    p += 1;
+                }
+                Tok::Ident(id) => {
+                    if id == "macro_rules"
+                        && matches!(self.toks.get(p + 1), Some((Tok::Punct('!'), _)))
+                    {
+                        p = self.start_item(ItemKind::MacroDef, p, p + 2);
+                    } else if let Some(kind) = self.item_keyword_at(p, id) {
+                        p = self.start_item(kind, p, p + 1);
+                    } else {
+                        self.pending_mods.push(id.clone());
+                        p += 1;
+                    }
+                }
+            }
+        }
+        // Clamp anything still open to the last line (unbalanced input).
+        let last = self.lines.len().saturating_sub(1);
+        while let Some((idx, _)) = self.open.pop() {
+            self.items[idx].end = last;
+        }
+        ParsedFile { items: self.items }
+    }
+
+    /// Is the ident at `p` an item keyword in item position?
+    fn item_keyword_at(&self, p: usize, id: &str) -> Option<ItemKind> {
+        let kind = ITEM_KEYWORDS.iter().find(|(k, _)| *k == id).map(|&(_, k)| k)?;
+        // Inside a fn body only nested `fn` items are recognised —
+        // `impl Iterator` in a type position or `struct`-like words in
+        // expressions must not open phantom items.
+        if self.innermost_is_fn() && kind != ItemKind::Fn {
+            return None;
+        }
+        // The keyword must introduce a name: `fn(` is a function-pointer
+        // type, `impl` must be followed by an ident or `<`.
+        match (kind, self.toks.get(p + 1).map(|(t, _)| t)) {
+            (ItemKind::Impl, Some(Tok::Ident(_)) | Some(Tok::Punct('<'))) => Some(kind),
+            (ItemKind::Impl, _) => None,
+            (_, Some(Tok::Ident(_))) => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Consumes `#[...]` (or skips `#![...]`), returning the next position.
+    fn eat_attribute(&mut self, p: usize) -> usize {
+        let mut q = p + 1;
+        let inner = matches!(self.toks.get(q), Some((Tok::Punct('!'), _)));
+        if inner {
+            q += 1;
+        }
+        if !matches!(self.toks.get(q), Some((Tok::Punct('['), _))) {
+            return p + 1; // stray `#`
+        }
+        q += 1;
+        let mut depth = 1;
+        let mut text = String::new();
+        while q < self.toks.len() && depth > 0 {
+            match &self.toks[q].0 {
+                Tok::Punct('[') => {
+                    depth += 1;
+                    text.push('[');
+                }
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push(']');
+                    }
+                }
+                Tok::Punct(c) => text.push(*c),
+                Tok::Ident(id) => {
+                    if text.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                        text.push(' ');
+                    }
+                    text.push_str(id);
+                }
+            }
+            q += 1;
+        }
+        if !inner {
+            self.pending_attrs.push(text);
+        }
+        q
+    }
+
+    /// Builds an item starting at token `kw` (keyword) with the name
+    /// expected around token `name_at`, then consumes its signature up to
+    /// the body `{` or a terminating `;`. Returns the next position.
+    fn start_item(&mut self, kind: ItemKind, kw: usize, name_at: usize) -> usize {
+        let start_line = self.toks[kw].1;
+        let is_unsafe_fn =
+            kind == ItemKind::Fn && self.pending_mods.iter().any(|m| m == "unsafe");
+        let attrs = std::mem::take(&mut self.pending_attrs);
+        self.pending_mods.clear();
+
+        // Walk the signature: collect idents for name extraction, stop at
+        // the opening `{` (at zero paren depth) or a `;`.
+        let mut sig: Vec<Tok> = Vec::new();
+        let mut q = name_at;
+        let mut paren = 0i64;
+        let mut body_open: Option<usize> = None;
+        let mut end_line = start_line;
+        while q < self.toks.len() {
+            match &self.toks[q].0 {
+                Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                Tok::Punct('{') if paren == 0 => {
+                    body_open = Some(self.toks[q].1);
+                    end_line = self.toks[q].1;
+                    break;
+                }
+                Tok::Punct(';') if paren == 0 => {
+                    end_line = self.toks[q].1;
+                    break;
+                }
+                _ => {}
+            }
+            sig.push(self.toks[q].0.clone());
+            q += 1;
+        }
+
+        let (name, impl_trait) = extract_name(kind, &sig);
+        let idx = self.items.len();
+        let parent = self.open.last().map(|&(i, _)| i);
+        self.items.push(Item {
+            kind,
+            name,
+            impl_trait,
+            attrs,
+            is_unsafe_fn,
+            start: start_line,
+            body_start: body_open,
+            end: end_line,
+            parent,
+        });
+        if body_open.is_some() {
+            self.open.push((idx, self.depth));
+            self.depth += 1;
+        }
+        q + 1
+    }
+}
+
+/// Extracts the item name (and the trait name for `impl Trait for T`) from
+/// the signature tokens following the keyword.
+fn extract_name(kind: ItemKind, sig: &[Tok]) -> (String, Option<String>) {
+    match kind {
+        ItemKind::Impl => {
+            // Skip a leading generics list, then read path segments. With a
+            // `for`, the self type is the last segment after it and the
+            // trait is the last segment before it.
+            let mut i = 0;
+            if sig.first() == Some(&Tok::Punct('<')) {
+                let mut d = 0i64;
+                while i < sig.len() {
+                    match sig[i] {
+                        Tok::Punct('<') => d += 1,
+                        Tok::Punct('>') => {
+                            d -= 1;
+                            if d == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            let rest = &sig[i.min(sig.len())..];
+            let for_pos = rest.iter().position(|t| t == &Tok::Ident("for".into()));
+            let seg = |toks: &[Tok]| -> String {
+                // Last ident at angle-depth zero (path tail, generics skipped).
+                let mut d = 0i64;
+                let mut last = String::new();
+                for t in toks {
+                    match t {
+                        Tok::Punct('<') => d += 1,
+                        Tok::Punct('>') => d -= 1,
+                        Tok::Ident(s) if d == 0 && s != "where" => last = s.clone(),
+                        _ => {}
+                    }
+                }
+                last
+            };
+            match for_pos {
+                Some(fp) => (seg(&rest[fp + 1..]), Some(seg(&rest[..fp]))),
+                None => (seg(rest), None),
+            }
+        }
+        _ => {
+            let name = sig
+                .iter()
+                .find_map(|t| match t {
+                    Tok::Ident(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            (name, None)
+        }
+    }
+}
+
+/// Keywords that look like calls (`if (…)`, `while (…)`) and receiver-less
+/// builtins that must not be treated as call sites.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "unsafe", "in", "as", "fn",
+    "else", "let", "mut", "ref", "break", "continue", "where", "impl", "dyn",
+];
+
+/// Extracts call sites — `(callee simple name, 0-based line idx)` — from
+/// the code channel of `lines[range]`. Macro invocations (`name!(...)`)
+/// and keyword-led parentheses are excluded; both free calls (`f(…)`,
+/// `path::f(…)`) and method calls (`x.f(…)`) are included, reported by
+/// their last path segment.
+pub fn call_sites(lines: &[Line], from: usize, to: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate().take(to + 1).skip(from) {
+        let chars: Vec<char> = line.code.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            if c != '(' {
+                continue;
+            }
+            // Walk back over whitespace to the token before `(`.
+            let mut j = i;
+            while j > 0 && chars[j - 1].is_whitespace() {
+                j -= 1;
+            }
+            if j == 0 {
+                continue;
+            }
+            let last = chars[j - 1];
+            if !(last.is_alphanumeric() || last == '_') {
+                continue; // `)(`, `!(…)` macro, operator, turbofish tail …
+            }
+            let end = j;
+            while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+                j -= 1;
+            }
+            let name: String = chars[j..end].iter().collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if NOT_CALLEES.contains(&name.as_str()) {
+                continue;
+            }
+            out.push((name, idx));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse(&lex(src))
+    }
+
+    #[test]
+    fn plain_fn_item_with_span() {
+        let p = parse("fn alpha(x: u32) -> u32 {\n    x + 1\n}\nfn beta() {}\n");
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(p.items[0].name, "alpha");
+        assert_eq!((p.items[0].start, p.items[0].end), (0, 2));
+        assert_eq!(p.items[1].name, "beta");
+        assert_eq!((p.items[1].start, p.items[1].end), (3, 3));
+    }
+
+    #[test]
+    fn multi_line_signature() {
+        let src = "pub unsafe fn gemm(\n    a: &[f32],\n    n: usize,\n) -> u32 {\n    0\n}\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 1);
+        let it = &p.items[0];
+        assert_eq!(it.name, "gemm");
+        assert!(it.is_unsafe_fn);
+        assert_eq!(it.start, 0);
+        assert_eq!(it.body_start, Some(3));
+        assert_eq!(it.end, 5);
+    }
+
+    #[test]
+    fn attributes_attach_to_the_next_item() {
+        let src = "#[allow(dead_code)]\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 1);
+        assert!(p.items[0].has_target_feature());
+        assert!(p.items[0].is_unsafe_fn);
+    }
+
+    #[test]
+    fn attribute_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() {}\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 1);
+        assert!(p.items[0].attrs.is_empty());
+    }
+
+    #[test]
+    fn impl_block_names_and_nesting() {
+        let src = "impl Kernels for SimdKernels {\n    fn name(&self) -> &str { \"simd\" }\n}\n\
+                   impl<T: Copy + Default> ScratchPool<T> {\n    fn take(&self) {}\n}\n";
+        let p = parse(src);
+        let impls: Vec<&Item> = p.items.iter().filter(|i| i.kind == ItemKind::Impl).collect();
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].name, "SimdKernels");
+        assert_eq!(impls[0].impl_trait.as_deref(), Some("Kernels"));
+        assert_eq!(impls[1].name, "ScratchPool");
+        assert_eq!(impls[1].impl_trait, None);
+        let fns: Vec<usize> = p
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.kind == ItemKind::Fn)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(p.enclosing_impl(fns[0]).unwrap().name, "SimdKernels");
+        assert_eq!(p.enclosing_impl(fns[1]).unwrap().name, "ScratchPool");
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_an_item() {
+        let src = "fn f() -> impl Iterator<Item = u32> {\n    (0..3).map(|x| x)\n}\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 1);
+        assert_eq!(p.items[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let src = "struct S {\n    cb: fn(u32) -> u32,\n}\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 1);
+        assert_eq!(p.items[0].kind, ItemKind::Struct);
+        assert_eq!(p.items[0].name, "S");
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_descendants() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib() {}\n";
+        let p = parse(src);
+        let t = p.enclosing_fn(2).unwrap();
+        assert!(p.in_test_item(t));
+        let l = p.enclosing_fn(4).unwrap();
+        assert!(!p.in_test_item(l));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n";
+        let p = parse(src);
+        let at_2 = p.enclosing_fn(2).unwrap();
+        assert_eq!(p.items[at_2].name, "inner");
+        let at_4 = p.enclosing_fn(4).unwrap();
+        assert_eq!(p.items[at_4].name, "outer");
+    }
+
+    #[test]
+    fn one_line_items_parse() {
+        let src = "mod m { fn a() { b(); } fn c() {} }\n";
+        let p = parse(src);
+        assert_eq!(p.items.len(), 3);
+        assert_eq!(p.items[0].kind, ItemKind::Mod);
+        assert_eq!(p.items[1].parent, Some(0));
+        assert_eq!(p.items[2].parent, Some(0));
+    }
+
+    #[test]
+    fn unbalanced_input_never_panics() {
+        let p = parse("fn broken() {\n    if x {\n"); // missing closers
+        assert_eq!(p.items.len(), 1);
+        assert_eq!(p.items[0].end, 1);
+    }
+
+    #[test]
+    fn call_site_extraction() {
+        let lines = lex(
+            "fn f() {\n    helper(1);\n    path::to::g(x);\n    obj.method(y);\n    \
+             mac!(no);\n    if (a) { h() }\n    let v = vec![1];\n}\n",
+        );
+        let calls = call_sites(&lines, 0, lines.len() - 1);
+        let names: Vec<&str> = calls.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"g"));
+        assert!(names.contains(&"method"));
+        assert!(names.contains(&"h"));
+        assert!(!names.contains(&"mac"));
+        assert!(!names.contains(&"if"));
+        assert!(!names.contains(&"vec"));
+    }
+
+    #[test]
+    fn trait_with_method_declarations() {
+        let src = "pub trait Kernels: Send + Sync {\n    fn name(&self) -> &'static str;\n    \
+                   fn go(&self) {\n        default();\n    }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.items[0].kind, ItemKind::Trait);
+        assert_eq!(p.items[0].name, "Kernels");
+        let fns: Vec<&Item> = p.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].body_start, None); // declaration only
+        assert_eq!(fns[1].body_start, Some(2));
+    }
+}

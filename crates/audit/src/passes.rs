@@ -1,0 +1,439 @@
+//! Deep per-file analysis passes: `unsafe_contract` and `pool_lifecycle`.
+//!
+//! These run on top of the item parser ([`crate::parser`]) rather than on
+//! bare lines: contracts attach to `unsafe` sites, and the pool dataflow is
+//! scoped per function body.
+
+use crate::lexer::{contains_word, Line};
+use crate::marker::MarkerSet;
+use crate::parser::{ItemKind, ParsedFile};
+use crate::rules::{self, Outcome, Waiver};
+
+/// Invariant vocabulary a structured `// SAFETY:` contract must draw from.
+/// The list mirrors the contract format in `DESIGN.md` §14: a contract is
+/// structured when it *names* what makes the operation sound — a bound, a
+/// lifetime, an aliasing or initialization argument, a CPU-feature
+/// detection, a capacity/length relation — rather than merely asserting
+/// "this is fine".
+const INVARIANT_VOCABULARY: &[&str] = &[
+    "caller must",
+    "callers must",
+    "bound",
+    "in range",
+    "length",
+    "len()",
+    "capacity",
+    "valid",
+    "lifetime",
+    "alias",
+    "align",
+    "initial",
+    "non-null",
+    "nonnull",
+    "null",
+    "exclusive",
+    "no other",
+    "detect",
+    "baseline",
+    "cpu",
+    "feature",
+    "sound",
+    "invariant",
+    "exact",
+];
+
+/// `unsafe_contract` — every `unsafe` site whose `// SAFETY:` comment
+/// exists (missing ones are `safety_comment`'s findings, never doubled
+/// here) must be *structured*: the contract text from the `SAFETY:` header
+/// down to the `unsafe` keyword has to name at least one concrete
+/// invariant from the taxonomy.
+pub fn unsafe_contract(path: &str, lines: &[Line], markers: &MarkerSet, out: &mut Outcome) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !contains_word(&line.code, "unsafe") {
+            continue;
+        }
+        let Some(start) = rules::safety_comment_line(lines, idx) else {
+            continue; // no contract at all — safety_comment already fired
+        };
+        let contract: String = lines[start..=idx]
+            .iter()
+            .map(|l| l.comment.to_lowercase())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if !INVARIANT_VOCABULARY.iter().any(|kw| contract.contains(kw)) {
+            out.deny(
+                markers,
+                "unsafe_contract",
+                path,
+                idx,
+                line.number,
+                "unstructured `// SAFETY:` contract: name the invariant that makes \
+                 this sound (bounds/length, lifetime, aliasing, alignment, \
+                 initialization, or CPU-feature detection)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Files whose `ScratchPool` checkout/return discipline is verified.
+pub(crate) fn pool_checked(path: &str) -> bool {
+    rules::hot_path(path)
+        || path == "crates/parallel/src/scratch.rs"
+        || path == "crates/core/src/cube.rs"
+}
+
+/// Lifecycle of one checked-out buffer within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufState {
+    Outstanding,
+    Returned,
+}
+
+/// `pool_lifecycle` — a per-function dataflow over `ScratchPool`
+/// checkout/return sites in the designated files:
+///
+/// * `let buf = <pool>.take(…)` opens a checkout; `<pool>.put(buf)` closes
+///   it. A checkout still open at the end of the function is a **leak**.
+/// * a second `put` of the same buffer is a **double return**.
+/// * a `take` whose result is not bound to a local (so the buffer escapes
+///   the statement) or a checkout that intentionally outlives the function
+///   needs an `// audit: pool-escape(<reason>)` marker on its line.
+///
+/// A pool expression is `self` inside an `impl …Pool` block or any
+/// identifier containing `pool` (the workspace convention: `POOL`
+/// thread-locals and `pool` locals). `Iterator::take`/`Option::take`
+/// receivers never match, so ordinary iterator code is invisible here.
+pub fn pool_lifecycle(
+    path: &str,
+    lines: &[Line],
+    parsed: &ParsedFile,
+    markers: &MarkerSet,
+    out: &mut Outcome,
+) {
+    if !pool_checked(path) {
+        return;
+    }
+    let test_lines = rules::test_regions(lines);
+
+    for (fn_idx, item) in parsed.items.iter().enumerate() {
+        if item.kind != ItemKind::Fn || item.body_start.is_none() {
+            continue;
+        }
+        // Only the innermost function owns its lines — a nested fn is
+        // walked on its own iteration.
+        if test_lines.get(item.start).copied().unwrap_or(false) || parsed.in_test_item(fn_idx) {
+            continue;
+        }
+        let in_pool_impl = parsed
+            .enclosing_impl(fn_idx)
+            .is_some_and(|imp| imp.name.to_lowercase().contains("pool"));
+
+        // `(name, checkout line idx, state)` per tracked buffer.
+        let mut bufs: Vec<(String, usize, BufState)> = Vec::new();
+
+        let body_end = item.end.min(lines.len().saturating_sub(1));
+        #[allow(clippy::needless_range_loop)] // idx also keys markers and enclosing_fn
+        for idx in item.start..=body_end {
+            if parsed.enclosing_fn(idx) != Some(fn_idx) {
+                continue; // line belongs to a nested fn
+            }
+            let code = &lines[idx].code;
+            let number = lines[idx].number;
+
+            for site in call_positions(code, ".take(") {
+                if !pool_receiver(code, site, in_pool_impl) {
+                    continue;
+                }
+                match binding_name(code) {
+                    Some(name) => {
+                        if let Some(b) = bufs.iter_mut().find(|b| b.0 == name) {
+                            // Rebinding after a put re-opens the checkout.
+                            *b = (name, idx, BufState::Outstanding);
+                        } else {
+                            bufs.push((name, idx, BufState::Outstanding));
+                        }
+                    }
+                    None => {
+                        // The buffer escapes the statement unbound.
+                        if markers.pool_escape(idx) {
+                            out.waivers.push(Waiver {
+                                rule: "pool_lifecycle",
+                                file: path.to_string(),
+                                line: number,
+                            });
+                        } else {
+                            out.deny(
+                                markers,
+                                "pool_lifecycle",
+                                path,
+                                idx,
+                                number,
+                                "pool checkout not bound to a local: the buffer \
+                                 escapes unverified; bind it or mark \
+                                 `// audit: pool-escape(<reason>)`"
+                                    .into(),
+                            );
+                        }
+                    }
+                }
+            }
+
+            for site in call_positions(code, ".put(") {
+                if !pool_receiver(code, site, in_pool_impl) {
+                    continue;
+                }
+                let Some(arg) = put_argument(code, site) else {
+                    continue; // non-ident argument: an expression we can't track
+                };
+                if let Some(b) = bufs.iter_mut().find(|b| b.0 == arg) {
+                    if b.2 == BufState::Returned {
+                        out.deny(
+                            markers,
+                            "pool_lifecycle",
+                            path,
+                            idx,
+                            number,
+                            format!("double return of pool buffer `{arg}`"),
+                        );
+                    } else {
+                        b.2 = BufState::Returned;
+                    }
+                }
+                // A put of an untracked name (e.g. a buffer received as a
+                // parameter) is invisible to this per-function pass.
+            }
+        }
+
+        for (name, checkout_idx, state) in &bufs {
+            if *state == BufState::Outstanding {
+                if markers.pool_escape(*checkout_idx) {
+                    out.waivers.push(Waiver {
+                        rule: "pool_lifecycle",
+                        file: path.to_string(),
+                        line: lines[*checkout_idx].number,
+                    });
+                } else {
+                    out.deny(
+                        markers,
+                        "pool_lifecycle",
+                        path,
+                        *checkout_idx,
+                        lines[*checkout_idx].number,
+                        format!(
+                            "leaked pool checkout `{name}` in fn `{}`: no matching \
+                             `.put({name})` before the function ends; return it or \
+                             mark `// audit: pool-escape(<reason>)`",
+                            item.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Byte offsets of each occurrence of `pat` in `code`.
+fn call_positions(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        out.push(start + pos);
+        start += pos + pat.len();
+    }
+    out
+}
+
+/// Does the receiver expression ending at byte `dot` name a pool?
+fn pool_receiver(code: &str, dot: usize, in_pool_impl: bool) -> bool {
+    let recv: String = code[..dot]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if recv.is_empty() {
+        return false; // chained call `…).take(…)` — not a pool ident
+    }
+    if recv == "self" {
+        return in_pool_impl;
+    }
+    recv.to_lowercase().contains("pool")
+}
+
+/// The local a `let`-statement on this line binds, if any.
+fn binding_name(code: &str) -> Option<String> {
+    let pos = code.find("let ")?;
+    let rest = code[pos + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// The identifier argument of `.put(<ident>)` starting at byte `site`.
+fn put_argument(code: &str, site: usize) -> Option<String> {
+    let inner = &code[site + ".put(".len()..];
+    let name: String = inner
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let after = inner.trim_start()[name.len()..].trim_start();
+    if name.is_empty() || !(after.starts_with(')') || after.is_empty()) {
+        return None; // expression argument — untrackable
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Outcome {
+        let lines = lex(src);
+        let parsed = ParsedFile::parse(&lines);
+        let markers = MarkerSet::collect(&lines);
+        let mut out = Outcome::default();
+        unsafe_contract(path, &lines, &markers, &mut out);
+        pool_lifecycle(path, &lines, &parsed, &markers, &mut out);
+        out
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        run(path, src).findings.into_iter().map(|f| f.rule).collect()
+    }
+
+    const HOT: &str = "crates/dsp/src/fft.rs";
+    const LIB: &str = "crates/x/src/lib.rs";
+
+    #[test]
+    fn structured_safety_contract_passes() {
+        let src = "// SAFETY: caller must ensure `i < len`, so the access is in bounds\n\
+                   unsafe { *p.add(i) }";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unstructured_safety_contract_is_flagged() {
+        let src = "// SAFETY: this is fine, trust me\nunsafe { *p.add(i) }";
+        assert_eq!(rules_hit(LIB, src), vec!["unsafe_contract"]);
+    }
+
+    #[test]
+    fn missing_safety_comment_is_not_doubled_here() {
+        // safety_comment owns the missing-contract case.
+        assert!(rules_hit(LIB, "unsafe { f() }").is_empty());
+    }
+
+    #[test]
+    fn cpu_feature_contract_is_structured() {
+        let src = "// SAFETY: AVX2 detection succeeded before this value was built\n\
+                   unsafe { gemm_4xn_avx2(a, b) }";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn balanced_pool_usage_passes() {
+        let src = "fn f(pool: &ScratchPool<f32>) {\n    let mut buf = pool.take(64);\n    \
+                   work(&mut buf);\n    pool.put(buf);\n}";
+        assert!(rules_hit(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn leaked_checkout_is_flagged() {
+        let src = "fn f(pool: &ScratchPool<f32>) {\n    let buf = pool.take(64);\n    \
+                   work(&buf);\n}";
+        let out = run(HOT, src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "pool_lifecycle");
+        assert!(out.findings[0].message.contains("leaked pool checkout `buf`"));
+        assert_eq!(out.findings[0].line, 2);
+    }
+
+    #[test]
+    fn double_return_is_flagged() {
+        let src = "fn f(pool: &ScratchPool<f32>) {\n    let buf = pool.take(64);\n    \
+                   pool.put(buf);\n    pool.put(buf);\n}";
+        let out = run(HOT, src);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("double return"));
+        assert_eq!(out.findings[0].line, 4);
+    }
+
+    #[test]
+    fn escape_marker_waives_the_leak() {
+        let src = "fn f(pool: &ScratchPool<f32>) -> Vec<f32> {\n    \
+                   // audit: pool-escape(buffer ownership transfers to the caller)\n    \
+                   let buf = pool.take(64);\n    buf\n}";
+        let out = run(HOT, src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waivers.len(), 1);
+        assert_eq!(out.waivers[0].rule, "pool_lifecycle");
+    }
+
+    #[test]
+    fn unbound_checkout_needs_escape_marker() {
+        let src = "fn f(pool: &ScratchPool<f32>) {\n    consume(pool.take(64));\n}";
+        let out = run(HOT, src);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("not bound"));
+        let marked = "fn f(pool: &ScratchPool<f32>) {\n    \
+                      // audit: pool-escape(consume() puts the buffer back itself)\n    \
+                      consume(pool.take(64));\n}";
+        assert!(run(HOT, marked).findings.is_empty());
+    }
+
+    #[test]
+    fn iterator_take_is_invisible() {
+        let src = "fn f(xs: &[u32]) -> usize {\n    xs.iter().take(3).count()\n}";
+        assert!(rules_hit(HOT, src).is_empty());
+        let opt = "fn g(o: &mut Option<u32>) {\n    let v = o.take();\n}";
+        assert!(rules_hit(HOT, opt).is_empty());
+    }
+
+    #[test]
+    fn self_receiver_counts_only_in_pool_impls() {
+        let src = "impl<T: Default> ScratchPool<T> {\n    pub fn with(&self, len: usize) {\n        \
+                   let mut buf = self.take(len);\n        self.put(buf);\n    }\n}";
+        assert!(rules_hit("crates/parallel/src/scratch.rs", src).is_empty());
+        let leak = "impl<T: Default> ScratchPool<T> {\n    pub fn broken(&self, len: usize) {\n        \
+                    let buf = self.take(len);\n    }\n}";
+        assert_eq!(
+            rules_hit("crates/parallel/src/scratch.rs", leak),
+            vec!["pool_lifecycle"]
+        );
+        // `self.take` outside a pool impl is someone else's method.
+        let other = "impl Cursor {\n    fn next(&mut self) {\n        let v = self.take(1);\n    }\n}";
+        assert!(rules_hit("crates/parallel/src/scratch.rs", other).is_empty());
+    }
+
+    #[test]
+    fn rebinding_after_put_reopens_the_checkout() {
+        let src = "fn f(pool: &P) {\n    let buf = pool.take(8);\n    pool.put(buf);\n    \
+                   let buf = pool.take(16);\n    pool.put(buf);\n}";
+        assert!(rules_hit(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(pool: &P) {\n        \
+                   let b = pool.take(8);\n    }\n}";
+        assert!(rules_hit(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn non_designated_files_are_not_checked() {
+        let src = "fn f(pool: &P) {\n    let buf = pool.take(64);\n}";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
-//! The audit rule set.
+//! The audit rule set: line rules and the shared finding model.
 //!
-//! Each rule inspects the *code* channel of the lexed source (comments and
-//! string contents already blanked by [`crate::lexer`]), so a `panic!`
+//! Each line rule inspects the *code* channel of the lexed source (comments
+//! and string contents already blanked by [`crate::lexer`]), so a `panic!`
 //! inside a doc string or an `unwrap()` mentioned in a comment never
 //! triggers. Every rule can be silenced per-site with a justification
 //! marker on the same line or the line directly above:
@@ -11,12 +11,17 @@
 //! let v = xs.get(i).unwrap();
 //! ```
 //!
-//! Rule catalogue (see `DESIGN.md` §"Audit invariants & numeric sanitizer"
-//! for the rationale of each):
+//! A suppressed finding is not dropped: it is recorded as a [`Waiver`] so
+//! the baseline ratchet (see [`crate::baseline`]) can hold the total
+//! finding+waiver count per `(rule, file)` monotonically non-increasing —
+//! allow-marker debt can only go down.
+//!
+//! Rule catalogue (see `DESIGN.md` §14 for the analyzer architecture):
 //!
 //! | rule | requirement |
 //! |---|---|
 //! | `safety_comment` | every `unsafe` keyword is preceded by a `// SAFETY:` comment |
+//! | `unsafe_contract` | the `// SAFETY:` contract must be structured: it names at least one concrete invariant (bounds, lifetime, aliasing, CPU-feature detection, …) |
 //! | `no_unwrap` | no `.unwrap()` in non-test library code |
 //! | `empty_expect` | no `.expect("")` — messages must describe the invariant |
 //! | `no_panic` | no `panic!` in non-test library code |
@@ -24,14 +29,41 @@
 //! | `float_eq` | no `==`/`!=` against floating-point literals |
 //! | `serve_hygiene` | the serve ingress surface must return typed errors: no `.expect(…)`/assertion macros in `crates/serve` lib code, no assertion macros in the public core entry points (`cube.rs`, `pipeline.rs`) |
 //! | `hot_path_alloc` | no fresh allocations (`vec![…]`, `Vec::with_capacity`, `.to_vec()`) in the designated zero-allocation hot paths; use a `ScratchPool` or justify with `// audit: pool-exempt` |
+//! | `simd_dispatch` | every `#[target_feature]` fn lives in `crates/kernels` and is called only from other `#[target_feature]` fns, the cpuid guard, or methods of types constructed solely behind the guard |
+//! | `pool_lifecycle` | `ScratchPool` checkouts in the designated files are returned exactly once per function, or justified with `// audit: pool-escape(<reason>)` |
+//! | `metric_registry` | telemetry metric names are unique per kind, free of distance-1 typos, and documented in `docs/METRICS.md` |
+//! | `stale_marker` | an audit marker that suppresses zero findings is dead and must be removed (warn) |
 
 use crate::lexer::{contains_word, lex, Line};
+use crate::marker::MarkerSet;
+
+/// Finding severity. `--deny-all` fails the run only on [`Severity::Deny`];
+/// warn findings are advisory (they still count toward the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails `--deny-all`.
+    Warn,
+    /// Blocking under `--deny-all`.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
 
 /// A single lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (see [`RULES`]).
     pub rule: &'static str,
+    /// Severity under `--deny-all`.
+    pub severity: Severity,
     /// Workspace-relative file path.
     pub file: String,
     /// 1-based line number.
@@ -40,9 +72,69 @@ pub struct Finding {
     pub message: String,
 }
 
+/// A finding that was suppressed by a justification marker. Waivers keep
+/// suppressed debt visible to the baseline ratchet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule that would have fired.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number of the suppressed site.
+    pub line: usize,
+}
+
+/// Accumulates findings and waivers across rules and passes.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations that survived marker suppression.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by a marker.
+    pub waivers: Vec<Waiver>,
+}
+
+impl Outcome {
+    /// Emits a deny-level finding at line index `idx`, unless an
+    /// `audit: allow(<rule>)` marker waives it (recorded as a waiver).
+    pub fn deny(
+        &mut self,
+        markers: &MarkerSet,
+        rule: &'static str,
+        file: &str,
+        idx: usize,
+        number: usize,
+        message: String,
+    ) {
+        if markers.allow(idx, rule) {
+            self.waivers.push(Waiver { rule, file: file.to_string(), line: number });
+        } else {
+            self.findings.push(Finding {
+                rule,
+                severity: Severity::Deny,
+                file: file.to_string(),
+                line: number,
+                message,
+            });
+        }
+    }
+
+    /// Emits a warn-level finding (not marker-suppressible — warns are
+    /// themselves about markers or documentation drift).
+    pub fn warn(&mut self, rule: &'static str, file: &str, number: usize, message: String) {
+        self.findings.push(Finding {
+            rule,
+            severity: Severity::Warn,
+            file: file.to_string(),
+            line: number,
+            message,
+        });
+    }
+}
+
 /// `(name, summary)` for every rule, in report order.
 pub const RULES: &[(&str, &str)] = &[
     ("safety_comment", "unsafe blocks must carry a `// SAFETY:` comment stating the upheld invariants"),
+    ("unsafe_contract", "the `// SAFETY:` contract must be structured: name at least one concrete invariant (bounds, lifetime, aliasing, CPU-feature detection, …)"),
     ("no_unwrap", "no `.unwrap()` in non-test library code; use typed errors or a descriptive `expect`"),
     ("empty_expect", "`expect(\"\")` hides the invariant; the message must say why the value exists"),
     ("no_panic", "no `panic!` in non-test library code; return errors or document via audit allow"),
@@ -50,10 +142,14 @@ pub const RULES: &[(&str, &str)] = &[
     ("float_eq", "no `==`/`!=` comparison against float literals; use an epsilon or restructure"),
     ("serve_hygiene", "serve ingress returns typed errors: no `.expect(`/assertion macros in crates/serve lib code, no assertion macros in the core entry points (documented `try_*`-delegating `.expect` wrappers stay legal there)"),
     ("hot_path_alloc", "no fresh allocations (`vec![`, `Vec::with_capacity`, `.to_vec()`) in the designated zero-allocation hot paths; check buffers out of a ScratchPool or justify with `// audit: pool-exempt`"),
+    ("simd_dispatch", "`#[target_feature]` fns live in crates/kernels and are reachable only through the cpuid-guarded dispatch: callers must be target_feature fns, the guard fn itself, or methods of guard-constructed types"),
+    ("pool_lifecycle", "ScratchPool checkouts in the designated files are returned exactly once per function; an intentional escape needs `// audit: pool-escape(<reason>)`"),
+    ("metric_registry", "telemetry metric names are unique per kind, free of distance-1 near-miss typos, and documented in docs/METRICS.md"),
+    ("stale_marker", "an audit marker that suppresses zero findings is dead and must be removed"),
 ];
 
 /// How many lines above an `unsafe` keyword a `// SAFETY:` comment may sit.
-const SAFETY_LOOKBACK: usize = 6;
+pub(crate) const SAFETY_LOOKBACK: usize = 6;
 
 /// Path-derived lint context for one file.
 #[derive(Debug, Clone, Copy)]
@@ -88,25 +184,37 @@ pub fn classify(path: &str) -> FileKind {
     }
 }
 
-/// Runs every rule over one file's source, returning its findings.
+/// Runs the per-line rules over one file's source. Convenience wrapper
+/// used by unit tests; the workspace scan drives [`line_rules`] directly
+/// so passes can share the lexed lines and marker set.
 pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
-    let kind = classify(path);
     let lines = lex(source);
-    let test_lines = test_regions(&lines);
-    let mut findings = Vec::new();
+    let markers = MarkerSet::collect(&lines);
+    let mut out = Outcome::default();
+    line_rules(path, &lines, &markers, &mut out);
+    out.findings
+}
+
+/// Runs every per-line rule over one lexed file, emitting into `out`.
+pub fn line_rules(path: &str, lines: &[Line], markers: &MarkerSet, out: &mut Outcome) {
+    let kind = classify(path);
+    let test_lines = test_regions(lines);
 
     for (idx, line) in lines.iter().enumerate() {
         let in_test = kind.test_file || test_lines[idx];
         let code = &line.code;
+        let n = line.number;
 
         // safety_comment — applies everywhere, including tests.
-        if contains_word(code, "unsafe") && !has_safety_comment(&lines, idx) {
-            findings.push(Finding {
-                rule: "safety_comment",
-                file: path.to_string(),
-                line: line.number,
-                message: "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
-            });
+        if contains_word(code, "unsafe") && safety_comment_line(lines, idx).is_none() {
+            out.deny(
+                markers,
+                "safety_comment",
+                path,
+                idx,
+                n,
+                "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
+            );
         }
 
         if in_test {
@@ -114,33 +222,37 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
         }
 
         if !kind.panic_exempt {
-            if code.contains(".unwrap()") && !allowed(&lines, idx, "no_unwrap") {
-                findings.push(Finding {
-                    rule: "no_unwrap",
-                    file: path.to_string(),
-                    line: line.number,
-                    message: "`.unwrap()` in non-test library code".into(),
-                });
+            if code.contains(".unwrap()") {
+                out.deny(
+                    markers,
+                    "no_unwrap",
+                    path,
+                    idx,
+                    n,
+                    "`.unwrap()` in non-test library code".into(),
+                );
             }
-            if code.contains(".expect(\"\")") && !allowed(&lines, idx, "empty_expect") {
-                findings.push(Finding {
-                    rule: "empty_expect",
-                    file: path.to_string(),
-                    line: line.number,
-                    message: "`.expect(\"\")` with an empty justification message".into(),
-                });
+            if code.contains(".expect(\"\")") {
+                out.deny(
+                    markers,
+                    "empty_expect",
+                    path,
+                    idx,
+                    n,
+                    "`.expect(\"\")` with an empty justification message".into(),
+                );
             }
-            if code.contains("panic!") && !allowed(&lines, idx, "no_panic") {
-                findings.push(Finding {
-                    rule: "no_panic",
-                    file: path.to_string(),
-                    line: line.number,
-                    message: "`panic!` in non-test library code".into(),
-                });
+            if code.contains("panic!") {
+                out.deny(
+                    markers,
+                    "no_panic",
+                    path,
+                    idx,
+                    n,
+                    "`panic!` in non-test library code".into(),
+                );
             }
-        }
 
-        if !kind.panic_exempt {
             // serve_hygiene — the streaming service guarantees that no
             // malformed input reaching its ingress can panic, so its lib
             // code (and the two core entry-point files it is built on) is
@@ -151,16 +263,15 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
             // documented `try_*`-delegating `.expect` wrappers are the
             // sanctioned panicking API there.
             if serve_strict(path) {
-                if path.starts_with("crates/serve/src/")
-                    && code.contains(".expect(")
-                    && !allowed(&lines, idx, "serve_hygiene")
-                {
-                    findings.push(Finding {
-                        rule: "serve_hygiene",
-                        file: path.to_string(),
-                        line: line.number,
-                        message: "`.expect(…)` on the serve ingress surface; return a `ServeError` instead".into(),
-                    });
+                if path.starts_with("crates/serve/src/") && code.contains(".expect(") {
+                    out.deny(
+                        markers,
+                        "serve_hygiene",
+                        path,
+                        idx,
+                        n,
+                        "`.expect(…)` on the serve ingress surface; return a `ServeError` instead".into(),
+                    );
                 }
                 for mac in [
                     "assert!",
@@ -170,15 +281,17 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
                     "todo!",
                     "unimplemented!",
                 ] {
-                    if contains_macro(code, mac) && !allowed(&lines, idx, "serve_hygiene") {
-                        findings.push(Finding {
-                            rule: "serve_hygiene",
-                            file: path.to_string(),
-                            line: line.number,
-                            message: format!(
+                    if contains_macro(code, mac) {
+                        out.deny(
+                            markers,
+                            "serve_hygiene",
+                            path,
+                            idx,
+                            n,
+                            format!(
                                 "`{mac}` on the panic-free serving surface; return a typed error instead"
                             ),
-                        });
+                        );
                     }
                 }
             }
@@ -192,15 +305,24 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
         // allocation.
         if hot_path(path) {
             for pat in ["vec![", "Vec::with_capacity", ".to_vec()"] {
-                if code.contains(pat) && !pool_exempt(&lines, idx) {
-                    findings.push(Finding {
-                        rule: "hot_path_alloc",
-                        file: path.to_string(),
-                        line: line.number,
-                        message: format!(
-                            "`{pat}` in a designated zero-allocation hot path; check out of a `ScratchPool` or mark `// audit: pool-exempt`"
-                        ),
-                    });
+                if code.contains(pat) {
+                    if markers.pool_exempt(idx) {
+                        out.waivers.push(Waiver {
+                            rule: "hot_path_alloc",
+                            file: path.to_string(),
+                            line: n,
+                        });
+                    } else {
+                        out.findings.push(Finding {
+                            rule: "hot_path_alloc",
+                            severity: Severity::Deny,
+                            file: path.to_string(),
+                            line: n,
+                            message: format!(
+                                "`{pat}` in a designated zero-allocation hot path; check out of a `ScratchPool` or mark `// audit: pool-exempt`"
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -213,31 +335,30 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
                 "thread_rng",
                 "from_entropy",
             ] {
-                if code.contains(pat) && !allowed(&lines, idx, "determinism") {
-                    findings.push(Finding {
-                        rule: "determinism",
-                        file: path.to_string(),
-                        line: line.number,
-                        message: format!(
-                            "`{pat}` outside the sanctioned nondeterminism boundary"
-                        ),
-                    });
+                if code.contains(pat) {
+                    out.deny(
+                        markers,
+                        "determinism",
+                        path,
+                        idx,
+                        n,
+                        format!("`{pat}` outside the sanctioned nondeterminism boundary"),
+                    );
                 }
             }
         }
 
         if let Some(op) = float_literal_comparison(code) {
-            if !allowed(&lines, idx, "float_eq") {
-                findings.push(Finding {
-                    rule: "float_eq",
-                    file: path.to_string(),
-                    line: line.number,
-                    message: format!("`{op}` comparison against a float literal"),
-                });
-            }
+            out.deny(
+                markers,
+                "float_eq",
+                path,
+                idx,
+                n,
+                format!("`{op}` comparison against a float literal"),
+            );
         }
     }
-    findings
 }
 
 /// Marks which lines sit inside `#[cfg(test)]` item bodies.
@@ -247,7 +368,7 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
 /// starts the region, which ends when the matching `}` closes. An
 /// intervening `;` at the same depth (the attribute decorated a braceless
 /// item such as a `use`) disarms it.
-fn test_regions(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[Line]) -> Vec<bool> {
     let mut out = vec![false; lines.len()];
     let mut depth: i32 = 0;
     let mut pending: Option<i32> = None;
@@ -301,14 +422,17 @@ fn is_test_attribute(code: &str) -> bool {
     false
 }
 
-/// `// SAFETY:` on the same line, within the previous few lines, or
-/// anywhere in the contiguous comment-only block sitting directly above
-/// the `unsafe` keyword — a thorough justification can push the
-/// `SAFETY:` header well past any fixed window.
-fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
+/// Locates the `// SAFETY:` comment covering the `unsafe` keyword at line
+/// `idx`: on the same line, within the previous few lines, or anywhere in
+/// the contiguous comment-only block sitting directly above — a thorough
+/// justification can push the `SAFETY:` header well past any fixed window.
+/// Returns the 0-based index of the line carrying `SAFETY:`.
+pub(crate) fn safety_comment_line(lines: &[Line], idx: usize) -> Option<usize> {
     let lo = idx.saturating_sub(SAFETY_LOOKBACK);
-    if lines[lo..=idx].iter().any(|l| l.comment.contains("SAFETY:")) {
-        return true;
+    for i in (lo..=idx).rev() {
+        if lines[i].comment.contains("SAFETY:") {
+            return Some(i);
+        }
     }
     let mut i = idx;
     while i > 0 {
@@ -320,10 +444,10 @@ fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
             break;
         }
         if l.comment.contains("SAFETY:") {
-            return true;
+            return Some(i);
         }
     }
-    false
+    None
 }
 
 /// Files on the panic-free serving surface: the whole `mmhand-serve`
@@ -340,7 +464,7 @@ fn serve_strict(path: &str) -> bool {
 /// their own module) and the serve step loop. Steady-state work in these
 /// files draws from `ScratchPool`s / cached plans; every remaining
 /// allocation site carries a `// audit: pool-exempt` justification.
-fn hot_path(path: &str) -> bool {
+pub(crate) fn hot_path(path: &str) -> bool {
     matches!(
         path,
         "crates/dsp/src/fft.rs"
@@ -348,13 +472,6 @@ fn hot_path(path: &str) -> bool {
             | "crates/nn/src/gemm.rs"
             | "crates/serve/src/engine.rs"
     )
-}
-
-/// `// audit: pool-exempt` on the same line or the line directly above.
-fn pool_exempt(lines: &[Line], idx: usize) -> bool {
-    const MARKER: &str = "audit: pool-exempt";
-    lines[idx].comment.contains(MARKER)
-        || (idx > 0 && lines[idx - 1].comment.contains(MARKER))
 }
 
 /// `mac` present as a macro invocation of its own name — an occurrence
@@ -372,15 +489,6 @@ fn contains_macro(code: &str, mac: &str) -> bool {
         start = at + mac.len();
     }
     false
-}
-
-/// `// audit: allow(rule)` on the same line or the line directly above.
-fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
-    let marker = format!("audit: allow({rule})");
-    if lines[idx].comment.contains(&marker) {
-        return true;
-    }
-    idx > 0 && lines[idx - 1].comment.contains(&marker)
 }
 
 /// Detects `== LITERAL` / `LITERAL ==` (and `!=`) where the literal is a
@@ -519,11 +627,23 @@ mod tests {
     }
 
     #[test]
+    fn suppressed_findings_are_recorded_as_waivers() {
+        let src = "// audit: allow(no_unwrap) — provably non-empty\nlet x = y.unwrap();";
+        let lines = lex(src);
+        let markers = MarkerSet::collect(&lines);
+        let mut out = Outcome::default();
+        line_rules(LIB, &lines, &markers, &mut out);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waivers, vec![Waiver { rule: "no_unwrap", file: LIB.into(), line: 2 }]);
+    }
+
+    #[test]
     fn unwrap_in_cfg_test_module_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib() { z.unwrap(); }";
         let found = check_file(LIB, src);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].line, 5);
+        assert_eq!(found[0].severity, Severity::Deny);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Golden tests for the baseline ratchet's on-disk JSON and diff output.
+//! These strings are contract: CI logs and the committed
+//! `audit/baseline.json` are diffed by humans and scripts, so any change
+//! to the byte-level format must be deliberate and show up here.
+
+use mmhand_audit::baseline::{self, Baseline, Counts};
+use mmhand_audit::rules::{Finding, Severity, Waiver};
+
+fn finding(rule: &'static str, file: &str) -> Finding {
+    Finding { rule, severity: Severity::Deny, file: file.into(), line: 1, message: String::new() }
+}
+
+#[test]
+fn baseline_json_golden() {
+    let findings = vec![
+        finding("no_unwrap", "crates/a/src/lib.rs"),
+        finding("no_unwrap", "crates/a/src/lib.rs"),
+        finding("float_eq", "crates/b/src/lib.rs"),
+    ];
+    let waivers = vec![Waiver { rule: "no_panic", file: "crates/a/src/lib.rs".into(), line: 4 }];
+    let json = baseline::to_json(&baseline::tally(&findings, &waivers));
+    let expected = "\
+{
+  \"version\": 1,
+  \"counts\": {
+    \"float_eq\": {
+      \"crates/b/src/lib.rs\": 1
+    },
+    \"no_panic\": {
+      \"crates/a/src/lib.rs\": 1
+    },
+    \"no_unwrap\": {
+      \"crates/a/src/lib.rs\": 2
+    }
+  }
+}
+";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn empty_baseline_json_golden() {
+    assert_eq!(baseline::to_json(&Counts::new()), "{\n  \"version\": 1,\n  \"counts\": {}\n}\n");
+}
+
+#[test]
+fn diff_output_golden_regression_and_improvement() {
+    let snapshot = baseline::parse(
+        r#"{"version": 1, "counts": {"no_unwrap": {"a.rs": 1}, "no_panic": {"b.rs": 2}}}"#,
+    )
+    .expect("parse snapshot");
+    // a.rs gains an unwrap (1 -> 2); b.rs loses a panic (2 -> 1).
+    let current = baseline::tally(
+        &[
+            finding("no_unwrap", "a.rs"),
+            finding("no_unwrap", "a.rs"),
+            finding("no_panic", "b.rs"),
+        ],
+        &[],
+    );
+    let cmp = baseline::compare(&snapshot, &current);
+    assert_eq!(
+        baseline::render_diff(&cmp),
+        "REGRESSION no_unwrap a.rs: 1 -> 2\nimproved   no_panic b.rs: 2 -> 1\n"
+    );
+    assert!(!cmp.is_clean());
+}
+
+#[test]
+fn diff_output_golden_no_drift() {
+    let cmp = baseline::compare(&Baseline::default(), &Counts::new());
+    assert_eq!(baseline::render_diff(&cmp), "baseline: no drift\n");
+    assert!(cmp.is_clean());
+}
+
+#[test]
+fn diff_output_golden_shrink_suggestion() {
+    let snapshot =
+        baseline::parse(r#"{"version": 1, "counts": {"no_unwrap": {"a.rs": 3}}}"#).expect("parse");
+    let cmp = baseline::compare(&snapshot, &Counts::new());
+    assert_eq!(
+        baseline::render_diff(&cmp),
+        "improved   no_unwrap a.rs: 3 -> 0\n\
+         baseline: counts fell — rewrite the snapshot with --write-baseline\n"
+    );
+    assert!(cmp.is_clean(), "a shrinking baseline must not fail the run");
+}
+
+#[test]
+fn committed_workspace_baseline_parses_and_matches_reality() {
+    // The snapshot committed at audit/baseline.json must stay loadable and
+    // drift-free against an actual scan — the same check CI performs.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let text = std::fs::read_to_string(root.join("audit/baseline.json"))
+        .expect("audit/baseline.json must be committed");
+    let snapshot = baseline::parse(&text).expect("committed baseline must parse");
+    let report = mmhand_audit::scan_workspace(root).expect("scan workspace");
+    let current = baseline::tally(&report.findings, &report.waivers);
+    let cmp = baseline::compare(&snapshot, &current);
+    assert!(
+        cmp.regressions.is_empty() && cmp.improvements.is_empty(),
+        "baseline drift:\n{}",
+        baseline::render_diff(&cmp)
+    );
+}

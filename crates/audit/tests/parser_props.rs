@@ -1,0 +1,119 @@
+//! Property tests driving the lexer, parser, and full analysis with
+//! adversarial Rust snippets — the inputs that break line-oriented
+//! linters: rule keywords inside string literals, comment openers inside
+//! strings, strings inside comments, raw-string fences, nested block
+//! comments, and multi-line signatures.
+
+use mmhand_audit::parser::ParsedFile;
+use mmhand_audit::{analyze, lexer, SourceFile};
+use proptest::prelude::*;
+
+/// Source fragments that are individually valid at item position and
+/// deliberately confusable: every lexer channel boundary appears inside
+/// some other channel.
+const FRAGMENTS: &[&str] = &[
+    "fn plain() { let x = 1; }\n",
+    "fn in_str() { let s = \"x.unwrap() // audit: allow(no_unwrap)\"; }\n",
+    "fn raw() { let s = r#\"quote \" and // slashes\"#; }\n",
+    "fn raw2() { let s = r##\"fence \"# inside\"##; }\n",
+    "/* outer /* nested \"string?\" */ still comment */\nfn after_block() {}\n",
+    "fn chars() { let (a, b) = ('\"', '\\''); let c = '/'; }\n",
+    "// comment with \"quotes\" and /* opener\nfn after_line() {}\n",
+    "fn multi(\n    a: usize,\n    b: &str,\n) -> usize { a + b.len() }\n",
+    "impl Thing {\n    fn method(&self) -> u32 { self.0 }\n}\n",
+    "mod inner {\n    pub fn nested() {}\n}\n",
+    "macro_rules! m { () => { unsafe { core::hint::black_box(0) } }; }\n",
+    "#[derive(Debug)]\nstruct S { field: u32 }\n",
+    "fn generics<T: Iterator<Item = u8>>(t: T) -> impl Iterator<Item = u8> { t }\n",
+    "fn byte_str() { let b = b\"bytes \\\" here\"; }\n",
+    "fn fmt() { let s = format!(\"{} fn fake() {{\", 1); }\n",
+];
+
+fn compose(picks: &[usize]) -> String {
+    picks.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect()
+}
+
+/// Characters for arbitrary-soup inputs, biased toward the ones that
+/// change lexer state: quotes, hashes, slashes, stars, braces, newlines.
+const SOUP: &[char] = &[
+    '"', '\'', '#', '/', '*', '{', '}', '(', ')', '\n', ' ', 'r', 'b', 'f', 'n', 'x', '=', ';',
+    '.', '!', '\\',
+];
+
+fn soup(picks: &[usize]) -> String {
+    picks.iter().map(|&i| SOUP[i % SOUP.len()]).collect()
+}
+
+proptest! {
+    /// The full pipeline (lex → parse → every pass) must not panic on any
+    /// composition of adversarial fragments, and must be deterministic.
+    #[test]
+    fn analysis_is_total_and_deterministic(picks in collection::vec(0usize..64, 0..12usize)) {
+        let src = compose(&picks);
+        let run = || {
+            let file = SourceFile::from_source("crates/fake/src/lib.rs", &src);
+            let report = analyze(&[file], None);
+            (report.findings, report.waivers)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The pipeline must also be total on *arbitrary* text — truncated
+    /// strings, unbalanced braces, stray fences. (Findings are
+    /// unspecified here; not crashing is the contract.)
+    #[test]
+    fn analysis_never_panics_on_arbitrary_text(picks in collection::vec(0usize..1024, 0..400usize)) {
+        let src = soup(&picks);
+        let file = SourceFile::from_source("crates/fake/src/lib.rs", &src);
+        let _ = analyze(&[file], None);
+    }
+
+    /// Every parsed item's span is well-formed and inside the file, and
+    /// nesting reported by `parent` is physically contained.
+    #[test]
+    fn item_spans_are_sane(picks in collection::vec(0usize..64, 0..12usize)) {
+        let src = compose(&picks);
+        let lines = lexer::lex(&src);
+        let parsed = ParsedFile::parse(&lines);
+        for item in &parsed.items {
+            if let Some(body) = item.body_start {
+                prop_assert!(item.start <= body && body <= item.end);
+            }
+            prop_assert!(lines.is_empty() || item.end < lines.len());
+            if let Some(p) = item.parent {
+                let parent = &parsed.items[p];
+                prop_assert!(parent.start <= item.start && item.end <= parent.end);
+            }
+        }
+    }
+
+    /// Rule triggers inside string literals or comments must never fire:
+    /// a snippet whose only `unwrap`/`panic!` text lives in strings is
+    /// clean no matter how often it is repeated.
+    #[test]
+    fn strings_and_comments_never_trigger_rules(n in 0usize..8) {
+        let decoy = "fn decoy() { let s = \"x.unwrap(); panic!(); 0.1 == 0.2\"; }\n\
+                     // dead code: y.unwrap() would panic!()\n";
+        let src = decoy.repeat(n + 1);
+        let file = SourceFile::from_source("crates/fake/src/lib.rs", &src);
+        let report = analyze(&[file], None);
+        prop_assert!(
+            report.findings.is_empty(),
+            "decoy text triggered: {:?}",
+            report.findings
+        );
+    }
+
+    /// Line numbering survives multi-line strings and block comments: the
+    /// lexer must emit exactly one `Line` per physical line, numbered 1..=n.
+    #[test]
+    fn line_numbers_are_dense(picks in collection::vec(0usize..1024, 0..400usize)) {
+        let src = soup(&picks);
+        let lines = lexer::lex(&src);
+        let physical = src.lines().count();
+        prop_assert_eq!(lines.len(), physical);
+        for (i, line) in lines.iter().enumerate() {
+            prop_assert_eq!(line.number, i + 1);
+        }
+    }
+}

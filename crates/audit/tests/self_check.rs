@@ -39,3 +39,92 @@ fn a_clean_report_is_not_vacuous() {
     assert!(rules.contains(&"no_panic"), "rules seen: {rules:?}");
     assert!(rules.contains(&"no_unwrap"), "rules seen: {rules:?}");
 }
+
+// Injected-violation fixtures: each deep pass must catch a deliberately
+// planted violation when run through the same `analyze` entry point the
+// binary uses. A pass that silently stopped firing fails here, not in
+// production.
+
+use mmhand_audit::{analyze, SourceFile};
+
+fn rules_found(files: Vec<SourceFile>, docs: Option<&str>) -> Vec<String> {
+    analyze(&files, docs).findings.iter().map(|f| f.rule.to_string()).collect()
+}
+
+#[test]
+fn injected_unstructured_safety_comment_is_caught() {
+    let src = "fn f(p: *const u32) -> u32 {\n\
+               \x20   // SAFETY: trust me, this always works\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    let rules = rules_found(vec![SourceFile::from_source("crates/fake/src/lib.rs", src)], None);
+    assert!(rules.contains(&"unsafe_contract".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_target_feature_fn_outside_kernels_is_caught() {
+    let src = "#[target_feature(enable = \"avx2\")]\n\
+               unsafe fn fast(x: &mut [f32]) { x[0] = 1.0; }\n";
+    let rules = rules_found(vec![SourceFile::from_source("crates/fake/src/lib.rs", src)], None);
+    assert!(rules.contains(&"simd_dispatch".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_unguarded_call_into_simd_kernel_is_caught() {
+    let kernel = "#[target_feature(enable = \"avx2\")]\n\
+                  unsafe fn fast(x: &mut [f32]) { x[0] = 1.0; }\n";
+    let caller = "fn sneaky(x: &mut [f32]) {\n\
+                  \x20   // SAFETY: caller must have checked AVX2 (it did not)\n\
+                  \x20   unsafe { fast(x) };\n\
+                  }\n";
+    let rules = rules_found(
+        vec![
+            SourceFile::from_source("crates/kernels/src/simd.rs", kernel),
+            SourceFile::from_source("crates/kernels/src/sneaky.rs", caller),
+        ],
+        None,
+    );
+    assert!(rules.contains(&"simd_dispatch".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_leaked_pool_checkout_is_caught() {
+    let src = "fn run(pool: &mut ScratchPool) -> usize {\n\
+               \x20   let buf = pool.take(64);\n\
+               \x20   buf.len()\n\
+               }\n";
+    let rules =
+        rules_found(vec![SourceFile::from_source("crates/parallel/src/scratch.rs", src)], None);
+    assert!(rules.contains(&"pool_lifecycle".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_undocumented_metric_is_caught() {
+    let src = "fn f() { mmhand_telemetry::counter(\"fake.requests\").inc(); }\n";
+    let docs = "# Metrics\n\n`some.other.metric`\n";
+    let rules =
+        rules_found(vec![SourceFile::from_source("crates/fake/src/lib.rs", src)], Some(docs));
+    assert!(rules.contains(&"metric_registry".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_near_miss_metric_names_are_caught() {
+    let a = "fn f() { mmhand_telemetry::counter(\"fake.request\").inc(); }\n";
+    let b = "fn g() { mmhand_telemetry::counter(\"fake.requests\").inc(); }\n";
+    let docs = "`fake.request` `fake.requests`\n";
+    let rules = rules_found(
+        vec![
+            SourceFile::from_source("crates/fake/src/a.rs", a),
+            SourceFile::from_source("crates/fake/src/b.rs", b),
+        ],
+        Some(docs),
+    );
+    assert!(rules.contains(&"metric_registry".to_string()), "rules seen: {rules:?}");
+}
+
+#[test]
+fn injected_stale_marker_is_caught() {
+    let src = "// audit: allow(no_unwrap) — nothing here unwraps\nfn f() {}\n";
+    let rules = rules_found(vec![SourceFile::from_source("crates/fake/src/lib.rs", src)], None);
+    assert!(rules.contains(&"stale_marker".to_string()), "rules seen: {rules:?}");
+}

@@ -322,7 +322,7 @@ impl Trainer {
         let m_throughput = telemetry::gauge("train.seq_per_s");
 
         for _epoch in 0..tc.epochs {
-            let epoch_span = telemetry::span("train.epoch");
+            let epoch_span = telemetry::span("train.epoch_time");
             let batches = make_batches(sequences, tc.batch_size, &mut shuffle_rng);
             let mut epoch_loss = 0.0;
             let mut epoch_l3d = 0.0;
@@ -633,7 +633,7 @@ mod tests {
         let epoch_hist = snap
             .histograms
             .iter()
-            .find(|(n, _)| n == "train.epoch")
+            .find(|(n, _)| n == "train.epoch_time")
             .map(|(_, h)| h)
             .expect("epoch span histogram registered");
         assert!(epoch_hist.count >= 3);

@@ -94,7 +94,6 @@ impl FftPlan {
     /// Panics if `n` is not a power of two. Prefer [`plan`], which caches.
     pub fn new(n: usize) -> Self {
         assert!(is_pow2(n), "FFT length {n} is not a power of two");
-        // audit: pool-exempt — one-time plan construction, cached per size
         let mut swaps = Vec::new();
         if n > 1 {
             let bits = n.trailing_zeros();

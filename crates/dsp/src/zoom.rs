@@ -64,7 +64,6 @@ impl ZoomPlan {
         assert!(f_lo <= f_hi, "zoom_dft: f_lo {f_lo} > f_hi {f_hi}");
         let tau = 2.0 * std::f32::consts::PI;
         let (start, step) = grid_params(f_lo, f_hi, bins);
-        // audit: pool-exempt — one-time plan construction, cached per configuration
         let mut twiddles = Vec::with_capacity(bins * len);
         for b in 0..bins {
             let f = start + step * b as f32;

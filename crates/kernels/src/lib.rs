@@ -39,7 +39,10 @@ use mmhand_math::{Complex, Quaternion, Vec3};
 use std::sync::OnceLock;
 
 mod scalar;
-#[cfg(target_arch = "x86_64")]
+// Miri interprets no vendor intrinsics; the SIMD backend is compiled out
+// there and `simd_kernels()` reports `None`, so the whole suite runs on
+// the scalar reference under `cargo miri test`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod simd;
 
 /// Register rows of the GEMM microkernel: every backend computes 4 rows of
@@ -172,7 +175,7 @@ pub fn scalar_kernels() -> &'static dyn Kernels {
 /// The SIMD backend, when this CPU supports it (`None` otherwise — on
 /// x86_64 without AVX2 and on every other architecture today).
 pub fn simd_kernels() -> Option<&'static dyn Kernels> {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             static SIMD: simd::SimdKernels = simd::SimdKernels;
@@ -180,7 +183,7 @@ pub fn simd_kernels() -> Option<&'static dyn Kernels> {
         }
         None
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     None
 }
 
