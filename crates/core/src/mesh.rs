@@ -62,6 +62,7 @@ impl Default for MeshFitConfig {
     }
 }
 
+#[derive(Clone)]
 struct MlpHead {
     fc1: Linear,
     ln1: LayerNorm,
@@ -98,6 +99,7 @@ impl MlpHead {
 }
 
 /// The mesh-reconstruction module: shape net + pose net + MANO.
+#[derive(Clone)]
 pub struct MeshReconstructor {
     mano: ManoModel,
     store: ParamStore,

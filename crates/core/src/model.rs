@@ -80,6 +80,7 @@ impl ModelConfig {
 }
 
 /// One attention residual block of mmSpaceNet.
+#[derive(Clone)]
 struct AttentionBlock {
     // Attention parameters.
     frame_fc1: Linear,
@@ -195,6 +196,7 @@ impl AttentionBlock {
 }
 
 /// The attention-based hourglass spatial feature extractor.
+#[derive(Clone)]
 pub struct MmSpaceNet {
     stem: Conv2d,
     blocks: Vec<AttentionBlock>,
@@ -270,6 +272,7 @@ impl MmSpaceNet {
 }
 
 /// The temporal model: LSTM over segment features (paper §IV-A).
+#[derive(Clone)]
 pub struct TemporalModel {
     lstm: Lstm,
     head: Linear,
@@ -337,6 +340,7 @@ impl TemporalModel {
 }
 
 /// The full mmHand joint-regression model.
+#[derive(Clone)]
 pub struct MmHandModel {
     /// The spatial feature extractor.
     pub spacenet: MmSpaceNet,

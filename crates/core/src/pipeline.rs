@@ -60,6 +60,12 @@ pub struct PipelineOutput {
 }
 
 /// The full estimator: cube builder + trained regressor + mesh module.
+///
+/// Cloning deep-copies the trained parameters and mesh module and shares
+/// the cube builder's cached FFT/zoom plans (they are `Arc`-backed), which
+/// is how `mmhand-serve` materialises one independent pipeline per shard
+/// from a single training run.
+#[derive(Clone)]
 pub struct MmHandPipeline {
     builder: CubeBuilder,
     model: TrainedModel,

@@ -84,6 +84,7 @@ pub fn to_absolute(flat: &mut [f32]) {
 }
 
 /// A trained mmHand joint regressor.
+#[derive(Clone)]
 pub struct TrainedModel {
     /// The network definition.
     pub model: MmHandModel,

@@ -11,6 +11,7 @@ use crate::tensor::Tensor;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+#[derive(Clone)]
 struct Param {
     name: String,
     value: Tensor,
@@ -20,7 +21,11 @@ struct Param {
 }
 
 /// Storage for all parameters of a model.
-#[derive(Default)]
+///
+/// Cloning deep-copies every parameter (values, gradients, optimizer
+/// moments), so a cloned model evolves independently — serve shards clone
+/// one trained store per shard.
+#[derive(Clone, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
 }

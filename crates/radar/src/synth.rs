@@ -9,6 +9,7 @@
 
 use crate::array::VirtualArray;
 use crate::config::ChirpConfig;
+use crate::error::RadarError;
 use crate::scene::Scene;
 use mmhand_math::rng::normal;
 use mmhand_math::Complex;
@@ -74,6 +75,39 @@ impl RawFrame {
     /// Number of RX antennas.
     pub fn rx_count(&self) -> usize {
         self.rx
+    }
+
+    /// The full interleaved sample buffer, ordered
+    /// `((tx · chirps + chirp) · rx + rx_idx) · samples + sample` — the
+    /// layout [`RawFrame::from_parts`] accepts, used by the serve wire
+    /// codec to move frames across a socket without per-chirp copies.
+    pub fn data(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Rebuilds a frame from its axis extents and an interleaved sample
+    /// buffer in [`RawFrame::data`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadarError::FrameGeometry`] when `data.len()` disagrees
+    /// with `tx · rx · chirps · samples`.
+    pub fn from_parts(
+        tx: usize,
+        rx: usize,
+        chirps: usize,
+        samples: usize,
+        data: Vec<Complex>,
+    ) -> Result<Self, RadarError> {
+        let expected = tx * rx * chirps * samples;
+        if data.len() != expected {
+            return Err(RadarError::FrameGeometry {
+                axis: "samples",
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(RawFrame { data, tx, rx, chirps, samples })
     }
 
     /// Root-mean-square magnitude over all samples (signal level probe).

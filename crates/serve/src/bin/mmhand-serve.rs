@@ -7,7 +7,15 @@
 //! ```text
 //! mmhand-serve [--sessions N] [--frames N] [--queue N] [--batch N]
 //!              [--overload F] [--expect-rejects] [--mesh always|never|adaptive]
+//!              [--listen ADDR] [--shards N] [--polls N]
 //! ```
+//!
+//! With `--listen ADDR` the binary instead binds the non-blocking socket
+//! front end over a sharded engine (`--shards`, default 4) and serves the
+//! binary wire protocol: clients speak `Hello`/`Open`/`Push`/`Close`
+//! frames (see `mmhand_serve::wire`). `--polls N` bounds the poll loop
+//! (0, the default, runs until killed), which gives CI a way to
+//! smoke-test the listener without a background process.
 //!
 //! Each session streams an independent synthetic capture (its own user,
 //! gestures, and noise seed) from the radar simulator. `--overload F`
@@ -32,7 +40,7 @@ use mmhand_hand::user::UserProfile;
 use mmhand_math::Vec3;
 use mmhand_radar::capture::{record_session, CaptureConfig};
 use mmhand_radar::{ChirpConfig, Environment, RawFrame};
-use mmhand_serve::{MeshPolicy, ServeConfig, ServeEngine, ServeError};
+use mmhand_serve::{MeshPolicy, ServeConfig, ServeEngine, ServeError, ServeServer, ShardedServe};
 use mmhand_telemetry as telemetry;
 use std::io::Write;
 use std::process::ExitCode;
@@ -45,6 +53,9 @@ struct Args {
     overload: usize,
     expect_rejects: bool,
     mesh: MeshPolicy,
+    listen: Option<String>,
+    shards: usize,
+    polls: usize,
 }
 
 impl Default for Args {
@@ -57,6 +68,9 @@ impl Default for Args {
             overload: 1,
             expect_rejects: false,
             mesh: MeshPolicy::SkipWhenBacklogged { segments: 2 },
+            listen: None,
+            shards: 4,
+            polls: 0,
         }
     }
 }
@@ -78,6 +92,11 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => args.batch = num("--batch")?,
             "--overload" => args.overload = num("--overload")?.max(1),
             "--expect-rejects" => args.expect_rejects = true,
+            "--listen" => {
+                args.listen = Some(it.next().ok_or("--listen needs an address".to_string())?)
+            }
+            "--shards" => args.shards = num("--shards")?.max(1),
+            "--polls" => args.polls = num("--polls")?,
             "--mesh" => {
                 args.mesh = match it.next().as_deref() {
                     Some("always") => MeshPolicy::Always,
@@ -188,6 +207,40 @@ fn export_metrics() {
     }
 }
 
+/// Serves the binary wire protocol on a real socket until `polls` polls
+/// have run (0 = until killed).
+fn run_listener(args: &Args, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = build_pipeline()?;
+    let serve = ShardedServe::new(
+        pipeline,
+        args.shards,
+        ServeConfig::new()
+            .max_sessions(args.sessions)
+            .queue_capacity(args.queue)
+            .max_batch(args.batch)
+            .evict_after_idle_steps(10_000)
+            .mesh_policy(args.mesh),
+    )?;
+    let mut server = ServeServer::bind(addr, serve)?;
+    println!("listening on {} ({} shards)", server.local_addr()?, args.shards);
+    let mut polls = 0usize;
+    loop {
+        let report = server.poll_once()?;
+        polls += 1;
+        if args.polls > 0 && polls >= args.polls {
+            println!("poll budget exhausted after {polls} polls");
+            break;
+        }
+        // An idle poll (no connections, no messages) yields the CPU so an
+        // unbounded listener loop doesn't spin hot.
+        if report.messages == 0 && server.connections() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    export_metrics();
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(u64, u64), Box<dyn std::error::Error>> {
     let pipeline = build_pipeline()?;
     let st = pipeline.builder().config().frames_per_segment;
@@ -284,6 +337,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(addr) = args.listen.clone() {
+        return match run_listener(&args, &addr) {
+            Ok(()) => {
+                println!("OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mmhand-serve: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match run(&args) {
         Ok((results, rejects)) => {
             if args.expect_rejects && rejects == 0 {

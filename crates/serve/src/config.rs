@@ -51,6 +51,14 @@ pub struct ServeConfig {
     /// Evict a session after this many consecutive steps without enough
     /// queued frames to form a segment. `0` disables eviction.
     pub evict_after_idle_steps: usize,
+    /// How many *recently evicted* session ids are remembered so a late
+    /// client gets the distinct [`ServeError::SessionEvicted`] instead of
+    /// [`ServeError::UnknownSession`](crate::ServeError::UnknownSession).
+    /// The tombstone store is a bounded ring: once more than this many
+    /// sessions have been evicted, the oldest tombstones degrade to the
+    /// generic unknown-session error. This keeps long-running servers at
+    /// O(`tombstone_capacity`) memory under unbounded session churn.
+    pub tombstone_capacity: usize,
     /// Mesh reconstruction policy.
     pub mesh: MeshPolicy,
 }
@@ -63,6 +71,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             result_capacity: 64,
             evict_after_idle_steps: 0,
+            tombstone_capacity: 1024,
             mesh: MeshPolicy::Always,
         }
     }
@@ -104,6 +113,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the bound on remembered eviction tombstones.
+    pub fn tombstone_capacity(mut self, n: usize) -> Self {
+        self.tombstone_capacity = n;
+        self
+    }
+
     /// Sets the mesh reconstruction policy.
     pub fn mesh_policy(mut self, policy: MeshPolicy) -> Self {
         self.mesh = policy;
@@ -131,6 +146,12 @@ impl ServeConfig {
         if self.result_capacity == 0 {
             return invalid("result_capacity", "a zero-capacity result buffer stalls every session");
         }
+        if self.tombstone_capacity == 0 {
+            return invalid(
+                "tombstone_capacity",
+                "must remember at least one evicted session to report SessionEvicted",
+            );
+        }
         Ok(())
     }
 }
@@ -151,6 +172,7 @@ mod tests {
             (ServeConfig::new().queue_capacity(0), "queue_capacity"),
             (ServeConfig::new().max_batch(0), "max_batch"),
             (ServeConfig::new().result_capacity(0), "result_capacity"),
+            (ServeConfig::new().tombstone_capacity(0), "tombstone_capacity"),
         ] {
             match cfg.validate() {
                 Err(ServeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),

@@ -32,7 +32,7 @@ use mmhand_core::{MmHandPipeline, PipelineError};
 use mmhand_nn::Tensor;
 use mmhand_radar::RawFrame;
 use mmhand_telemetry as telemetry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// What one [`ServeEngine::step`] did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -52,15 +52,68 @@ struct Job {
     skip_mesh: bool,
 }
 
+/// Bounded memory of recently evicted session ids.
+///
+/// A long-running server evicts sessions forever, so an unbounded
+/// tombstone set is a memory leak. This ring remembers the most recent
+/// `capacity` evictions (insertion order); inserting past the bound
+/// forgets the oldest tombstone, whose id thereafter reports as the
+/// generic [`ServeError::UnknownSession`] instead of the more precise
+/// [`ServeError::SessionEvicted`]. That degradation is deliberate and
+/// documented: the distinct eviction error is a *recency* courtesy to
+/// clients that missed an eviction, not a permanent ledger.
+pub(crate) struct Tombstones {
+    capacity: usize,
+    /// Eviction order, oldest at the front.
+    ring: VecDeque<u64>,
+    /// Same ids, indexed for O(log n) membership checks.
+    set: BTreeSet<u64>,
+}
+
+impl Tombstones {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Tombstones { capacity, ring: VecDeque::new(), set: BTreeSet::new() }
+    }
+
+    /// Records an eviction, forgetting the oldest tombstone at capacity.
+    pub(crate) fn insert(&mut self, id: u64) {
+        if !self.set.insert(id) {
+            return;
+        }
+        self.ring.push_back(id);
+        while self.ring.len() > self.capacity {
+            if let Some(old) = self.ring.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+    }
+
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Tombstones currently remembered (bounded by the capacity).
+    pub(crate) fn len(&self) -> usize {
+        self.ring.len()
+    }
+}
+
 /// The streaming inference engine. See the [module docs](self) for the
 /// execution model.
 pub struct ServeEngine {
     pipeline: MmHandPipeline,
     config: ServeConfig,
     sessions: BTreeMap<u64, Session>,
-    /// Tombstones so a pushed-to evicted session gets a distinct error.
-    evicted: BTreeSet<u64>,
+    /// Bounded tombstones so a pushed-to recently-evicted session gets a
+    /// distinct error (see [`Tombstones`] for the forgetting semantics).
+    evicted: Tombstones,
     next_id: u64,
+    /// Fairness cursor: the highest session id scheduled last step.
+    /// Scheduling starts from the first ready id *after* it (wrapping),
+    /// so when more sessions are ready than `max_batch` can take, low
+    /// ids cannot starve high ids — every ready session is scheduled
+    /// within `ceil(ready / max_batch)` steps.
+    fair_cursor: u64,
     /// Kernel backend selected when the engine was built (`"scalar"` /
     /// `"simd"`), recorded so operators can see which inner loops served
     /// a given process.
@@ -75,12 +128,14 @@ impl ServeEngine {
     /// Returns [`ServeError::InvalidConfig`] for out-of-range bounds.
     pub fn new(pipeline: MmHandPipeline, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let tombstones = Tombstones::new(config.tombstone_capacity);
         Ok(ServeEngine {
             pipeline,
             config,
             sessions: BTreeMap::new(),
-            evicted: BTreeSet::new(),
+            evicted: tombstones,
             next_id: 1,
+            fair_cursor: 0,
             kernel_backend: mmhand_kernels::backend_name(),
         })
     }
@@ -125,17 +180,44 @@ impl ServeEngine {
     /// Returns [`ServeError::SessionLimit`] when the engine is at its
     /// admission limit.
     pub fn open_session(&mut self) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.open_session_with_id(id)?;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Opens a session under an externally assigned id — the shard router
+    /// allocates globally unique ids and routes by them, so shard-local
+    /// engines must not mint their own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::SessionLimit`] at the admission limit, or
+    /// [`ServeError::InvalidConfig`] if the id is already open (router
+    /// invariant violation).
+    pub(crate) fn open_session_with_id(&mut self, id: u64) -> Result<(), ServeError> {
         if self.sessions.len() >= self.config.max_sessions {
             telemetry::counter("serve.sessions_rejected").inc();
             return Err(ServeError::SessionLimit { max_sessions: self.config.max_sessions });
         }
-        let id = self.next_id;
-        self.next_id += 1;
+        if self.sessions.contains_key(&id) {
+            return Err(ServeError::InvalidConfig {
+                field: "session_id",
+                reason: format!("session id {id} is already open"),
+            });
+        }
         let hidden = self.pipeline.model().lstm_hidden();
         self.sessions.insert(id, Session::new(id, hidden));
         telemetry::counter("serve.sessions_opened").inc();
         telemetry::gauge("serve.sessions_active").set(self.sessions.len() as f64);
-        Ok(id)
+        Ok(())
+    }
+
+    /// Number of eviction tombstones currently remembered. Bounded by
+    /// [`ServeConfig::tombstone_capacity`] — the churn regression test
+    /// asserts this stays flat while evictions keep counting up.
+    pub fn evicted_tombstones(&self) -> usize {
+        self.evicted.len()
     }
 
     /// Pushes one raw frame into a session's ingress queue.
@@ -171,9 +253,16 @@ impl ServeEngine {
     }
 
     /// Runs one scheduling round: drains up to one segment from each of up
-    /// to `max_batch` ready sessions (ascending id order), runs the shared
-    /// micro-batched forward pass, advances per-session LSTM state, and
-    /// buffers results. Sessions idle past the eviction budget are removed.
+    /// to `max_batch` ready sessions, runs the shared micro-batched forward
+    /// pass, advances per-session LSTM state, and buffers results. Sessions
+    /// idle past the eviction budget are removed.
+    ///
+    /// Scheduling is round-robin over ascending session ids via a rotating
+    /// fairness cursor: selection starts at the first ready id after the
+    /// last id scheduled in the previous step and wraps. A plain
+    /// lowest-id-first scan (the pre-cursor behaviour) starves high ids
+    /// indefinitely whenever more sessions stay ready than `max_batch`
+    /// admits per step.
     ///
     /// # Errors
     ///
@@ -183,13 +272,21 @@ impl ServeEngine {
     pub fn step(&mut self) -> Result<StepReport, ServeError> {
         let sp = telemetry::span("serve.step");
         let st = self.pipeline.builder().config().frames_per_segment;
-        let ready: Vec<u64> = self
+        let mut ready: Vec<u64> = self
             .sessions
             .values()
             .filter(|s| s.ready(st, self.config.result_capacity))
             .map(|s| s.id)
-            .take(self.config.max_batch)
             .collect();
+        // Rotate the ascending id list so it starts just past the fairness
+        // cursor, then take the batch; the cursor advances to the last id
+        // actually scheduled.
+        let pivot = ready.partition_point(|&id| id <= self.fair_cursor);
+        ready.rotate_left(pivot);
+        ready.truncate(self.config.max_batch);
+        if let Some(&last) = ready.last() {
+            self.fair_cursor = last;
+        }
 
         // audit: pool-exempt — per-step job staging, bounded by max_batch
         let mut jobs = Vec::with_capacity(ready.len());
@@ -265,7 +362,7 @@ impl ServeEngine {
 
     /// The error for a session id that is not open.
     fn gone(&self, session: u64) -> ServeError {
-        if self.evicted.contains(&session) {
+        if self.evicted.contains(session) {
             ServeError::SessionEvicted { session }
         } else {
             ServeError::UnknownSession { session }
@@ -457,6 +554,80 @@ mod tests {
         assert_eq!(stats.frames_in, (2 * st) as u64);
         assert_eq!(stats.segments_out, 2);
         assert_eq!(stats.meshes_skipped, 2);
+    }
+
+    #[test]
+    fn tombstones_are_a_bounded_ring() {
+        let mut t = Tombstones::new(3);
+        for id in 1..=5 {
+            t.insert(id);
+        }
+        assert_eq!(t.len(), 3, "ring never exceeds capacity");
+        assert!(!t.contains(1) && !t.contains(2), "oldest tombstones are forgotten");
+        assert!(t.contains(3) && t.contains(4) && t.contains(5));
+        t.insert(4); // re-inserting a remembered id must not churn the ring
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(3));
+    }
+
+    #[test]
+    fn eviction_tombstones_stay_bounded_and_degrade_oldest_to_unknown() {
+        let (pipeline, frames) = tiny_engine_parts();
+        let mut e = ServeEngine::new(
+            pipeline,
+            ServeConfig::new().evict_after_idle_steps(1).tombstone_capacity(2),
+        )
+        .expect("valid config");
+        let ids: Vec<u64> = (0..3).map(|_| e.open_session().expect("session opens")).collect();
+        let report = e.step().expect("step evicts all idle sessions");
+        assert_eq!(report.evicted, ids);
+        assert_eq!(e.evicted_tombstones(), 2, "ring capped below the eviction count");
+        // The two most recent evictions keep the precise error; the oldest
+        // degrades to the generic unknown-session error.
+        assert!(matches!(
+            e.push_frame(ids[0], frames[0].clone()),
+            Err(ServeError::UnknownSession { session }) if session == ids[0]
+        ));
+        for &sid in &ids[1..] {
+            assert!(matches!(
+                e.push_frame(sid, frames[0].clone()),
+                Err(ServeError::SessionEvicted { session }) if session == sid
+            ));
+        }
+    }
+
+    /// Regression test for the low-id scheduling bias: with `max_batch: 1`
+    /// and three sessions that are permanently ready, the pre-cursor
+    /// scheduler (ascending ids, `take(max_batch)`) served session 1 on
+    /// every step and starved 2 and 3 indefinitely. The rotating cursor
+    /// must serve all three within three steps.
+    #[test]
+    fn rotating_cursor_prevents_low_id_starvation() {
+        let (pipeline, frames) = tiny_engine_parts();
+        let st = pipeline.builder().config().frames_per_segment;
+        let mut e = ServeEngine::new(
+            pipeline,
+            ServeConfig::new()
+                .max_batch(1)
+                .queue_capacity(8 * st)
+                .mesh_policy(MeshPolicy::Never),
+        )
+        .expect("valid config");
+        let ids: Vec<u64> = (0..3).map(|_| e.open_session().expect("session opens")).collect();
+        for _ in 0..3 {
+            // Keep every queue topped up with a fresh segment, so all three
+            // sessions stay ready on every step.
+            for &sid in &ids {
+                for f in frames.iter().take(st) {
+                    e.push_frame(sid, f.clone()).expect("queue has room");
+                }
+            }
+            assert_eq!(e.step().expect("step runs").batched, 1);
+        }
+        for (k, &sid) in ids.iter().enumerate() {
+            let got = e.take_results(sid).expect("results drain").len();
+            assert_eq!(got, 1, "session {k} must be scheduled exactly once in 3 steps");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`ServeError::Pipeline`] via `From`, so engine code propagates them
 //! with `?`.
 
+use crate::wire::WireError;
 use mmhand_core::{MmHandError, PipelineError};
 use std::error::Error;
 use std::fmt;
@@ -45,6 +46,10 @@ pub enum ServeError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A client sent a structurally invalid byte stream.
+    Wire(WireError),
+    /// A socket operation failed (bind, accept, read, write).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for ServeError {
@@ -68,6 +73,8 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig { field, reason } => {
                 write!(f, "invalid serve configuration `{field}`: {reason}")
             }
+            ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
 }
@@ -76,8 +83,22 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Pipeline(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            ServeError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
     }
 }
 

@@ -44,11 +44,17 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod net;
 pub mod session;
+pub mod shard;
 #[cfg(test)]
 pub(crate) mod testutil;
+pub mod wire;
 
 pub use config::{MeshPolicy, ServeConfig};
 pub use engine::{ServeEngine, StepReport};
 pub use error::ServeError;
+pub use net::{NetReport, ServeServer};
 pub use session::{FrameResult, SessionStats};
+pub use shard::{ShardStepReport, ShardedServe, MAX_SHARDS};
+pub use wire::{Decoder, RejectCode, WireError, WireMsg};
