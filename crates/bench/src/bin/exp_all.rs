@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 type Experiment = fn(&ExperimentConfig) -> Result<(), PipelineError>;
 
-const SUITE: [(&str, Experiment); 14] = [
+const SUITE: [(&str, Experiment); 15] = [
     ("per_user", exp::per_user::run),
     ("pck_curve", exp::pck_curve::run),
     ("error_cdf", exp::error_cdf::run),
@@ -27,6 +27,7 @@ const SUITE: [(&str, Experiment); 14] = [
     ("ablation", exp::ablation::run),
     ("qualitative", exp::qualitative::run),
     ("timing", exp::timing::run),
+    ("quant", exp::quant::run),
 ];
 
 fn main() -> ExitCode {

@@ -1,0 +1,170 @@
+//! Int8-vs-f32 quantization gate with a machine-readable verdict.
+//!
+//! Calibrates the int8 path on a held-out capture, scores both precisions
+//! on a seeded eval set, and writes `BENCH_quant.json` (into
+//! `MMHAND_BENCH_DIR`, default `benchmarks/`) with the accuracy deltas and
+//! the speed/memory wins. The quant-gate CI job runs it with gating flags:
+//!
+//! * `--max-joint-err-delta <mm>` — fail when the int8 mean joint error
+//!   exceeds the f32 number by more than this epsilon;
+//! * `--max-pck-delta <frac>` — fail when int8 PCK@40mm drops by more than
+//!   this fraction below f32 (default 0.05 whenever the error gate is on);
+//! * `--min-speedup <f>` — fail unless int8 beats f32 by this latency
+//!   factor **or** shrinks parameter memory by it. Latency on tiny
+//!   quick-scale shapes is noisy; the memory win (~4x, deterministic) is
+//!   an equally real serving win, so either satisfies the gate.
+//!
+//! Respects `MMHAND_QUICK=1` for the smoke scale and the documented
+//! `MMHAND_PRECISION` / `MMHAND_KERNEL_BACKEND` fallbacks for the ambient
+//! process configuration (the comparison itself always runs both paths).
+
+use mmhand_bench::config::ExperimentConfig;
+use mmhand_bench::experiments::quant;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn write_json(r: &quant::QuantReport) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("MMHAND_BENCH_DIR").unwrap_or_else(|_| "benchmarks".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_quant.json");
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"kernel_backend\": \"{}\",\n  \"eval_sequences\": {},\n",
+        mmhand_kernels::backend_name(),
+        r.eval_sequences
+    ));
+    s.push_str(&format!(
+        "  \"accuracy\": {{\"f32_mpjpe_mm\": {:.4}, \"int8_mpjpe_mm\": {:.4}, \"joint_err_delta_mm\": {:.4}, \"pck_threshold_mm\": {:.1}, \"f32_pck\": {:.4}, \"int8_pck\": {:.4}, \"pck_delta\": {:.4}}},\n",
+        r.f32_mpjpe_mm,
+        r.int8_mpjpe_mm,
+        r.joint_err_delta_mm(),
+        quant::PCK_THRESHOLD_MM,
+        r.f32_pck,
+        r.int8_pck,
+        r.pck_delta()
+    ));
+    s.push_str(&format!(
+        "  \"speed\": {{\"f32_ns_per_seq\": {:.1}, \"int8_ns_per_seq\": {:.1}, \"speedup\": {:.3}}},\n",
+        r.f32_ns_per_seq,
+        r.int8_ns_per_seq,
+        r.speedup()
+    ));
+    s.push_str(&format!(
+        "  \"memory\": {{\"f32_param_bytes\": {}, \"int8_param_bytes\": {}, \"ratio\": {:.3}}},\n",
+        r.f32_param_bytes,
+        r.int8_param_bytes,
+        r.memory_ratio()
+    ));
+    s.push_str(&format!(
+        "  \"telemetry\": {{\"calibration_clips\": {}, \"dequant_saturations\": {}}}\n",
+        r.calibration_clips, r.dequant_saturations
+    ));
+    s.push_str("}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_joint_err_delta = flag_value(&args, "--max-joint-err-delta");
+    let max_pck_delta = flag_value(&args, "--max-pck-delta")
+        .or(max_joint_err_delta.map(|_| 0.05));
+    let min_speedup = flag_value(&args, "--min-speedup");
+
+    let cfg = ExperimentConfig::from_env();
+    let report = match quant::measure(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exp_quant: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "accuracy: f32 {:.2}mm / int8 {:.2}mm (delta {:+.3}mm); PCK@{:.0}mm {:.4} / {:.4} (delta {:+.4})",
+        report.f32_mpjpe_mm,
+        report.int8_mpjpe_mm,
+        report.joint_err_delta_mm(),
+        quant::PCK_THRESHOLD_MM,
+        report.f32_pck,
+        report.int8_pck,
+        report.pck_delta()
+    );
+    println!(
+        "speed: f32 {:.0}us / int8 {:.0}us per sequence ({:.2}x); memory: {} / {} bytes ({:.2}x smaller)",
+        report.f32_ns_per_seq / 1e3,
+        report.int8_ns_per_seq / 1e3,
+        report.speedup(),
+        report.f32_param_bytes,
+        report.int8_param_bytes,
+        report.memory_ratio()
+    );
+    println!(
+        "telemetry: {} calibration clips, {} dequant saturations over {} sequences",
+        report.calibration_clips, report.dequant_saturations, report.eval_sequences
+    );
+
+    match write_json(&report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("exp_quant: writing BENCH_quant.json failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failures = Vec::new();
+    if let Some(eps) = max_joint_err_delta {
+        let delta = f64::from(report.joint_err_delta_mm());
+        if delta > eps {
+            failures.push(format!(
+                "int8 mean joint error regresses {delta:+.3}mm, over the {eps:.3}mm epsilon"
+            ));
+        } else {
+            println!("accuracy gate: joint error delta {delta:+.3}mm within {eps:.3}mm");
+        }
+    }
+    if let Some(eps) = max_pck_delta {
+        let delta = f64::from(report.pck_delta());
+        if delta > eps {
+            failures.push(format!(
+                "int8 PCK@{:.0}mm drops {delta:+.4}, over the {eps:.4} epsilon",
+                quant::PCK_THRESHOLD_MM
+            ));
+        } else {
+            println!("accuracy gate: PCK delta {delta:+.4} within {eps:.4}");
+        }
+    }
+    if let Some(min) = min_speedup {
+        let speed = report.speedup();
+        let mem = report.memory_ratio();
+        if speed >= min {
+            println!("perf gate: int8 latency speedup {speed:.2}x meets the {min:.2}x floor");
+        } else if mem >= min {
+            println!(
+                "perf gate: latency speedup {speed:.2}x misses {min:.2}x but the \
+                 {mem:.2}x parameter-memory shrink satisfies it"
+            );
+        } else {
+            failures.push(format!(
+                "neither latency speedup ({speed:.2}x) nor memory shrink ({mem:.2}x) \
+                 reaches the {min:.2}x floor"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("exp_quant: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -16,6 +16,7 @@ pub mod obstacle;
 pub mod pck_curve;
 pub mod per_user;
 pub mod qualitative;
+pub mod quant;
 pub mod table1;
 pub mod timing;
 

@@ -1,0 +1,212 @@
+//! Int8 quantization accuracy/performance gate.
+//!
+//! Not a paper figure: this experiment guards the post-training int8
+//! inference path (DESIGN.md §16). It calibrates per-channel scales on a
+//! held-out capture, then compares the quantized model against the f32
+//! reference on a *separate* seeded eval set:
+//!
+//! * **accuracy** — mean joint error (MPJPE) and PCK@40mm for both
+//!   precisions; the deltas must stay within a small epsilon for the gate
+//!   to pass;
+//! * **speed** — per-sequence regression latency at both precisions;
+//! * **memory** — quantized vs f32 parameter bytes (int8 weights are one
+//!   byte each, so the win is roughly 4x minus per-channel scale overhead).
+//!
+//! The `exp_quant` binary turns the epsilons into hard exit-code gates
+//! (`--max-joint-err-delta`, `--min-speedup`) and writes the machine-
+//! readable verdict to `BENCH_quant.json`.
+
+use crate::config::ExperimentConfig;
+use crate::data::{try_build_test_set, TestCondition};
+use crate::report;
+use crate::runner;
+use mmhand_core::metrics::JointGroup;
+use mmhand_core::PipelineError;
+use mmhand_telemetry as telemetry;
+use std::sync::Arc;
+
+/// PCK threshold used for the accuracy comparison (the paper's headline
+/// operating point).
+pub const PCK_THRESHOLD_MM: f32 = 40.0;
+
+/// Everything the gate needs, in one measured bundle.
+#[derive(Clone, Debug)]
+pub struct QuantReport {
+    /// f32 mean joint error on the eval set (mm).
+    pub f32_mpjpe_mm: f32,
+    /// int8 mean joint error on the same eval set (mm).
+    pub int8_mpjpe_mm: f32,
+    /// f32 PCK@[`PCK_THRESHOLD_MM`] (fraction in `[0, 1]`).
+    pub f32_pck: f32,
+    /// int8 PCK at the same threshold.
+    pub int8_pck: f32,
+    /// Best-of-samples per-sequence regression latency, f32 path (ns).
+    pub f32_ns_per_seq: f64,
+    /// Best-of-samples per-sequence regression latency, int8 path (ns).
+    pub int8_ns_per_seq: f64,
+    /// Parameter bytes touched by the f32 matmul path.
+    pub f32_param_bytes: usize,
+    /// Parameter bytes touched by the int8 matmul path (weights + scales).
+    pub int8_param_bytes: usize,
+    /// Calibration values clipped by the p99.9 activation range.
+    pub calibration_clips: u64,
+    /// Values saturated to ±127 while quantizing activations at inference.
+    pub dequant_saturations: u64,
+    /// Sequences in the eval set.
+    pub eval_sequences: usize,
+}
+
+impl QuantReport {
+    /// Absolute MPJPE regression of int8 relative to f32 (mm; negative
+    /// means int8 was *better*, which small eval sets do produce).
+    pub fn joint_err_delta_mm(&self) -> f32 {
+        self.int8_mpjpe_mm - self.f32_mpjpe_mm
+    }
+
+    /// PCK drop of int8 relative to f32 (fraction; negative = improved).
+    pub fn pck_delta(&self) -> f32 {
+        self.f32_pck - self.int8_pck
+    }
+
+    /// Latency speedup of int8 over f32 (>1 means int8 is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.int8_ns_per_seq > 0.0 {
+            self.f32_ns_per_seq / self.int8_ns_per_seq
+        } else {
+            0.0
+        }
+    }
+
+    /// Parameter-memory shrink factor of int8 over f32 (>1 means smaller).
+    pub fn memory_ratio(&self) -> f64 {
+        if self.int8_param_bytes > 0 {
+            self.f32_param_bytes as f64 / self.int8_param_bytes as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Timed samples per precision; the minimum is reported so scheduler noise
+/// only ever makes the comparison conservative, never flattering.
+fn timing_samples(cfg: &ExperimentConfig) -> usize {
+    match cfg.scale {
+        crate::config::Scale::Full => 7,
+        crate::config::Scale::Quick => 3,
+    }
+}
+
+/// Calibrates, evaluates, and times both precisions.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the model or either synthetic capture
+/// set cannot be built, or when calibration yields an empty store.
+pub fn measure(cfg: &ExperimentConfig) -> Result<QuantReport, PipelineError> {
+    let model = runner::try_reference_model(cfg)?;
+
+    // Calibration and evaluation come from differently-named conditions at
+    // the nominal position: same distribution, disjoint captures, so the
+    // activation ranges are not fitted on the data they are scored on.
+    let calib_cond = TestCondition {
+        name: "quant_calibration".into(),
+        ..TestCondition::nominal()
+    };
+    let calib_set = try_build_test_set(cfg, &calib_cond)?;
+    let calib_segments: Vec<_> = calib_set
+        .iter()
+        .flat_map(|seq| seq.segments.iter().cloned())
+        .collect();
+
+    let clips0 = telemetry::counter("quant.calibration.clips").get();
+    let quant = Arc::new(model.calibrate_int8(&calib_segments));
+    let calibration_clips = telemetry::counter("quant.calibration.clips").get() - clips0;
+    if quant.is_empty() {
+        return Err(PipelineError::EmptyInput { what: "calibration segments" });
+    }
+
+    let eval = try_build_test_set(cfg, &TestCondition::nominal())?;
+    let errs_f32 = model.evaluate(&eval);
+    let sat0 = telemetry::counter("quant.saturations").get();
+    let errs_int8 = model.evaluate_quantized(&quant, &eval);
+    let dequant_saturations = telemetry::counter("quant.saturations").get() - sat0;
+
+    // Latency: the regression stage only (cube building and mesh fitting
+    // are precision-independent), best of N passes over the eval set.
+    // Timed through telemetry spans — the workspace's sanctioned clock —
+    // so the samples also land in the metrics dump.
+    let samples = timing_samples(cfg);
+    let mut f32_best = f64::INFINITY;
+    let mut int8_best = f64::INFINITY;
+    for _ in 0..samples {
+        let sp = telemetry::span("bench.quant.f32_pass");
+        for seq in &eval {
+            std::hint::black_box(model.predict_sequence(&seq.segments));
+        }
+        f32_best = f32_best.min(sp.finish() as f64 / eval.len() as f64);
+        let sp = telemetry::span("bench.quant.int8_pass");
+        for seq in &eval {
+            std::hint::black_box(model.predict_sequence_quantized(quant.clone(), &seq.segments));
+        }
+        int8_best = int8_best.min(sp.finish() as f64 / eval.len() as f64);
+    }
+
+    Ok(QuantReport {
+        f32_mpjpe_mm: errs_f32.mpjpe(JointGroup::Overall),
+        int8_mpjpe_mm: errs_int8.mpjpe(JointGroup::Overall),
+        f32_pck: errs_f32.pck(JointGroup::Overall, PCK_THRESHOLD_MM),
+        int8_pck: errs_int8.pck(JointGroup::Overall, PCK_THRESHOLD_MM),
+        f32_ns_per_seq: f32_best,
+        int8_ns_per_seq: int8_best,
+        f32_param_bytes: quant.f32_bytes(),
+        int8_param_bytes: quant.quantized_bytes(),
+        calibration_clips,
+        dequant_saturations,
+        eval_sequences: eval.len(),
+    })
+}
+
+/// Runs the experiment and prints the comparison table (no gating; the
+/// `exp_quant` binary owns the exit-code gates).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when [`measure`] fails.
+pub fn run(cfg: &ExperimentConfig) -> Result<(), PipelineError> {
+    report::section("Quantization: int8 vs f32 accuracy/performance");
+    let r = measure(cfg)?;
+    report::data_row("eval sequences", r.eval_sequences);
+    report::row(
+        "mean joint error f32 / int8",
+        format!("{:.2}mm / {:.2}mm", r.f32_mpjpe_mm, r.int8_mpjpe_mm),
+        "delta ~0",
+    );
+    report::row(
+        format!("PCK@{PCK_THRESHOLD_MM:.0}mm f32 / int8").as_str(),
+        format!("{:.4} / {:.4}", r.f32_pck, r.int8_pck),
+        "delta ~0",
+    );
+    report::data_row(
+        "regression latency f32 / int8",
+        format!(
+            "{:.0}us / {:.0}us per sequence ({:.2}x)",
+            r.f32_ns_per_seq / 1e3,
+            r.int8_ns_per_seq / 1e3,
+            r.speedup()
+        ),
+    );
+    report::data_row(
+        "parameter bytes f32 / int8",
+        format!(
+            "{} / {} ({:.2}x smaller)",
+            r.f32_param_bytes,
+            r.int8_param_bytes,
+            r.memory_ratio()
+        ),
+    );
+    report::data_row(
+        "calibration clips / dequant saturations",
+        format!("{} / {}", r.calibration_clips, r.dequant_saturations),
+    );
+    Ok(())
+}

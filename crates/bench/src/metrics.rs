@@ -50,13 +50,15 @@ pub fn write_snapshot(
 ) -> std::io::Result<(PathBuf, PathBuf)> {
     fs::create_dir_all(metrics_dir())?;
     let (json_path, prom_path) = export_paths(name);
-    // Prepend run metadata (which kernel backend served this process) to
-    // the registry dump, so every BENCH_*_metrics.json is self-describing.
+    // Prepend run metadata (which kernel backend and inference precision
+    // served this process) to the registry dump, so every
+    // BENCH_*_metrics.json is self-describing.
     let body = snap.to_json();
     let body = body.strip_prefix('{').unwrap_or(&body);
     let json = format!(
-        "{{\n  \"meta\": {{\"kernel_backend\": \"{}\"}},{body}",
-        mmhand_kernels::backend_name()
+        "{{\n  \"meta\": {{\"kernel_backend\": \"{}\", \"precision\": \"{}\"}},{body}",
+        mmhand_kernels::backend_name(),
+        mmhand_core::Precision::env_fallback().name()
     );
     let mut f = fs::File::create(&json_path)?;
     f.write_all(json.as_bytes())?;
@@ -80,6 +82,8 @@ mod tests {
         assert!(json.contains("\"bench.test.export_counter\""));
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"kernel_backend\""));
+        assert!(json.contains("\"precision\""));
         // Cheap well-formedness check: balanced braces/brackets.
         assert_eq!(
             json.matches(['{', '[']).count(),

@@ -53,6 +53,7 @@ pub mod mesh;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
+pub mod precision;
 pub mod recognize;
 pub mod train;
 
@@ -64,6 +65,8 @@ pub use loss::LossWeights;
 pub use mesh::{MeshReconstructor, ReconstructedHand};
 pub use metrics::{JointErrors, JointGroup};
 pub use model::{MmHandModel, ModelConfig};
+pub use mmhand_nn::QuantizedParamStore;
 pub use pipeline::{MmHandPipeline, PipelineBuilder, PipelineOutput, StageTiming};
+pub use precision::Precision;
 pub use recognize::{GestureRecognizer, Recognition};
 pub use train::{TrainConfig, TrainedModel, Trainer};

@@ -5,10 +5,12 @@
 use crate::cube::{CubeBuilder, CubeConfig};
 use crate::error::{MmHandError, PipelineError};
 use crate::mesh::{MeshReconstructor, ReconstructedHand};
+use crate::precision::Precision;
 use crate::train::TrainedModel;
-use mmhand_nn::Tensor;
+use mmhand_nn::{QuantizedParamStore, Tensor};
 use mmhand_radar::RawFrame;
 use mmhand_telemetry as telemetry;
+use std::sync::Arc;
 
 /// Wall-clock timing of one pipeline invocation.
 ///
@@ -70,12 +72,18 @@ pub struct MmHandPipeline {
     builder: CubeBuilder,
     model: TrainedModel,
     mesh: MeshReconstructor,
+    /// Numeric path of the forward pass; [`Precision::Int8`] requires
+    /// `quant` to be populated (enforced by [`PipelineBuilder::build`]).
+    precision: Precision,
+    /// Int8 parameter copies, shared (`Arc`) across pipeline clones —
+    /// serve shards quantize once, not per shard.
+    quant: Option<Arc<QuantizedParamStore>>,
 }
 
 impl MmHandPipeline {
-    /// Assembles a pipeline from trained parts.
+    /// Assembles an f32 pipeline from trained parts.
     pub fn new(builder: CubeBuilder, model: TrainedModel, mesh: MeshReconstructor) -> Self {
-        MmHandPipeline { builder, model, mesh }
+        MmHandPipeline { builder, model, mesh, precision: Precision::F32, quant: None }
     }
 
     /// Starts a [`PipelineBuilder`] — the fallible, validating way to
@@ -97,6 +105,46 @@ impl MmHandPipeline {
     /// The mesh reconstructor.
     pub fn mesh_reconstructor(&self) -> &MeshReconstructor {
         &self.mesh
+    }
+
+    /// The numeric path this pipeline's forward passes run on.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The int8 parameter store, when this pipeline was calibrated.
+    pub fn quantized(&self) -> Option<&Arc<QuantizedParamStore>> {
+        self.quant.as_ref()
+    }
+
+    /// Predicts joints for a sequence of segments on this pipeline's
+    /// [`Precision`] — the precision-dispatching counterpart of
+    /// [`TrainedModel::predict_sequence`].
+    pub fn predict_sequence(&self, segments: &[Tensor]) -> Vec<Vec<f32>> {
+        match (self.precision, &self.quant) {
+            (Precision::Int8, Some(q)) => {
+                self.model.predict_sequence_quantized(q.clone(), segments)
+            }
+            _ => self.model.predict_sequence(segments),
+        }
+    }
+
+    /// Predicts one streamed segment batch from explicit LSTM state on this
+    /// pipeline's [`Precision`] — the precision-dispatching counterpart of
+    /// [`TrainedModel::predict_step`]; `mmhand-serve` micro-batches through
+    /// this so every session inherits the pipeline's precision.
+    pub fn predict_step(
+        &self,
+        segment: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Vec<Vec<f32>>, Tensor, Tensor) {
+        match (self.precision, &self.quant) {
+            (Precision::Int8, Some(q)) => {
+                self.model.predict_step_quantized(q.clone(), segment, h, c)
+            }
+            _ => self.model.predict_step(segment, h, c),
+        }
     }
 
     /// Converts raw frames into per-segment input tensors. Frames that do
@@ -152,7 +200,7 @@ impl MmHandPipeline {
         let skeletons = if segments.is_empty() {
             Vec::new()
         } else {
-            self.model.predict_sequence(&segments)
+            self.predict_sequence(&segments)
         };
         let regress_ns = sp.finish();
         telemetry::counter("pipeline.segments").add(skeletons.len() as u64);
@@ -233,12 +281,23 @@ pub struct PipelineBuilder {
     cube: Option<CubeConfig>,
     mesh: Option<MeshReconstructor>,
     mesh_seed: u64,
+    precision: Option<Precision>,
+    quant: Option<Arc<QuantizedParamStore>>,
+    calibration: Vec<Tensor>,
 }
 
 impl PipelineBuilder {
     /// Starts a builder around a trained model.
     pub fn new(model: TrainedModel) -> Self {
-        PipelineBuilder { model, cube: None, mesh: None, mesh_seed: 0 }
+        PipelineBuilder {
+            model,
+            cube: None,
+            mesh: None,
+            mesh_seed: 0,
+            precision: None,
+            quant: None,
+            calibration: Vec::new(),
+        }
     }
 
     /// Sets the cube geometry (defaults to [`CubeConfig::default`]).
@@ -258,6 +317,37 @@ impl PipelineBuilder {
     /// ignored when [`PipelineBuilder::mesh`] was called.
     pub fn mesh_seed(mut self, seed: u64) -> Self {
         self.mesh_seed = seed;
+        self
+    }
+
+    /// Pins the inference precision explicitly. When not called, the
+    /// documented `MMHAND_PRECISION` env fallback fills the default.
+    ///
+    /// An **explicit** [`Precision::Int8`] requires calibration material —
+    /// [`PipelineBuilder::quantized`] or
+    /// [`PipelineBuilder::calibration_segments`] — and
+    /// [`PipelineBuilder::build`] rejects the configuration otherwise. An
+    /// env-requested int8 without calibration instead downgrades to f32
+    /// with a note on stderr, so blanket `MMHAND_PRECISION=int8` test runs
+    /// don't break pipelines that never calibrated.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = Some(p);
+        self
+    }
+
+    /// Supplies an already-built int8 parameter store (e.g. shared with
+    /// another pipeline over the same trained model).
+    pub fn quantized(mut self, q: Arc<QuantizedParamStore>) -> Self {
+        self.quant = Some(q);
+        self
+    }
+
+    /// Supplies calibration segments; [`PipelineBuilder::build`] runs
+    /// [`TrainedModel::calibrate_int8`] over them when the resolved
+    /// precision is [`Precision::Int8`] and no store was supplied via
+    /// [`PipelineBuilder::quantized`].
+    pub fn calibration_segments(mut self, segments: Vec<Tensor>) -> Self {
+        self.calibration = segments;
         self
     }
 
@@ -302,7 +392,41 @@ impl PipelineBuilder {
             Some(m) => m,
             None => MeshReconstructor::new(self.mesh_seed),
         };
-        Ok(MmHandPipeline { builder, model: self.model, mesh })
+        // Precision: explicit setting wins; the documented MMHAND_PRECISION
+        // env fallback fills the default otherwise.
+        let explicit = self.precision.is_some();
+        let requested = self.precision.unwrap_or_else(Precision::env_fallback);
+        let (precision, quant) = match requested {
+            Precision::F32 => (Precision::F32, None),
+            Precision::Int8 => {
+                let store = match self.quant {
+                    Some(q) => Some(q),
+                    None if !self.calibration.is_empty() => {
+                        Some(Arc::new(self.model.calibrate_int8(&self.calibration)))
+                    }
+                    None => None,
+                };
+                match store {
+                    Some(q) if !q.is_empty() => (Precision::Int8, Some(q)),
+                    _ if explicit => {
+                        return invalid(
+                            "precision",
+                            "int8 requires calibration: supply a quantized store or \
+                             calibration segments"
+                                .to_string(),
+                        );
+                    }
+                    _ => {
+                        eprintln!(
+                            "mmhand-core: MMHAND_PRECISION=int8 but the pipeline has no \
+                             calibration material; running f32"
+                        );
+                        (Precision::F32, None)
+                    }
+                }
+            }
+        };
+        Ok(MmHandPipeline { builder, model: self.model, mesh, precision, quant })
     }
 }
 
@@ -453,5 +577,94 @@ mod tests {
         let (mut pipeline, frames) = tiny_pipeline();
         let out = pipeline.estimate(&frames[..3]); // 1.5 segments
         assert_eq!(out.skeletons.len(), 1);
+    }
+
+    /// Rebuilds `pipeline`'s parts through the builder at int8, calibrated
+    /// on its own inference segments.
+    fn quantize_pipeline(
+        pipeline: &mut MmHandPipeline,
+        frames: &[mmhand_radar::RawFrame],
+    ) -> MmHandPipeline {
+        let segments = pipeline.frames_to_segments(frames);
+        MmHandPipeline::builder_for(pipeline.model().clone())
+            .cube_config(pipeline.builder().config().clone())
+            .precision(crate::precision::Precision::Int8)
+            .calibration_segments(segments)
+            .build()
+            .expect("calibrated int8 pipeline builds")
+    }
+
+    #[test]
+    fn quantized_pipeline_tracks_f32() {
+        let (mut pipeline, frames) = tiny_pipeline();
+        let mut quantized = quantize_pipeline(&mut pipeline, &frames);
+        assert_eq!(quantized.precision(), crate::precision::Precision::Int8);
+        assert!(quantized.quantized().is_some());
+
+        let (f32_out, _) = pipeline.estimate_skeletons(&frames);
+        let (int8_out, _) = quantized.estimate_skeletons(&frames);
+        assert_eq!(f32_out.len(), int8_out.len());
+        let mut worst = 0.0f32;
+        let (mut sum, mut count) = (0.0f64, 0u64);
+        for (a, b) in f32_out.iter().zip(&int8_out) {
+            assert!(b.iter().all(|v| v.is_finite()));
+            for (x, y) in a.iter().zip(b) {
+                let d = (x - y).abs();
+                worst = worst.max(d);
+                sum += d as f64;
+                count += 1;
+            }
+        }
+        // Joint coordinates are metres. On this deliberately tiny, barely
+        // trained model the LSTM recurrence amplifies quantization noise,
+        // so the bound here is coarse; the tight mean-joint-error epsilon
+        // against the reference model is `exp_quant`'s accuracy gate.
+        let mean = sum / count as f64;
+        assert!(mean < 0.005, "mean joint deviation {mean} m");
+        assert!(worst < 0.05, "worst joint deviation {worst} m");
+    }
+
+    #[test]
+    fn quantized_step_matches_quantized_sequence_bitwise() {
+        // The serve identity contract, per precision: streaming step-wise
+        // int8 inference equals batch int8 inference bitwise.
+        let (mut pipeline, frames) = tiny_pipeline();
+        let quantized = quantize_pipeline(&mut pipeline, &frames);
+        let segments = pipeline.frames_to_segments(&frames);
+        let batch = quantized.predict_sequence(&segments);
+
+        let hidden = quantized.model().lstm_hidden();
+        let mut h = Tensor::zeros(&[1, hidden]);
+        let mut c = Tensor::zeros(&[1, hidden]);
+        for (t, seg) in segments.iter().enumerate() {
+            let mut shape = vec![1];
+            shape.extend_from_slice(seg.shape());
+            let stepped = seg.reshaped(&shape);
+            let (skels, h2, c2) = quantized.predict_step(&stepped, &h, &c);
+            h = h2;
+            c = c2;
+            for (a, b) in batch[t].iter().zip(&skels[0]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_int8_without_calibration_is_a_typed_error() {
+        let (pipeline, _) = tiny_pipeline();
+        let Err(err) = MmHandPipeline::builder_for(pipeline.model().clone())
+            .cube_config(pipeline.builder().config().clone())
+            .precision(crate::precision::Precision::Int8)
+            .build()
+        else {
+            panic!("uncalibrated explicit int8 must not build");
+        };
+        match err {
+            MmHandError::Pipeline(PipelineError::InvalidConfig { field, reason }) => {
+                assert_eq!(field, "precision");
+                assert!(reason.contains("calibration"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

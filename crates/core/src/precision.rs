@@ -1,0 +1,78 @@
+//! Typed inference precision.
+//!
+//! [`Precision`] is the single knob selecting the numeric path a pipeline's
+//! forward pass runs on: the f32 reference, or the post-training int8 path
+//! (per-channel weight scales, i8×i8→i32 matmuls through the dispatched
+//! kernels, dequantization at the output — see `mmhand_nn::quant`).
+//! Training always runs f32; precision only affects inference.
+//!
+//! The `MMHAND_PRECISION` environment variable (`f32` | `int8`) is the
+//! documented *fallback* that fills the default when no explicit precision
+//! was configured — mirroring how `MMHAND_KERNEL_BACKEND` fills the kernel
+//! default. Explicit configuration (a pipeline builder call, a serve
+//! `InferenceProfile`, a `--precision` flag) always wins over the env.
+
+/// Numeric precision of the inference path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// The f32 reference path (always available; training uses only this).
+    #[default]
+    F32,
+    /// Post-training int8: quantized matmuls with exact i32 accumulation,
+    /// dequantized at the output. Requires a calibrated pipeline.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase name (`"f32"`, `"int8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// The documented `MMHAND_PRECISION` env fallback: fills the default
+    /// when nothing was configured explicitly. Unknown values warn on
+    /// stderr and fall back to [`Precision::F32`].
+    pub fn env_fallback() -> Precision {
+        match std::env::var("MMHAND_PRECISION").ok().as_deref() {
+            Some("int8") => Precision::Int8,
+            Some("f32") | Some("") | None => Precision::F32,
+            Some(other) => {
+                eprintln!(
+                    "mmhand-core: unknown MMHAND_PRECISION={other:?} (expected f32|int8); \
+                     using f32"
+                );
+                Precision::F32
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision {other:?} (expected f32|int8)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_names() {
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert!("fp16".parse::<Precision>().is_err());
+        assert_eq!(Precision::F32.name(), "f32");
+        assert_eq!(Precision::Int8.name(), "int8");
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+}

@@ -10,8 +10,9 @@ use crate::loss::{combined_loss, LossWeights};
 use crate::metrics::JointErrors;
 use crate::model::{MmHandModel, ModelConfig, OUTPUT_DIM};
 use mmhand_math::rng::stream_rng;
-use mmhand_nn::{Adam, CosineSchedule, ParamStore, Tape, Tensor};
+use mmhand_nn::{Adam, Calibrator, CosineSchedule, ParamStore, QuantizedParamStore, Tape, Tensor};
 use mmhand_telemetry as telemetry;
+use std::sync::Arc;
 
 /// Training hyper-parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -98,6 +99,21 @@ impl TrainedModel {
     /// Predicts joints for a sequence of `(st·V, D, A)` segments.
     /// Returns one flat 63-float skeleton (metres) per step.
     pub fn predict_sequence(&self, segments: &[Tensor]) -> Vec<Vec<f32>> {
+        self.predict_sequence_on(Tape::new(), segments)
+    }
+
+    /// [`predict_sequence`](Self::predict_sequence) on the int8 path: the
+    /// same graph, but matmuls against parameters present in `q` run
+    /// quantized (i8×i8→i32, dequantized at the output).
+    pub fn predict_sequence_quantized(
+        &self,
+        q: Arc<QuantizedParamStore>,
+        segments: &[Tensor],
+    ) -> Vec<Vec<f32>> {
+        self.predict_sequence_on(Tape::with_quantized(q), segments)
+    }
+
+    fn predict_sequence_on(&self, mut tape: Tape, segments: &[Tensor]) -> Vec<Vec<f32>> {
         let batched: Vec<Tensor> = segments
             .iter()
             .map(|s| {
@@ -106,7 +122,6 @@ impl TrainedModel {
                 s.reshaped(&shape)
             })
             .collect();
-        let mut tape = Tape::new();
         let outs = self.model.forward(&mut tape, &self.store, &batched);
         outs.into_iter()
             .map(|o| {
@@ -132,7 +147,30 @@ impl TrainedModel {
         h: &Tensor,
         c: &Tensor,
     ) -> (Vec<Vec<f32>>, Tensor, Tensor) {
-        let mut tape = Tape::new();
+        self.predict_step_on(Tape::new(), segment, h, c)
+    }
+
+    /// [`predict_step`](Self::predict_step) on the int8 path. Quantization
+    /// is element-wise and row-independent, so the batched-vs-sequential
+    /// bitwise identity holds on this path exactly as on f32 — *within* a
+    /// precision, never across.
+    pub fn predict_step_quantized(
+        &self,
+        q: Arc<QuantizedParamStore>,
+        segment: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Vec<Vec<f32>>, Tensor, Tensor) {
+        self.predict_step_on(Tape::with_quantized(q), segment, h, c)
+    }
+
+    fn predict_step_on(
+        &self,
+        mut tape: Tape,
+        segment: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Vec<Vec<f32>>, Tensor, Tensor) {
         let hv = tape.leaf(h.clone());
         let cv = tape.leaf(c.clone());
         let (out, h_new, c_new) =
@@ -154,11 +192,54 @@ impl TrainedModel {
         self.model.config.lstm_hidden
     }
 
+    /// Builds the post-training int8 parameter store from calibration
+    /// segments: runs one f32 forward pass shaped exactly like
+    /// [`predict_sequence`](Self::predict_sequence), harvests the
+    /// activations every matmul weight saw, and quantizes those weights
+    /// with per-channel scales (see `mmhand_nn::quant` for the scheme).
+    /// Returns an empty store when `segments` is empty — callers treat
+    /// that as "not calibrated".
+    pub fn calibrate_int8(&self, segments: &[Tensor]) -> QuantizedParamStore {
+        let mut cal = Calibrator::new();
+        if !segments.is_empty() {
+            let batched: Vec<Tensor> = segments
+                .iter()
+                .map(|s| {
+                    let mut shape = vec![1];
+                    shape.extend_from_slice(s.shape());
+                    s.reshaped(&shape)
+                })
+                .collect();
+            let mut tape = Tape::new();
+            let _ = self.model.forward(&mut tape, &self.store, &batched);
+            tape.observe_param_matmuls(|id, x| cal.observe(id, x));
+        }
+        cal.finish(&self.store)
+    }
+
     /// Evaluates on sequences, accumulating per-joint errors.
     pub fn evaluate(&self, sequences: &[SegmentSequence]) -> JointErrors {
         let mut errors = JointErrors::new();
         for seq in sequences {
             let preds = self.predict_sequence(&seq.segments);
+            for (pred, truth) in preds.iter().zip(&seq.labels) {
+                errors.push_flat(pred, truth);
+            }
+        }
+        errors
+    }
+
+    /// [`evaluate`](Self::evaluate) on the int8 path — the accuracy oracle
+    /// for the quantization gate: int8 joint errors on a seeded eval set
+    /// must stay within a fixed epsilon of the f32 numbers.
+    pub fn evaluate_quantized(
+        &self,
+        q: &Arc<QuantizedParamStore>,
+        sequences: &[SegmentSequence],
+    ) -> JointErrors {
+        let mut errors = JointErrors::new();
+        for seq in sequences {
+            let preds = self.predict_sequence_quantized(q.clone(), &seq.segments);
             for (pred, truth) in preds.iter().zip(&seq.labels) {
                 errors.push_flat(pred, truth);
             }

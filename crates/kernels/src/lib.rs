@@ -145,6 +145,18 @@ pub trait Kernels: Send + Sync {
         global_rot: &[Quaternion],
         out: &mut Vec<Vec3>,
     );
+
+    /// Quantized int8 GEMM row kernel: `out[j] = Σ_kk x[kk] · wt[j·k + kk]`
+    /// (overwrite, not accumulate), with `x` one quantized input row of
+    /// length `k` and `wt` the transposed weight matrix (`n` output
+    /// channels × `k`, row-major, so every dot product is contiguous).
+    ///
+    /// Accumulation is exact in i32 — i8×i8 products are ≤ 16129, so any
+    /// `k` below ~133 000 cannot overflow — which makes every backend
+    /// bitwise identical by construction: integer addition is associative,
+    /// so lane order does not matter (unlike the f32 kernels, which must
+    /// preserve ascending-k order).
+    fn qgemm_row_i8(&self, x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: usize);
 }
 
 /// Which backend [`kernels`] selected.
@@ -162,6 +174,47 @@ impl Backend {
         match self {
             Backend::Scalar => "scalar",
             Backend::Simd => "simd",
+        }
+    }
+}
+
+/// A caller's typed *request* for a backend, as carried by serve's
+/// `InferenceProfile`. Unlike [`Backend`] (the resolved selection), a
+/// request may ask for [`BackendChoice::Auto`] — defer to the documented
+/// `MMHAND_KERNEL_BACKEND` env fallback, then CPU detection — or for a
+/// backend the CPU cannot deliver, in which case resolution falls back to
+/// scalar with a warning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Env fallback (`MMHAND_KERNEL_BACKEND`), then CPU detection.
+    #[default]
+    Auto,
+    /// Pin the portable scalar reference.
+    Scalar,
+    /// Pin the SIMD backend (falls back to scalar when unsupported).
+    Simd,
+}
+
+impl BackendChoice {
+    /// Stable lowercase name (`"auto"`, `"scalar"`, `"simd"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Scalar => "scalar",
+            BackendChoice::Simd => "simd",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" | "" => Ok(BackendChoice::Auto),
+            "scalar" => Ok(BackendChoice::Scalar),
+            "simd" => Ok(BackendChoice::Simd),
+            other => Err(format!("unknown kernel backend {other:?} (expected scalar|simd|auto)")),
         }
     }
 }
@@ -192,17 +245,59 @@ struct Selected {
     backend: Backend,
 }
 
+static ACTIVE: OnceLock<Selected> = OnceLock::new();
+
+/// Records the resolved selection in telemetry and on stderr.
+fn record(kern: &'static dyn Kernels, backend: Backend, why: &str) -> Selected {
+    mmhand_telemetry::gauge("kernel.backend").set(match backend {
+        Backend::Scalar => 0.0,
+        Backend::Simd => 1.0,
+    });
+    eprintln!("mmhand-kernels: backend={} ({why})", kern.name());
+    Selected { kern, backend }
+}
+
 fn selected() -> &'static Selected {
-    static ACTIVE: OnceLock<Selected> = OnceLock::new();
     ACTIVE.get_or_init(|| {
         let (kern, backend, why) = choose();
-        mmhand_telemetry::gauge("kernel.backend").set(match backend {
-            Backend::Scalar => 0.0,
-            Backend::Simd => 1.0,
-        });
-        eprintln!("mmhand-kernels: backend={} ({why})", kern.name());
-        Selected { kern, backend }
+        record(kern, backend, &why)
     })
+}
+
+/// Resolves and pins the process-wide backend from an explicit, typed
+/// request (serve's `InferenceProfile` routes through here). The backend is
+/// process-global and the first resolver — this call or the first implicit
+/// [`kernels`] use — wins; the returned [`Backend`] is therefore the
+/// **actual** selection, which can differ from the request when another
+/// component selected first or the CPU lacks SIMD support.
+/// [`BackendChoice::Auto`] defers to the documented `MMHAND_KERNEL_BACKEND`
+/// env fallback, then CPU detection.
+pub fn request_backend(choice: BackendChoice) -> Backend {
+    ACTIVE
+        .get_or_init(|| {
+            let (kern, backend, why) = match choice {
+                BackendChoice::Auto => choose(),
+                BackendChoice::Scalar => {
+                    (scalar_kernels(), Backend::Scalar, "pinned by inference profile".into())
+                }
+                BackendChoice::Simd => match simd_kernels() {
+                    Some(k) => (k, Backend::Simd, "pinned by inference profile".into()),
+                    None => {
+                        eprintln!(
+                            "mmhand-kernels: inference profile requested simd but this CPU has \
+                             no supported SIMD backend; falling back to scalar"
+                        );
+                        (
+                            scalar_kernels(),
+                            Backend::Scalar,
+                            "profile requested simd but unavailable".into(),
+                        )
+                    }
+                },
+            };
+            record(kern, backend, &why)
+        })
+        .backend
 }
 
 /// Resolves the backend: env override first, then CPU detection.
@@ -286,6 +381,39 @@ mod tests {
     }
 
     #[test]
+    fn qgemm_row_i8_semantics() {
+        // k=3, n=2, wt transposed (n, k) row-major; out is overwritten.
+        let x = [1i8, -2, 3];
+        let wt = [10i8, 20, 30, -1, -2, -3];
+        let mut out = [99i32; 2];
+        scalar_kernels().qgemm_row_i8(&x, &wt, &mut out, 3, 2);
+        assert_eq!(out, [10 - 40 + 90, -1 + 4 - 9]);
+    }
+
+    #[test]
+    fn backend_choice_parses_and_names() {
+        for (s, c) in [
+            ("auto", BackendChoice::Auto),
+            ("scalar", BackendChoice::Scalar),
+            ("simd", BackendChoice::Simd),
+        ] {
+            assert_eq!(s.parse::<BackendChoice>().unwrap(), c);
+            assert_eq!(c.name(), s);
+        }
+        assert_eq!("".parse::<BackendChoice>().unwrap(), BackendChoice::Auto);
+        assert!("avx512".parse::<BackendChoice>().is_err());
+    }
+
+    #[test]
+    fn request_backend_returns_the_process_selection() {
+        // Whatever was pinned first in this process, a request must report
+        // the same selection the implicit path sees, and stay stable.
+        let b = request_backend(BackendChoice::Auto);
+        assert_eq!(b, active_backend());
+        assert_eq!(request_backend(BackendChoice::Scalar), b);
+    }
+
+    #[test]
     fn scalar_backend_is_always_available() {
         assert_eq!(scalar_kernels().name(), "scalar");
         assert!(scalar_kernels().abt_panel_width() <= ABT_PANEL_MAX);
@@ -360,6 +488,29 @@ mod tests {
                     "lane {l}: {} != {}", v, outs[1][l]
                 );
             }
+        }
+
+        /// The int8 GEMM is exact integer arithmetic: backends must agree
+        /// exactly (not just bitwise-as-floats) for any shape, including
+        /// ragged tails shorter than one 16-lane step.
+        #[test]
+        fn qgemm_row_i8_backends_exact(
+            k in 1usize..80, n in 1usize..20, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-qgemm");
+            let mut ri8 = |len: usize| -> Vec<i8> {
+                (0..len)
+                    .map(|_| (standard_normal(&mut rng) * 64.0).clamp(-127.0, 127.0) as i8)
+                    .collect()
+            };
+            let x = ri8(k);
+            let wt = ri8(k * n);
+            let mut out_sc = vec![0i32; n];
+            let mut out_sd = vec![-1i32; n]; // overwrite semantics: prefill differs
+            sc.qgemm_row_i8(&x, &wt, &mut out_sc, k, n);
+            sd.qgemm_row_i8(&x, &wt, &mut out_sd, k, n);
+            prop_assert_eq!(&out_sc, &out_sd);
         }
 
         /// A full FFT stage sweep (all stages of a transform) must be

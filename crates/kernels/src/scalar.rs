@@ -129,4 +129,16 @@ impl Kernels for ScalarKernels {
             out.push(acc);
         }
     }
+
+    fn qgemm_row_i8(&self, x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: usize) {
+        debug_assert!(x.len() >= k && wt.len() >= k * n && out.len() >= n);
+        for (j, o) in out.iter_mut().take(n).enumerate() {
+            let row = &wt[j * k..j * k + k];
+            let mut acc = 0i32;
+            for (&xv, &wv) in x[..k].iter().zip(row) {
+                acc += xv as i32 * wv as i32;
+            }
+            *o = acc;
+        }
+    }
 }

@@ -98,6 +98,12 @@ impl Kernels for SimdKernels {
         // present on any CPU this module compiles for.
         unsafe { lbs_skin_sse2(verts, attachments, rest_joints, posed_joints, global_rot, out) }
     }
+
+    fn qgemm_row_i8(&self, x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: usize) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { qgemm_row_i8_avx2(x, wt, out, k, n) }
+    }
 }
 
 /// Register-tiled 4×8 GEMM microkernel: four `C`-row accumulators live in
@@ -304,6 +310,41 @@ unsafe fn iir_cascade_dual_sse2(coeffs: &[BiquadCoeffs], gain: f32, re: &mut [f3
         }
         re[t] = _mm_cvtss_f32(y);
         im[t] = _mm_cvtss_f32(_mm_shuffle_ps::<0b01>(y, y));
+    }
+}
+
+/// Quantized int8 dot-product rows: 16 k-steps per iteration, each i8 pair
+/// sign-extended to i16 (`vpmovsxbw`) and multiply-accumulated pairwise
+/// into 8 i32 lanes (`vpmaddwd` — products ≤ 127², so the pairwise i32 sum
+/// is exact), then a horizontal add and a scalar ragged tail. All
+/// arithmetic is exact integer arithmetic, so lane order is free and the
+/// result is bitwise identical to the scalar reference by construction.
+///
+/// SAFETY: caller must ensure AVX2 plus `x.len() ≥ k`, `wt.len() ≥ k·n`,
+/// `out.len() ≥ n` (debug-asserted).
+#[target_feature(enable = "avx2")]
+unsafe fn qgemm_row_i8_avx2(x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: usize) {
+    debug_assert!(x.len() >= k && wt.len() >= k * n && out.len() >= n);
+    let xp = x.as_ptr();
+    for (j, o) in out.iter_mut().take(n).enumerate() {
+        let wp = wt.as_ptr().add(j * k);
+        let mut acc = _mm256_setzero_si256();
+        let mut kk = 0;
+        while kk + 16 <= k {
+            let xv = _mm256_cvtepi8_epi16(_mm_loadu_si128(xp.add(kk) as *const __m128i));
+            let wv = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp.add(kk) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, wv));
+            kk += 16;
+        }
+        // Horizontal sum of the 8 i32 lanes.
+        let s = _mm_add_epi32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256::<1>(acc));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_11_10>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+        let mut sum = _mm_cvtsi128_si32(s);
+        for t in kk..k {
+            sum += x[t] as i32 * wt[j * k + t] as i32;
+        }
+        *o = sum;
     }
 }
 

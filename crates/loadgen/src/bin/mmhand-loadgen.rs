@@ -8,9 +8,13 @@
 //! ```text
 //! mmhand-loadgen [--sessions N] [--segments N] [--shards N] [--batch N]
 //!                [--queue N] [--arrival steady|ramp|burst:K] [--churn PCT]
-//!                [--seed N] [--rounds N] [--json PATH] [--slo-p99-ms F]
-//!                [--compare-shards A,B --min-ratio F] [--quick]
+//!                [--precision f32|int8] [--seed N] [--rounds N] [--json PATH]
+//!                [--slo-p99-ms F] [--compare-shards A,B --min-ratio F] [--quick]
 //! ```
+//!
+//! `--precision int8` drives the load against the calibrated int8
+//! inference path (the engine profile and the pipeline are both built for
+//! it); the default follows the documented `MMHAND_PRECISION` fallback.
 //!
 //! Two modes:
 //!
@@ -36,14 +40,14 @@ use mmhand_core::cube::CubeConfig;
 use mmhand_core::eval::{build_cohort, train_reference_model, DataConfig};
 use mmhand_core::model::ModelConfig;
 use mmhand_core::train::TrainConfig;
-use mmhand_core::MmHandPipeline;
+use mmhand_core::{MmHandPipeline, Precision};
 use mmhand_hand::gesture::Gesture;
 use mmhand_hand::trajectory::GestureTrack;
 use mmhand_hand::user::UserProfile;
 use mmhand_math::Vec3;
 use mmhand_radar::capture::{record_session, CaptureConfig};
 use mmhand_radar::{ChirpConfig, Environment, RawFrame};
-use mmhand_serve::{MeshPolicy, ServeConfig, ServeError, ShardedServe};
+use mmhand_serve::{InferenceProfile, MeshPolicy, ServeConfig, ServeError, ShardedServe};
 use mmhand_telemetry as telemetry;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -89,6 +93,8 @@ struct Args {
     arrival: Arrival,
     /// Per-round probability (percent) that a finished session is replaced.
     churn_pct: f64,
+    /// Inference precision for both the pipeline and the engine profile.
+    precision: Precision,
     seed: u64,
     /// Hard cap on scheduling rounds (safety against livelock).
     rounds: usize,
@@ -108,6 +114,7 @@ impl Default for Args {
             queue: 8,
             arrival: Arrival::Steady,
             churn_pct: 0.0,
+            precision: Precision::env_fallback(),
             seed: 7,
             rounds: 100_000,
             json: None,
@@ -136,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
             "--churn" => {
                 args.churn_pct =
                     val("--churn")?.parse::<f64>().map_err(|e| format!("--churn: {e}"))?
+            }
+            "--precision" => {
+                args.precision =
+                    val("--precision")?.parse().map_err(|e| format!("--precision: {e}"))?
             }
             "--arrival" => {
                 let v = val("--arrival")?;
@@ -199,7 +210,7 @@ fn tiny_cube() -> CubeConfig {
 }
 
 /// Trains the small reference model once; compare mode clones it per width.
-fn build_pipeline() -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
+fn build_pipeline(precision: Precision) -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
     let cube = tiny_cube();
     let data = DataConfig {
         users: 2,
@@ -229,7 +240,29 @@ fn build_pipeline() -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
         &model_cfg,
         &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
     );
-    Ok(MmHandPipeline::builder_for(model).cube_config(cube).build()?)
+    let mut builder =
+        MmHandPipeline::builder_for(model.clone()).cube_config(cube.clone()).precision(precision);
+    if precision == Precision::Int8 {
+        // Calibrate on a capture no client replays: the pooled client
+        // streams use seeds 2000..2008, this one sits well apart.
+        let mut probe = MmHandPipeline::builder_for(model).cube_config(cube).build()?;
+        let user = UserProfile::generate(99, 4242);
+        let track = GestureTrack::from_gestures(
+            &[Gesture::OpenPalm, Gesture::Victory, Gesture::Fist],
+            Vec3::new(0.0, 0.3, 0.0),
+            0.3,
+            0.3,
+        );
+        let session = record_session(
+            &user,
+            &track,
+            16,
+            &CaptureConfig { chirp: tiny_chirp(), noise_sigma: 0.005, seed: 4242, ..Default::default() },
+        );
+        let calibration = probe.try_frames_to_segments(&session.frames)?;
+        builder = builder.calibration_segments(calibration);
+    }
+    Ok(builder.build()?)
 }
 
 /// A small pool of distinct synthetic captures; sessions draw a stream by
@@ -342,7 +375,11 @@ fn run_workload(pipeline: MmHandPipeline, args: &Args) -> Result<RunStats, Box<d
             .result_capacity(args.segments.max(4))
             .evict_after_idle_steps(64)
             .tombstone_capacity(256)
-            .mesh_policy(MeshPolicy::Never),
+            .profile(
+                InferenceProfile::default()
+                    .precision(args.precision)
+                    .mesh_policy(MeshPolicy::Never),
+            ),
     )?;
 
     let pool = frame_pool(args.segments * seg_frames);
@@ -509,8 +546,8 @@ fn render_json(args: &Args, stats: &RunStats, compare: Option<&(RunStats, RunSta
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!(
-        "  \"config\": {{\"sessions\": {}, \"segments\": {}, \"shards\": {}, \"batch\": {}, \"queue\": {}, \"arrival\": \"{:?}\", \"churn_pct\": {}, \"seed\": {}}},\n",
-        args.sessions, args.segments, args.shards, args.batch, args.queue, args.arrival, args.churn_pct, args.seed
+        "  \"config\": {{\"sessions\": {}, \"segments\": {}, \"shards\": {}, \"batch\": {}, \"queue\": {}, \"arrival\": \"{:?}\", \"churn_pct\": {}, \"precision\": \"{}\", \"seed\": {}}},\n",
+        args.sessions, args.segments, args.shards, args.batch, args.queue, args.arrival, args.churn_pct, args.precision.name(), args.seed
     ));
     s.push_str(&format!(
         "  \"latency_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \"count\": {}}},\n",
@@ -574,7 +611,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let pipeline = match build_pipeline() {
+    let pipeline = match build_pipeline(args.precision) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("mmhand-loadgen: pipeline: {e}");

@@ -49,6 +49,7 @@ pub mod gemm;
 pub mod layers;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod sanitize;
 pub mod shape;
 pub mod tape;
@@ -58,6 +59,7 @@ pub use conv::ConvSpec;
 pub use layers::{Conv2d, ConvTranspose2d, LayerNorm, Linear, Lstm};
 pub use optim::{Adam, CosineSchedule};
 pub use param::{ParamId, ParamStore};
+pub use quant::{Calibrator, QuantizedParamStore};
 pub use shape::ShapeError;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

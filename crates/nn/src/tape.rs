@@ -31,8 +31,10 @@ use crate::conv::{
     dims4, ConvSpec,
 };
 use crate::param::{ParamId, ParamStore};
+use crate::quant::QuantizedParamStore;
 use crate::shape::{self, ShapeError};
 use crate::tensor::{gemm_a_bt, gemm_at_b, Tensor};
+use std::sync::Arc;
 
 /// Unwraps a shape-checked graph builder — the standard delegating-wrapper
 /// idiom: the fallible `try_*` builders return the typed [`ShapeError`];
@@ -126,12 +128,42 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// When set, matmuls whose right-hand side is a quantized parameter run
+    /// through the int8 kernel path (see [`Tape::with_quantized`]).
+    qstore: Option<Arc<QuantizedParamStore>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// Creates a tape that evaluates matmuls against parameters present in
+    /// `q` through the int8 path: quantize the input row-wise, multiply
+    /// through the dispatched i8 kernel with exact i32 accumulation, and
+    /// dequantize the output. Everything else — graph recording, every
+    /// other op, and `backward` — is unchanged, so the same model code runs
+    /// quantized with no edits; this is inference-only by construction
+    /// (training tapes are built with [`Tape::new`] and never see `q`).
+    pub fn with_quantized(q: Arc<QuantizedParamStore>) -> Self {
+        Tape { nodes: Vec::new(), qstore: Some(q) }
+    }
+
+    /// Walks the finished graph and yields, for every matmul whose
+    /// right-hand operand is a parameter, the parameter's id and the
+    /// left-hand input's value. Calibration runs ordinary f32 forward
+    /// passes and harvests activation ranges from the tapes through this
+    /// observer — exactly the matmul-weight set the quantized path will
+    /// later intercept.
+    pub fn observe_param_matmuls(&self, mut f: impl FnMut(ParamId, &Tensor)) {
+        for node in &self.nodes {
+            if let Op::Matmul(a, b) = node.op {
+                if let Op::Param(id) = self.nodes[b.0].op {
+                    f(id, &self.nodes[a.0].value);
+                }
+            }
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
@@ -250,7 +282,21 @@ impl Tape {
     /// Fallible [`Tape::matmul`].
     pub fn try_matmul(&mut self, a: Var, b: Var) -> Result<Var, ShapeError> {
         shape::matmul(self.shape_of(a), self.shape_of(b))?;
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        // Quantized interception: on tapes built with `with_quantized`, a
+        // matmul against a quantized parameter runs i8×i8→i32 and
+        // dequantizes at the output. The node is recorded as an ordinary
+        // `Matmul` — the graph shape is identical either way, and
+        // inference tapes never run `backward`.
+        let quantized = match (&self.qstore, &self.nodes[b.0].op) {
+            (Some(q), Op::Param(id)) => q
+                .get(*id)
+                .map(|qp| crate::quant::matmul_i8(qp, &self.nodes[a.0].value)),
+            _ => None,
+        };
+        let v = match quantized {
+            Some(v) => v,
+            None => self.nodes[a.0].value.matmul(&self.nodes[b.0].value),
+        };
         Ok(self.push(Op::Matmul(a, b), v))
     }
 

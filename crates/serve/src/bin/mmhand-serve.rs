@@ -7,8 +7,14 @@
 //! ```text
 //! mmhand-serve [--sessions N] [--frames N] [--queue N] [--batch N]
 //!              [--overload F] [--expect-rejects] [--mesh always|never|adaptive]
-//!              [--listen ADDR] [--shards N] [--polls N]
+//!              [--precision f32|int8] [--listen ADDR] [--shards N] [--polls N]
 //! ```
+//!
+//! `--precision int8` serves the post-training quantized inference path:
+//! the reference model is calibrated on a held-out synthetic stream at
+//! startup and every forward pass runs int8 (wire clients must announce
+//! the matching precision in their `Hello`). The default follows the
+//! documented `MMHAND_PRECISION` env fallback.
 //!
 //! With `--listen ADDR` the binary instead binds the non-blocking socket
 //! front end over a sharded engine (`--shards`, default 4) and serves the
@@ -40,7 +46,10 @@ use mmhand_hand::user::UserProfile;
 use mmhand_math::Vec3;
 use mmhand_radar::capture::{record_session, CaptureConfig};
 use mmhand_radar::{ChirpConfig, Environment, RawFrame};
-use mmhand_serve::{MeshPolicy, ServeConfig, ServeEngine, ServeError, ServeServer, ShardedServe};
+use mmhand_core::Precision;
+use mmhand_serve::{
+    InferenceProfile, MeshPolicy, ServeConfig, ServeEngine, ServeError, ServeServer, ShardedServe,
+};
 use mmhand_telemetry as telemetry;
 use std::io::Write;
 use std::process::ExitCode;
@@ -53,6 +62,7 @@ struct Args {
     overload: usize,
     expect_rejects: bool,
     mesh: MeshPolicy,
+    precision: Precision,
     listen: Option<String>,
     shards: usize,
     polls: usize,
@@ -68,10 +78,17 @@ impl Default for Args {
             overload: 1,
             expect_rejects: false,
             mesh: MeshPolicy::SkipWhenBacklogged { segments: 2 },
+            precision: Precision::env_fallback(),
             listen: None,
             shards: 4,
             polls: 0,
         }
+    }
+}
+
+impl Args {
+    fn profile(&self) -> InferenceProfile {
+        InferenceProfile::default().precision(self.precision).mesh_policy(self.mesh)
     }
 }
 
@@ -105,6 +122,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--mesh: unknown policy {other:?}")),
                 };
             }
+            "--precision" => {
+                args.precision = it
+                    .next()
+                    .ok_or("--precision needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--precision: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -128,8 +152,10 @@ fn tiny_cube() -> CubeConfig {
     }
 }
 
-/// Trains the small reference model the service runs behind.
-fn build_pipeline() -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
+/// Trains the small reference model the service runs behind; at
+/// [`Precision::Int8`] it is additionally calibrated on a held-out
+/// synthetic stream.
+fn build_pipeline(precision: Precision) -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
     let cube = tiny_cube();
     let data = DataConfig {
         users: 2,
@@ -159,7 +185,18 @@ fn build_pipeline() -> Result<MmHandPipeline, Box<dyn std::error::Error>> {
         &model_cfg,
         &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
     );
-    Ok(MmHandPipeline::builder_for(model).cube_config(cube).build()?)
+    let mut builder = MmHandPipeline::builder_for(model.clone())
+        .cube_config(cube.clone())
+        .precision(precision);
+    if precision == Precision::Int8 {
+        // Calibrate on a stream no client replays (the client seeds start
+        // at 1000), so activation ranges are post-training statistics, not
+        // a fit to the serving traffic itself.
+        let mut probe = MmHandPipeline::builder_for(model).cube_config(cube).build()?;
+        let calibration = probe.try_frames_to_segments(&client_stream(9999, 16))?;
+        builder = builder.calibration_segments(calibration);
+    }
+    Ok(builder.build()?)
 }
 
 /// One synthetic client's frame stream.
@@ -210,7 +247,7 @@ fn export_metrics() {
 /// Serves the binary wire protocol on a real socket until `polls` polls
 /// have run (0 = until killed).
 fn run_listener(args: &Args, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let pipeline = build_pipeline()?;
+    let pipeline = build_pipeline(args.precision)?;
     let serve = ShardedServe::new(
         pipeline,
         args.shards,
@@ -219,10 +256,15 @@ fn run_listener(args: &Args, addr: &str) -> Result<(), Box<dyn std::error::Error
             .queue_capacity(args.queue)
             .max_batch(args.batch)
             .evict_after_idle_steps(10_000)
-            .mesh_policy(args.mesh),
+            .profile(args.profile()),
     )?;
     let mut server = ServeServer::bind(addr, serve)?;
-    println!("listening on {} ({} shards)", server.local_addr()?, args.shards);
+    println!(
+        "listening on {} ({} shards, {} precision)",
+        server.local_addr()?,
+        args.shards,
+        server.serve().precision().name()
+    );
     let mut polls = 0usize;
     loop {
         let report = server.poll_once()?;
@@ -242,7 +284,7 @@ fn run_listener(args: &Args, addr: &str) -> Result<(), Box<dyn std::error::Error
 }
 
 fn run(args: &Args) -> Result<(u64, u64), Box<dyn std::error::Error>> {
-    let pipeline = build_pipeline()?;
+    let pipeline = build_pipeline(args.precision)?;
     let st = pipeline.builder().config().frames_per_segment;
     let mut engine = ServeEngine::new(
         pipeline,
@@ -250,8 +292,13 @@ fn run(args: &Args) -> Result<(u64, u64), Box<dyn std::error::Error>> {
             .max_sessions(args.sessions)
             .queue_capacity(args.queue)
             .max_batch(args.batch)
-            .mesh_policy(args.mesh),
+            .profile(args.profile()),
     )?;
+    println!(
+        "serving {} precision on the {} backend",
+        engine.precision().name(),
+        engine.kernel_backend()
+    );
 
     let streams: Vec<Vec<RawFrame>> =
         (0..args.sessions).map(|k| client_stream(k, args.frames)).collect();

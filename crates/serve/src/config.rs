@@ -1,6 +1,8 @@
 //! Serving configuration, assembled builder-style.
 
 use crate::error::ServeError;
+use mmhand_core::Precision;
+use mmhand_kernels::BackendChoice;
 
 /// What to do about mesh reconstruction under load.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,21 +21,91 @@ pub enum MeshPolicy {
     },
 }
 
+/// The typed inference knob: everything that selects *how* the engine
+/// computes — numeric precision, mesh policy, kernel backend — in one
+/// place, carried by [`ServeConfig`], consumed by the engine, the sharded
+/// router, and the wire `Hello` negotiation.
+///
+/// This replaces the previous scattering of per-call choices and env-var
+/// overrides: `MMHAND_PRECISION` and `MMHAND_KERNEL_BACKEND` remain as
+/// documented *fallbacks* that fill the profile defaults
+/// ([`InferenceProfile::from_env`], used by [`ServeConfig::default`]), but
+/// an explicitly configured profile always wins.
+///
+/// The profile's precision must agree with the served pipeline's
+/// [`Precision`] — an int8 profile over an uncalibrated f32 pipeline is a
+/// typed [`ServeError::InvalidConfig`] at engine construction, never a
+/// silent downgrade mid-serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferenceProfile {
+    /// Numeric path of the forward pass (f32 reference or calibrated int8).
+    pub precision: Precision,
+    /// Mesh reconstruction policy.
+    pub mesh_policy: MeshPolicy,
+    /// Kernel backend request, resolved (and process-pinned) at engine
+    /// construction via `mmhand_kernels::request_backend`.
+    pub kernel_backend: BackendChoice,
+}
+
+impl Default for InferenceProfile {
+    /// The pure default: f32, meshes always, auto backend. Env fallbacks
+    /// are applied only by [`InferenceProfile::from_env`].
+    fn default() -> Self {
+        InferenceProfile {
+            precision: Precision::F32,
+            mesh_policy: MeshPolicy::Always,
+            kernel_backend: BackendChoice::Auto,
+        }
+    }
+}
+
+impl InferenceProfile {
+    /// The default profile with the documented env fallbacks applied:
+    /// `MMHAND_PRECISION` fills [`InferenceProfile::precision`] and
+    /// [`BackendChoice::Auto`] defers to `MMHAND_KERNEL_BACKEND` inside the
+    /// kernel dispatcher.
+    pub fn from_env() -> Self {
+        InferenceProfile { precision: Precision::env_fallback(), ..Default::default() }
+    }
+
+    /// Sets the precision.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Sets the mesh policy.
+    pub fn mesh_policy(mut self, policy: MeshPolicy) -> Self {
+        self.mesh_policy = policy;
+        self
+    }
+
+    /// Sets the kernel backend request.
+    pub fn kernel_backend(mut self, choice: BackendChoice) -> Self {
+        self.kernel_backend = choice;
+        self
+    }
+}
+
 /// Configuration of a [`ServeEngine`](crate::ServeEngine).
 ///
 /// Built builder-style from [`ServeConfig::new`]; every bound is explicit
 /// and validated by [`ServeConfig::validate`] (called on engine
 /// construction), so a zero-capacity queue is a typed error instead of a
-/// silent stall.
+/// silent stall. How the engine computes — precision, mesh policy, kernel
+/// backend — lives in one typed [`InferenceProfile`].
 ///
 /// ```
-/// use mmhand_serve::{MeshPolicy, ServeConfig};
+/// use mmhand_serve::{InferenceProfile, MeshPolicy, ServeConfig};
 ///
 /// let cfg = ServeConfig::new()
 ///     .max_sessions(8)
 ///     .queue_capacity(32)
 ///     .max_batch(8)
-///     .mesh_policy(MeshPolicy::SkipWhenBacklogged { segments: 2 });
+///     .profile(
+///         InferenceProfile::from_env()
+///             .mesh_policy(MeshPolicy::SkipWhenBacklogged { segments: 2 }),
+///     );
 /// assert!(cfg.validate().is_ok());
 /// ```
 #[derive(Clone, Debug)]
@@ -59,8 +131,8 @@ pub struct ServeConfig {
     /// generic unknown-session error. This keeps long-running servers at
     /// O(`tombstone_capacity`) memory under unbounded session churn.
     pub tombstone_capacity: usize,
-    /// Mesh reconstruction policy.
-    pub mesh: MeshPolicy,
+    /// The typed inference knob (precision, mesh policy, kernel backend).
+    pub profile: InferenceProfile,
 }
 
 impl Default for ServeConfig {
@@ -72,7 +144,7 @@ impl Default for ServeConfig {
             result_capacity: 64,
             evict_after_idle_steps: 0,
             tombstone_capacity: 1024,
-            mesh: MeshPolicy::Always,
+            profile: InferenceProfile::from_env(),
         }
     }
 }
@@ -119,9 +191,20 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the whole typed inference profile at once — the preferred way
+    /// to configure precision, mesh policy, and kernel backend together.
+    pub fn profile(mut self, profile: InferenceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Sets the mesh reconstruction policy.
+    ///
+    /// Note: superseded by [`ServeConfig::profile`], which carries the mesh
+    /// policy alongside precision and kernel backend; this setter remains
+    /// as a delegating convenience and touches nothing else in the profile.
     pub fn mesh_policy(mut self, policy: MeshPolicy) -> Self {
-        self.mesh = policy;
+        self.profile.mesh_policy = policy;
         self
     }
 
@@ -195,6 +278,36 @@ mod tests {
         assert_eq!(cfg.max_batch, 2);
         assert_eq!(cfg.result_capacity, 8);
         assert_eq!(cfg.evict_after_idle_steps, 3);
-        assert_eq!(cfg.mesh, MeshPolicy::Never);
+        assert_eq!(cfg.profile.mesh_policy, MeshPolicy::Never);
+    }
+
+    #[test]
+    fn profile_is_one_typed_knob() {
+        let profile = InferenceProfile::default()
+            .precision(Precision::Int8)
+            .mesh_policy(MeshPolicy::Never)
+            .kernel_backend(BackendChoice::Scalar);
+        let cfg = ServeConfig::new().profile(profile);
+        assert_eq!(cfg.profile, profile);
+        assert_eq!(cfg.profile.precision, Precision::Int8);
+        assert_eq!(cfg.profile.kernel_backend, BackendChoice::Scalar);
+        // The legacy mesh setter delegates into the profile without
+        // touching its other fields.
+        let cfg = cfg.mesh_policy(MeshPolicy::Always);
+        assert_eq!(cfg.profile.mesh_policy, MeshPolicy::Always);
+        assert_eq!(cfg.profile.precision, Precision::Int8);
+        assert_eq!(cfg.profile.kernel_backend, BackendChoice::Scalar);
+    }
+
+    #[test]
+    fn default_profile_is_pure_and_env_fallback_is_separate() {
+        let pure = InferenceProfile::default();
+        assert_eq!(pure.mesh_policy, MeshPolicy::Always);
+        assert_eq!(pure.kernel_backend, BackendChoice::Auto);
+        // from_env resolves precision through the documented fallback; the
+        // other fields keep their pure defaults.
+        let env = InferenceProfile::from_env();
+        assert_eq!(env.mesh_policy, MeshPolicy::Always);
+        assert_eq!(env.kernel_backend, BackendChoice::Auto);
     }
 }

@@ -28,7 +28,7 @@
 use crate::config::{MeshPolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::session::{FrameResult, Session, SessionStats};
-use mmhand_core::{MmHandPipeline, PipelineError};
+use mmhand_core::{MmHandPipeline, PipelineError, Precision};
 use mmhand_nn::Tensor;
 use mmhand_radar::RawFrame;
 use mmhand_telemetry as telemetry;
@@ -114,20 +114,45 @@ pub struct ServeEngine {
     /// ids cannot starve high ids — every ready session is scheduled
     /// within `ceil(ready / max_batch)` steps.
     fair_cursor: u64,
-    /// Kernel backend selected when the engine was built (`"scalar"` /
+    /// Kernel backend resolved when the engine was built (`"scalar"` /
     /// `"simd"`), recorded so operators can see which inner loops served
     /// a given process.
     kernel_backend: &'static str,
+    /// Numeric precision every forward pass of this engine runs on;
+    /// checked against the pipeline at construction.
+    precision: Precision,
 }
 
 impl ServeEngine {
     /// Builds an engine around an assembled pipeline.
     ///
+    /// The config's [`InferenceProfile`](crate::InferenceProfile) is
+    /// applied here: the kernel-backend request is resolved (and
+    /// process-pinned) through `mmhand_kernels::request_backend`, and the
+    /// profile's precision is cross-checked against the pipeline's — the
+    /// pipeline carries the calibration state, so a profile the pipeline
+    /// cannot honour is a construction-time error, never a silent
+    /// mid-serving downgrade.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for out-of-range bounds.
+    /// Returns [`ServeError::InvalidConfig`] for out-of-range bounds or a
+    /// precision the pipeline was not built for.
     pub fn new(pipeline: MmHandPipeline, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let backend = mmhand_kernels::request_backend(config.profile.kernel_backend);
+        let precision = config.profile.precision;
+        if precision != pipeline.precision() {
+            return Err(ServeError::InvalidConfig {
+                field: "profile.precision",
+                reason: format!(
+                    "profile requests {} but the pipeline was built for {}; build the \
+                     pipeline with .precision(..) (int8 needs calibration) to match",
+                    precision.name(),
+                    pipeline.precision().name()
+                ),
+            });
+        }
         let tombstones = Tombstones::new(config.tombstone_capacity);
         Ok(ServeEngine {
             pipeline,
@@ -136,7 +161,8 @@ impl ServeEngine {
             evicted: tombstones,
             next_id: 1,
             fair_cursor: 0,
-            kernel_backend: mmhand_kernels::backend_name(),
+            kernel_backend: backend.name(),
+            precision,
         })
     }
 
@@ -154,6 +180,11 @@ impl ServeEngine {
     /// this engine's inner loops run on.
     pub fn kernel_backend(&self) -> &'static str {
         self.kernel_backend
+    }
+
+    /// Numeric precision every forward pass of this engine runs on.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Number of currently open sessions.
@@ -294,7 +325,7 @@ impl ServeEngine {
             if let Some(s) = self.sessions.get_mut(&id) {
                 let frames: Vec<RawFrame> = s.queue.drain(..st).collect();
                 let backlog_segments = s.queue.len() / st;
-                let skip_mesh = match self.config.mesh {
+                let skip_mesh = match self.config.profile.mesh_policy {
                     MeshPolicy::Always => false,
                     MeshPolicy::Never => true,
                     MeshPolicy::SkipWhenBacklogged { segments } => backlog_segments >= segments,
@@ -414,7 +445,10 @@ impl ServeEngine {
         let c = Tensor::from_vec(&[n, hidden], c_data);
 
         let infer_sp = telemetry::span("serve.infer");
-        let (skeletons, h_new, c_new) = self.pipeline.model().predict_step(&batch, &h, &c);
+        // Pipeline-level dispatch: the pipeline routes to its precision's
+        // forward path (f32 reference or calibrated int8), so sessions
+        // inherit the engine's InferenceProfile with no per-call choice.
+        let (skeletons, h_new, c_new) = self.pipeline.predict_step(&batch, &h, &c);
         infer_sp.finish();
         telemetry::histogram_with("serve.batch_occupancy", telemetry::SIZE_BUCKETS)
             .observe(n as f64);
@@ -554,6 +588,34 @@ mod tests {
         assert_eq!(stats.frames_in, (2 * st) as u64);
         assert_eq!(stats.segments_out, 2);
         assert_eq!(stats.meshes_skipped, 2);
+    }
+
+    #[test]
+    fn profile_precision_must_match_the_pipeline() {
+        let (pipeline, _frames) = tiny_engine_parts();
+        // Request the opposite precision of whatever the pipeline resolved
+        // to; the mismatch must be a typed construction-time error.
+        let other = match pipeline.precision() {
+            Precision::F32 => Precision::Int8,
+            Precision::Int8 => Precision::F32,
+        };
+        let cfg = ServeConfig::new().profile(crate::InferenceProfile::from_env().precision(other));
+        match ServeEngine::new(pipeline, cfg) {
+            Err(ServeError::InvalidConfig { field: "profile.precision", reason }) => {
+                assert!(reason.contains(other.name()), "{reason}");
+            }
+            Ok(_) => panic!("mismatched precision must not build"),
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_reports_its_profile() {
+        let (pipeline, _frames) = tiny_engine_parts();
+        let expected = pipeline.precision();
+        let e = engine(ServeConfig::new());
+        assert_eq!(e.precision(), expected);
+        assert!(matches!(e.kernel_backend(), "scalar" | "simd"));
     }
 
     #[test]

@@ -51,9 +51,13 @@ pub mod shard;
 pub(crate) mod testutil;
 pub mod wire;
 
-pub use config::{MeshPolicy, ServeConfig};
+pub use config::{InferenceProfile, MeshPolicy, ServeConfig};
 pub use engine::{ServeEngine, StepReport};
 pub use error::ServeError;
+// Re-exported so embedders can assemble an `InferenceProfile` without
+// depending on the kernel/core crates directly.
+pub use mmhand_core::Precision;
+pub use mmhand_kernels::BackendChoice;
 pub use net::{NetReport, ServeServer};
 pub use session::{FrameResult, SessionStats};
 pub use shard::{ShardStepReport, ShardedServe, MAX_SHARDS};

@@ -256,7 +256,23 @@ impl ServeServer {
         };
         if !self.conns[i].hello_seen {
             match msg {
-                WireMsg::Hello { .. } => self.conns[i].hello_seen = true,
+                WireMsg::Hello { precision, .. } => {
+                    // The Hello's precision (f32 for v1 peers) must match
+                    // the engine's InferenceProfile: a server runs exactly
+                    // one numeric path, so an unservable request gets a
+                    // typed reject up front instead of silently different
+                    // arithmetic.
+                    if precision == self.serve.precision() {
+                        self.conns[i].hello_seen = true;
+                    } else {
+                        telemetry::counter("serve.net.precision_rejected").inc();
+                        self.conns[i].send(&WireMsg::Reject {
+                            session: 0,
+                            code: RejectCode::UnsupportedPrecision,
+                        });
+                        self.conns[i].dead = true;
+                    }
+                }
                 _ => protocol_violation(&mut self.conns[i]),
             }
             return;
@@ -453,9 +469,15 @@ mod tests {
         client
     }
 
-    fn hello_bytes() -> Vec<u8> {
+    fn hello_bytes(server: &ServeServer) -> Vec<u8> {
         let mut bytes = Vec::new();
-        encode(&WireMsg::Hello { version: crate::wire::WIRE_VERSION }, &mut bytes);
+        encode(
+            &WireMsg::Hello {
+                version: crate::wire::WIRE_VERSION,
+                precision: server.serve().precision(),
+            },
+            &mut bytes,
+        );
         bytes
     }
 
@@ -479,7 +501,7 @@ mod tests {
     fn disconnect_closes_owned_sessions() {
         let (mut server, _frames) = tiny_server(2);
         let mut client = connect(&server);
-        let mut bytes = hello_bytes();
+        let mut bytes = hello_bytes(&server);
         encode(&WireMsg::Open, &mut bytes);
         let answer = pump(&mut server, &mut client, &bytes, 3);
         let mut d = Decoder::new();
@@ -495,10 +517,31 @@ mod tests {
     }
 
     #[test]
+    fn unservable_hello_precision_gets_a_typed_reject() {
+        let (mut server, _frames) = tiny_server(1);
+        let mut client = connect(&server);
+        // Request the precision the server is NOT running.
+        let other = match server.serve().precision() {
+            mmhand_core::Precision::F32 => mmhand_core::Precision::Int8,
+            mmhand_core::Precision::Int8 => mmhand_core::Precision::F32,
+        };
+        let mut bytes = Vec::new();
+        encode(&WireMsg::Hello { version: crate::wire::WIRE_VERSION, precision: other }, &mut bytes);
+        let answer = pump(&mut server, &mut client, &bytes, 3);
+        let mut d = Decoder::new();
+        d.push_bytes(&answer);
+        match d.next_msg() {
+            Ok(Some(WireMsg::Reject { code: RejectCode::UnsupportedPrecision, .. })) => {}
+            other => panic!("expected UnsupportedPrecision reject, got {other:?}"),
+        }
+        assert_eq!(server.connections(), 0, "mismatched connection is dropped");
+    }
+
+    #[test]
     fn garbage_bytes_get_a_typed_reject_then_drop() {
         let (mut server, _frames) = tiny_server(1);
         let mut client = connect(&server);
-        let mut bytes = hello_bytes();
+        let mut bytes = hello_bytes(&server);
         bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x99]);
         let answer = pump(&mut server, &mut client, &bytes, 3);
         let mut d = Decoder::new();

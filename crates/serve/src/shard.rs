@@ -137,6 +137,12 @@ impl ShardedServe {
         self.shards[0].engine.kernel_backend()
     }
 
+    /// Numeric precision every shard serves (shards share one profile and
+    /// one pipeline, so this is uniform by construction).
+    pub fn precision(&self) -> mmhand_core::Precision {
+        self.shards[0].engine.precision()
+    }
+
     /// The per-shard serving configuration.
     pub fn config(&self) -> &ServeConfig {
         self.shards[0].engine.config()

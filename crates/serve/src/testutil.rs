@@ -63,12 +63,23 @@ pub(crate) fn tiny_engine_parts() -> (MmHandPipeline, Vec<RawFrame>) {
         &model_cfg,
         &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
     );
-    let pipeline = MmHandPipeline::builder_for(model)
+    let frames = tiny_stream(12, 21);
+    // Always supply calibration material, leaving the precision to the
+    // documented MMHAND_PRECISION fallback: under f32 the calibration is
+    // simply unused, under int8 the pipeline quantizes — which is what
+    // lets CI's precision matrix run this whole suite on both paths.
+    let mut probe = MmHandPipeline::builder_for(model.clone())
         .cube_config(cube.clone())
         .build()
         // audit: allow(serve_hygiene) — cfg(test)-gated fixture module (see lib.rs), never in the ingress path
+        .expect("tiny probe pipeline assembles");
+    let calibration = probe.frames_to_segments(&frames);
+    let pipeline = MmHandPipeline::builder_for(model)
+        .cube_config(cube.clone())
+        .calibration_segments(calibration)
+        .build()
+        // audit: allow(serve_hygiene) — cfg(test)-gated fixture module (see lib.rs), never in the ingress path
         .expect("tiny pipeline assembles");
-    let frames = tiny_stream(12, 21);
     (pipeline, frames)
 }
 

@@ -19,14 +19,19 @@
 //! in-process — the sharded-serve identity guarantee extends to clients.
 
 use crate::session::SessionStats;
+use mmhand_core::Precision;
 use mmhand_math::Complex;
 use mmhand_radar::RawFrame;
 use std::fmt;
 
 /// Protocol magic, first bytes of every connection's `Hello` payload.
 pub const WIRE_MAGIC: [u8; 4] = *b"MMHW";
-/// Current protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current protocol version. Version 2 added a precision byte to `Hello`
+/// so clients negotiate the numeric inference path; version-1 `Hello`s
+/// still decode and negotiate down to [`Precision::F32`].
+pub const WIRE_VERSION: u16 = 2;
+/// Oldest protocol version this codec still speaks.
+pub const MIN_WIRE_VERSION: u16 = 1;
 /// Hard cap on one message's payload length (bytes). A `Push` of the
 /// full-scale radar geometry (3·4 antennas × 128 chirps × 256 samples ×
 /// 8 bytes ≈ 3.1 MiB) fits with an order of magnitude to spare.
@@ -65,6 +70,9 @@ pub enum RejectCode {
     Protocol,
     /// An internal serving error.
     Internal,
+    /// The `Hello` requested an inference precision this server does not
+    /// serve (e.g. int8 against an uncalibrated f32 deployment).
+    UnsupportedPrecision,
 }
 
 impl RejectCode {
@@ -77,6 +85,7 @@ impl RejectCode {
             RejectCode::BadFrame => 5,
             RejectCode::Protocol => 6,
             RejectCode::Internal => 7,
+            RejectCode::UnsupportedPrecision => 8,
         }
     }
 
@@ -89,18 +98,40 @@ impl RejectCode {
             5 => RejectCode::BadFrame,
             6 => RejectCode::Protocol,
             7 => RejectCode::Internal,
+            8 => RejectCode::UnsupportedPrecision,
             other => return Err(WireError::Malformed { what: "reject code", value: other as u64 }),
         })
+    }
+}
+
+/// Wire encoding of [`Precision`] (one byte in the v2 `Hello`).
+fn precision_to_u8(p: Precision) -> u8 {
+    match p {
+        Precision::F32 => 0,
+        Precision::Int8 => 1,
+    }
+}
+
+fn precision_from_u8(v: u8) -> Result<Precision, WireError> {
+    match v {
+        0 => Ok(Precision::F32),
+        1 => Ok(Precision::Int8),
+        other => Err(WireError::Malformed { what: "hello precision", value: other as u64 }),
     }
 }
 
 /// One protocol message, either direction.
 #[derive(Debug)]
 pub enum WireMsg {
-    /// Connection preamble: magic + version (client → server).
+    /// Connection preamble: magic + version + requested precision
+    /// (client → server). Version-1 peers carry no precision byte and
+    /// decode as [`Precision::F32`] — old clients negotiate down rather
+    /// than being cut off by the version bump.
     Hello {
         /// Protocol version the client speaks.
         version: u16,
+        /// Inference precision the client expects the server to run.
+        precision: Precision,
     },
     /// Open a new session (client → server).
     Open,
@@ -187,7 +218,10 @@ impl fmt::Display for WireError {
         match self {
             WireError::BadMagic => write!(f, "bad protocol magic (expected MMHW hello)"),
             WireError::BadVersion { got } => {
-                write!(f, "unsupported protocol version {got} (speaking {WIRE_VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {got} (speaking {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+                )
             }
             WireError::UnknownType { tag } => write!(f, "unknown message type tag {tag}"),
             WireError::Oversize { len } => {
@@ -231,9 +265,14 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
     let len_at = out.len();
     put_u32(out, 0); // patched below
     match msg {
-        WireMsg::Hello { version } => {
+        WireMsg::Hello { version, precision } => {
             out.extend_from_slice(&WIRE_MAGIC);
             put_u16(out, *version);
+            // The precision byte exists from v2 on; encoding a v1 Hello
+            // (interop tests, old-client simulation) omits it.
+            if *version >= 2 {
+                out.push(precision_to_u8(*precision));
+            }
         }
         WireMsg::Open => {}
         WireMsg::Push { session, frame } => {
@@ -334,10 +373,13 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
                 return Err(WireError::BadMagic);
             }
             let version = r.u16("hello version")?;
-            if version != WIRE_VERSION {
+            if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                 return Err(WireError::BadVersion { got: version });
             }
-            WireMsg::Hello { version }
+            // v1 predates the precision byte: negotiate down to f32.
+            let precision =
+                if version >= 2 { precision_from_u8(r.u8("hello precision")?)? } else { Precision::F32 };
+            WireMsg::Hello { version, precision }
         }
         tag::OPEN => WireMsg::Open,
         tag::PUSH => {
@@ -519,12 +561,14 @@ mod tests {
     #[test]
     fn control_messages_roundtrip() {
         for msg in [
-            WireMsg::Hello { version: WIRE_VERSION },
+            WireMsg::Hello { version: WIRE_VERSION, precision: Precision::F32 },
+            WireMsg::Hello { version: WIRE_VERSION, precision: Precision::Int8 },
             WireMsg::Open,
             WireMsg::Poll { session: 0x0123_4567_89AB_CDEF },
             WireMsg::Close { session: 42 },
             WireMsg::Opened { session: 7 },
             WireMsg::Reject { session: 3, code: RejectCode::QueueFull },
+            WireMsg::Reject { session: 3, code: RejectCode::UnsupportedPrecision },
             WireMsg::Closed {
                 session: 9,
                 stats: SessionStats { frames_in: 100, segments_out: 50, meshes_skipped: 5 },
@@ -532,6 +576,51 @@ mod tests {
         ] {
             assert_bitwise_roundtrip(&msg);
         }
+    }
+
+    #[test]
+    fn v1_hello_negotiates_down_to_f32() {
+        // A version-1 Hello has no precision byte; it must still decode,
+        // as an f32 request (the downgrade contract for old clients).
+        let mut bytes = Vec::new();
+        encode(&WireMsg::Hello { version: 1, precision: Precision::Int8 }, &mut bytes);
+        // The encoder must not have emitted a precision byte for v1:
+        // tag + len + magic + version only.
+        assert_eq!(bytes.len(), 1 + 4 + 4 + 2);
+        let mut d = Decoder::new();
+        d.push_bytes(&bytes);
+        match d.next_msg() {
+            Ok(Some(WireMsg::Hello { version: 1, precision: Precision::F32 })) => {}
+            other => panic!("v1 hello must decode as f32, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_versions_and_bad_precision_bytes_are_typed_errors() {
+        for bad_version in [0u16, WIRE_VERSION + 1, u16::MAX] {
+            let mut bytes = vec![tag::HELLO];
+            bytes.extend_from_slice(&6u32.to_le_bytes());
+            bytes.extend_from_slice(&WIRE_MAGIC);
+            bytes.extend_from_slice(&bad_version.to_le_bytes());
+            let mut d = Decoder::new();
+            d.push_bytes(&bytes);
+            assert!(
+                matches!(d.next_msg(), Err(WireError::BadVersion { got }) if got == bad_version),
+                "version {bad_version} must be rejected"
+            );
+        }
+        // A v2 Hello whose precision byte is outside the encoding.
+        let mut bytes = vec![tag::HELLO];
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&WIRE_MAGIC);
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.push(9);
+        let mut d = Decoder::new();
+        d.push_bytes(&bytes);
+        assert!(matches!(
+            d.next_msg(),
+            Err(WireError::Malformed { what: "hello precision", .. })
+        ));
     }
 
     #[test]

@@ -70,8 +70,17 @@ fn tiny_pipeline() -> MmHandPipeline {
         &model_cfg,
         &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
     );
+    // Calibration is always supplied; the precision itself follows the
+    // documented MMHAND_PRECISION fallback so CI's precision matrix can
+    // drive this suite through both the f32 and int8 paths.
+    let mut probe = MmHandPipeline::builder_for(model.clone())
+        .cube_config(cube.clone())
+        .build()
+        .expect("tiny probe pipeline assembles");
+    let calibration = probe.frames_to_segments(&stream(97, 12));
     MmHandPipeline::builder_for(model)
         .cube_config(cube)
+        .calibration_segments(calibration)
         .build()
         .expect("tiny pipeline assembles")
 }

@@ -16,8 +16,9 @@ use mmhand_hand::user::UserProfile;
 use mmhand_math::Vec3;
 use mmhand_radar::capture::{record_session, CaptureConfig};
 use mmhand_radar::{ChirpConfig, Environment, RawFrame};
-use mmhand_serve::wire::{encode, Decoder, WireMsg, WIRE_VERSION};
-use mmhand_serve::{MeshPolicy, RejectCode, ServeConfig, ServeServer, ShardedServe};
+use mmhand_serve::wire::{encode, Decoder, WireMsg, MIN_WIRE_VERSION, WIRE_VERSION};
+use mmhand_serve::{MeshPolicy, Precision, RejectCode, ServeConfig, ServeServer, ShardedServe};
+use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -69,8 +70,17 @@ fn tiny_pipeline() -> MmHandPipeline {
         &model_cfg,
         &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() },
     );
+    // Calibration is always supplied; the precision itself follows the
+    // documented MMHAND_PRECISION fallback so CI's precision matrix can
+    // drive this suite through both the f32 and int8 paths.
+    let mut probe = MmHandPipeline::builder_for(model.clone())
+        .cube_config(cube.clone())
+        .build()
+        .expect("tiny probe pipeline assembles");
+    let calibration = probe.frames_to_segments(&stream(97, 12));
     MmHandPipeline::builder_for(model)
         .cube_config(cube)
+        .calibration_segments(calibration)
         .build()
         .expect("tiny pipeline assembles")
 }
@@ -169,7 +179,10 @@ fn wire_results_match_sequential_pipeline_bitwise() {
     let mut server = ServeServer::bind("127.0.0.1:0", serve).expect("ephemeral bind");
     let mut client = Client::connect(&server);
 
-    client.send(&WireMsg::Hello { version: WIRE_VERSION });
+    client.send(&WireMsg::Hello {
+        version: WIRE_VERSION,
+        precision: server.serve().precision(),
+    });
     for _ in 0..n_sessions {
         client.send(&WireMsg::Open);
     }
@@ -261,7 +274,10 @@ fn foreign_session_ids_get_typed_rejects() {
     let mut server = ServeServer::bind("127.0.0.1:0", serve).expect("ephemeral bind");
     let mut client = Client::connect(&server);
 
-    client.send(&WireMsg::Hello { version: WIRE_VERSION });
+    client.send(&WireMsg::Hello {
+        version: WIRE_VERSION,
+        precision: server.serve().precision(),
+    });
     client.send(&WireMsg::Poll { session: 0xDEAD });
     client.send(&WireMsg::Close { session: 0xBEEF });
     for _ in 0..3 {
@@ -291,4 +307,57 @@ fn foreign_session_ids_get_typed_rejects() {
         matches!(client.inbox.first(), Some(WireMsg::Opened { .. })),
         "connection stays usable after rejects"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every supported (version, precision) Hello survives an
+    /// encode/decode round trip; v1 Hellos lose the precision byte and
+    /// negotiate down to f32 by design.
+    #[test]
+    fn hello_round_trips_across_supported_versions(
+        version in MIN_WIRE_VERSION..=WIRE_VERSION,
+        int8 in 0u8..2,
+    ) {
+        let precision = if int8 == 1 { Precision::Int8 } else { Precision::F32 };
+        let msg = WireMsg::Hello { version, precision };
+        let mut bytes = Vec::new();
+        encode(&msg, &mut bytes);
+        let mut dec = Decoder::new();
+        dec.push_bytes(&bytes);
+        let got = dec.next_msg().expect("well-formed Hello decodes").expect("complete");
+        let expected = if version >= 2 { precision } else { Precision::F32 };
+        match got {
+            WireMsg::Hello { version: v, precision: p } => {
+                prop_assert_eq!(v, version);
+                prop_assert_eq!(p, expected);
+            }
+            other => {
+                prop_assert!(false, "expected Hello, decoded {other:?}");
+            }
+        }
+        prop_assert!(dec.next_msg().expect("no trailing error").is_none());
+    }
+
+    /// Feeding any strict prefix of an encoded Hello never panics and
+    /// never yields a message: the decoder just reports "incomplete".
+    #[test]
+    fn truncated_hellos_stay_incomplete_without_panicking(
+        version in MIN_WIRE_VERSION..=WIRE_VERSION,
+        int8 in 0u8..2,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let precision = if int8 == 1 { Precision::Int8 } else { Precision::F32 };
+        let mut bytes = Vec::new();
+        encode(&WireMsg::Hello { version, precision }, &mut bytes);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        let mut dec = Decoder::new();
+        dec.push_bytes(&bytes[..cut]);
+        prop_assert!(dec.next_msg().expect("prefix is never an error").is_none());
+        // Delivering the remainder completes the message.
+        dec.push_bytes(&bytes[cut..]);
+        prop_assert!(dec.next_msg().expect("completed Hello decodes").is_some());
+    }
 }
