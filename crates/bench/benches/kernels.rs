@@ -66,9 +66,56 @@ fn bench_fft_backends(c: &mut Criterion) {
     }
 }
 
+fn bench_train_backends(c: &mut Criterion) {
+    let mut rng = stream_rng(11, "kernels-bench-train");
+    let n = 16_384;
+    let g: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+    for kern in backends() {
+        // Fused Adam update at a typical per-tensor parameter count.
+        let mut p: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mut m = vec![0.01_f32; n];
+        let mut v = vec![0.02_f32; n];
+        c.bench_function(&format!("adam_step_16k_{}", kern.name()), |b| {
+            b.iter(|| {
+                kern.adam_step(&mut p, &g, &mut m, &mut v, 0.9, 0.999, 0.1, 0.01, 1e-3, 1e-8);
+                black_box(p[0])
+            })
+        });
+        // Blocked squared-sum (the grad-norm primitive).
+        c.bench_function(&format!("sq_sum_blocked_16k_{}", kern.name()), |b| {
+            b.iter(|| black_box(kern.sq_sum_blocked(&g)))
+        });
+        // Gradient-accumulation axpy.
+        let mut acc: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        c.bench_function(&format!("axpy_16k_{}", kern.name()), |b| {
+            b.iter(|| {
+                kern.axpy(&mut acc, &g);
+                black_box(acc[0])
+            })
+        });
+        // One LayerNorm backward row at the full-scale feature width.
+        let f = 256;
+        let xr: Vec<f32> = (0..f).map(|_| standard_normal(&mut rng)).collect();
+        let dyr: Vec<f32> = (0..f).map(|_| standard_normal(&mut rng)).collect();
+        let gamma: Vec<f32> = (0..f).map(|_| standard_normal(&mut rng)).collect();
+        let mut dxhat = vec![0.0_f32; f];
+        let mut dx = vec![0.0_f32; f];
+        let mut dgamma = vec![0.0_f32; f];
+        let mut dbeta = vec![0.0_f32; f];
+        c.bench_function(&format!("layer_norm_backward_row_256_{}", kern.name()), |b| {
+            b.iter(|| {
+                kern.layer_norm_backward_row(
+                    &xr, &dyr, &gamma, 0.02, 1.1, &mut dxhat, &mut dx, &mut dgamma, &mut dbeta,
+                );
+                black_box(dx[0])
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_gemm_backends, bench_fft_backends
+    targets = bench_gemm_backends, bench_fft_backends, bench_train_backends
 }
 criterion_main!(benches);

@@ -84,15 +84,27 @@ pub fn try_session_to_sequences(
     }
     let st = builder.config().frames_per_segment;
     let n_segments = session.len() / st;
+    // Segments are independent of one another, so they fan out across the
+    // pool; each worker clones the builder (cheap — the FFT/zoom plans are
+    // Arc-shared) to get its own scratch state. `par_map` returns results in
+    // input order, so the dataset is identical to the serial construction.
+    let indices: Vec<usize> = (0..n_segments).collect();
+    let per_segment = mmhand_parallel::par_map(&indices, |&s| {
+        let worker = builder.clone();
+        let cube_frames = (0..st)
+            .map(|k| worker.try_process_frame(&session.frames[s * st + k]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let segment = worker.try_segment_tensor(&cube_frames)?;
+        let truth = &session.truth[s * st + st - 1];
+        let label = truth.iter().flat_map(|v| v.to_array()).collect::<Vec<f32>>();
+        Ok::<_, PipelineError>((segment, label))
+    });
     let mut segments = Vec::with_capacity(n_segments);
     let mut labels = Vec::with_capacity(n_segments);
-    for s in 0..n_segments {
-        let cube_frames = (0..st)
-            .map(|k| builder.try_process_frame(&session.frames[s * st + k]))
-            .collect::<Result<Vec<_>, _>>()?;
-        segments.push(builder.try_segment_tensor(&cube_frames)?);
-        let truth = &session.truth[s * st + st - 1];
-        labels.push(truth.iter().flat_map(|v| v.to_array()).collect::<Vec<f32>>());
+    for r in per_segment {
+        let (segment, label) = r?;
+        segments.push(segment);
+        labels.push(label);
     }
 
     let mut out = Vec::new();
@@ -266,6 +278,41 @@ mod tests {
             try_make_batches(&seqs, 2, &mut rng),
             Err(PipelineError::MismatchedSequenceLength { expected: 2, got: 1 })
         ));
+    }
+
+    #[test]
+    fn parallel_segment_generation_matches_serial_bitwise() {
+        // The fan-out must be a pure reordering of work: every segment
+        // tensor and label must be bitwise identical to the straightforward
+        // serial construction on one shared builder.
+        let builder = CubeBuilder::new(CubeConfig::default());
+        let session = quick_session(26);
+        let seqs = session_to_sequences(&builder, &session, 3, 1);
+
+        let st = builder.config().frames_per_segment;
+        let n_segments = session.len() / st;
+        let mut segments = Vec::new();
+        let mut labels: Vec<Vec<f32>> = Vec::new();
+        for s in 0..n_segments {
+            let cube_frames: Vec<_> = (0..st)
+                .map(|k| builder.try_process_frame(&session.frames[s * st + k]).unwrap())
+                .collect();
+            segments.push(builder.try_segment_tensor(&cube_frames).unwrap());
+            let truth = &session.truth[s * st + st - 1];
+            labels.push(truth.iter().flat_map(|v| v.to_array()).collect());
+        }
+
+        let mut flat = seqs.iter().flat_map(|q| q.segments.iter().zip(&q.labels));
+        for (serial_seg, serial_lab) in segments.iter().zip(&labels).take(6) {
+            let (par_seg, par_lab) = flat.next().expect("same segment count");
+            assert_eq!(par_seg.shape(), serial_seg.shape());
+            for (a, b) in par_seg.data().iter().zip(serial_seg.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in par_lab.iter().zip(serial_lab) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -424,6 +424,7 @@ impl Trainer {
                     .step_by(TRAIN_SHARD)
                     .map(|lo| (lo, (lo + TRAIN_SHARD).min(n)))
                     .collect();
+                let backward_span = telemetry::span("train.backward");
                 let shard_results = mmhand_parallel::par_map(&bounds, |&(lo, hi)| {
                     let segments: Vec<Tensor> =
                         batch.segments.iter().map(|s| slice_rows(s, lo, hi)).collect();
@@ -472,6 +473,7 @@ impl Trainer {
                         store.accumulate_grad(*id, g);
                     }
                 }
+                backward_span.finish();
                 epoch_loss += batch_loss;
                 // With sanitize-numerics, verify gradient flow reached every
                 // parameter after the first backward pass: a silent zero-grad
@@ -497,6 +499,7 @@ impl Trainer {
                 epoch_sequences += batch.batch_size() as u64;
                 // Pre-clip gradient norm; computed only when telemetry is
                 // recording since it costs a pass over every parameter.
+                let optimizer_span = telemetry::span("train.optimizer");
                 if telemetry::enabled() {
                     last_grad_norm = store.grad_norm();
                 }
@@ -505,6 +508,7 @@ impl Trainer {
                 }
                 lr_used = schedule.lr_at(step);
                 adam.step_with_lr(&mut store, lr_used);
+                optimizer_span.finish();
                 step += 1;
             }
             let nb = batches.len().max(1) as f32;

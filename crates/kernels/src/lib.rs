@@ -59,6 +59,16 @@ pub const ABT_PANEL_MAX: usize = 8;
 /// (4 sections).
 pub const MAX_BIQUADS: usize = 16;
 
+/// Lane count of the blocked squared-sum reduction
+/// [`Kernels::sq_sum_blocked`]: both backends accumulate this many
+/// independent partial sums (element `i` goes to lane `i % SQ_SUM_LANES`
+/// over full blocks) and combine them in ascending lane order, so the
+/// accumulation order — and therefore the result bits — is identical in
+/// scalar and SIMD. Sixteen lanes give the AVX2 backend two independent
+/// 8-wide accumulator chains (hiding add latency) and the autovectorized
+/// scalar backend four 4-wide ones.
+pub const SQ_SUM_LANES: usize = 16;
+
 /// Coefficients of one normalised direct-form-II-transposed biquad, with
 /// the same convention as `mmhand-dsp`'s `Biquad`:
 /// `y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]`.
@@ -157,6 +167,78 @@ pub trait Kernels: Send + Sync {
     /// so lane order does not matter (unlike the f32 kernels, which must
     /// preserve ascending-k order).
     fn qgemm_row_i8(&self, x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: usize);
+
+    /// ReLU backward: zeroes `dy[i]` wherever the forward output
+    /// `y[i] ≤ 0`, element-wise over `min(dy.len(), y.len())`.
+    fn relu_backward(&self, dy: &mut [f32], y: &[f32]);
+
+    /// Sigmoid backward: `dy[i] *= y[i] · (1 − y[i])` with `y` the forward
+    /// output, element-wise over `min(dy.len(), y.len())`.
+    fn sigmoid_backward(&self, dy: &mut [f32], y: &[f32]);
+
+    /// Tanh backward: `dy[i] *= 1 − y[i]²` with `y` the forward output,
+    /// element-wise over `min(dy.len(), y.len())`.
+    fn tanh_backward(&self, dy: &mut [f32], y: &[f32]);
+
+    /// Gradient accumulation: `acc[i] += g[i]` over
+    /// `min(acc.len(), g.len())` — the tape's `add_grad` merge and the
+    /// parameter store's shard-gradient reduce.
+    fn axpy(&self, acc: &mut [f32], g: &[f32]);
+
+    /// One feature row of the LayerNorm backward. With
+    /// `x̂ᵢ = (xrᵢ − mean)·rstd` and `dᵢ = dyrᵢ·gammaᵢ`, fills
+    /// `dxhat` with `d`, accumulates `dgammaᵢ += dyrᵢ·x̂ᵢ` and
+    /// `dbetaᵢ += dyrᵢ`, and writes
+    /// `dxᵢ = rstd·(dᵢ − Σd/f − x̂ᵢ·Σ(d·x̂)/f)`. The two row sums
+    /// accumulate sequentially in ascending `i` on every backend (SIMD only
+    /// vectorises the lane-independent element-wise parts), keeping the
+    /// result bitwise identical to the scalar reference. `f = xr.len()`;
+    /// every other slice must hold at least `f` elements.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm_backward_row(
+        &self,
+        xr: &[f32],
+        dyr: &[f32],
+        gamma: &[f32],
+        mean: f32,
+        rstd: f32,
+        dxhat: &mut [f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+    );
+
+    /// Fused Adam update over one parameter tensor: for every element,
+    /// `mᵢ ← β₁·mᵢ + (1−β₁)·gᵢ`, `vᵢ ← β₂·vᵢ + (1−β₂)·gᵢ·gᵢ`, then
+    /// `valueᵢ −= lr·(mᵢ/bias1) / (√(vᵢ/bias2) + eps)` — one pass instead
+    /// of the historical dual-indexed loop. `bias1`/`bias2` are the
+    /// per-step corrections `1 − βᵗ`, hoisted by the caller. Every lane is
+    /// an independent element and the arithmetic is mul/add/sub/div/sqrt
+    /// only (all IEEE correctly rounded), so SIMD is bitwise identical to
+    /// scalar. All four slices must share `value.len()`.
+    #[allow(clippy::too_many_arguments)]
+    fn adam_step(
+        &self,
+        value: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        beta1: f32,
+        beta2: f32,
+        bias1: f32,
+        bias2: f32,
+        lr: f32,
+        eps: f32,
+    );
+
+    /// Blocked squared-sum reduction `Σ xᵢ²` in the fixed
+    /// [`SQ_SUM_LANES`]-lane order: lane `l` accumulates elements
+    /// `l, l+8, l+16, …` over full 8-blocks, lanes combine in ascending
+    /// lane order, then the ragged tail adds sequentially. Both backends
+    /// implement exactly this order, so the reduction is deterministic
+    /// across backends (unlike a flat sequential sum, which SIMD could not
+    /// reproduce without running scalar).
+    fn sq_sum_blocked(&self, x: &[f32]) -> f32;
 }
 
 /// Which backend [`kernels`] selected.
@@ -423,6 +505,59 @@ mod tests {
         }
     }
 
+    /// The scalar `adam_step` kernel is the pre-refactor optimizer loop
+    /// moved verbatim — pin it bitwise against that original dual-indexed
+    /// formulation so the move can never drift.
+    #[test]
+    fn scalar_adam_step_matches_pre_refactor_loop() {
+        let mut rng = stream_rng(7, "adam-pin");
+        let n = 37;
+        let p0 = randn(&mut rng, n);
+        let g = randn(&mut rng, n);
+        let m0: Vec<f32> = randn(&mut rng, n).iter().map(|v| 0.1 * v).collect();
+        let v0: Vec<f32> = randn(&mut rng, n).iter().map(|v| v * v).collect();
+        let (beta1, beta2, lr, eps) = (0.9f32, 0.999f32, 3e-4f32, 1e-8f32);
+        let t = 17u32;
+        let bias1 = 1.0 - beta1.powi(t as i32);
+        let bias2 = 1.0 - beta2.powi(t as i32);
+
+        // The original `Adam::step_with_lr` inner loop, exactly as it was.
+        let (mut p_ref, mut m_ref, mut v_ref) = (p0.clone(), m0.clone(), v0.clone());
+        for i in 0..n {
+            let gi = g[i];
+            m_ref[i] = beta1 * m_ref[i] + (1.0 - beta1) * gi;
+            v_ref[i] = beta2 * v_ref[i] + (1.0 - beta2) * gi * gi;
+            let m_hat = m_ref[i] / (1.0 - beta1.powi(t as i32));
+            let v_hat = v_ref[i] / (1.0 - beta2.powi(t as i32));
+            p_ref[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+
+        let (mut p, mut m, mut v) = (p0, m0, v0);
+        scalar_kernels().adam_step(&mut p, &g, &mut m, &mut v, beta1, beta2, bias1, bias2, lr, eps);
+        for i in 0..n {
+            assert_eq!(p[i].to_bits(), p_ref[i].to_bits(), "p[{i}]");
+            assert_eq!(m[i].to_bits(), m_ref[i].to_bits(), "m[{i}]");
+            assert_eq!(v[i].to_bits(), v_ref[i].to_bits(), "v[{i}]");
+        }
+    }
+
+    /// The blocked reduction is a reassociation of the flat squared sum: the
+    /// value must agree with the sequential sum to float tolerance (the bits
+    /// legitimately differ — that is the point of freezing the new order).
+    #[test]
+    fn sq_sum_blocked_approximates_flat_sum() {
+        let mut rng = stream_rng(11, "sqsum-sanity");
+        for n in [0usize, 1, 7, 8, 9, 64, 257] {
+            let x = randn(&mut rng, n);
+            let flat: f32 = x.iter().map(|v| v * v).sum();
+            let blocked = scalar_kernels().sq_sum_blocked(&x);
+            assert!(
+                (blocked - flat).abs() <= 1e-4 * flat.max(1.0),
+                "n={n}: blocked {blocked} vs flat {flat}"
+            );
+        }
+    }
+
     proptest! {
         /// SIMD microkernel output must be bitwise identical (0 ULP) to the
         /// scalar reference, including ragged tails — under either
@@ -581,6 +716,139 @@ mod tests {
                 prop_assert!(re_sc[t].to_bits() == re_sd[t].to_bits(), "re[{t}]");
                 prop_assert!(im_sc[t].to_bits() == im_sd[t].to_bits(), "im[{t}]");
             }
+        }
+
+        /// Elementwise activation backward kernels must be bitwise identical
+        /// across backends, including ragged tails and ReLU's NaN-keeping
+        /// `y <= 0` branch semantics (exercised via injected specials).
+        #[test]
+        fn activation_backward_backends_bitwise_identical(
+            n in 1usize..70, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-act-bwd");
+            let mut y = randn(&mut rng, n);
+            // Exact zeros, negative zero, and NaN are the branch edge cases.
+            if n > 2 {
+                y[0] = 0.0;
+                y[1] = -0.0;
+                y[2] = f32::NAN;
+            }
+            let dy = randn(&mut rng, n);
+            for apply in [Kernels::relu_backward, Kernels::sigmoid_backward, Kernels::tanh_backward]
+            {
+                let mut g_sc = dy.clone();
+                let mut g_sd = dy.clone();
+                apply(sc, &mut g_sc, &y);
+                apply(sd, &mut g_sd, &y);
+                for (i, (a, b)) in g_sc.iter().zip(&g_sd).enumerate() {
+                    prop_assert!(a.to_bits() == b.to_bits(), "element {i}: {a} != {b}");
+                }
+            }
+        }
+
+        /// Gradient accumulation must be bitwise identical across backends.
+        #[test]
+        fn axpy_backends_bitwise_identical(n in 1usize..80, seed in 0u64..500) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-axpy");
+            let acc = randn(&mut rng, n);
+            let g = randn(&mut rng, n);
+            let mut a_sc = acc.clone();
+            let mut a_sd = acc;
+            sc.axpy(&mut a_sc, &g);
+            sd.axpy(&mut a_sd, &g);
+            for (i, (a, b)) in a_sc.iter().zip(&a_sd).enumerate() {
+                prop_assert!(a.to_bits() == b.to_bits(), "element {i}: {a} != {b}");
+            }
+        }
+
+        /// One LayerNorm backward row must be bitwise identical across
+        /// backends in all four outputs, for any feature width (vector body
+        /// plus ragged tail) — the row sums are sequential on both paths.
+        #[test]
+        fn layer_norm_backward_backends_bitwise_identical(
+            f in 1usize..70, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-ln-bwd");
+            let xr = randn(&mut rng, f);
+            let dyr = randn(&mut rng, f);
+            let gamma = randn(&mut rng, f);
+            let mean = xr.iter().sum::<f32>() / f as f32;
+            let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
+            let rstd = 1.0 / (var + 1e-5).sqrt();
+            let dg0 = randn(&mut rng, f);
+            let db0 = randn(&mut rng, f);
+            let run = |kern: &dyn Kernels| {
+                let mut dxhat = vec![0.0f32; f];
+                let mut dx = vec![0.0f32; f];
+                let mut dgamma = dg0.clone();
+                let mut dbeta = db0.clone();
+                kern.layer_norm_backward_row(
+                    &xr, &dyr, &gamma, mean, rstd, &mut dxhat, &mut dx, &mut dgamma,
+                    &mut dbeta,
+                );
+                (dxhat, dx, dgamma, dbeta)
+            };
+            let (xh_sc, dx_sc, dg_sc, db_sc) = run(sc);
+            let (xh_sd, dx_sd, dg_sd, db_sd) = run(sd);
+            for (name, a, b) in [
+                ("dxhat", &xh_sc, &xh_sd),
+                ("dx", &dx_sc, &dx_sd),
+                ("dgamma", &dg_sc, &dg_sd),
+                ("dbeta", &db_sc, &db_sd),
+            ] {
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    prop_assert!(x.to_bits() == y.to_bits(), "{name}[{i}]: {x} != {y}");
+                }
+            }
+        }
+
+        /// The fused Adam update must be bitwise identical across backends
+        /// in params and both moments — `sqrt`/`div` are correctly rounded,
+        /// so the vector lanes reproduce the scalar sequence exactly.
+        #[test]
+        fn adam_step_backends_bitwise_identical(
+            n in 1usize..80, step in 1u32..200, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-adam");
+            let p0 = randn(&mut rng, n);
+            let g = randn(&mut rng, n);
+            let m0: Vec<f32> = randn(&mut rng, n).iter().map(|v| 0.1 * v).collect();
+            let v0: Vec<f32> = randn(&mut rng, n).iter().map(|v| v * v).collect();
+            let (beta1, beta2, lr, eps) = (0.9f32, 0.999f32, 1e-3f32, 1e-8f32);
+            let bias1 = 1.0 - beta1.powi(step as i32);
+            let bias2 = 1.0 - beta2.powi(step as i32);
+            let run = |kern: &dyn Kernels| {
+                let (mut p, mut m, mut v) = (p0.clone(), m0.clone(), v0.clone());
+                kern.adam_step(&mut p, &g, &mut m, &mut v, beta1, beta2, bias1, bias2, lr, eps);
+                (p, m, v)
+            };
+            let (p_sc, m_sc, v_sc) = run(sc);
+            let (p_sd, m_sd, v_sd) = run(sd);
+            for (name, a, b) in
+                [("p", &p_sc, &p_sd), ("m", &m_sc, &m_sd), ("v", &v_sc, &v_sd)]
+            {
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    prop_assert!(x.to_bits() == y.to_bits(), "{name}[{i}]: {x} != {y}");
+                }
+            }
+        }
+
+        /// The blocked squared-sum reduction must be bitwise identical across
+        /// backends for every length (full blocks plus any ragged tail).
+        #[test]
+        fn sq_sum_blocked_backends_bitwise_identical(
+            n in 0usize..200, seed in 0u64..500,
+        ) {
+            let Some((sc, sd)) = both() else { return Ok(()); };
+            let mut rng = stream_rng(seed, "kern-sqsum");
+            let x = randn(&mut rng, n);
+            let a = sc.sq_sum_blocked(&x);
+            let b = sd.sq_sum_blocked(&x);
+            prop_assert!(a.to_bits() == b.to_bits(), "{a} != {b}");
         }
 
         /// LBS skinning must be bitwise identical across backends: the SIMD

@@ -2,7 +2,7 @@
 //! moved here verbatim. Always available on every architecture, and the
 //! bitwise oracle the SIMD backend is property-tested against.
 
-use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS};
+use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS, SQ_SUM_LANES};
 use mmhand_math::{Complex, Quaternion, Vec3};
 
 /// Portable scalar implementation of every dispatched kernel.
@@ -140,5 +140,118 @@ impl Kernels for ScalarKernels {
             }
             *o = acc;
         }
+    }
+
+    fn relu_backward(&self, dy: &mut [f32], y: &[f32]) {
+        for (g, &y) in dy.iter_mut().zip(y) {
+            if y <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    }
+
+    fn sigmoid_backward(&self, dy: &mut [f32], y: &[f32]) {
+        for (g, &y) in dy.iter_mut().zip(y) {
+            *g *= y * (1.0 - y);
+        }
+    }
+
+    fn tanh_backward(&self, dy: &mut [f32], y: &[f32]) {
+        for (g, &y) in dy.iter_mut().zip(y) {
+            *g *= 1.0 - y * y;
+        }
+    }
+
+    fn axpy(&self, acc: &mut [f32], g: &[f32]) {
+        for (a, b) in acc.iter_mut().zip(g) {
+            *a += b;
+        }
+    }
+
+    fn layer_norm_backward_row(
+        &self,
+        xr: &[f32],
+        dyr: &[f32],
+        gamma: &[f32],
+        mean: f32,
+        rstd: f32,
+        dxhat: &mut [f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+    ) {
+        let f = xr.len();
+        debug_assert!(
+            dyr.len() >= f
+                && gamma.len() >= f
+                && dxhat.len() >= f
+                && dx.len() >= f
+                && dgamma.len() >= f
+                && dbeta.len() >= f
+        );
+        // x̂ = (x − μ)·rstd; dL/dx follows the standard layer-norm backward.
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        for i in 0..f {
+            let xhat = (xr[i] - mean) * rstd;
+            let d = dyr[i] * gamma[i];
+            dxhat[i] = d;
+            sum_dxhat += d;
+            sum_dxhat_xhat += d * xhat;
+            dgamma[i] += dyr[i] * xhat;
+            dbeta[i] += dyr[i];
+        }
+        for i in 0..f {
+            let xhat = (xr[i] - mean) * rstd;
+            dx[i] = rstd
+                * (dxhat[i] - sum_dxhat / f as f32 - xhat * sum_dxhat_xhat / f as f32);
+        }
+    }
+
+    fn adam_step(
+        &self,
+        value: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        beta1: f32,
+        beta2: f32,
+        bias1: f32,
+        bias2: f32,
+        lr: f32,
+        eps: f32,
+    ) {
+        debug_assert!(
+            grad.len() == value.len() && m.len() == value.len() && v.len() == value.len()
+        );
+        for (((p, &g), m), v) in
+            value.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+        {
+            let mi = beta1 * *m + (1.0 - beta1) * g;
+            let vi = beta2 * *v + (1.0 - beta2) * g * g;
+            *m = mi;
+            *v = vi;
+            let m_hat = mi / bias1;
+            let v_hat = vi / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn sq_sum_blocked(&self, x: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; SQ_SUM_LANES];
+        let mut blocks = x.chunks_exact(SQ_SUM_LANES);
+        for block in blocks.by_ref() {
+            for (lane, &v) in lanes.iter_mut().zip(block) {
+                *lane += v * v;
+            }
+        }
+        let mut total = 0.0f32;
+        for &lane in &lanes {
+            total += lane;
+        }
+        for &v in blocks.remainder() {
+            total += v * v;
+        }
+        total
     }
 }

@@ -12,7 +12,7 @@
 //! a ULP distance of zero.
 
 use crate::scalar::ScalarKernels;
-use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS};
+use crate::{BiquadCoeffs, Kernels, SkinAttachment, GEMM_MR, MAX_BIQUADS, SQ_SUM_LANES};
 use mmhand_math::{Complex, Quaternion, Vec3};
 use std::arch::x86_64::*;
 
@@ -103,6 +103,86 @@ impl Kernels for SimdKernels {
         // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
         // succeeded (see `simd_kernels` in lib.rs).
         unsafe { qgemm_row_i8_avx2(x, wt, out, k, n) }
+    }
+
+    fn relu_backward(&self, dy: &mut [f32], y: &[f32]) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { relu_backward_avx2(dy, y) }
+    }
+
+    fn sigmoid_backward(&self, dy: &mut [f32], y: &[f32]) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { sigmoid_backward_avx2(dy, y) }
+    }
+
+    fn tanh_backward(&self, dy: &mut [f32], y: &[f32]) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { tanh_backward_avx2(dy, y) }
+    }
+
+    fn axpy(&self, acc: &mut [f32], g: &[f32]) {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { axpy_avx2(acc, g) }
+    }
+
+    fn layer_norm_backward_row(
+        &self,
+        xr: &[f32],
+        dyr: &[f32],
+        gamma: &[f32],
+        mean: f32,
+        rstd: f32,
+        dxhat: &mut [f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+    ) {
+        debug_assert!(
+            dyr.len() >= xr.len()
+                && gamma.len() >= xr.len()
+                && dxhat.len() >= xr.len()
+                && dx.len() >= xr.len()
+                && dgamma.len() >= xr.len()
+                && dbeta.len() >= xr.len()
+        );
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs); the slice-length
+        // preconditions are debug-asserted above.
+        unsafe {
+            layer_norm_backward_row_avx2(xr, dyr, gamma, mean, rstd, dxhat, dx, dgamma, dbeta)
+        }
+    }
+
+    fn adam_step(
+        &self,
+        value: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        beta1: f32,
+        beta2: f32,
+        bias1: f32,
+        bias2: f32,
+        lr: f32,
+        eps: f32,
+    ) {
+        debug_assert!(
+            grad.len() == value.len() && m.len() == value.len() && v.len() == value.len()
+        );
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs); the equal-length
+        // precondition is debug-asserted above.
+        unsafe { adam_step_avx2(value, grad, m, v, beta1, beta2, bias1, bias2, lr, eps) }
+    }
+
+    fn sq_sum_blocked(&self, x: &[f32]) -> f32 {
+        // SAFETY: `SimdKernels` exists only on CPUs where AVX2 detection
+        // succeeded (see `simd_kernels` in lib.rs).
+        unsafe { sq_sum_blocked_avx2(x) }
     }
 }
 
@@ -346,6 +426,300 @@ unsafe fn qgemm_row_i8_avx2(x: &[i8], wt: &[i8], out: &mut [i32], k: usize, n: u
         }
         *o = sum;
     }
+}
+
+/// ReLU backward, eight elements per iteration: `dy` is kept where the
+/// forward output is strictly positive and zeroed where `y ≤ 0`. The mask
+/// is `NLE` (not-less-or-equal, unordered) so a NaN forward output keeps
+/// its upstream gradient — exactly the scalar branch `if y <= 0.0`, which
+/// is false for NaN.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2. Operates on
+/// `min(dy.len(), y.len())` elements, matching the scalar zip.
+#[target_feature(enable = "avx2")]
+unsafe fn relu_backward_avx2(dy: &mut [f32], y: &[f32]) {
+    let n = dy.len().min(y.len());
+    let dp = dy.as_mut_ptr();
+    let yp = y.as_ptr();
+    let zero = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let dv = _mm256_loadu_ps(dp.add(i));
+        let keep = _mm256_cmp_ps::<_CMP_NLE_UQ>(yv, zero);
+        _mm256_storeu_ps(dp.add(i), _mm256_and_ps(dv, keep));
+        i += 8;
+    }
+    for j in i..n {
+        if y[j] <= 0.0 {
+            dy[j] = 0.0;
+        }
+    }
+}
+
+/// Sigmoid backward, eight independent elements per iteration:
+/// `dy *= y·(1 − y)` with the scalar operation order (`1 − y` first, then
+/// the two multiplies).
+///
+/// SAFETY: caller must ensure the CPU supports AVX2. Operates on
+/// `min(dy.len(), y.len())` elements, matching the scalar zip.
+#[target_feature(enable = "avx2")]
+unsafe fn sigmoid_backward_avx2(dy: &mut [f32], y: &[f32]) {
+    let n = dy.len().min(y.len());
+    let dp = dy.as_mut_ptr();
+    let yp = y.as_ptr();
+    let one = _mm256_set1_ps(1.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let dv = _mm256_loadu_ps(dp.add(i));
+        let deriv = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(dv, deriv));
+        i += 8;
+    }
+    for j in i..n {
+        dy[j] *= y[j] * (1.0 - y[j]);
+    }
+}
+
+/// Tanh backward, eight independent elements per iteration:
+/// `dy *= 1 − y²` with the scalar operation order (square first, then the
+/// subtraction and the multiply).
+///
+/// SAFETY: caller must ensure the CPU supports AVX2. Operates on
+/// `min(dy.len(), y.len())` elements, matching the scalar zip.
+#[target_feature(enable = "avx2")]
+unsafe fn tanh_backward_avx2(dy: &mut [f32], y: &[f32]) {
+    let n = dy.len().min(y.len());
+    let dp = dy.as_mut_ptr();
+    let yp = y.as_ptr();
+    let one = _mm256_set1_ps(1.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let dv = _mm256_loadu_ps(dp.add(i));
+        let deriv = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(dv, deriv));
+        i += 8;
+    }
+    for j in i..n {
+        dy[j] *= 1.0 - y[j] * y[j];
+    }
+}
+
+/// Gradient accumulation `acc += g`, eight independent elements per
+/// iteration — one IEEE addition per element, same as scalar.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2. Operates on
+/// `min(acc.len(), g.len())` elements, matching the scalar zip.
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(acc: &mut [f32], g: &[f32]) {
+    let n = acc.len().min(g.len());
+    let ap = acc.as_mut_ptr();
+    let gp = g.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(ap.add(i));
+        let gv = _mm256_loadu_ps(gp.add(i));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(av, gv));
+        i += 8;
+    }
+    for j in i..n {
+        acc[j] += g[j];
+    }
+}
+
+/// One LayerNorm backward row in three passes: the element-wise work
+/// (`dxhat`, `dgamma`, `dbeta`, and the final `dx`) runs eight lanes wide,
+/// while the two row reductions (`Σd`, `Σd·x̂`) stay a sequential scalar
+/// loop in ascending `i` — reassociating them would break the bitwise
+/// contract. The scalar reference computes `x̂` and `d` once per element;
+/// recomputing `x̂` in the reduction pass reruns the identical `sub`/`mul`
+/// pair on identical inputs, so the bits cannot differ.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2 and that every slice
+/// holds at least `xr.len()` elements (debug-asserted at the call site).
+#[allow(clippy::too_many_arguments)] // mirrors the trait method's signature
+#[target_feature(enable = "avx2")]
+unsafe fn layer_norm_backward_row_avx2(
+    xr: &[f32],
+    dyr: &[f32],
+    gamma: &[f32],
+    mean: f32,
+    rstd: f32,
+    dxhat: &mut [f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let f = xr.len();
+    let meanv = _mm256_set1_ps(mean);
+    let rstdv = _mm256_set1_ps(rstd);
+    let xp = xr.as_ptr();
+    let dyp = dyr.as_ptr();
+    let gp = gamma.as_ptr();
+    let dxhp = dxhat.as_mut_ptr();
+    let dgp = dgamma.as_mut_ptr();
+    let dbp = dbeta.as_mut_ptr();
+    // Pass 1: dxhat = dy·γ, dgamma += dy·x̂, dbeta += dy (lane-independent).
+    let mut i = 0;
+    while i + 8 <= f {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let dyv = _mm256_loadu_ps(dyp.add(i));
+        let gv = _mm256_loadu_ps(gp.add(i));
+        let xhat = _mm256_mul_ps(_mm256_sub_ps(xv, meanv), rstdv);
+        _mm256_storeu_ps(dxhp.add(i), _mm256_mul_ps(dyv, gv));
+        let dg = _mm256_add_ps(_mm256_loadu_ps(dgp.add(i)), _mm256_mul_ps(dyv, xhat));
+        _mm256_storeu_ps(dgp.add(i), dg);
+        let db = _mm256_add_ps(_mm256_loadu_ps(dbp.add(i)), dyv);
+        _mm256_storeu_ps(dbp.add(i), db);
+        i += 8;
+    }
+    for j in i..f {
+        let xhat = (xr[j] - mean) * rstd;
+        dxhat[j] = dyr[j] * gamma[j];
+        dgamma[j] += dyr[j] * xhat;
+        dbeta[j] += dyr[j];
+    }
+    // Pass 2: the two row sums, sequential ascending-i like the scalar
+    // reference (never vectorised — reduction order is part of the
+    // contract).
+    let mut sum_dxhat = 0.0f32;
+    let mut sum_dxhat_xhat = 0.0f32;
+    for j in 0..f {
+        let xhat = (xr[j] - mean) * rstd;
+        let d = dxhat[j];
+        sum_dxhat += d;
+        sum_dxhat_xhat += d * xhat;
+    }
+    // Pass 3: dx = rstd·(d − Σd/f − (x̂·Σdx̂)/f) (lane-independent). The
+    // scalar loop's `sum_dxhat / f` term is a loop-invariant expression, so
+    // hoisting it reuses the identical bits; the second term associates as
+    // (x̂·Σdx̂)/f per element and must stay a per-lane multiply-then-divide.
+    let s1 = sum_dxhat / f as f32;
+    let s1v = _mm256_set1_ps(s1);
+    let sdxv = _mm256_set1_ps(sum_dxhat_xhat);
+    let fv = _mm256_set1_ps(f as f32);
+    let dxp = dx.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= f {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let xhat = _mm256_mul_ps(_mm256_sub_ps(xv, meanv), rstdv);
+        let d = _mm256_loadu_ps(dxhp.add(i));
+        let t2 = _mm256_div_ps(_mm256_mul_ps(xhat, sdxv), fv);
+        let inner = _mm256_sub_ps(_mm256_sub_ps(d, s1v), t2);
+        _mm256_storeu_ps(dxp.add(i), _mm256_mul_ps(rstdv, inner));
+        i += 8;
+    }
+    for j in i..f {
+        let xhat = (xr[j] - mean) * rstd;
+        dx[j] = rstd * (dxhat[j] - s1 - xhat * sum_dxhat_xhat / f as f32);
+    }
+}
+
+/// Fused Adam update, eight independent elements per iteration. Per lane
+/// the operation sequence is exactly the scalar kernel's: two moment
+/// blends (separate multiply and add — never fused), two bias-correcting
+/// divides, `sqrt`, `+eps`, and the final `value −= (lr·m̂)/denom`.
+/// `_mm256_sqrt_ps`/`_mm256_div_ps` are IEEE correctly rounded, so every
+/// lane reproduces the scalar bits.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2 and that `grad`, `m`,
+/// `v` each hold `value.len()` elements (debug-asserted at the call site).
+#[allow(clippy::too_many_arguments)] // mirrors the trait method's signature
+#[target_feature(enable = "avx2")]
+unsafe fn adam_step_avx2(
+    value: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    beta1: f32,
+    beta2: f32,
+    bias1: f32,
+    bias2: f32,
+    lr: f32,
+    eps: f32,
+) {
+    let n = value.len();
+    let pp = value.as_mut_ptr();
+    let gp = grad.as_ptr();
+    let mp = m.as_mut_ptr();
+    let vp = v.as_mut_ptr();
+    let b1 = _mm256_set1_ps(beta1);
+    let b2 = _mm256_set1_ps(beta2);
+    let omb1 = _mm256_set1_ps(1.0 - beta1);
+    let omb2 = _mm256_set1_ps(1.0 - beta2);
+    let bias1v = _mm256_set1_ps(bias1);
+    let bias2v = _mm256_set1_ps(bias2);
+    let lrv = _mm256_set1_ps(lr);
+    let epsv = _mm256_set1_ps(eps);
+    let mut i = 0;
+    while i + 8 <= n {
+        let gv = _mm256_loadu_ps(gp.add(i));
+        let mv = _mm256_loadu_ps(mp.add(i));
+        let vv = _mm256_loadu_ps(vp.add(i));
+        // mi = β₁·m + (1−β₁)·g ; vi = β₂·v + ((1−β₂)·g)·g — the scalar
+        // kernel's left-to-right association.
+        let mi = _mm256_add_ps(_mm256_mul_ps(b1, mv), _mm256_mul_ps(omb1, gv));
+        let vi = _mm256_add_ps(
+            _mm256_mul_ps(b2, vv),
+            _mm256_mul_ps(_mm256_mul_ps(omb2, gv), gv),
+        );
+        _mm256_storeu_ps(mp.add(i), mi);
+        _mm256_storeu_ps(vp.add(i), vi);
+        let m_hat = _mm256_div_ps(mi, bias1v);
+        let v_hat = _mm256_div_ps(vi, bias2v);
+        let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), epsv);
+        let upd = _mm256_div_ps(_mm256_mul_ps(lrv, m_hat), denom);
+        let pv = _mm256_loadu_ps(pp.add(i));
+        _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(pv, upd));
+        i += 8;
+    }
+    for j in i..n {
+        let g = grad[j];
+        let mi = beta1 * m[j] + (1.0 - beta1) * g;
+        let vi = beta2 * v[j] + (1.0 - beta2) * g * g;
+        m[j] = mi;
+        v[j] = vi;
+        let m_hat = mi / bias1;
+        let v_hat = vi / bias2;
+        value[j] -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+/// Blocked squared-sum: two `f32x8` accumulators covering the 16 canonical
+/// lanes (lane `l` sums `x[16k+l]²` — exactly the scalar kernel's
+/// [`SQ_SUM_LANES`] partial sums; two registers keep the add chains
+/// independent and latency-hidden), then the lanes combine in ascending
+/// lane order and the ragged tail adds sequentially, reproducing the
+/// scalar combine bit for bit.
+///
+/// SAFETY: caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn sq_sum_blocked_avx2(x: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut acc_lo = _mm256_setzero_ps();
+    let mut acc_hi = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + SQ_SUM_LANES <= n {
+        let v0 = _mm256_loadu_ps(xp.add(i));
+        let v1 = _mm256_loadu_ps(xp.add(i + 8));
+        acc_lo = _mm256_add_ps(acc_lo, _mm256_mul_ps(v0, v0));
+        acc_hi = _mm256_add_ps(acc_hi, _mm256_mul_ps(v1, v1));
+        i += SQ_SUM_LANES;
+    }
+    let mut lanes = [0.0f32; SQ_SUM_LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc_lo);
+    _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc_hi);
+    let mut total = 0.0f32;
+    for &lane in &lanes {
+        total += lane;
+    }
+    for &v in &x[i..] {
+        total += v * v;
+    }
+    total
 }
 
 /// Loads a `Vec3` into lanes 0–2 of an `__m128` (lane 3 zero).

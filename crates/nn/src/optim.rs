@@ -45,18 +45,21 @@ impl Adam {
         let t = self.step as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
+        let kern = mmhand_kernels::kernels();
         for id in store.ids() {
             let (value, grad, m, v) = store.adam_buffers(id);
-            let gd = grad.data();
-            for (i, &g) in gd.iter().enumerate() {
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let m_hat = mi / bias1;
-                let v_hat = vi / bias2;
-                value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            kern.adam_step(
+                value.data_mut(),
+                grad.data(),
+                m.data_mut(),
+                v.data_mut(),
+                self.beta1,
+                self.beta2,
+                bias1,
+                bias2,
+                lr,
+                self.eps,
+            );
         }
     }
 

@@ -108,13 +108,17 @@ impl ParamStore {
     }
 
     /// Global L2 norm of all gradients (for clipping / monitoring).
+    ///
+    /// Each tensor's squared sum uses the dispatched blocked reduction
+    /// (`sq_sum_blocked`), and the per-tensor partials combine sequentially
+    /// in registration order — the same bits on every backend.
     pub fn grad_norm(&self) -> f32 {
-        self.params
-            .iter()
-            .flat_map(|p| p.grad.data())
-            .map(|g| g * g)
-            .sum::<f32>()
-            .sqrt()
+        let kern = mmhand_kernels::kernels();
+        let mut total = 0.0f32;
+        for p in &self.params {
+            total += kern.sq_sum_blocked(p.grad.data());
+        }
+        total.sqrt()
     }
 
     /// Scales all gradients so the global norm does not exceed `max_norm`.

@@ -34,6 +34,7 @@ use crate::param::{ParamId, ParamStore};
 use crate::quant::QuantizedParamStore;
 use crate::shape::{self, ShapeError};
 use crate::tensor::{gemm_a_bt, gemm_at_b, Tensor};
+use mmhand_kernels::kernels;
 use std::sync::Arc;
 
 /// Unwraps a shape-checked graph builder — the standard delegating-wrapper
@@ -807,27 +808,19 @@ impl Tape {
                 Op::Relu(a) => {
                     let a = *a;
                     let mut dx = dy;
-                    for (g, &y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
-                        if y <= 0.0 {
-                            *g = 0.0;
-                        }
-                    }
+                    kernels().relu_backward(dx.data_mut(), self.nodes[i].value.data());
                     self.add_grad(a, dx);
                 }
                 Op::Sigmoid(a) => {
                     let a = *a;
                     let mut dx = dy;
-                    for (g, &y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
-                        *g *= y * (1.0 - y);
-                    }
+                    kernels().sigmoid_backward(dx.data_mut(), self.nodes[i].value.data());
                     self.add_grad(a, dx);
                 }
                 Op::Tanh(a) => {
                     let a = *a;
                     let mut dx = dy;
-                    for (g, &y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
-                        *g *= 1.0 - y * y;
-                    }
+                    kernels().tanh_backward(dx.data_mut(), self.nodes[i].value.data());
                     self.add_grad(a, dx);
                 }
                 Op::Matmul(a, b) => {
@@ -1089,30 +1082,22 @@ impl Tape {
                     let mut dx = Tensor::zeros(xv.shape());
                     let mut dgamma = Tensor::zeros(&[f]);
                     let mut dbeta = Tensor::zeros(&[f]);
+                    let mut dxhat = vec![0.0_f32; f];
+                    let kern = kernels();
                     for r in 0..rows {
                         let xr = &xv.data()[r * f..(r + 1) * f];
                         let dyr = &dy.data()[r * f..(r + 1) * f];
-                        // x̂ = (x − μ)·rstd; dL/dx follows the standard
-                        // layer-norm backward.
-                        let mut sum_dxhat = 0.0;
-                        let mut sum_dxhat_xhat = 0.0;
-                        let mut dxhat = vec![0.0_f32; f];
-                        for i in 0..f {
-                            let xhat = (xr[i] - mean[r]) * rstd[r];
-                            let d = dyr[i] * gv.data()[i];
-                            dxhat[i] = d;
-                            sum_dxhat += d;
-                            sum_dxhat_xhat += d * xhat;
-                            dgamma.data_mut()[i] += dyr[i] * xhat;
-                            dbeta.data_mut()[i] += dyr[i];
-                        }
-                        for i in 0..f {
-                            let xhat = (xr[i] - mean[r]) * rstd[r];
-                            dx.data_mut()[r * f + i] = rstd[r]
-                                * (dxhat[i]
-                                    - sum_dxhat / f as f32
-                                    - xhat * sum_dxhat_xhat / f as f32);
-                        }
+                        kern.layer_norm_backward_row(
+                            xr,
+                            dyr,
+                            gv.data(),
+                            mean[r],
+                            rstd[r],
+                            &mut dxhat,
+                            &mut dx.data_mut()[r * f..(r + 1) * f],
+                            dgamma.data_mut(),
+                            dbeta.data_mut(),
+                        );
                     }
                     self.add_grad(x, dx);
                     self.add_grad(gamma, dgamma);

@@ -163,9 +163,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, rhs: &Tensor) {
         assert_eq!(self.shape, rhs.shape, "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        mmhand_kernels::kernels().axpy(&mut self.data, &rhs.data);
     }
 
     /// Sum of all elements.
